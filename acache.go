@@ -1,0 +1,603 @@
+// Package acache is an adaptive caching engine for continuous multiway join
+// queries over update streams, reproducing "Adaptive Caching for Continuous
+// Queries" (Babu, Munagala, Widom, Motwani — ICDE 2005).
+//
+// A continuous n-way equijoin (a windowed stream join, or an incrementally
+// maintained join view) is executed as an MJoin — one pipeline per input
+// stream — and the engine adaptively splices join-subresult caches into the
+// pipelines, covering the whole plan spectrum from stateless MJoins to
+// fully materialized XJoins. Cache benefits and costs are estimated online,
+// the cache set is re-optimized as stream and system conditions change, and
+// memory is divided among caches by priority.
+//
+// Basic use:
+//
+//	q := acache.NewQuery().
+//		Relation("R", "A").
+//		Relation("S", "A", "B").
+//		Relation("T", "B").
+//		Join("R.A", "S.A").
+//		Join("S.B", "T.B")
+//	eng, err := q.Build(acache.Options{})
+//	...
+//	n := eng.Insert("R", 1)        // process an insertion, get result-delta count
+//	n = eng.Delete("S", 1, 2)      // process a deletion
+//
+// For windowed streams, give each relation a window size and use Append:
+// the engine emits the expiry delete and the insert in order.
+package acache
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"acache/internal/core"
+	"acache/internal/cost"
+	"acache/internal/cql"
+	"acache/internal/planner"
+	"acache/internal/query"
+	"acache/internal/stream"
+	"acache/internal/tuple"
+)
+
+// Query declares a continuous multiway equijoin. Construct with NewQuery,
+// add relations and join predicates, then Build an Engine.
+type Query struct {
+	names   []string
+	indexOf map[string]int
+	schemas []*tuple.Schema
+	windows []int    // count-based window sizes; 0 = unbounded
+	spans   []int64  // time-based window spans; 0 = not time-windowed
+	partBy  []string // partitioning attribute for per-partition windows; "" = none
+	preds   []query.Pred
+	thetas  []query.ThetaPred
+	err     error
+}
+
+// NewQuery starts an empty query declaration.
+func NewQuery() *Query {
+	return &Query{indexOf: make(map[string]int)}
+}
+
+// ParseQuery builds a query declaration from a CQL-style statement — the
+// continuous query language of the STREAM project this engine reproduces:
+//
+//	SELECT * FROM R (A) [ROWS 100], S (A, B) [ROWS 100], T (B) [RANGE 60]
+//	WHERE R.A = S.A AND S.B = T.B
+//
+// `[ROWS n]` declares a count-based sliding window (feed with Append),
+// `[RANGE n]` a time-based one (feed with AppendAt), and `[UNBOUNDED]` — the
+// default — a plain relation (feed with Insert/Delete). Attribute lists may
+// be omitted when every attribute appears in the WHERE clause.
+func ParseQuery(src string) (*Query, error) {
+	st, err := cql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	q := NewQuery()
+	for _, r := range st.Relations {
+		switch r.Window {
+		case cql.Rows:
+			q.WindowedRelation(r.Name, int(r.N), r.Attrs...)
+		case cql.Range:
+			q.TimeWindowedRelation(r.Name, r.N, r.Attrs...)
+		case cql.Partitioned:
+			q.PartitionedRelation(r.Name, r.PartitionBy, int(r.N), r.Attrs...)
+		default:
+			q.Relation(r.Name, r.Attrs...)
+		}
+	}
+	for _, p := range st.Preds {
+		q.Join(p.Left.String(), p.Right.String())
+	}
+	for _, t := range st.Thetas {
+		q.Filter(t.Left.String(), t.Op, t.Right.String())
+	}
+	return q, q.err
+}
+
+// Relation adds a relation with the given attribute names and an unbounded
+// window (explicit deletes only — the materialized-view regime).
+func (q *Query) Relation(name string, attrs ...string) *Query {
+	return q.WindowedRelation(name, 0, attrs...)
+}
+
+// WindowedRelation adds a relation backed by a count-based sliding window of
+// the given size: each Append yields an insert plus, once the window fills,
+// the expiring tuple's delete.
+func (q *Query) WindowedRelation(name string, window int, attrs ...string) *Query {
+	return q.addRelation(name, window, 0, attrs)
+}
+
+// PartitionedRelation adds a relation backed by CQL's
+// `[PARTITION BY attr ROWS rows]` window: the stream partitions on one
+// attribute's value and each partition keeps its own count-based window of
+// the rows most recent tuples. Feed it with Append.
+func (q *Query) PartitionedRelation(name, partitionBy string, rows int, attrs ...string) *Query {
+	if rows <= 0 {
+		q.err = fmt.Errorf("acache: relation %q: partition window rows must be positive", name)
+		return q
+	}
+	found := false
+	for _, a := range attrs {
+		if a == partitionBy {
+			found = true
+		}
+	}
+	if !found {
+		q.err = fmt.Errorf("acache: relation %q: partition attribute %q not among %v", name, partitionBy, attrs)
+		return q
+	}
+	q.addRelation(name, rows, 0, attrs)
+	if q.err == nil {
+		q.partBy[len(q.partBy)-1] = partitionBy
+	}
+	return q
+}
+
+// TimeWindowedRelation adds a relation backed by a time-based sliding window
+// spanning the given number of time units (CQL's `[RANGE span]`). Feed it
+// with AppendAt, which carries the application timestamp; timestamps must be
+// non-decreasing across the whole engine.
+func (q *Query) TimeWindowedRelation(name string, span int64, attrs ...string) *Query {
+	if span <= 0 {
+		q.err = fmt.Errorf("acache: relation %q: time window span must be positive", name)
+		return q
+	}
+	return q.addRelation(name, 0, span, attrs)
+}
+
+func (q *Query) addRelation(name string, window int, span int64, attrs []string) *Query {
+	if q.err != nil {
+		return q
+	}
+	if _, dup := q.indexOf[name]; dup {
+		q.err = fmt.Errorf("acache: duplicate relation %q", name)
+		return q
+	}
+	idx := len(q.names)
+	q.indexOf[name] = idx
+	q.names = append(q.names, name)
+	q.schemas = append(q.schemas, tuple.RelationSchema(idx, attrs...))
+	q.windows = append(q.windows, window)
+	q.spans = append(q.spans, span)
+	q.partBy = append(q.partBy, "")
+	return q
+}
+
+// Join adds an equijoin predicate between two "Rel.Attr" references.
+func (q *Query) Join(left, right string) *Query {
+	if q.err != nil {
+		return q
+	}
+	l, err := q.parseRef(left)
+	if err != nil {
+		q.err = err
+		return q
+	}
+	r, err := q.parseRef(right)
+	if err != nil {
+		q.err = err
+		return q
+	}
+	q.preds = append(q.preds, query.Pred{Left: l, Right: r})
+	return q
+}
+
+// Filter adds a residual theta predicate between two "Rel.Attr" references;
+// op is one of "<", "<=", ">", ">=", "!=". Theta predicates are evaluated
+// as filters during join processing; the equijoin predicates alone must
+// still connect all relations. This extends the paper's equijoin-only
+// setting (Section 3.1).
+func (q *Query) Filter(left, op, right string) *Query {
+	if q.err != nil {
+		return q
+	}
+	l, err := q.parseRef(left)
+	if err != nil {
+		q.err = err
+		return q
+	}
+	r, err := q.parseRef(right)
+	if err != nil {
+		q.err = err
+		return q
+	}
+	cmp, ok := cmpOps[op]
+	if !ok {
+		q.err = fmt.Errorf("acache: unknown comparison operator %q (want <, <=, >, >=, !=)", op)
+		return q
+	}
+	q.thetas = append(q.thetas, query.ThetaPred{Left: l, Op: cmp, Right: r})
+	return q
+}
+
+var cmpOps = map[string]query.CmpOp{
+	"<": query.Lt, "<=": query.Le, ">": query.Gt, ">=": query.Ge, "!=": query.Ne,
+}
+
+func (q *Query) parseRef(ref string) (tuple.Attr, error) {
+	dot := strings.IndexByte(ref, '.')
+	if dot <= 0 || dot == len(ref)-1 {
+		return tuple.Attr{}, fmt.Errorf("acache: malformed attribute reference %q (want Rel.Attr)", ref)
+	}
+	rel, attr := ref[:dot], ref[dot+1:]
+	idx, ok := q.indexOf[rel]
+	if !ok {
+		return tuple.Attr{}, fmt.Errorf("acache: unknown relation %q in %q", rel, ref)
+	}
+	return tuple.Attr{Rel: idx, Name: attr}, nil
+}
+
+// Options tune the engine; the zero value uses the paper's defaults:
+// adaptive cache selection with globally-consistent caches enabled,
+// unlimited cache memory, re-optimization every 10 000 updates.
+type Options struct {
+	// ReoptInterval is the re-optimization interval I in updates
+	// (default 10 000).
+	ReoptInterval int
+	// MemoryBudget is the bytes available to caches (≤ 0 for unlimited).
+	MemoryBudget int
+	// DisableCaching runs a plain MJoin.
+	DisableCaching bool
+	// DisableGlobalCaches restricts candidates to the prefix invariant
+	// (Section 4); by default globally-consistent caches (Section 6) are
+	// considered with the paper's quota m = 6.
+	DisableGlobalCaches bool
+	// AdaptOrdering enables adaptive pipeline reordering.
+	AdaptOrdering bool
+	// Seed fixes sampling randomness for reproducible runs.
+	Seed int64
+	// NoIndex lists "Rel.Attr" references that must not use hash indexes
+	// (joins on them fall back to nested-loop scans).
+	NoIndex []string
+	// Incremental enables the incremental re-optimizer and the
+	// unimportant-statistics tracker (the paper's Section 8 future work)
+	// instead of from-scratch selection at every re-optimization.
+	Incremental bool
+	// BudgetAware integrates the memory budget into cache selection itself
+	// rather than the paper's modular select-then-allocate pipeline. Only
+	// meaningful with a finite MemoryBudget.
+	BudgetAware bool
+	// TwoWayCaches switches plain caches to 2-way set-associative
+	// replacement (Section 3.3's planned replacement-scheme experiment).
+	TwoWayCaches bool
+	// PrimeCaches eagerly populates freshly selected caches instead of
+	// filling them through misses.
+	PrimeCaches bool
+}
+
+// Engine executes a built query. It is not safe for concurrent use: updates
+// are processed strictly in call order, each to completion, matching the
+// paper's execution model.
+type Engine struct {
+	q        *Query
+	core     *core.Engine
+	windows  []*stream.SlidingWindow
+	timeWins []*stream.TimeWindow        // non-nil for time-windowed relations
+	partWins []*stream.PartitionedWindow // non-nil for partitioned relations
+	seq      uint64
+	server   *Server // non-nil when hosted by a Server
+}
+
+// Build validates the query and constructs an Engine.
+func (q *Query) Build(opts Options) (*Engine, error) {
+	if q.err != nil {
+		return nil, q.err
+	}
+	iq, err := query.NewWithThetas(q.schemas, q.preds, q.thetas)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.Config{
+		ReoptInterval:  opts.ReoptInterval,
+		MemoryBudget:   opts.MemoryBudget,
+		DisableCaching: opts.DisableCaching,
+		AdaptOrdering:  opts.AdaptOrdering,
+		Incremental:    opts.Incremental,
+		BudgetAware:    opts.BudgetAware,
+		TwoWayCaches:   opts.TwoWayCaches,
+		PrimeCaches:    opts.PrimeCaches,
+		Seed:           opts.Seed,
+	}
+	if cfg.MemoryBudget <= 0 {
+		cfg.MemoryBudget = -1
+	}
+	if !opts.DisableGlobalCaches {
+		cfg.GCQuota = 6
+	}
+	for _, ref := range opts.NoIndex {
+		a, err := q.parseRef(ref)
+		if err != nil {
+			return nil, err
+		}
+		cfg.ScanOnly = append(cfg.ScanOnly, a)
+	}
+	en, err := core.NewEngine(iq, nil, cfg)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{q: q, core: en}
+	e.windows = make([]*stream.SlidingWindow, len(q.windows))
+	e.timeWins = make([]*stream.TimeWindow, len(q.windows))
+	e.partWins = make([]*stream.PartitionedWindow, len(q.windows))
+	for i, w := range q.windows {
+		switch {
+		case q.spans[i] > 0:
+			e.timeWins[i] = stream.NewTimeWindow(q.spans[i])
+		case q.partBy[i] != "":
+			col := q.schemas[i].MustColOf(tuple.Attr{Rel: i, Name: q.partBy[i]})
+			e.partWins[i] = stream.NewPartitionedWindow(w, col)
+		default:
+			e.windows[i] = stream.NewSlidingWindow(w)
+		}
+	}
+	return e, nil
+}
+
+func (e *Engine) relIndex(name string) int {
+	idx, ok := e.q.indexOf[name]
+	if !ok {
+		panic(fmt.Sprintf("acache: unknown relation %q", name))
+	}
+	return idx
+}
+
+func (e *Engine) checkArity(rel int, values []int64) {
+	if want := e.q.schemas[rel].Len(); len(values) != want {
+		panic(fmt.Sprintf("acache: relation %q has %d attributes, got %d values",
+			e.q.names[rel], want, len(values)))
+	}
+}
+
+// Insert processes an insertion into the named relation and returns the
+// number of join-result updates emitted.
+func (e *Engine) Insert(rel string, values ...int64) int {
+	return e.apply(stream.Insert, e.relIndex(rel), values)
+}
+
+// Delete processes a deletion from the named relation and returns the
+// number of join-result updates emitted.
+func (e *Engine) Delete(rel string, values ...int64) int {
+	return e.apply(stream.Delete, e.relIndex(rel), values)
+}
+
+func (e *Engine) apply(op stream.Op, rel int, values []int64) int {
+	e.checkArity(rel, values)
+	e.seq++
+	return e.processOne(stream.Update{
+		Op:    op,
+		Rel:   rel,
+		Tuple: tuple.Tuple(values),
+		Seq:   e.seq,
+	})
+}
+
+// processOne pushes one update through the core engine and drives the
+// hosting server's rebalance cadence, if any.
+func (e *Engine) processOne(u stream.Update) int {
+	n := e.core.Process(u)
+	if e.server != nil {
+		e.server.tick()
+	}
+	return n
+}
+
+// Append pushes one tuple of a count-windowed relation's append-only
+// stream, processing the expiry delete (if the window was full) and then
+// the insert. It returns the total join-result updates emitted.
+func (e *Engine) Append(rel string, values ...int64) int {
+	idx := e.relIndex(rel)
+	e.checkArity(idx, values)
+	var ups []stream.Update
+	switch {
+	case e.partWins[idx] != nil:
+		ups = e.partWins[idx].Append(tuple.Tuple(values).Clone())
+	case e.windows[idx] != nil:
+		ups = e.windows[idx].Append(tuple.Tuple(values).Clone())
+	default:
+		panic(fmt.Sprintf("acache: relation %q is time-windowed; use AppendAt", rel))
+	}
+	total := 0
+	for _, u := range ups {
+		u.Rel = idx
+		e.seq++
+		u.Seq = e.seq
+		total += e.processOne(u)
+	}
+	return total
+}
+
+// AppendAt pushes one tuple of a time-windowed relation's stream at
+// application time ts. Time is global: before the insert, every
+// time-windowed relation expires its tuples older than its span relative to
+// ts, and those deletes are processed first (oldest first, per relation in
+// declaration order). Timestamps must be non-decreasing across the engine.
+// It returns the total join-result updates emitted.
+func (e *Engine) AppendAt(rel string, ts int64, values ...int64) int {
+	idx := e.relIndex(rel)
+	if e.timeWins[idx] == nil {
+		panic(fmt.Sprintf("acache: relation %q is not time-windowed; use Append or Insert", rel))
+	}
+	e.checkArity(idx, values)
+	total := e.AdvanceTime(ts)
+	for _, u := range e.timeWins[idx].Append(tuple.Tuple(values).Clone(), ts) {
+		u.Rel = idx
+		e.seq++
+		u.Seq = e.seq
+		total += e.processOne(u)
+	}
+	return total
+}
+
+// AdvanceTime moves the global clock to ts without inserting anything,
+// expiring every time window's old tuples and processing their deletes. It
+// returns the join-result updates emitted by the retractions.
+func (e *Engine) AdvanceTime(ts int64) int {
+	total := 0
+	for idx, w := range e.timeWins {
+		if w == nil {
+			continue
+		}
+		for _, u := range w.AdvanceTo(ts) {
+			u.Rel = idx
+			e.seq++
+			u.Seq = e.seq
+			total += e.processOne(u)
+		}
+	}
+	return total
+}
+
+// Stats is a snapshot of the engine's state and counters.
+type Stats struct {
+	// Updates is the number of updates processed.
+	Updates uint64
+	// Outputs is the number of join-result updates emitted.
+	Outputs uint64
+	// WorkSeconds is the simulated processing time consumed so far.
+	WorkSeconds float64
+	// UsedCaches describes the caches currently spliced into pipelines.
+	UsedCaches []string
+	// Reopts and SkippedReopts count selection runs and p-threshold skips.
+	Reopts, SkippedReopts int
+	// CacheMemoryBytes is the total bytes held by used caches.
+	CacheMemoryBytes int
+}
+
+// Stats returns a snapshot of counters and the current plan.
+func (e *Engine) Stats() Stats {
+	s := Stats{
+		Updates:     e.seq,
+		Outputs:     e.core.Outputs(),
+		WorkSeconds: cost.Seconds(e.core.Meter().Total()),
+	}
+	s.Reopts, s.SkippedReopts = e.core.Reopts()
+	for _, spec := range e.core.UsedCaches() {
+		s.UsedCaches = append(s.UsedCaches, e.describe(spec))
+	}
+	sort.Strings(s.UsedCaches)
+	s.CacheMemoryBytes = e.core.CacheMemoryBytes()
+	return s
+}
+
+// describe renders a cache spec with the query's relation names.
+func (e *Engine) describe(spec *planner.Spec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Δ%s: cache(", e.q.names[spec.Pipeline])
+	for i, r := range spec.Segment {
+		if i > 0 {
+			b.WriteString(" ⋈ ")
+		}
+		b.WriteString(e.q.names[r])
+	}
+	switch {
+	case spec.SelfMaint:
+		b.WriteString(", self-maintained")
+	case spec.GC:
+		b.WriteString(" ⋉")
+		for _, r := range spec.Y {
+			b.WriteString(" " + e.q.names[r])
+		}
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// SetMemoryBudget changes the cache memory budget at run time; the engine
+// re-divides it among caches by priority immediately.
+func (e *Engine) SetMemoryBudget(bytes int) {
+	if bytes <= 0 {
+		bytes = -1
+	}
+	e.core.SetMemoryBudget(bytes)
+}
+
+// WindowLen returns the current tuple count of the named relation's window.
+func (e *Engine) WindowLen(rel string) int {
+	return e.core.Exec().Store(e.relIndex(rel)).Len()
+}
+
+// RelationNames returns the declared relation names in declaration order
+// and each relation's attribute count — what a generic driver needs to feed
+// the engine.
+func (q *Query) RelationNames() (names []string, arities []int) {
+	for i, n := range q.names {
+		names = append(names, n)
+		arities = append(arities, q.schemas[i].Len())
+	}
+	return names, arities
+}
+
+// OnResult registers a callback receiving every join-result delta as a flat
+// row (see ResultColumns for the column labels), with insert = true for
+// additions and false for retractions. Callbacks run synchronously inside
+// update processing and must not call back into the engine.
+func (e *Engine) OnResult(f func(insert bool, row []int64)) {
+	e.core.OnResult(func(ins bool, vals []tuple.Value) { f(ins, vals) })
+}
+
+// ResultColumns returns the labels of result-row columns, in the order
+// OnResult delivers them: relations in declaration order, each relation's
+// attributes in declaration order, as "Rel.Attr".
+func (q *Query) ResultColumns() []string {
+	var out []string
+	for i, name := range q.names {
+		for _, a := range q.schemas[i].Cols() {
+			out = append(out, name+"."+a.Name)
+		}
+	}
+	return out
+}
+
+// Explain renders the adaptive optimizer's view: every candidate cache with
+// its state (used / profiled / unused) and latest benefit, maintenance
+// cost, and miss-probability estimates in unit-time terms — EXPLAIN for a
+// continuously optimized query.
+func (e *Engine) Explain() string {
+	var b strings.Builder
+	for _, c := range e.core.Candidates() {
+		fmt.Fprintf(&b, "%-9s %s  benefit=%.4f cost=%.4f miss=%.2f",
+			c.State.String(), e.describe(c.Spec), c.Benefit, c.Cost, c.MissProb)
+		if !c.Ready {
+			b.WriteString("  (estimating)")
+		}
+		if c.Demotions > 0 {
+			fmt.Fprintf(&b, "  demoted×%d", c.Demotions)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// DescribePlan renders the engine's current physical plan — one line per
+// pipeline with its join order, then one line per cache placement with its
+// mode, occupancy, and hit rate.
+func (e *Engine) DescribePlan() string {
+	plan := e.core.Plan()
+	var b strings.Builder
+	for i, pipe := range plan.Pipelines {
+		fmt.Fprintf(&b, "Δ%s:", e.q.names[i])
+		for _, r := range pipe {
+			fmt.Fprintf(&b, " ⋈ %s", e.q.names[r])
+		}
+		b.WriteByte('\n')
+	}
+	for _, c := range plan.Caches {
+		mode := "prefix"
+		switch {
+		case c.SelfMnt:
+			mode = "self-maintained"
+		case c.Reduced:
+			mode = "reduced"
+		}
+		shared := ""
+		if c.Shared {
+			shared = ", shared"
+		}
+		fmt.Fprintf(&b, "  cache %s [%s%s]: %d entries, %.1f KB, %.0f%% hits\n",
+			e.describe(c.Spec), mode, shared, c.Entries, float64(c.Bytes)/1024, 100*c.HitRate)
+	}
+	return b.String()
+}

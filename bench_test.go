@@ -1,0 +1,146 @@
+package acache
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"acache/internal/bench"
+	"acache/internal/cache"
+	"acache/internal/cost"
+	"acache/internal/tuple"
+)
+
+// Figure/table benchmarks: each regenerates one of the paper's experiments
+// at a reduced scale per iteration and reports headline shape metrics. Run
+// `go run ./cmd/acache-bench -scale full` for the paper-scale tables; these
+// testing.B entry points exist so `go test -bench` regenerates every figure
+// and so CI catches shape regressions.
+
+// reportEdges reports the first and last Y of the experiment's first two
+// series (caching and MJoin, or the plan families), which carry the
+// crossover shapes the paper's figures show.
+func reportEdges(b *testing.B, e *bench.Experiment) {
+	b.Helper()
+	for _, s := range e.Series {
+		if len(s.Y) == 0 {
+			b.Fatalf("series %q empty", s.Label)
+		}
+		unit := strings.Map(func(r rune) rune {
+			if r == ' ' || r == '(' || r == ')' || r == '/' {
+				return '_'
+			}
+			return r
+		}, s.Label)
+		b.ReportMetric(s.Y[0], unit+"_first")
+		b.ReportMetric(s.Y[len(s.Y)-1], unit+"_last")
+	}
+}
+
+func benchScale() bench.RunConfig {
+	return bench.RunConfig{Warmup: 2_000, Measure: 5_000, Seed: 42}
+}
+
+func BenchmarkFig6HitProbability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportEdges(b, bench.Fig6(benchScale()))
+	}
+}
+
+func BenchmarkFig7JoinSelectivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportEdges(b, bench.Fig7(benchScale()))
+	}
+}
+
+func BenchmarkFig8UpdateProbeRatio(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportEdges(b, bench.Fig8(benchScale()))
+	}
+}
+
+func BenchmarkFig9NWayJoin(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportEdges(b, bench.Fig9(benchScale()))
+	}
+}
+
+func BenchmarkFig10JoinCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportEdges(b, bench.Fig10(benchScale()))
+	}
+}
+
+func BenchmarkFig11PlanSpectrum(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportEdges(b, bench.Fig11(benchScale()))
+	}
+}
+
+func BenchmarkFig12Adaptivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportEdges(b, bench.Fig12(benchScale()))
+	}
+}
+
+func BenchmarkFig13Memory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportEdges(b, bench.Fig13(benchScale()))
+	}
+}
+
+// Micro-benchmarks: real wall-clock cost of the hot paths.
+
+func BenchmarkEngineInsertThreeWay(b *testing.B) {
+	eng, err := NewQuery().
+		WindowedRelation("R", 100, "A").
+		WindowedRelation("S", 100, "A", "B").
+		WindowedRelation("T", 100, "B").
+		Join("R.A", "S.A").
+		Join("S.B", "T.B").
+		Build(Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		switch i % 3 {
+		case 0:
+			eng.Append("R", rng.Int63n(100))
+		case 1:
+			eng.Append("S", rng.Int63n(100), rng.Int63n(100))
+		default:
+			eng.Append("T", rng.Int63n(100))
+		}
+	}
+}
+
+func BenchmarkCacheProbeHit(b *testing.B) {
+	c := cache.New(1<<12, 8, -1, &cost.Meter{})
+	keys := make([]tuple.Key, 256)
+	for i := range keys {
+		keys[i] = tuple.KeyOfValues([]tuple.Value{int64(i)})
+		c.Create(keys[i], []tuple.Tuple{{int64(i), int64(i)}})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Probe(keys[i%len(keys)])
+	}
+}
+
+func BenchmarkCacheMaintenance(b *testing.B) {
+	c := cache.New(1<<12, 8, -1, &cost.Meter{})
+	keys := make([]tuple.Key, 256)
+	for i := range keys {
+		keys[i] = tuple.KeyOfValues([]tuple.Value{int64(i)})
+		c.Create(keys[i], nil)
+	}
+	tp := tuple.Tuple{1, 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := keys[i%len(keys)]
+		c.Insert(u, tp)
+		c.Delete(u, tp)
+	}
+}

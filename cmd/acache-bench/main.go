@@ -1,0 +1,118 @@
+// Command acache-bench regenerates the paper's experimental evaluation
+// (Section 7): every figure's series is recomputed on the deterministic
+// cost model and printed as an aligned table.
+//
+// Usage:
+//
+//	acache-bench [-experiment all|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13]
+//	             [-scale quick|medium|full] [-seed N]
+//
+// The full scale matches the paper's horizons and takes a few minutes; quick
+// is suitable for smoke runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"acache/internal/bench"
+	"acache/internal/plot"
+)
+
+// writeSVG renders one experiment as an SVG chart file named after its id.
+func writeSVG(dir string, e *bench.Experiment) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	c := &plot.Chart{Title: e.ID + " — " + e.Title, XLabel: e.XLabel, YLabel: e.YLabel}
+	for _, s := range e.Series {
+		c.Series = append(c.Series, plot.Series{Label: s.Label, X: s.X, Y: s.Y})
+	}
+	return os.WriteFile(filepath.Join(dir, e.ID+".svg"), []byte(c.SVG()), 0o644)
+}
+
+func main() {
+	experiment := flag.String("experiment", "all", "experiment id (fig6..fig13), 'ablations', 'extensions', or 'all'")
+	scale := flag.String("scale", "medium", "run scale: quick, medium, or full")
+	seed := flag.Int64("seed", 42, "workload seed")
+	parallel := flag.Bool("parallel", false, "run experiments concurrently (each is self-contained); output stays in order")
+	format := flag.String("format", "table", "output format: table or csv")
+	svgDir := flag.String("svg", "", "also write one SVG chart per experiment into this directory")
+	flag.Parse()
+
+	render := func(e *bench.Experiment) string {
+		if *svgDir != "" {
+			if err := writeSVG(*svgDir, e); err != nil {
+				fmt.Fprintln(os.Stderr, "svg:", err)
+			}
+		}
+		if *format == "csv" {
+			return "# " + e.ID + " — " + e.Title + "\n" + e.CSV()
+		}
+		return e.Table()
+	}
+
+	var cfg bench.RunConfig
+	switch *scale {
+	case "quick":
+		cfg = bench.Quick()
+	case "medium":
+		cfg = bench.RunConfig{Warmup: 10_000, Measure: 25_000}
+	case "full":
+		cfg = bench.Full()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	cfg.Seed = *seed
+
+	runners := map[string]func(bench.RunConfig) *bench.Experiment{
+		"fig6": bench.Fig6, "fig7": bench.Fig7, "fig8": bench.Fig8,
+		"fig9": bench.Fig9, "fig10": bench.Fig10, "fig11": bench.Fig11,
+		"fig12": bench.Fig12, "fig13": bench.Fig13,
+	}
+	order := []string{"fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13"}
+
+	switch *experiment {
+	case "all":
+		if *parallel {
+			tables := make([]string, len(order))
+			var wg sync.WaitGroup
+			for i, id := range order {
+				wg.Add(1)
+				go func(i string, slot *string) {
+					defer wg.Done()
+					*slot = render(runners[i](cfg))
+				}(id, &tables[i])
+			}
+			wg.Wait()
+			for _, t := range tables {
+				fmt.Println(t)
+			}
+			return
+		}
+		for _, id := range order {
+			fmt.Println(render(runners[id](cfg)))
+		}
+	case "ablations":
+		for _, e := range bench.Ablations(cfg) {
+			fmt.Println(render(e))
+		}
+	case "extensions":
+		for _, e := range bench.Extensions(cfg) {
+			fmt.Println(render(e))
+		}
+	default:
+		run, ok := runners[*experiment]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (want %s, ablations, extensions, or all)\n",
+				*experiment, strings.Join(order, "|"))
+			os.Exit(2)
+		}
+		fmt.Println(render(run(cfg)))
+	}
+}

@@ -1,0 +1,68 @@
+// Multiquery runs several continuous queries under one Server sharing a
+// global cache-memory budget — the DSMS setting the paper situates
+// A-Caching in ("the memory in a DSMS must be partitioned among all active
+// continuous queries", Section 5). Two queries compete: a hot, highly
+// cacheable correlation and a cold one whose caches are barely worth their
+// bytes. Watch the server hand the budget to whoever pays for it, and
+// re-divide it when the budget shrinks mid-run.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"acache"
+)
+
+func main() {
+	srv := acache.NewServer(24 * 1024) // 24 KB of cache memory for everyone
+	srv.RebalanceEvery = 5_000
+
+	hotQ := acache.NewQuery().
+		WindowedRelation("flows", 100, "Host").
+		WindowedRelation("alerts", 100, "Host", "Sev").
+		WindowedRelation("rules", 100, "Sev").
+		Join("flows.Host", "alerts.Host").
+		Join("alerts.Sev", "rules.Sev")
+	hot, err := srv.Register("hot", hotQ, acache.Options{ReoptInterval: 5_000, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+
+	coldQ, err := acache.ParseQuery(
+		`SELECT * FROM audit (TxID) [ROWS 200], ledger (TxID) [ROWS 200] WHERE audit.TxID = ledger.TxID`)
+	if err != nil {
+		panic(err)
+	}
+	cold, err := srv.Register("cold", coldQ, acache.Options{ReoptInterval: 5_000, Seed: 2})
+	if err != nil {
+		panic(err)
+	}
+
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200_000; i++ {
+		switch {
+		case i%10 < 6: // hot probes, few repeating keys
+			hot.Append("flows", rng.Int63n(20))
+		case i%10 == 6:
+			hot.Append("alerts", rng.Int63n(20), rng.Int63n(5))
+		case i%10 == 7:
+			hot.Append("rules", rng.Int63n(5))
+		case i%10 == 8: // cold: effectively unique transaction ids
+			cold.Append("audit", rng.Int63n(1_000_000))
+		default:
+			cold.Append("ledger", rng.Int63n(1_000_000))
+		}
+		if (i+1)%50_000 == 0 {
+			b := srv.Budgets()
+			st := srv.Stats()
+			fmt.Printf("%7d events | budgets: hot %5.1f KB, cold %5.1f KB | hot caches %v | cold caches %v\n",
+				i+1, float64(b["hot"])/1024, float64(b["cold"])/1024,
+				st["hot"].UsedCaches, st["cold"].UsedCaches)
+		}
+		if i == 120_000 {
+			fmt.Println("--- global budget cut to 6 KB ---")
+			srv.SetBudget(6 * 1024)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+// Netmon correlates three sliding-window network feeds — flow records, IDS
+// alerts, and asset inventory updates — with a continuous three-way join,
+// the classic DSMS monitoring workload the paper's introduction motivates.
+// The alert feed is hot (alerts reference the same few destination hosts
+// again and again), so the engine adaptively caches the flow ⋈ asset
+// subresult probed by each alert and the throughput climbs.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"acache"
+)
+
+func main() {
+	// flows(Host, Port) ⋈ alerts(Host) ⋈ assets(Port):
+	// which alerts concern hosts with flows on ports belonging to
+	// inventoried services.
+	eng, err := acache.NewQuery().
+		WindowedRelation("flows", 512, "Host", "Port").
+		WindowedRelation("alerts", 256, "Host").
+		WindowedRelation("assets", 128, "Port").
+		Join("flows.Host", "alerts.Host").
+		Join("flows.Port", "assets.Port").
+		Build(acache.Options{ReoptInterval: 5_000, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	const hosts, ports = 200, 50
+	matches := 0
+	// Alerts arrive 8× as often as flows and inventory changes, and are
+	// heavily skewed toward a handful of noisy hosts.
+	for i := 0; i < 120_000; i++ {
+		switch {
+		case i%10 < 8:
+			h := rng.Int63n(hosts / 10) // top decile of hosts only
+			matches += eng.Append("alerts", h)
+		case i%10 == 8:
+			matches += eng.Append("flows", rng.Int63n(hosts), rng.Int63n(ports))
+		default:
+			matches += eng.Append("assets", rng.Int63n(ports))
+		}
+		if (i+1)%30_000 == 0 {
+			st := eng.Stats()
+			fmt.Printf("%7d events | %8.0f events/sec | %8d correlations | caches: %v\n",
+				i+1, float64(st.Updates)/st.WorkSeconds, st.Outputs, st.UsedCaches)
+		}
+	}
+	fmt.Printf("\ntotal correlated alert results: %d\n", matches)
+}

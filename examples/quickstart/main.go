@@ -1,0 +1,68 @@
+// Quickstart: declare a three-way continuous join, feed a few updates, and
+// watch result deltas come out — the paper's running example (Examples
+// 3.1–3.5) expressed through the public API.
+package main
+
+import (
+	"fmt"
+
+	"acache"
+)
+
+func main() {
+	// R1(A) ⋈ R2(A,B) ⋈ R3(B): unbounded relations (the materialized-view
+	// regime — explicit inserts and deletes).
+	eng, err := acache.NewQuery().
+		Relation("R1", "A").
+		Relation("R2", "A", "B").
+		Relation("R3", "B").
+		Join("R1.A", "R2.A").
+		Join("R2.B", "R3.B").
+		Build(acache.Options{})
+	if err != nil {
+		panic(err)
+	}
+
+	// Receive actual result rows, not just counts.
+	cols := acache.NewQuery().
+		Relation("R1", "A").
+		Relation("R2", "A", "B").
+		Relation("R3", "B").ResultColumns()
+	eng.OnResult(func(insert bool, row []int64) {
+		sign := "+"
+		if !insert {
+			sign = "-"
+		}
+		fmt.Printf("    %s result %v %v\n", sign, cols, row)
+	})
+
+	// Figure 2's data: R1 = {0,1,2}, R2 = {(1,2),(1,3),(3,6)}, R3 = {2,4}.
+	for _, v := range []int64{0, 1, 2} {
+		eng.Insert("R1", v)
+	}
+	for _, p := range [][2]int64{{1, 2}, {1, 3}, {3, 6}} {
+		eng.Insert("R2", p[0], p[1])
+	}
+	for _, v := range []int64{2, 4} {
+		eng.Insert("R3", v)
+	}
+
+	// Example 3.1: inserting ⟨1⟩ into R1 produces exactly one result delta,
+	// ⟨1,1,2,2⟩.
+	n := eng.Insert("R1", 1)
+	fmt.Printf("insert R1⟨1⟩ → %d result delta(s)\n", n)
+
+	// Example 3.3: inserting ⟨3⟩ into R3 joins with (1,3) and (3,6)... only
+	// (1,3) has an R1 partner, so two R1⟨1⟩ tuples × ⟨1,3,3⟩ → 2 deltas.
+	n = eng.Insert("R3", 3)
+	fmt.Printf("insert R3⟨3⟩ → %d result delta(s)\n", n)
+
+	// Deletes emit deltas too: removing R2(1,2) retracts the ⟨1,1,2,2⟩
+	// results for both R1⟨1⟩ tuples.
+	n = eng.Delete("R2", 1, 2)
+	fmt.Printf("delete R2⟨1,2⟩ → %d result delta(s)\n", n)
+
+	st := eng.Stats()
+	fmt.Printf("\nprocessed %d updates, emitted %d result updates\n", st.Updates, st.Outputs)
+	fmt.Printf("caches in use: %v (the engine adds them adaptively as traffic grows)\n", st.UsedCaches)
+}

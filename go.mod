@@ -1,0 +1,3 @@
+module acache
+
+go 1.22

@@ -1,0 +1,46 @@
+package acache
+
+// Interner maps strings to dense int64 ids and back — a symbol table for
+// feeding string-keyed streams into the engine, whose attribute values are
+// int64 by design (the paper's experiments use integer join attributes; a
+// real deployment interns its strings exactly like this).
+//
+// Like the engine, an Interner is not safe for concurrent use.
+type Interner struct {
+	ids   map[string]int64
+	names []string
+}
+
+// NewInterner creates an empty symbol table.
+func NewInterner() *Interner {
+	return &Interner{ids: make(map[string]int64)}
+}
+
+// ID returns the id for s, assigning the next dense id on first sight.
+func (in *Interner) ID(s string) int64 {
+	if id, ok := in.ids[s]; ok {
+		return id
+	}
+	id := int64(len(in.names))
+	in.ids[s] = id
+	in.names = append(in.names, s)
+	return id
+}
+
+// Lookup returns the id for s without assigning, and whether it was known.
+func (in *Interner) Lookup(s string) (int64, bool) {
+	id, ok := in.ids[s]
+	return id, ok
+}
+
+// Name returns the string for a previously assigned id; it panics on an
+// unknown id, which indicates a caller bug (ids only come from ID).
+func (in *Interner) Name(id int64) string {
+	if id < 0 || id >= int64(len(in.names)) {
+		panic("acache: unknown interned id")
+	}
+	return in.names[id]
+}
+
+// Len returns the number of interned strings.
+func (in *Interner) Len() int { return len(in.names) }

@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCSVRendering(t *testing.T) {
+	e := &Experiment{
+		ID: "x", Title: "t", XLabel: "n",
+		Series: []Series{
+			{Label: "plain", X: []float64{1, 2}, Y: []float64{10, 20}},
+			{Label: `with "quotes", commas`, X: []float64{1, 2}, Y: []float64{30, 40}},
+		},
+		Notes: []string{"a note"},
+	}
+	got := e.CSV()
+	want := "n,plain,\"with \"\"quotes\"\", commas\"\n1,10,30\n2,20,40\n# a note\n"
+	if got != want {
+		t.Fatalf("CSV:\n%q\nwant\n%q", got, want)
+	}
+}
+
+func TestCSVShortSeries(t *testing.T) {
+	e := &Experiment{
+		XLabel: "x",
+		Series: []Series{
+			{Label: "a", X: []float64{1, 2}, Y: []float64{10, 20}},
+			{Label: "b", X: []float64{1, 2}, Y: []float64{30}}, // short
+		},
+	}
+	lines := strings.Split(strings.TrimSpace(e.CSV()), "\n")
+	if lines[2] != "2,20," {
+		t.Fatalf("short series row = %q", lines[2])
+	}
+}
+
+// Smoke tests for the ablation and extension experiments at tiny scale —
+// they must produce finite series with the expected labels.
+func TestAblationsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := RunConfig{Warmup: 800, Measure: 1500, Seed: 42}
+	for _, e := range Ablations(cfg) {
+		if len(e.Series) == 0 {
+			t.Fatalf("%s: no series", e.ID)
+		}
+		for _, s := range e.Series {
+			finitePositive(t, s)
+		}
+	}
+}
+
+func TestExtensionsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := RunConfig{Warmup: 800, Measure: 1500, Seed: 42}
+	for _, e := range Extensions(cfg) {
+		if len(e.Series) == 0 {
+			t.Fatalf("%s: no series", e.ID)
+		}
+		for _, s := range e.Series {
+			for i, y := range s.Y {
+				if y < 0 {
+					t.Fatalf("%s series %q point %d negative: %v", e.ID, s.Label, i, y)
+				}
+			}
+		}
+	}
+}

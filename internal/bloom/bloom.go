@@ -1,0 +1,113 @@
+// Package bloom implements the Bloom filter used by the profiler to estimate
+// cache miss probabilities (Appendix A of the paper).
+//
+// The profiler hashes each cache-key probe of a window of Wd tuples into a
+// filter with α·Wd bits; the number of set bits b estimates the number of
+// distinct keys in the window, and b/Wd estimates miss_prob: every distinct
+// key misses exactly once (its first occurrence) and hits thereafter.
+package bloom
+
+import (
+	"hash/maphash"
+	"math"
+)
+
+// Filter is a fixed-size Bloom filter with k hash functions derived by
+// double hashing from a single 64-bit maphash (Kirsch–Mitzenmacher).
+type Filter struct {
+	bits  []uint64
+	nbits uint64
+	k     int
+	seed1 maphash.Seed
+	seed2 maphash.Seed
+	nset  int // population count of set bits, maintained incrementally
+}
+
+// New creates a filter with at least nbits bits and k hash functions.
+// k must be ≥ 1 and nbits ≥ 1.
+func New(nbits int, k int) *Filter {
+	if nbits < 1 {
+		nbits = 1
+	}
+	if k < 1 {
+		k = 1
+	}
+	words := (nbits + 63) / 64
+	return &Filter{
+		bits:  make([]uint64, words),
+		nbits: uint64(nbits),
+		k:     k,
+		seed1: maphash.MakeSeed(),
+		seed2: maphash.MakeSeed(),
+	}
+}
+
+func (f *Filter) hash2(key string) (uint64, uint64) {
+	h1 := maphash.String(f.seed1, key)
+	h2 := maphash.String(f.seed2, key)
+	// Guarantee h2 is odd so all k probes differ even when nbits is a
+	// power of two.
+	return h1, h2 | 1
+}
+
+// Add inserts key and reports whether it was possibly present before the
+// insertion (true = all its bits were already set).
+func (f *Filter) Add(key string) bool {
+	h1, h2 := f.hash2(key)
+	present := true
+	for i := 0; i < f.k; i++ {
+		pos := (h1 + uint64(i)*h2) % f.nbits
+		word, mask := pos/64, uint64(1)<<(pos%64)
+		if f.bits[word]&mask == 0 {
+			present = false
+			f.bits[word] |= mask
+			f.nset++
+		}
+	}
+	return present
+}
+
+// Contains reports whether key is possibly in the filter.
+func (f *Filter) Contains(key string) bool {
+	h1, h2 := f.hash2(key)
+	for i := 0; i < f.k; i++ {
+		pos := (h1 + uint64(i)*h2) % f.nbits
+		if f.bits[pos/64]&(uint64(1)<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// SetBits returns the number of set bits.
+func (f *Filter) SetBits() int { return f.nset }
+
+// Bits returns the filter size in bits.
+func (f *Filter) Bits() int { return int(f.nbits) }
+
+// Hashes returns the number of hash functions k.
+func (f *Filter) Hashes() int { return f.k }
+
+// Reset clears all bits, keeping the seeds, so windows of probes can reuse
+// one allocation.
+func (f *Filter) Reset() {
+	for i := range f.bits {
+		f.bits[i] = 0
+	}
+	f.nset = 0
+}
+
+// EstimateDistinct estimates the number of distinct keys added since the last
+// Reset using the standard Bloom-filter cardinality estimator
+// n ≈ −(m/k)·ln(1 − b/m). For k = 1 and sparse filters this is close to the
+// paper's simpler "b distinct keys" reading, but it stays accurate as the
+// filter fills.
+func (f *Filter) EstimateDistinct() float64 {
+	m := float64(f.nbits)
+	b := float64(f.nset)
+	if b >= m {
+		// Saturated: every probe looked distinct.
+		return m
+	}
+	return -(m / float64(f.k)) * math.Log(1-b/m)
+}

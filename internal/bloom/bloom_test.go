@@ -1,0 +1,105 @@
+package bloom
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := New(1024, 3)
+	for i := 0; i < 50; i++ {
+		f.Add(fmt.Sprintf("key-%d", i))
+	}
+	for i := 0; i < 50; i++ {
+		if !f.Contains(fmt.Sprintf("key-%d", i)) {
+			t.Fatalf("false negative for key-%d", i)
+		}
+	}
+}
+
+func TestAddReportsPresence(t *testing.T) {
+	f := New(4096, 2)
+	if f.Add("x") {
+		t.Fatal("first Add must report absent")
+	}
+	if !f.Add("x") {
+		t.Fatal("second Add must report present")
+	}
+}
+
+func TestFalsePositiveRate(t *testing.T) {
+	// 1000 keys in 8×1000 bits with k=2: theoretical FPR ≈ (1−e^(−k n/m))^k
+	// ≈ 2.2%. Allow generous slack.
+	f := New(8000, 2)
+	for i := 0; i < 1000; i++ {
+		f.Add(fmt.Sprintf("in-%d", i))
+	}
+	fp := 0
+	const trials = 5000
+	for i := 0; i < trials; i++ {
+		if f.Contains(fmt.Sprintf("out-%d", i)) {
+			fp++
+		}
+	}
+	if rate := float64(fp) / trials; rate > 0.08 {
+		t.Fatalf("false positive rate %.3f too high", rate)
+	}
+}
+
+func TestEstimateDistinct(t *testing.T) {
+	f := New(1<<14, 2)
+	const n = 800
+	for i := 0; i < n; i++ {
+		f.Add(fmt.Sprintf("k-%d", i))
+		f.Add(fmt.Sprintf("k-%d", i)) // duplicates must not inflate
+	}
+	est := f.EstimateDistinct()
+	if math.Abs(est-n)/n > 0.15 {
+		t.Fatalf("distinct estimate %.0f, want ≈ %d", est, n)
+	}
+}
+
+func TestReset(t *testing.T) {
+	f := New(256, 2)
+	f.Add("a")
+	if f.SetBits() == 0 {
+		t.Fatal("no bits set after Add")
+	}
+	f.Reset()
+	if f.SetBits() != 0 {
+		t.Fatal("Reset left bits set")
+	}
+	if f.Contains("a") {
+		t.Fatal("Reset did not clear key")
+	}
+	// Seeds survive Reset: re-adding yields the same bit pattern.
+	f.Add("a")
+	before := f.SetBits()
+	f.Reset()
+	f.Add("a")
+	if f.SetBits() != before {
+		t.Fatal("hash seeds changed across Reset")
+	}
+}
+
+func TestSaturation(t *testing.T) {
+	f := New(8, 1)
+	for i := 0; i < 100; i++ {
+		f.Add(fmt.Sprintf("k-%d", i))
+	}
+	if est := f.EstimateDistinct(); est != 8 {
+		t.Fatalf("saturated estimate = %v, want bit count", est)
+	}
+}
+
+func TestDegenerateSizes(t *testing.T) {
+	f := New(0, 0) // clamps to 1 bit, 1 hash
+	f.Add("x")
+	if !f.Contains("x") {
+		t.Fatal("degenerate filter lost key")
+	}
+	if f.Bits() != 1 || f.Hashes() != 1 {
+		t.Fatalf("clamps wrong: bits=%d k=%d", f.Bits(), f.Hashes())
+	}
+}

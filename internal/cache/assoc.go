@@ -1,0 +1,128 @@
+package cache
+
+import (
+	"acache/internal/cost"
+	"acache/internal/tuple"
+)
+
+// Set-associative replacement: Section 3.3 closes with "in the future we
+// plan to experiment with other low-overhead cache replacement schemes";
+// this file is that experiment. In 2-way set-associative mode each hash set
+// holds two entries with least-recently-used replacement inside the set —
+// collisions between two hot keys no longer thrash, at the price of one
+// extra comparison per probe. The mode is chosen at construction and the
+// ablation harness measures the difference.
+
+// Associativity selects the replacement scheme.
+type Associativity int
+
+const (
+	// DirectMapped is the paper's scheme: one entry per bucket, collision
+	// replaces the resident.
+	DirectMapped Associativity = iota
+	// TwoWay holds two entries per set with in-set LRU replacement.
+	TwoWay
+)
+
+// NewAssociative creates a cache with the given replacement scheme. nSets
+// is the bucket count for DirectMapped and the set count for TwoWay (so a
+// TwoWay cache holds up to 2×nSets entries).
+func NewAssociative(nSets, keyBytes, budget int, assoc Associativity, meter *cost.Meter) *Cache {
+	c := New(nSets, keyBytes, budget, meter)
+	if assoc == TwoWay {
+		c.assoc = 2
+		c.slots2 = make([]slot, nSets)
+		c.lru = make([]uint8, nSets) // index of the LRU way per set
+	}
+	return c
+}
+
+// way returns the two candidate slots for a key in two-way mode.
+func (c *Cache) ways(u tuple.Key) (*slot, *slot, int) {
+	h := int(hashOf(c.seed, u) % uint64(c.nbuckets))
+	return &c.slots[h], &c.slots2[h], h
+}
+
+// probeAssoc implements Probe for two-way mode.
+func (c *Cache) probeAssoc(u tuple.Key) ([]tuple.Tuple, bool) {
+	c.meter.Charge(cost.HashProbe)
+	c.stats.Probes++
+	s0, s1, set := c.ways(u)
+	if s0.occupied && s0.key == u {
+		c.stats.Hits++
+		c.lru[set] = 1 // way 0 just used → way 1 is LRU
+		return s0.val, true
+	}
+	c.meter.Charge(cost.CacheInsertTuple) // the extra way comparison
+	if s1.occupied && s1.key == u {
+		c.stats.Hits++
+		c.lru[set] = 0
+		return s1.val, true
+	}
+	c.stats.Misses++
+	return nil, false
+}
+
+// createAssoc implements Create for two-way mode: prefer an empty way, else
+// evict the set's LRU way.
+func (c *Cache) createAssoc(u tuple.Key, v []tuple.Tuple) {
+	c.meter.Charge(cost.HashInsert)
+	c.meter.ChargeN(cost.CacheInsertTuple, len(v))
+	s0, s1, set := c.ways(u)
+	var target *slot
+	switch {
+	case s0.occupied && s0.key == u:
+		target = s0
+	case s1.occupied && s1.key == u:
+		target = s1
+	case !s0.occupied:
+		target = s0
+	case !s1.occupied:
+		target = s1
+	case c.lru[set] == 0:
+		target = s0
+	default:
+		target = s1
+	}
+	size := entryBytes(c.keyBytes, v)
+	freed := 0
+	if target.occupied {
+		freed = c.slotBytes(target)
+	}
+	if c.budget >= 0 && c.usedBytes-freed+size > c.budget {
+		c.stats.MemoryDrops++
+		return
+	}
+	if target.occupied {
+		if target.key != u {
+			c.stats.Evictions++
+		}
+		c.usedBytes -= freed
+		c.numEntries--
+	}
+	target.occupied = true
+	target.key = u
+	target.val = append([]tuple.Tuple(nil), v...)
+	target.cnt = nil
+	target.mult = nil
+	c.usedBytes += size
+	c.numEntries++
+	c.stats.Creates++
+	if target == s0 {
+		c.lru[set] = 1
+	} else {
+		c.lru[set] = 0
+	}
+}
+
+// slotFor finds the resident slot holding key u in two-way mode, or nil.
+func (c *Cache) slotForAssoc(u tuple.Key) *slot {
+	s0, s1, _ := c.ways(u)
+	if s0.occupied && s0.key == u {
+		return s0
+	}
+	if s1.occupied && s1.key == u {
+		return s1
+	}
+	return nil
+}

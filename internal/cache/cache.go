@@ -1,0 +1,313 @@
+// Package cache implements the join-subresult cache of Section 3.3: an
+// associative store from cache-key values to the set of segment-join tuples
+// for that key, with the paper's create/probe/insert/delete operations, a
+// low-overhead direct-mapped replacement scheme, and explicit byte-level
+// memory accounting for the adaptive memory allocator (Section 5).
+package cache
+
+import (
+	"hash/maphash"
+
+	"acache/internal/cost"
+	"acache/internal/tuple"
+)
+
+// RefBytes is the accounted size of one cached tuple reference. The paper's
+// implementation stores sets of references to relation tuples rather than
+// copies; we account each value element at pointer size.
+const RefBytes = 8
+
+// BucketBytes is the accounted per-bucket overhead (hash pointer slot).
+const BucketBytes = 8
+
+// Stats are cumulative counters, exposed for the profiler and for tests.
+type Stats struct {
+	Probes      int64
+	Hits        int64
+	Misses      int64
+	Creates     int64
+	Inserts     int64
+	Deletes     int64
+	Evictions   int64 // direct-mapped collisions that replaced a resident entry
+	MemoryDrops int64 // creates or inserts abandoned for lack of memory
+}
+
+// Cache is a direct-mapped associative store satisfying the consistency
+// invariant (Definition 3.1): every resident entry's value is exactly the
+// segment join selection for its key. Completeness is never guaranteed —
+// entries may be missing — which is what lets caches be added empty and
+// dropped at any time.
+type Cache struct {
+	nbuckets int
+	slots    []slot
+	seed     maphash.Seed
+	meter    *cost.Meter
+
+	// Two-way set-associative mode (NewAssociative): assoc is 2, slots2
+	// holds the second way, and lru tracks each set's least-recently-used
+	// way. assoc 0 is the paper's direct-mapped scheme.
+	assoc  int
+	slots2 []slot
+	lru    []uint8
+
+	keyBytes   int // packed key size, constant per cache
+	budget     int // memory budget in bytes; <0 = unlimited
+	usedBytes  int
+	numEntries int
+
+	stats Stats
+}
+
+type slot struct {
+	occupied bool
+	key      tuple.Key
+	val      []tuple.Tuple
+	// Counted-mode parallel slices (nil for plain entries): mult is each
+	// distinct tuple's X-join multiplicity, cnt its total Y-support.
+	mult []int
+	cnt  []int
+}
+
+// New creates a cache with nbuckets direct-mapped buckets for keys of
+// keyBytes packed bytes. budget < 0 means unlimited memory.
+func New(nbuckets, keyBytes, budget int, meter *cost.Meter) *Cache {
+	if nbuckets < 1 {
+		nbuckets = 1
+	}
+	return &Cache{
+		nbuckets: nbuckets,
+		slots:    make([]slot, nbuckets),
+		seed:     maphash.MakeSeed(),
+		meter:    meter,
+		keyBytes: keyBytes,
+		budget:   budget,
+	}
+}
+
+func hashOf(seed maphash.Seed, u tuple.Key) uint64 {
+	return maphash.String(seed, string(u))
+}
+
+func (c *Cache) slotOf(u tuple.Key) *slot {
+	return &c.slots[hashOf(c.seed, u)%uint64(c.nbuckets)]
+}
+
+// residentSlot returns the slot currently holding key u, or nil — the
+// mode-independent lookup for Insert/Delete/Drop.
+func (c *Cache) residentSlot(u tuple.Key) *slot {
+	if c.assoc == 2 {
+		return c.slotForAssoc(u)
+	}
+	s := c.slotOf(u)
+	if s.occupied && s.key == u {
+		return s
+	}
+	return nil
+}
+
+func entryBytes(keyBytes int, val []tuple.Tuple) int {
+	return keyBytes + RefBytes*len(val)
+}
+
+// Probe looks up key u. On a hit it returns (value, true); the value may be
+// an empty set, which is still a hit — it asserts no segment tuples join
+// with u. On a miss it returns (nil, false).
+func (c *Cache) Probe(u tuple.Key) ([]tuple.Tuple, bool) {
+	if c.assoc == 2 {
+		return c.probeAssoc(u)
+	}
+	c.meter.Charge(cost.HashProbe)
+	c.stats.Probes++
+	s := c.slotOf(u)
+	if s.occupied && s.key == u {
+		c.stats.Hits++
+		return s.val, true
+	}
+	c.stats.Misses++
+	return nil, false
+}
+
+// Create installs the complete value v for key u, replacing whatever entry
+// occupied the slot (the direct-mapped scheme of Section 3.3: collisions
+// simply evict the resident entry, which never violates consistency). If the
+// new entry does not fit in the remaining budget the create is dropped; the
+// resident entry, if any, is kept.
+func (c *Cache) Create(u tuple.Key, v []tuple.Tuple) {
+	if c.assoc == 2 {
+		c.createAssoc(u, v)
+		return
+	}
+	c.meter.Charge(cost.HashInsert)
+	c.meter.ChargeN(cost.CacheInsertTuple, len(v))
+	size := entryBytes(c.keyBytes, v)
+	s := c.slotOf(u)
+	freed := 0
+	if s.occupied {
+		freed = c.slotBytes(s)
+	}
+	if c.budget >= 0 && c.usedBytes-freed+size > c.budget {
+		c.stats.MemoryDrops++
+		return
+	}
+	if s.occupied {
+		if s.key != u {
+			c.stats.Evictions++
+		}
+		c.usedBytes -= freed
+		c.numEntries--
+	}
+	s.occupied = true
+	s.key = u
+	s.val = append([]tuple.Tuple(nil), v...)
+	s.cnt = nil
+	s.mult = nil
+	c.usedBytes += size
+	c.numEntries++
+	c.stats.Creates++
+}
+
+// Insert adds tuple r to the entry for key u, if present; otherwise it is
+// ignored (Section 3.2). If growing the entry would exceed the budget, the
+// entire entry is dropped instead — absence never violates consistency,
+// while a silently incomplete entry would.
+func (c *Cache) Insert(u tuple.Key, r tuple.Tuple) {
+	c.meter.Charge(cost.HashProbe)
+	s := c.residentSlot(u)
+	if s == nil {
+		return
+	}
+	c.meter.Charge(cost.CacheInsertTuple)
+	if c.budget >= 0 && c.usedBytes+RefBytes > c.budget {
+		c.dropSlot(s)
+		c.stats.MemoryDrops++
+		return
+	}
+	s.val = append(s.val, r)
+	c.usedBytes += RefBytes
+	c.stats.Inserts++
+}
+
+// Delete removes one tuple equal to r from the entry for key u, if the entry
+// is present; otherwise it is ignored.
+func (c *Cache) Delete(u tuple.Key, r tuple.Tuple) {
+	c.meter.Charge(cost.HashProbe)
+	s := c.residentSlot(u)
+	if s == nil {
+		return
+	}
+	c.meter.Charge(cost.CacheInsertTuple)
+	for i, t := range s.val {
+		if t.Equal(r) {
+			s.val[i] = s.val[len(s.val)-1]
+			s.val = s.val[:len(s.val)-1]
+			c.usedBytes -= RefBytes
+			c.stats.Deletes++
+			return
+		}
+	}
+}
+
+func (c *Cache) dropSlot(s *slot) {
+	if !s.occupied {
+		return
+	}
+	c.usedBytes -= c.slotBytes(s)
+	c.numEntries--
+	s.occupied = false
+	s.key = ""
+	s.val = nil
+	s.cnt = nil
+	s.mult = nil
+}
+
+// Drop removes the entry for key u, if resident. Invalidation-mode caches
+// use it when a segment update touches a cached key: absence never violates
+// consistency, so dropping is always safe.
+func (c *Cache) Drop(u tuple.Key) {
+	c.meter.Charge(cost.HashProbe)
+	if s := c.residentSlot(u); s != nil {
+		c.dropSlot(s)
+	}
+}
+
+// Clear drops every entry, keeping the bucket array. Used when a cache's
+// statistics have gone stale (e.g. after a pipeline reordering).
+func (c *Cache) Clear() {
+	for i := range c.slots {
+		c.dropSlot(&c.slots[i])
+	}
+	for i := range c.slots2 {
+		c.dropSlot(&c.slots2[i])
+	}
+}
+
+// SetBudget changes the memory budget. Shrinking below current usage evicts
+// entries (in slot order) until usage fits; this is how the adaptive memory
+// allocator reclaims pages from low-priority caches.
+func (c *Cache) SetBudget(budget int) {
+	c.budget = budget
+	if budget < 0 {
+		return
+	}
+	for i := range c.slots {
+		if c.usedBytes <= budget {
+			return
+		}
+		c.dropSlot(&c.slots[i])
+	}
+	for i := range c.slots2 {
+		if c.usedBytes <= budget {
+			return
+		}
+		c.dropSlot(&c.slots2[i])
+	}
+}
+
+// Budget returns the current byte budget (<0 = unlimited).
+func (c *Cache) Budget() int { return c.budget }
+
+// UsedBytes returns the currently accounted memory, excluding the fixed
+// bucket array (see FixedBytes).
+func (c *Cache) UsedBytes() int { return c.usedBytes }
+
+// FixedBytes returns the bucket array overhead, charged once at allocation.
+func (c *Cache) FixedBytes() int { return (c.nbuckets + len(c.slots2)) * BucketBytes }
+
+// Entries returns the number of resident entries.
+func (c *Cache) Entries() int { return c.numEntries }
+
+// Buckets returns the configured bucket count.
+func (c *Cache) Buckets() int { return c.nbuckets }
+
+// KeyBytes returns the packed key size.
+func (c *Cache) KeyBytes() int { return c.keyBytes }
+
+// Stats returns a snapshot of the cumulative counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters (entries are kept).
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// HitRate returns hits/probes since the last ResetStats, or 0 with no probes.
+// 1 − HitRate is the directly observed miss_prob of a used cache
+// (Section 4.3).
+func (c *Cache) HitRate() float64 {
+	if c.stats.Probes == 0 {
+		return 0
+	}
+	return float64(c.stats.Hits) / float64(c.stats.Probes)
+}
+
+// Each visits every resident entry; for tests and invariant checks.
+func (c *Cache) Each(f func(u tuple.Key, v []tuple.Tuple)) {
+	for i := range c.slots {
+		if c.slots[i].occupied {
+			f(c.slots[i].key, c.slots[i].val)
+		}
+	}
+	for i := range c.slots2 {
+		if c.slots2[i].occupied {
+			f(c.slots2[i].key, c.slots2[i].val)
+		}
+	}
+}

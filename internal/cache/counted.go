@@ -1,0 +1,156 @@
+package cache
+
+import (
+	"acache/internal/cost"
+	"acache/internal/tuple"
+)
+
+// Counted-value operations for globally-consistent caches (Section 6).
+//
+// A globally-consistent cache stores X ⋉ Y: the segment-join (X) tuples that
+// currently have at least one joining combination in the reduction join Y.
+// Each resident entry holds one element per *distinct* X-tuple value x with
+// two numbers:
+//
+//   - mult: x's multiplicity in the X join (identical window rows multiply),
+//     which a probe hit must replay; and
+//   - support: the total Y-support T(x) = mult × (Y combinations per
+//     instance).
+//
+// T is maintained additively and exactly: every maintenance delta batch at
+// the X∪Y pipeline position contributes one composite per
+// (X-instance, Y-combination) pair, and a single update changes only one
+// factor of T, so T ± n is always exact. mult is recomputed from base-store
+// value counts when an X relation changes (the join package supplies the
+// recompute closure). An element lives exactly while T > 0, which is
+// precisely x ∈ X ⋉ Y — so entries always equal the lower bound of the
+// global-consistency invariant (Definition 6.1), the strongest point of its
+// allowed range.
+//
+// Counted entries reuse the same slots as plain entries; a cache must be
+// used in exactly one mode — the engine never mixes them.
+
+// countedElemBytes is the accounted per-element overhead beyond the tuple
+// reference: the mult and support integers.
+const countedElemBytes = RefBytes * 3
+
+// CreateCounted installs the complete counted value for key u: tuples[i] is
+// a distinct X-tuple with multiplicity mults[i] ≥ 1 and total support
+// supports[i] > 0. Semantics otherwise match Create, including direct-mapped
+// eviction and budget drops.
+func (c *Cache) CreateCounted(u tuple.Key, tuples []tuple.Tuple, mults, supports []int) {
+	if c.assoc != 0 {
+		panic("cache: counted entries require the direct-mapped scheme")
+	}
+	if len(tuples) != len(mults) || len(tuples) != len(supports) {
+		panic("cache: tuples/mults/supports length mismatch")
+	}
+	c.meter.Charge(cost.HashInsert)
+	c.meter.ChargeN(cost.CacheInsertTuple, len(tuples))
+	size := c.keyBytes + countedElemBytes*len(tuples)
+	s := c.slotOf(u)
+	freed := 0
+	if s.occupied {
+		freed = c.slotBytes(s)
+	}
+	if c.budget >= 0 && c.usedBytes-freed+size > c.budget {
+		c.stats.MemoryDrops++
+		return
+	}
+	if s.occupied {
+		if s.key != u {
+			c.stats.Evictions++
+		}
+		c.usedBytes -= freed
+		c.numEntries--
+	}
+	s.occupied = true
+	s.key = u
+	s.val = append([]tuple.Tuple(nil), tuples...)
+	s.mult = append([]int(nil), mults...)
+	s.cnt = append([]int(nil), supports...)
+	c.usedBytes += size
+	c.numEntries++
+	c.stats.Creates++
+}
+
+// ProbeCounted looks up key u on a counted cache, returning the distinct
+// tuples and their multiplicities on a hit.
+func (c *Cache) ProbeCounted(u tuple.Key) (tuples []tuple.Tuple, mults []int, ok bool) {
+	c.meter.Charge(cost.HashProbe)
+	c.stats.Probes++
+	s := c.slotOf(u)
+	if s.occupied && s.key == u {
+		c.stats.Hits++
+		return s.val, s.mult, true
+	}
+	c.stats.Misses++
+	return nil, nil, false
+}
+
+// ApplyCountedDelta applies a maintenance delta of n support units (n > 0
+// inserts, n < 0 deletes) for X-tuple r under key u. recomputeMult returns
+// r's X-join multiplicity as it will stand once the triggering update is
+// applied; the join layer derives it from base-store value counts. Absent
+// entries are ignored; an element is added when support arrives for a tuple
+// the entry did not hold (the lower bound of Definition 6.1 requires it),
+// and removed when its support reaches zero.
+func (c *Cache) ApplyCountedDelta(u tuple.Key, r tuple.Tuple, n int, recomputeMult func() int) {
+	c.meter.Charge(cost.HashProbe)
+	s := c.slotOf(u)
+	if !s.occupied || s.key != u {
+		return
+	}
+	c.meter.Charge(cost.CacheInsertTuple)
+	if n > 0 {
+		c.stats.Inserts++
+	} else {
+		c.stats.Deletes++
+	}
+	for i, t := range s.val {
+		if !t.Equal(r) {
+			continue
+		}
+		s.cnt[i] += n
+		if s.cnt[i] <= 0 {
+			last := len(s.val) - 1
+			s.val[i], s.cnt[i], s.mult[i] = s.val[last], s.cnt[last], s.mult[last]
+			s.val, s.cnt, s.mult = s.val[:last], s.cnt[:last], s.mult[:last]
+			c.usedBytes -= countedElemBytes
+			return
+		}
+		s.mult[i] = recomputeMult()
+		return
+	}
+	if n <= 0 {
+		return
+	}
+	if c.budget >= 0 && c.usedBytes+countedElemBytes > c.budget {
+		c.dropSlot(s)
+		c.stats.MemoryDrops++
+		return
+	}
+	m := recomputeMult()
+	s.val = append(s.val, r)
+	s.cnt = append(s.cnt, n)
+	s.mult = append(s.mult, m)
+	c.usedBytes += countedElemBytes
+}
+
+// EachCounted visits every resident counted entry with its multiplicities
+// and supports.
+func (c *Cache) EachCounted(f func(u tuple.Key, v []tuple.Tuple, mults, supports []int)) {
+	for i := range c.slots {
+		if c.slots[i].occupied {
+			f(c.slots[i].key, c.slots[i].val, c.slots[i].mult, c.slots[i].cnt)
+		}
+	}
+}
+
+// slotBytes returns the accounted size of a slot's entry, counted or plain.
+func (c *Cache) slotBytes(s *slot) int {
+	if s.cnt != nil {
+		return c.keyBytes + countedElemBytes*len(s.val)
+	}
+	return entryBytes(c.keyBytes, s.val)
+}

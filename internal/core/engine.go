@@ -1,0 +1,573 @@
+// Package core implements A-Caching (Sections 4–6): the adaptive engine that
+// ties the Executor, Profiler, and Re-optimizer together (Figure 4). It
+// maintains candidate caches in the Used / Profiled / Unused state machine of
+// Section 4.5, estimates their benefits and costs online, re-optimizes at a
+// configurable interval with a change-threshold guard, reacts immediately
+// when a used cache turns unprofitable, allocates memory by priority
+// (Section 5), and optionally extends the candidate space with
+// globally-consistent caches (Section 6).
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"acache/internal/cache"
+	"acache/internal/cost"
+	"acache/internal/join"
+	"acache/internal/memory"
+	"acache/internal/ordering"
+	"acache/internal/planner"
+	"acache/internal/profiler"
+	"acache/internal/query"
+	"acache/internal/stream"
+	"acache/internal/tuple"
+)
+
+// State is a candidate cache's state (Section 4.5).
+type State int
+
+const (
+	// Unused: neither used nor being profiled.
+	Unused State = iota
+	// Profiled: statistics are being collected (shadow estimator active).
+	Profiled
+	// Used: spliced into its pipeline and probed during join processing.
+	Used
+)
+
+func (s State) String() string {
+	switch s {
+	case Used:
+		return "used"
+	case Profiled:
+		return "profiled"
+	default:
+		return "unused"
+	}
+}
+
+// SelectionMode picks the offline selection algorithm (for ablations;
+// Auto follows the paper's implementation).
+type SelectionMode int
+
+const (
+	// SelectAuto: optimal DP without sharing, exhaustive for small m,
+	// greedy beyond (Section 4.4).
+	SelectAuto SelectionMode = iota
+	// SelectExhaustive forces exhaustive search.
+	SelectExhaustive
+	// SelectGreedy forces the Appendix-B greedy approximation.
+	SelectGreedy
+	// SelectRandomized forces the LP randomized-rounding approximation.
+	SelectRandomized
+)
+
+// Config tunes the engine. Zero values select the paper's defaults.
+type Config struct {
+	// Profiler configures online estimation (W = 10 etc.).
+	Profiler profiler.Config
+	// ReoptInterval is I: updates processed between re-optimizations
+	// (default 10 000; Section 7.4 uses 10 000 tuples, Section 7.1 two
+	// seconds).
+	ReoptInterval int
+	// MonitorInterval is how often used caches' net benefit is rechecked
+	// for the immediate-demotion rule of Section 4.5(a) (default I/10).
+	MonitorInterval int
+	// ChangeThreshold is p: re-optimization is skipped unless some used or
+	// profiled cache's benefit or cost moved by more than this fraction
+	// (default 0.2, Section 4.5(c)).
+	ChangeThreshold float64
+	// GCQuota is m: the maximum number of candidate caches considered when
+	// globally-consistent caches are enabled (Section 6). 0 disables GC
+	// candidates.
+	GCQuota int
+	// MemoryBudget is the bytes available for caches; < 0 is unlimited
+	// (Section 5, Figure 13). 0 means no cache memory at all.
+	MemoryBudget int
+	// AdaptOrdering enables the A-Greedy-style ordering advisor.
+	AdaptOrdering bool
+	// DisableCaching runs a plain MJoin (the baseline M of Section 7.3).
+	DisableCaching bool
+	// ForcedCaches, when non-empty, pins exactly these caches in place and
+	// disables adaptive selection — Figures 6–8 force the single candidate
+	// cache to be used.
+	ForcedCaches []*planner.Spec
+	// Selection picks the offline algorithm.
+	Selection SelectionMode
+	// Incremental enables the Section 8 future-work re-optimizer: local
+	// add/drop/swap moves over the candidates whose statistics changed,
+	// instead of from-scratch selection (which still runs periodically as
+	// a safety net), plus suppression of statistics whose changes never
+	// alter the selection.
+	Incremental bool
+	// BudgetAware integrates the memory budget into selection itself
+	// (choose the best cache set that fits) instead of the paper's modular
+	// select-then-allocate pipeline — the integrated problem the paper
+	// defers to future work. Only meaningful with a finite MemoryBudget.
+	BudgetAware bool
+	// TwoWayCaches switches plain caches to 2-way set-associative
+	// replacement — the "other low-overhead replacement schemes"
+	// experiment Section 3.3 plans; reduced X ⋉ Y caches stay
+	// direct-mapped.
+	TwoWayCaches bool
+	// PrimeCaches eagerly populates freshly selected caches with the full
+	// current segment join instead of the paper's incremental
+	// miss-population — trading a one-time bulk computation for the
+	// cold-start miss period (extension).
+	PrimeCaches bool
+	// MaxProfilingUpdates bounds the profiling phase before selection runs
+	// with whatever statistics are available (default 4 × ReoptInterval).
+	MaxProfilingUpdates int
+	// Seed drives sampling and randomized selection.
+	Seed int64
+	// ScanOnly forwards index-free attributes to the executor (Figure 10).
+	ScanOnly []tuple.Attr
+}
+
+func (c Config) withDefaults() Config {
+	if c.ReoptInterval == 0 {
+		c.ReoptInterval = 10_000
+	}
+	if c.MonitorInterval == 0 {
+		c.MonitorInterval = c.ReoptInterval / 10
+		if c.MonitorInterval == 0 {
+			c.MonitorInterval = 1
+		}
+	}
+	if c.ChangeThreshold == 0 {
+		c.ChangeThreshold = 0.2
+	}
+	if c.MemoryBudget == 0 {
+		c.MemoryBudget = -1
+	}
+	if c.MaxProfilingUpdates == 0 {
+		c.MaxProfilingUpdates = 2 * c.ReoptInterval
+	}
+	return c
+}
+
+// placementKey identifies one candidate placement.
+func placementKey(s *planner.Spec) string {
+	return fmt.Sprintf("%d:%d:%d:gc=%v", s.Pipeline, s.Start, s.End, s.GC)
+}
+
+// cand tracks one candidate placement's state and statistics.
+type cand struct {
+	spec  *planner.Spec
+	state State
+	// est is the latest cost-model evaluation.
+	est profiler.Estimate
+	// selEst is the evaluation at the last selection, for the p-threshold.
+	selEst profiler.Estimate
+	selSet bool
+	// shadowOn marks a live shadow estimator for this profiling phase;
+	// candidates without one keep their previous estimate.
+	shadowOn bool
+	inst     *join.Instance // non-nil while Used
+	// attachedAt is the engine update count when the cache entered the
+	// Used state; warmProbes is how many probes the monitor lets pass
+	// before judging it (a fresh cache starts empty and needs roughly its
+	// expected entry population in probes before its miss rate reflects
+	// steady state).
+	attachedAt int
+	warmProbes int64
+	warmed     bool
+	// suspended marks a previously-used cache whose lookup is withdrawn
+	// for the profiling phase while its instance stays maintained
+	// (Section 4.5(b)); it resumes warm if re-selected.
+	suspended bool
+	monStat   monitorSnapshot
+	demotions int
+	// unimportant counts consecutive beyond-threshold changes of this
+	// candidate's statistics that produced no selection change (Section 8
+	// future work (ii)); high counts stop triggering re-optimizations.
+	unimportant int
+}
+
+type monitorSnapshot struct {
+	probes, hits int64
+}
+
+// Engine is the adaptive stream-join engine.
+type Engine struct {
+	q     *query.Query
+	cfg   Config
+	meter *cost.Meter
+	exec  *join.Exec
+	pf    *profiler.Profiler
+	adv   *ordering.Advisor
+	mem   *memory.Manager
+	rng   *rand.Rand
+
+	cands     map[string]*cand          // by placementKey
+	instances map[string]*join.Instance // by SharingID, for Used caches
+
+	updates      int
+	sinceReopt   int
+	sinceMonitor int
+	profiling    bool
+	profilingFor int
+	// reoptCount drives the profiling duty cycle: a full profile — which
+	// suspends used caches that deny subset candidates their probe stream
+	// (Section 4.5(b)) — runs only every fullProfileEvery-th
+	// re-optimization; the others profile only candidates whose probe
+	// stream is unobstructed, bounding the throughput lost to profiling.
+	reoptCount int
+
+	outputs uint64
+	// Reopts counts selection runs; SkippedReopts counts p-threshold skips.
+	reopts, skippedReopts int
+
+	// resultSinks receive canonicalized join-result deltas; resultTaps
+	// tracks the executor tap id per pipeline (−1 = none) so pipeline
+	// rebuilds can re-register.
+	resultSinks []func(insert bool, result []tuple.Value)
+	resultTaps  []int
+}
+
+// NewEngine builds an engine for q starting from the given pipeline
+// ordering (nil for the neutral initial ordering).
+func NewEngine(q *query.Query, ord planner.Ordering, cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if ord == nil {
+		ord = ordering.InitialOrdering(q.N())
+	}
+	meter := &cost.Meter{}
+	exec, err := join.NewExec(q, ord, meter, join.Options{ScanOnly: cfg.ScanOnly})
+	if err != nil {
+		return nil, err
+	}
+	cfg.Profiler.Seed = cfg.Seed + 1
+	pf := profiler.New(q, exec, meter, cfg.Profiler)
+	en := &Engine{
+		q:         q,
+		cfg:       cfg,
+		meter:     meter,
+		exec:      exec,
+		pf:        pf,
+		adv:       ordering.New(q, pf),
+		mem:       memory.NewManager(cfg.MemoryBudget),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		cands:     make(map[string]*cand),
+		instances: make(map[string]*join.Instance),
+	}
+	if len(cfg.ForcedCaches) > 0 {
+		if err := en.attachForced(); err != nil {
+			return nil, err
+		}
+	} else if !cfg.DisableCaching {
+		en.refreshCandidates()
+		en.startProfilingPhase()
+	}
+	return en, nil
+}
+
+// Meter exposes the engine's cost meter.
+func (en *Engine) Meter() *cost.Meter { return en.meter }
+
+// Exec exposes the executor (stores, ordering) for tests and tools.
+func (en *Engine) Exec() *join.Exec { return en.exec }
+
+// OnResult registers a callback receiving every join-result delta in
+// canonical column order (relations ascending, each relation's schema
+// order), with insert = true for additions and false for retractions. The
+// callback runs synchronously inside update processing and must not call
+// back into the engine. Reordering-induced pipeline rebuilds re-register
+// the taps automatically.
+func (en *Engine) OnResult(f func(insert bool, result []tuple.Value)) {
+	en.resultSinks = append(en.resultSinks, f)
+	en.installResultTaps()
+}
+
+// installResultTaps (re)wires output-position taps on every pipeline that
+// canonicalize and fan out to the registered sinks.
+func (en *Engine) installResultTaps() {
+	if len(en.resultSinks) == 0 {
+		return
+	}
+	n := en.q.N()
+	for i := 0; i < n; i++ {
+		if en.resultTaps == nil {
+			en.resultTaps = make([]int, n)
+			for j := range en.resultTaps {
+				en.resultTaps[j] = -1
+			}
+		}
+		if en.resultTaps[i] != -1 {
+			continue
+		}
+		pipe := i
+		// Canonicalization columns for this pipeline's output schema.
+		schema := en.q.Schema(pipe)
+		for _, r := range en.exec.Ordering()[pipe] {
+			schema = schema.Concat(en.q.Schema(r))
+		}
+		var cols []int
+		for rel := 0; rel < n; rel++ {
+			for _, a := range en.q.Schema(rel).Cols() {
+				cols = append(cols, schema.MustColOf(a))
+			}
+		}
+		en.resultTaps[i] = en.exec.Tap(pipe, en.q.N()-1, func(batch []tuple.Tuple, op stream.Op) {
+			for _, t := range batch {
+				out := make([]tuple.Value, len(cols))
+				for j, c := range cols {
+					out[j] = t[c]
+				}
+				for _, sink := range en.resultSinks {
+					sink(op == stream.Insert, out)
+				}
+			}
+		})
+	}
+}
+
+// Profiler exposes the online statistics.
+func (en *Engine) Profiler() *profiler.Profiler { return en.pf }
+
+// Outputs returns the total join-result updates emitted.
+func (en *Engine) Outputs() uint64 { return en.outputs }
+
+// Reopts returns (selection runs, p-threshold skips).
+func (en *Engine) Reopts() (int, int) { return en.reopts, en.skippedReopts }
+
+// attachForced pins the configured caches (Figures 6–8).
+func (en *Engine) attachForced() error {
+	for _, spec := range en.cfg.ForcedCaches {
+		inst := en.instanceFor(spec, 4096)
+		if err := en.exec.AttachCache(spec, inst); err != nil {
+			return err
+		}
+		c := &cand{spec: spec, state: Used, inst: inst}
+		en.cands[placementKey(spec)] = c
+	}
+	return nil
+}
+
+// instanceFor finds or creates the shared instance for a spec.
+func (en *Engine) instanceFor(spec *planner.Spec, buckets int) *join.Instance {
+	id := spec.SharingID()
+	if inst, ok := en.instances[id]; ok {
+		return inst
+	}
+	assoc := cache.DirectMapped
+	if en.cfg.TwoWayCaches {
+		assoc = cache.TwoWay
+		buckets = (buckets + 1) / 2 // same total capacity: sets × 2 ways
+	}
+	inst := join.NewInstanceAssoc(en.q, spec, buckets, en.mem.Budget(), assoc, en.meter)
+	en.instances[id] = inst
+	return inst
+}
+
+// Process runs one update through the engine: profiling decision, join
+// computation, adaptivity bookkeeping. It returns the number of join result
+// updates emitted.
+func (en *Engine) Process(u stream.Update) int {
+	en.meter.Charge(cost.WindowMaint)
+	var outputs int
+	if en.pf.ShouldProfile(u.Rel) {
+		res, prof := en.exec.ProcessProfiled(u)
+		en.pf.Observe(u.Rel, prof)
+		outputs = res.Outputs
+	} else {
+		outputs = en.exec.Process(u).Outputs
+	}
+	en.pf.Tick(u.Rel)
+	en.updates++
+	en.outputs += uint64(outputs)
+
+	if len(en.cfg.ForcedCaches) > 0 || en.cfg.DisableCaching {
+		return outputs
+	}
+
+	en.sinceMonitor++
+	if en.sinceMonitor >= en.cfg.MonitorInterval {
+		en.sinceMonitor = 0
+		en.monitorUsed()
+	}
+
+	if en.profiling {
+		en.profilingFor++
+		if en.statsReady() || en.profilingFor >= en.cfg.MaxProfilingUpdates {
+			en.finishReopt()
+		}
+		return outputs
+	}
+	en.sinceReopt++
+	if en.sinceReopt >= en.cfg.ReoptInterval {
+		en.sinceReopt = 0
+		en.startReopt()
+	}
+	return outputs
+}
+
+// SetMemoryBudget changes the cache memory budget at run time (Figure 13)
+// and immediately re-divides it among the used caches by priority.
+func (en *Engine) SetMemoryBudget(bytes int) {
+	en.mem.SetBudget(bytes)
+	en.allocateMemory()
+}
+
+// CacheStates returns a snapshot of every known candidate's state, for
+// tests, tools, and the demo CLI.
+func (en *Engine) CacheStates() map[string]State {
+	out := make(map[string]State, len(en.cands))
+	for _, c := range en.cands {
+		out[c.spec.String()] = c.state
+	}
+	return out
+}
+
+// UsedCaches returns the specs currently in the Used state.
+func (en *Engine) UsedCaches() []*planner.Spec {
+	var out []*planner.Spec
+	for _, c := range en.cands {
+		if c.state == Used {
+			out = append(out, c.spec)
+		}
+	}
+	return out
+}
+
+// Ordering returns the executor's current pipeline ordering.
+func (en *Engine) Ordering() planner.Ordering { return en.exec.Ordering() }
+
+// PlanDescription describes the engine's current physical plan: per
+// pipeline, the join order and the caches spliced in.
+type PlanDescription struct {
+	// Pipelines[i] is relation i's join order.
+	Pipelines [][]int
+	// Caches describes every used cache placement.
+	Caches []CacheDescription
+}
+
+// CacheDescription is one cache placement in the current plan.
+type CacheDescription struct {
+	Spec     *planner.Spec
+	State    State
+	Entries  int
+	Bytes    int
+	HitRate  float64
+	Shared   bool // instance shared with another placement
+	SelfMnt  bool
+	Reduced  bool // counted X ⋉ Y cache
+	Segments []int
+}
+
+// Plan snapshots the current physical plan for introspection.
+func (en *Engine) Plan() PlanDescription {
+	d := PlanDescription{Pipelines: en.exec.Ordering()}
+	shareCount := make(map[string]int)
+	for _, c := range en.cands {
+		if c.state == Used {
+			shareCount[c.spec.SharingID()]++
+		}
+	}
+	for _, c := range en.cands {
+		if c.state != Used {
+			continue
+		}
+		d.Caches = append(d.Caches, CacheDescription{
+			Spec:     c.spec,
+			State:    c.state,
+			Entries:  c.inst.Cache().Entries(),
+			Bytes:    c.inst.Cache().UsedBytes(),
+			HitRate:  c.inst.Cache().HitRate(),
+			Shared:   shareCount[c.spec.SharingID()] > 1,
+			SelfMnt:  c.spec.SelfMaint,
+			Reduced:  c.spec.GC && !c.spec.SelfMaint,
+			Segments: c.spec.Segment,
+		})
+	}
+	sort.Slice(d.Caches, func(a, b int) bool {
+		return placementKey(d.Caches[a].Spec) < placementKey(d.Caches[b].Spec)
+	})
+	return d
+}
+
+// Diagnose renders each candidate's latest estimate — a debugging and
+// observability aid used by the demo CLI.
+func (en *Engine) Diagnose() string {
+	out := ""
+	for _, c := range en.cands {
+		out += fmt.Sprintf("%v[%s: ben=%.4f cost=%.4f miss=%.2f entries=%.0f ready=%v demoted=%d] ",
+			c.spec, c.state, c.est.Benefit, c.est.Cost, c.est.MissProb, c.est.ExpectedEntries, c.est.Ready, c.demotions)
+	}
+	return out
+}
+
+// CandidateInfo is one candidate cache's state and latest cost-model
+// evaluation, for the Explain API.
+type CandidateInfo struct {
+	Spec      *planner.Spec
+	State     State
+	Benefit   float64
+	Cost      float64
+	MissProb  float64
+	Ready     bool
+	Demotions int
+}
+
+// Candidates snapshots every known candidate cache with its latest
+// estimates, sorted by placement — an EXPLAIN for the adaptive optimizer.
+func (en *Engine) Candidates() []CandidateInfo {
+	out := make([]CandidateInfo, 0, len(en.cands))
+	for _, c := range en.cands {
+		out = append(out, CandidateInfo{
+			Spec:      c.spec,
+			State:     c.state,
+			Benefit:   c.est.Benefit,
+			Cost:      c.est.Cost,
+			MissProb:  c.est.MissProb,
+			Ready:     c.est.Ready,
+			Demotions: c.demotions,
+		})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		return placementKey(out[a].Spec) < placementKey(out[b].Spec)
+	})
+	return out
+}
+
+// CacheMemoryBytes returns the total bytes currently held by used cache
+// instances (shared instances counted once), including bucket arrays.
+func (en *Engine) CacheMemoryBytes() int {
+	total := 0
+	for _, inst := range en.instances {
+		total += inst.Cache().UsedBytes() + inst.Cache().FixedBytes()
+	}
+	return total
+}
+
+// MemoryBudgetBytes returns the engine's current cache-memory budget
+// (<0 = unlimited).
+func (en *Engine) MemoryBudgetBytes() int { return en.mem.Budget() }
+
+// MemoryDemand summarizes the engine's appetite for cache memory: the bytes
+// its used caches want (the larger of expected and actual usage, summed per
+// instance) and their aggregate net benefit per unit time. A DSMS hosting
+// many continuous queries uses these to divide a global budget across
+// queries by priority — the cross-query generalization of Section 5.
+func (en *Engine) MemoryDemand() (bytes int, netBenefit float64) {
+	seen := make(map[string]bool)
+	for _, c := range en.cands {
+		if c.state != Used {
+			continue
+		}
+		id := c.spec.SharingID()
+		netBenefit += c.est.Benefit
+		if !seen[id] {
+			seen[id] = true
+			netBenefit -= c.est.Cost
+			b := int(c.est.ExpectedBytes)
+			if actual := c.inst.Cache().UsedBytes(); actual > b {
+				b = actual
+			}
+			bytes += b
+		}
+	}
+	return bytes, netBenefit
+}

@@ -1,0 +1,146 @@
+package core
+
+import "sort"
+
+// This file implements the two future-work directions the paper sketches in
+// Section 8 item 2:
+//
+//	(i)  an incremental re-optimization that adds or drops caches based
+//	     solely on the statistics that changed, instead of re-running the
+//	     offline selection from scratch; and
+//	(ii) identification of "unimportant statistics" whose significant
+//	     changes tend not to produce new cache selections, so they stop
+//	     triggering re-optimizations.
+//
+// Both are off by default (Config.Incremental) and validated against the
+// from-scratch selection by tests and the ablation harness.
+
+// incrementalFullEvery forces a from-scratch selection every Nth
+// re-optimization even in incremental mode, bounding the drift a sequence
+// of local moves can accumulate.
+const incrementalFullEvery = 8
+
+// unimportantAfter is how many consecutive times a candidate's
+// beyond-threshold change may fail to alter the selection before the
+// candidate's statistics are deemed unimportant and stop triggering
+// re-optimizations. A selection change anywhere resets every counter —
+// conditions have genuinely moved.
+const unimportantAfter = 3
+
+// incrementalSelect starts from the currently used cache set and applies
+// greedy local moves — toggling individual candidates and swapping
+// overlapping ones — until no move improves the objective. Only candidates
+// whose estimates moved beyond the change threshold since the last
+// selection (plus the current used set) are considered, which is what makes
+// the re-optimization incremental: stable candidates cost nothing.
+func (en *Engine) incrementalSelect() []*cand {
+	// Current solution: the used set.
+	cur := make(map[*cand]bool)
+	for _, c := range en.cands {
+		if c.state == Used {
+			cur[c] = true
+		}
+	}
+	// Movable candidates: changed beyond threshold (including having just
+	// become estimable — the same conditions that trigger re-optimization),
+	// or currently used.
+	p := en.cfg.ChangeThreshold
+	var movable []*cand
+	for _, c := range en.cands {
+		if !c.est.Ready {
+			continue
+		}
+		changed := !c.selSet ||
+			c.est.Ready != c.selEst.Ready ||
+			relChange(c.est.Benefit, c.selEst.Benefit) > p ||
+			relChange(c.est.Cost, c.selEst.Cost) > p
+		if changed || cur[c] {
+			movable = append(movable, c)
+		}
+	}
+	sort.Slice(movable, func(a, b int) bool {
+		return placementKey(movable[a].spec) < placementKey(movable[b].spec)
+	})
+
+	value := func(sel map[*cand]bool) float64 {
+		v := 0.0
+		groups := make(map[string]float64)
+		for c := range sel {
+			v += c.est.Benefit
+			groups[c.spec.SharingID()] = c.est.Cost
+		}
+		for _, cost := range groups {
+			v -= cost
+		}
+		return v
+	}
+	overlapsAny := func(c *cand, sel map[*cand]bool) []*cand {
+		var out []*cand
+		for d := range sel {
+			if d != c && d.spec.Overlaps(c.spec) {
+				out = append(out, d)
+			}
+		}
+		return out
+	}
+
+	best := value(cur)
+	for pass := 0; pass < 2*len(movable)+1; pass++ {
+		improved := false
+		for _, c := range movable {
+			if cur[c] {
+				// Try dropping c.
+				delete(cur, c)
+				if v := value(cur); v > best {
+					best = v
+					improved = true
+					continue
+				}
+				cur[c] = true
+				continue
+			}
+			// Try adding c, evicting whatever it overlaps.
+			evicted := overlapsAny(c, cur)
+			for _, d := range evicted {
+				delete(cur, d)
+			}
+			cur[c] = true
+			if v := value(cur); v > best {
+				best = v
+				improved = true
+				continue
+			}
+			delete(cur, c)
+			for _, d := range evicted {
+				cur[d] = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	out := make([]*cand, 0, len(cur))
+	for c := range cur {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		return placementKey(out[a].spec) < placementKey(out[b].spec)
+	})
+	return out
+}
+
+// noteSelectionOutcome updates the unimportant-statistics tracker (future
+// work (ii)): candidates whose beyond-threshold changes repeatedly leave the
+// selection unchanged stop counting toward changedBeyondThreshold; any
+// actual selection change rehabilitates everyone.
+func (en *Engine) noteSelectionOutcome(changedCands []*cand, selectionChanged bool) {
+	if selectionChanged {
+		for _, c := range en.cands {
+			c.unimportant = 0
+		}
+		return
+	}
+	for _, c := range changedCands {
+		c.unimportant++
+	}
+}

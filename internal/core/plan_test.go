@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+
+	"acache/internal/planner"
+	"acache/internal/stream"
+	"acache/internal/synth"
+)
+
+func TestPlanSnapshot(t *testing.T) {
+	q := threeWay(t)
+	ord := planner.Ordering{{1, 2}, {2, 0}, {1, 0}}
+	en, err := NewEngine(q, ord, Config{ReoptInterval: 500, Seed: 19})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	src := stream.NewSource([]stream.RelStream{
+		{Gen: synth.Tuples(synth.Counter(0, 20, 5)), WindowSize: 100, Rate: 10},
+		{Gen: synth.Tuples(synth.Counter(0, 20, 1), synth.Counter(0, 20, 1)), WindowSize: 50, Rate: 1},
+		{Gen: synth.Tuples(synth.Counter(0, 20, 1)), WindowSize: 50, Rate: 1},
+	})
+	for i := 0; i < 20000; i++ {
+		en.Process(src.Next())
+	}
+	plan := en.Plan()
+	if len(plan.Pipelines) != 3 {
+		t.Fatalf("pipelines = %v", plan.Pipelines)
+	}
+	for i, p := range plan.Pipelines {
+		if len(p) != 2 {
+			t.Fatalf("pipeline %d = %v", i, p)
+		}
+	}
+	if len(plan.Caches) == 0 {
+		t.Fatalf("expected used caches in the snapshot; states: %v", en.CacheStates())
+	}
+	c := plan.Caches[0]
+	if c.State != Used || c.Entries == 0 || c.Bytes == 0 {
+		t.Fatalf("cache description %+v", c)
+	}
+	if c.HitRate <= 0 || c.HitRate > 1 {
+		t.Fatalf("hit rate %v out of range", c.HitRate)
+	}
+	if len(c.Segments) < 2 {
+		t.Fatalf("segments %v", c.Segments)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if Used.String() != "used" || Profiled.String() != "profiled" || Unused.String() != "unused" {
+		t.Fatal("state strings wrong")
+	}
+	if State(99).String() != "unused" {
+		t.Fatal("unknown state should render as unused")
+	}
+}

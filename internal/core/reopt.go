@@ -1,0 +1,601 @@
+package core
+
+import (
+	"sort"
+
+	"acache/internal/memory"
+	"acache/internal/planner"
+	"acache/internal/profiler"
+	"acache/internal/selection"
+)
+
+// refreshCandidates recomputes the candidate cache set for the current
+// ordering: prefix-invariant candidates plus, when enabled, the Section 6
+// globally-consistent quota. Existing candidate entries survive when their
+// placement is still valid; the rest are dropped (detaching used ones).
+func (en *Engine) refreshCandidates() {
+	ord := en.exec.Ordering()
+	specs := planner.Candidates(en.q, ord)
+	if en.cfg.GCQuota > 0 {
+		specs = append(specs, planner.GCCandidates(en.q, ord, specs, en.cfg.GCQuota)...)
+	}
+	next := make(map[string]*cand, len(specs))
+	for _, spec := range specs {
+		k := placementKey(spec)
+		if old, ok := en.cands[k]; ok && old.spec.SharingID() == spec.SharingID() {
+			next[k] = old
+			continue
+		}
+		next[k] = &cand{spec: spec, state: Unused}
+	}
+	for k, old := range en.cands {
+		if _, keep := next[k]; !keep && old.state == Used {
+			en.detach(old)
+		}
+		if _, keep := next[k]; !keep && old.state == Profiled {
+			en.pf.StopShadow(old.spec)
+		}
+	}
+	en.cands = next
+}
+
+// fullProfileEvery is the profiling duty cycle: every Nth re-optimization
+// pays the full price (suspending used caches that cover profiled subset
+// candidates); the rest profile only unobstructed candidates.
+const fullProfileEvery = 4
+
+// startReopt begins a re-optimization (Section 4.5 steps 2–4): apply any
+// ordering change, then move candidates into the profiled state so their
+// statistics can be (re)collected, suspending used caches only when they
+// deny an unused subset candidate its full probe stream (Section 4.5(b)) —
+// and only on full-profile rounds.
+func (en *Engine) startReopt() {
+	if en.cfg.AdaptOrdering {
+		en.adaptOrdering()
+	}
+	en.reoptCount++
+	en.startProfilingPhase()
+}
+
+// adaptOrdering applies the ordering advisor per pipeline. A reordered
+// pipeline invalidates every cache whose probes or maintenance flow through
+// it, so all caches are detached and candidates recomputed (Section 4.5
+// step 5; we widen "caches used in that pipeline" to all caches because
+// maintenance operators of other pipelines' caches may also live in the
+// reordered pipeline).
+func (en *Engine) adaptOrdering() {
+	ord := en.exec.Ordering()
+	changed := false
+	for i := 0; i < en.q.N(); i++ {
+		next, ch := en.adv.Advise(i, ord[i])
+		if !ch {
+			continue
+		}
+		if !changed {
+			for _, c := range en.cands {
+				if c.state == Used {
+					en.detach(c)
+				}
+			}
+			changed = true
+		}
+		_ = en.exec.SetOrdering(i, next)
+		en.pf.ResetPipeline(i)
+		if en.resultTaps != nil {
+			en.resultTaps[i] = -1 // pipeline rebuilt; tap is gone
+		}
+	}
+	if changed {
+		en.refreshCandidates()
+		en.installResultTaps()
+	}
+}
+
+// startProfilingPhase starts shadow estimators and enters the profiling
+// state. On full-profile rounds, used caches covering a profiled subset
+// candidate are suspended so the shadow sees the complete probe stream
+// (Section 4.5(b)); on light rounds only unobstructed candidates profile,
+// the rest keeping their previous estimates.
+func (en *Engine) startProfilingPhase() {
+	full := en.reoptCount%fullProfileEvery == 1 || en.reoptCount == 0
+	if full {
+		for _, c := range en.cands {
+			if c.state != Used {
+				continue
+			}
+			for _, d := range en.cands {
+				if d.state == Used || d.spec.Pipeline != c.spec.Pipeline {
+					continue
+				}
+				if d.spec.Start > c.spec.Start && d.spec.Start <= c.spec.End {
+					if en.exec.SuspendLookup(c.spec) {
+						c.suspended = true
+						c.state = Profiled
+						en.pf.StartShadow(c.spec)
+						c.shadowOn = true
+					}
+					break
+				}
+			}
+		}
+	}
+	covered := func(d *cand) bool {
+		for _, c := range en.cands {
+			if c.state == Used && d.spec.Pipeline == c.spec.Pipeline &&
+				d.spec.Start > c.spec.Start && d.spec.Start <= c.spec.End {
+				return true
+			}
+		}
+		return false
+	}
+	for _, c := range en.cands {
+		if c.state == Used {
+			// Miss probability observed directly; reset the observation
+			// window so the estimate is fresh.
+			c.monStat = monitorSnapshot{}
+			c.inst.Cache().ResetStats()
+			continue
+		}
+		if !full && covered(c) {
+			continue // estimate kept from the last full profile
+		}
+		c.state = Profiled
+		en.pf.StartShadow(c.spec)
+		c.shadowOn = true
+	}
+	en.profiling = true
+	en.profilingFor = 0
+}
+
+// statsReady reports whether every pipeline statistic and every profiled
+// candidate's shadow window is full.
+func (en *Engine) statsReady() bool {
+	if !en.pf.Ready() {
+		return false
+	}
+	for _, c := range en.cands {
+		if c.state != Profiled || !c.shadowOn {
+			continue
+		}
+		if _, ok := en.pf.ShadowMissProb(c.spec); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// finishReopt evaluates the cost model for every candidate, applies the
+// p-threshold skip rule, runs offline selection, and installs the chosen
+// cache set.
+func (en *Engine) finishReopt() {
+	en.profiling = false
+	for _, c := range en.cands {
+		if c.state == Used || c.shadowOn {
+			c.est = en.estimate(c)
+		}
+		// Candidates skipped by a light profile keep their previous
+		// estimate (possibly stale; the next full profile refreshes it).
+	}
+	triggers, oscillators := en.changedBeyondThreshold()
+	if len(triggers) == 0 {
+		en.skippedReopts++
+		en.stopShadows()
+		return
+	}
+	en.reopts++
+	var chosen []*cand
+	if en.cfg.Incremental && en.reopts%incrementalFullEvery != 0 {
+		chosen = en.incrementalSelect()
+	} else {
+		chosen = en.runSelection()
+	}
+	selectionChanged := en.selectionDiffers(chosen)
+	en.applySelection(chosen)
+	en.stopShadows()
+	en.allocateMemory()
+	for _, c := range en.cands {
+		c.selEst = c.est
+		c.selSet = true
+	}
+	if en.cfg.Incremental {
+		en.noteSelectionOutcome(oscillators, selectionChanged)
+	}
+}
+
+// selectionDiffers reports whether the chosen set differs from the caches
+// currently in use.
+func (en *Engine) selectionDiffers(chosen []*cand) bool {
+	inChosen := make(map[*cand]bool, len(chosen))
+	used := 0
+	for _, c := range chosen {
+		inChosen[c] = true
+	}
+	for _, c := range en.cands {
+		if c.state == Used {
+			used++
+			if !inChosen[c] {
+				return true
+			}
+		}
+	}
+	return used != len(chosen)
+}
+
+func (en *Engine) stopShadows() {
+	for _, c := range en.cands {
+		if c.state == Profiled {
+			en.pf.StopShadow(c.spec)
+			c.state = Unused
+		}
+		c.shadowOn = false
+	}
+}
+
+// estimate evaluates the cost model for a candidate: used caches supply
+// their directly observed miss probability, profiled ones their shadow
+// estimate (Section 4.3).
+func (en *Engine) estimate(c *cand) profiler.Estimate {
+	var missProb float64
+	var distinct float64
+	switch c.state {
+	case Used:
+		st := c.inst.Cache().Stats()
+		if st.Probes > 0 {
+			missProb = float64(st.Misses) / float64(st.Probes)
+		}
+		distinct = float64(c.inst.Cache().Entries())
+	default:
+		missProb, _ = en.pf.ShadowMissProb(c.spec)
+		distinct, _ = en.pf.ShadowDistinct(c.spec)
+	}
+	return en.pf.Estimate(c.spec, missProb, distinct)
+}
+
+// changedBeyondThreshold implements the p-threshold of Section 4.5(c):
+// selection reruns only when some used or profiled cache's benefit or cost
+// moved more than the configured fraction since the last selection.
+// triggers holds every candidate justifying a re-optimization; oscillators
+// is the subset flagged for plain statistic movement (as opposed to
+// becoming estimable for the first time), the only kind the
+// unimportant-statistics tracker may learn to suppress — suppressing
+// readiness transitions could deadlock adoption outright.
+func (en *Engine) changedBeyondThreshold() (triggers, oscillators []*cand) {
+	p := en.cfg.ChangeThreshold
+	for _, c := range en.cands {
+		if !c.selSet || c.est.Ready != c.selEst.Ready {
+			// Never selected with this candidate known, or it became
+			// estimable (or lost its statistics) since the last selection.
+			triggers = append(triggers, c)
+			continue
+		}
+		if relChange(c.est.Benefit, c.selEst.Benefit) > p ||
+			relChange(c.est.Cost, c.selEst.Cost) > p {
+			if en.cfg.Incremental && c.unimportant >= unimportantAfter {
+				continue // learned-unimportant statistic
+			}
+			triggers = append(triggers, c)
+			oscillators = append(oscillators, c)
+		}
+	}
+	return triggers, oscillators
+}
+
+func relChange(now, then float64) float64 {
+	d := now - then
+	if d < 0 {
+		d = -d
+	}
+	base := then
+	if base < 0 {
+		base = -base
+	}
+	if base == 0 {
+		if d == 0 {
+			return 0
+		}
+		return 1
+	}
+	return d / base
+}
+
+// runSelection builds the selection problem from current estimates and runs
+// the configured offline algorithm.
+func (en *Engine) runSelection() []*cand {
+	ord := en.exec.Ordering()
+	prob := &selection.Problem{}
+	for i := 0; i < en.q.N(); i++ {
+		costs := make([]float64, len(ord[i]))
+		for j := range costs {
+			costs[j] = en.pf.OpCost(i, j)
+		}
+		prob.OpCosts = append(prob.OpCosts, costs)
+	}
+	// Deterministic candidate order.
+	keys := make([]string, 0, len(en.cands))
+	for k := range en.cands {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var list []*cand
+	groupIDs := make(map[string]int)
+	for _, k := range keys {
+		c := en.cands[k]
+		if !c.est.Ready {
+			continue
+		}
+		gid, ok := groupIDs[c.spec.SharingID()]
+		if !ok {
+			gid = len(prob.GroupCosts)
+			groupIDs[c.spec.SharingID()] = gid
+			prob.GroupCosts = append(prob.GroupCosts, c.est.Cost)
+		}
+		prob.Cands = append(prob.Cands, selection.Candidate{
+			Pipeline: c.spec.Pipeline,
+			Start:    c.spec.Start,
+			End:      c.spec.End,
+			Group:    gid,
+			Benefit:  c.est.Benefit,
+		})
+		list = append(list, c)
+	}
+	var res selection.Result
+	switch {
+	case en.cfg.BudgetAware && en.mem.Budget() >= 0:
+		// Integrated selection under the memory budget (extension; the
+		// paper's modular pipeline is the default).
+		bp := &selection.BudgetedProblem{Problem: *prob, Budget: float64(en.mem.Budget())}
+		maxGroup := -1
+		for _, c := range prob.Cands {
+			if c.Group > maxGroup {
+				maxGroup = c.Group
+			}
+		}
+		bp.GroupBytes = make([]float64, maxGroup+1)
+		for idx, c := range prob.Cands {
+			if b := list[idx].est.ExpectedBytes; b > bp.GroupBytes[c.Group] {
+				bp.GroupBytes[c.Group] = b
+			}
+		}
+		if len(prob.Cands) <= 18 {
+			res = selection.BudgetedExhaustive(bp)
+		} else {
+			res = selection.BudgetedGreedy(bp)
+		}
+	case en.cfg.Selection == SelectExhaustive:
+		res = selection.Exhaustive(prob)
+	case en.cfg.Selection == SelectGreedy:
+		res = selection.Greedy(prob)
+	case en.cfg.Selection == SelectRandomized:
+		var err error
+		res, err = selection.Randomized(prob, en.rng)
+		if err != nil {
+			res = selection.Greedy(prob)
+		}
+	default:
+		res = selection.Select(prob)
+	}
+	chosen := make([]*cand, 0, len(res.Chosen))
+	for _, i := range res.Chosen {
+		chosen = append(chosen, list[i])
+	}
+	return chosen
+}
+
+// applySelection moves the engine to the chosen cache set: detach used
+// caches that fell out, attach newly chosen ones (sharing instances by
+// identity).
+func (en *Engine) applySelection(chosen []*cand) {
+	inChosen := make(map[*cand]bool, len(chosen))
+	for _, c := range chosen {
+		inChosen[c] = true
+	}
+	for _, c := range en.cands {
+		if !inChosen[c] && (c.state == Used || c.suspended) {
+			en.detach(c)
+		}
+	}
+	for _, c := range chosen {
+		if c.state == Used {
+			continue
+		}
+		if c.state == Profiled {
+			en.pf.StopShadow(c.spec)
+		}
+		if c.suspended {
+			// Resume warm: the instance stayed maintained while suspended.
+			if !en.exec.ResumeLookup(c.spec) {
+				// Conflicting state accumulated while suspended (e.g. a
+				// maintenance operator landed inside the span); release
+				// the placement instead.
+				en.detach(c)
+				continue
+			}
+			c.suspended = false
+			c.state = Used
+			c.attachedAt = en.updates
+			st := c.inst.Cache().Stats()
+			c.monStat = monitorSnapshot{probes: st.Probes, hits: st.Hits}
+			continue
+		}
+		// Direct-mapped buckets collide birthday-style: at load factor 1
+		// more than a third of keys evict each other, so over-provision 8×
+		// (collision-miss ≈ 6%), rounded up to a power of two.
+		buckets := 64
+		for buckets < 8*int(c.est.ExpectedEntries) && buckets < 1<<17 {
+			buckets *= 2
+		}
+		inst := en.instanceFor(c.spec, buckets)
+		if err := en.exec.AttachCache(c.spec, inst); err != nil {
+			// The executor enforces constraints the selection does not
+			// model — notably that a cache span must not swallow another
+			// cache's maintenance operator (possible with self-maintained
+			// segments). Skip the placement; the next re-optimization may
+			// order the attachments differently.
+			if inst.Cache().Entries() == 0 {
+				// Fresh instance that never attached: release it.
+				id := c.spec.SharingID()
+				orphan := true
+				for _, d := range en.cands {
+					if d != c && (d.state == Used || d.suspended) && d.spec.SharingID() == id {
+						orphan = false
+						break
+					}
+				}
+				if orphan {
+					delete(en.instances, id)
+				}
+			}
+			c.state = Unused
+			continue
+		}
+		if en.cfg.PrimeCaches && inst.Cache().Entries() == 0 {
+			inst.Prime(en.exec)
+			c.warmed = true // primed caches need no cold-start grace
+		} else {
+			c.warmed = false
+		}
+		c.inst = inst
+		c.state = Used
+		c.attachedAt = en.updates
+		c.warmProbes = 3 * int64(c.est.ExpectedEntries)
+		if c.warmProbes < 100 {
+			c.warmProbes = 100
+		}
+		st := inst.Cache().Stats()
+		c.monStat = monitorSnapshot{probes: st.Probes, hits: st.Hits}
+	}
+}
+
+// detach removes a used or suspended placement; when its instance's last
+// placement goes away the instance is released.
+func (en *Engine) detach(c *cand) {
+	if c.state != Used && !c.suspended {
+		return
+	}
+	if c.suspended {
+		en.pf.StopShadow(c.spec)
+	}
+	en.exec.DetachCache(c.spec)
+	id := c.spec.SharingID()
+	inUse := false
+	for _, d := range en.cands {
+		if d != c && (d.state == Used || d.suspended) && d.spec.SharingID() == id {
+			inUse = true
+			break
+		}
+	}
+	if !inUse {
+		delete(en.instances, id)
+	}
+	c.inst = nil
+	c.suspended = false
+	c.state = Unused
+}
+
+// allocateMemory divides the budget among used caches by priority
+// (Section 5) and applies the grants as per-instance byte budgets.
+func (en *Engine) allocateMemory() {
+	type instInfo struct {
+		net   float64
+		bytes float64
+	}
+	infos := make(map[string]*instInfo)
+	for _, c := range en.cands {
+		if c.state != Used {
+			continue
+		}
+		id := c.spec.SharingID()
+		info := infos[id]
+		if info == nil {
+			info = &instInfo{}
+			infos[id] = info
+			info.net -= c.est.Cost // group cost once
+		}
+		info.net += c.est.Benefit
+		b := c.est.ExpectedBytes
+		if actual := float64(en.instances[id].Cache().UsedBytes()); actual > b {
+			b = actual
+		}
+		if b > info.bytes {
+			info.bytes = b
+		}
+	}
+	var reqs []memory.Request
+	for id, info := range infos {
+		bytes := int(info.bytes)
+		if bytes < memory.PageBytes {
+			bytes = memory.PageBytes
+		}
+		reqs = append(reqs, memory.Request{
+			ID:       id,
+			Priority: info.net / float64(bytes),
+			Bytes:    bytes,
+		})
+	}
+	grants := en.mem.Allocate(reqs)
+	for id, grant := range grants {
+		if inst, ok := en.instances[id]; ok {
+			inst.Cache().SetBudget(grant)
+		}
+	}
+}
+
+// monitorUsed implements Section 4.5(a): benefit(C) − cost(C) is monitored
+// continuously for used caches via their live hit statistics, and a cache
+// whose group turns unprofitable is moved to Unused immediately. (Gradual
+// reaction — promoting unused caches — happens only at re-optimization.)
+func (en *Engine) monitorUsed() {
+	// Evaluate per sharing group: benefits add up, cost is paid once.
+	type groupEval struct {
+		net     float64
+		members []*cand
+		ready   bool
+	}
+	groups := make(map[string]*groupEval)
+	for _, c := range en.cands {
+		if c.state != Used {
+			continue
+		}
+		st := c.inst.Cache().Stats()
+		if !c.warmed {
+			// Warm-up grace: a freshly attached cache is still populating;
+			// its cold-start misses must never count against it. Once
+			// enough probes have passed to populate the expected entry
+			// set, rebaseline and start judging from there.
+			if st.Probes-c.monStat.probes >= c.warmProbes {
+				c.warmed = true
+				c.monStat = monitorSnapshot{probes: st.Probes, hits: st.Hits}
+			}
+			continue
+		}
+		dp := st.Probes - c.monStat.probes
+		dh := st.Hits - c.monStat.hits
+		if dp < int64(en.pf.W()) {
+			continue // too few probes since the last check to judge
+		}
+		missProb := 1 - float64(dh)/float64(dp)
+		c.monStat = monitorSnapshot{probes: st.Probes, hits: st.Hits}
+		est := en.pf.Estimate(c.spec, missProb, float64(c.inst.Cache().Entries()))
+		if !est.Ready {
+			continue
+		}
+		c.est = est
+		id := c.spec.SharingID()
+		g := groups[id]
+		if g == nil {
+			g = &groupEval{net: -est.Cost}
+			groups[id] = g
+		}
+		g.net += est.Benefit
+		g.members = append(g.members, c)
+		g.ready = true
+	}
+	for _, g := range groups {
+		if g.ready && g.net < 0 {
+			for _, c := range g.members {
+				c.demotions++
+				en.detach(c)
+			}
+		}
+	}
+}

@@ -1,0 +1,148 @@
+// Package cql parses a small fragment of CQL — the continuous query
+// language of the STREAM project this paper belongs to [2] — sufficient to
+// declare the stream joins the engine executes:
+//
+//	SELECT * FROM R (A) [ROWS 100], S (A, B) [ROWS 100], T (B) [RANGE 60]
+//	WHERE R.A = S.A AND S.B = T.B
+//
+// Each FROM element names a relation, optionally declares its attributes
+// (otherwise they are inferred from the WHERE clause), and carries a window
+// specification: `[ROWS n]` for count-based windows, `[RANGE n]` for
+// time-based windows, `[UNBOUNDED]` (the default) for plain relations fed by
+// explicit inserts and deletes. The WHERE clause is a conjunction of
+// equality predicates between attributes, per the paper's equijoin setting.
+package cql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokStar
+	tokComma
+	tokDot
+	tokEq
+	tokCmp // <, <=, >, >=, !=
+	tokLBracket
+	tokRBracket
+	tokLParen
+	tokRParen
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokStar:
+		return "'*'"
+	case tokComma:
+		return "','"
+	case tokDot:
+		return "'.'"
+	case tokEq:
+		return "'='"
+	case tokCmp:
+		return "comparison operator"
+	case tokLBracket:
+		return "'['"
+	case tokRBracket:
+		return "']'"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	default:
+		return "?"
+	}
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lex tokenizes the input; errors carry byte offsets for messages.
+func lex(src string) ([]token, error) {
+	var out []token
+	i := 0
+	for i < len(src) {
+		c := rune(src[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '*':
+			out = append(out, token{tokStar, "*", i})
+			i++
+		case c == ',':
+			out = append(out, token{tokComma, ",", i})
+			i++
+		case c == '.':
+			out = append(out, token{tokDot, ".", i})
+			i++
+		case c == '=':
+			out = append(out, token{tokEq, "=", i})
+			i++
+		case c == '<' || c == '>':
+			op := string(c)
+			if i+1 < len(src) && src[i+1] == '=' {
+				op += "="
+			}
+			out = append(out, token{tokCmp, op, i})
+			i += len(op)
+		case c == '!':
+			if i+1 >= len(src) || src[i+1] != '=' {
+				return nil, fmt.Errorf("cql: expected '!=' at offset %d", i)
+			}
+			out = append(out, token{tokCmp, "!=", i})
+			i += 2
+		case c == '[':
+			out = append(out, token{tokLBracket, "[", i})
+			i++
+		case c == ']':
+			out = append(out, token{tokRBracket, "]", i})
+			i++
+		case c == '(':
+			out = append(out, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			out = append(out, token{tokRParen, ")", i})
+			i++
+		case unicode.IsDigit(c):
+			j := i
+			for j < len(src) && unicode.IsDigit(rune(src[j])) {
+				j++
+			}
+			out = append(out, token{tokNumber, src[i:j], i})
+			i = j
+		case unicode.IsLetter(c) || c == '_':
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			out = append(out, token{tokIdent, src[i:j], i})
+			i = j
+		default:
+			return nil, fmt.Errorf("cql: unexpected character %q at offset %d", c, i)
+		}
+	}
+	out = append(out, token{tokEOF, "", len(src)})
+	return out, nil
+}
+
+// keyword matches an identifier token against a keyword, case-insensitively
+// (CQL keywords are conventionally upper-case but we accept any casing).
+func (t token) keyword(kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}

@@ -1,0 +1,409 @@
+package cql
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// WindowKind distinguishes the FROM-clause window specifications.
+type WindowKind int
+
+const (
+	// Unbounded: a plain relation fed by explicit inserts and deletes.
+	Unbounded WindowKind = iota
+	// Rows: a count-based sliding window, `[ROWS n]`.
+	Rows
+	// Range: a time-based sliding window, `[RANGE n]`.
+	Range
+	// Partitioned: a per-partition count window, `[PARTITION BY a ROWS n]`.
+	Partitioned
+)
+
+// Relation is one FROM-clause element.
+type Relation struct {
+	Name string
+	// Attrs lists the relation's attributes: the declared list when the
+	// query carries one, otherwise every attribute the WHERE clause
+	// references for this relation, in first-reference order.
+	Attrs []string
+	// Window and N describe the window specification; N is the row count
+	// or the range span. PartitionBy is the partitioning attribute for
+	// Partitioned windows.
+	Window      WindowKind
+	N           int64
+	PartitionBy string
+}
+
+// Ref is a rel.attr attribute reference.
+type Ref struct {
+	Rel, Attr string
+}
+
+func (r Ref) String() string { return r.Rel + "." + r.Attr }
+
+// Pred is one equality predicate of the WHERE conjunction.
+type Pred struct {
+	Left, Right Ref
+}
+
+// Theta is one non-equality predicate of the WHERE conjunction; Op is one
+// of "<", "<=", ">", ">=", "!=".
+type Theta struct {
+	Left  Ref
+	Op    string
+	Right Ref
+}
+
+// Statement is a parsed SELECT * FROM … WHERE … continuous query.
+type Statement struct {
+	Relations []Relation
+	Preds     []Pred
+	Thetas    []Theta
+}
+
+type parser struct {
+	toks []token
+	i    int
+	src  string
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) expect(kind tokenKind) (token, error) {
+	t := p.next()
+	if t.kind != kind {
+		return t, fmt.Errorf("cql: expected %v, got %q at offset %d", kind, t.text, t.pos)
+	}
+	return t, nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.next()
+	if !t.keyword(kw) {
+		return fmt.Errorf("cql: expected %s, got %q at offset %d", kw, t.text, t.pos)
+	}
+	return nil
+}
+
+// Parse parses one continuous query statement.
+func Parse(src string) (*Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokStar); err != nil {
+		return nil, fmt.Errorf("%w (only SELECT * is supported: stream joins emit whole result tuples)", err)
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	st := &Statement{}
+	for {
+		rel, err := p.parseRelation()
+		if err != nil {
+			return nil, err
+		}
+		st.Relations = append(st.Relations, rel)
+		if p.peek().kind == tokComma {
+			p.next()
+			continue
+		}
+		break
+	}
+	if p.peek().keyword("WHERE") {
+		p.next()
+		for {
+			if err := p.parsePredInto(st); err != nil {
+				return nil, err
+			}
+			if p.peek().keyword("AND") {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, fmt.Errorf("cql: trailing input %q at offset %d", t.text, t.pos)
+	}
+	return st, p.finish(st)
+}
+
+func (p *parser) parseRelation() (Relation, error) {
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return Relation{}, err
+	}
+	if isKeyword(name.text) {
+		return Relation{}, fmt.Errorf("cql: expected relation name, got keyword %q at offset %d", name.text, name.pos)
+	}
+	rel := Relation{Name: name.text}
+	// Optional attribute declaration: (A, B, …).
+	if p.peek().kind == tokLParen {
+		p.next()
+		for {
+			a, err := p.expect(tokIdent)
+			if err != nil {
+				return rel, err
+			}
+			rel.Attrs = append(rel.Attrs, a.text)
+			if p.peek().kind == tokComma {
+				p.next()
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return rel, err
+		}
+	}
+	// Optional window: [ROWS n] | [RANGE n] | [PARTITION BY a ROWS n] |
+	// [UNBOUNDED].
+	if p.peek().kind == tokLBracket {
+		p.next()
+		spec := p.next()
+		switch {
+		case spec.keyword("PARTITION"):
+			if err := p.expectKeyword("BY"); err != nil {
+				return rel, err
+			}
+			attr, err := p.expect(tokIdent)
+			if err != nil {
+				return rel, err
+			}
+			if err := p.expectKeyword("ROWS"); err != nil {
+				return rel, err
+			}
+			num, err := p.expect(tokNumber)
+			if err != nil {
+				return rel, err
+			}
+			n, err := strconv.ParseInt(num.text, 10, 64)
+			if err != nil || n <= 0 {
+				return rel, fmt.Errorf("cql: window size %q at offset %d must be a positive integer", num.text, num.pos)
+			}
+			rel.Window = Partitioned
+			rel.N = n
+			rel.PartitionBy = attr.text
+		case spec.keyword("ROWS"), spec.keyword("RANGE"):
+			num, err := p.expect(tokNumber)
+			if err != nil {
+				return rel, err
+			}
+			n, err := strconv.ParseInt(num.text, 10, 64)
+			if err != nil || n <= 0 {
+				return rel, fmt.Errorf("cql: window size %q at offset %d must be a positive integer", num.text, num.pos)
+			}
+			rel.N = n
+			if spec.keyword("ROWS") {
+				rel.Window = Rows
+			} else {
+				rel.Window = Range
+			}
+		case spec.keyword("UNBOUNDED"):
+			rel.Window = Unbounded
+		default:
+			return rel, fmt.Errorf("cql: expected ROWS, RANGE, PARTITION BY, or UNBOUNDED, got %q at offset %d", spec.text, spec.pos)
+		}
+		if _, err := p.expect(tokRBracket); err != nil {
+			return rel, err
+		}
+	}
+	return rel, nil
+}
+
+func (p *parser) parsePredInto(st *Statement) error {
+	l, err := p.parseRef()
+	if err != nil {
+		return err
+	}
+	op := p.next()
+	switch op.kind {
+	case tokEq:
+		r, err := p.parseRef()
+		if err != nil {
+			return err
+		}
+		st.Preds = append(st.Preds, Pred{Left: l, Right: r})
+		return nil
+	case tokCmp:
+		r, err := p.parseRef()
+		if err != nil {
+			return err
+		}
+		st.Thetas = append(st.Thetas, Theta{Left: l, Op: op.text, Right: r})
+		return nil
+	default:
+		return fmt.Errorf("cql: expected a comparison after %v, got %q at offset %d", l, op.text, op.pos)
+	}
+}
+
+func (p *parser) parseRef() (Ref, error) {
+	rel, err := p.expect(tokIdent)
+	if err != nil {
+		return Ref{}, err
+	}
+	if _, err := p.expect(tokDot); err != nil {
+		return Ref{}, fmt.Errorf("cql: predicates are Rel.Attr = Rel.Attr equalities: %w", err)
+	}
+	attr, err := p.expect(tokIdent)
+	if err != nil {
+		return Ref{}, err
+	}
+	return Ref{Rel: rel.text, Attr: attr.text}, nil
+}
+
+// finish validates the statement and infers undeclared attribute lists from
+// the WHERE clause.
+func (p *parser) finish(st *Statement) error {
+	if len(st.Relations) < 2 {
+		return fmt.Errorf("cql: a stream join needs at least 2 relations, got %d", len(st.Relations))
+	}
+	byName := make(map[string]int)
+	for i, r := range st.Relations {
+		if _, dup := byName[r.Name]; dup {
+			return fmt.Errorf("cql: duplicate relation %q in FROM", r.Name)
+		}
+		byName[r.Name] = i
+	}
+	// Collect referenced attributes per relation, in reference order.
+	referenced := make(map[string][]string)
+	seen := make(map[Ref]bool)
+	note := func(r Ref) error {
+		if _, ok := byName[r.Rel]; !ok {
+			return fmt.Errorf("cql: predicate references unknown relation %q", r.Rel)
+		}
+		if !seen[r] {
+			seen[r] = true
+			referenced[r.Rel] = append(referenced[r.Rel], r.Attr)
+		}
+		return nil
+	}
+	for _, pr := range st.Preds {
+		if err := note(pr.Left); err != nil {
+			return err
+		}
+		if err := note(pr.Right); err != nil {
+			return err
+		}
+	}
+	for _, th := range st.Thetas {
+		if err := note(th.Left); err != nil {
+			return err
+		}
+		if err := note(th.Right); err != nil {
+			return err
+		}
+	}
+	for i := range st.Relations {
+		r := &st.Relations[i]
+		if r.Window == Partitioned {
+			// The partition attribute is part of the relation's schema even
+			// when not referenced by a predicate.
+			found := false
+			for _, a := range referenced[r.Name] {
+				if a == r.PartitionBy {
+					found = true
+				}
+			}
+			for _, a := range r.Attrs {
+				if a == r.PartitionBy {
+					found = true
+				}
+			}
+			if !found {
+				if r.Attrs != nil {
+					return fmt.Errorf("cql: relation %q partitions by undeclared attribute %q", r.Name, r.PartitionBy)
+				}
+				referenced[r.Name] = append(referenced[r.Name], r.PartitionBy)
+			}
+		}
+		if r.Attrs == nil {
+			r.Attrs = referenced[r.Name]
+			if r.Attrs == nil {
+				return fmt.Errorf("cql: relation %q declares no attributes and none can be inferred from WHERE", r.Name)
+			}
+			continue
+		}
+		// Declared lists must cover every reference.
+		declared := make(map[string]bool, len(r.Attrs))
+		for _, a := range r.Attrs {
+			if declared[a] {
+				return fmt.Errorf("cql: relation %q declares attribute %q twice", r.Name, a)
+			}
+			declared[a] = true
+		}
+		for _, a := range referenced[r.Name] {
+			if !declared[a] {
+				return fmt.Errorf("cql: predicate references %s.%s but %q declares only %v",
+					r.Name, a, r.Name, r.Attrs)
+			}
+		}
+	}
+	return nil
+}
+
+func isKeyword(s string) bool {
+	for _, kw := range []string{"SELECT", "FROM", "WHERE", "AND", "ROWS", "RANGE", "UNBOUNDED", "PARTITION", "BY"} {
+		if (token{kind: tokIdent, text: s}).keyword(kw) {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the statement back to canonical CQL.
+func (st *Statement) String() string {
+	out := "SELECT * FROM "
+	for i, r := range st.Relations {
+		if i > 0 {
+			out += ", "
+		}
+		out += r.Name + " ("
+		attrs := append([]string(nil), r.Attrs...)
+		sort.Strings(attrs)
+		for j, a := range attrs {
+			if j > 0 {
+				out += ", "
+			}
+			out += a
+		}
+		out += ")"
+		switch r.Window {
+		case Rows:
+			out += fmt.Sprintf(" [ROWS %d]", r.N)
+		case Range:
+			out += fmt.Sprintf(" [RANGE %d]", r.N)
+		case Partitioned:
+			out += fmt.Sprintf(" [PARTITION BY %s ROWS %d]", r.PartitionBy, r.N)
+		}
+	}
+	first := true
+	sep := func() string {
+		if first {
+			first = false
+			return " WHERE "
+		}
+		return " AND "
+	}
+	for _, pr := range st.Preds {
+		out += sep() + pr.Left.String() + " = " + pr.Right.String()
+	}
+	for _, th := range st.Thetas {
+		out += sep() + th.Left.String() + " " + th.Op + " " + th.Right.String()
+	}
+	return out
+}

@@ -1,0 +1,179 @@
+package cql
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func parseOK(t *testing.T, src string) *Statement {
+	t.Helper()
+	st, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return st
+}
+
+func parseErr(t *testing.T, src, wantSub string) {
+	t.Helper()
+	_, err := Parse(src)
+	if err == nil {
+		t.Fatalf("Parse(%q) succeeded, want error containing %q", src, wantSub)
+	}
+	if !strings.Contains(err.Error(), wantSub) {
+		t.Fatalf("Parse(%q) error %q, want substring %q", src, err, wantSub)
+	}
+}
+
+func TestParseFullForm(t *testing.T) {
+	st := parseOK(t, `SELECT * FROM R (A) [ROWS 100], S (A, B) [ROWS 50], T (B) [RANGE 60]
+		WHERE R.A = S.A AND S.B = T.B`)
+	if len(st.Relations) != 3 || len(st.Preds) != 2 {
+		t.Fatalf("statement = %+v", st)
+	}
+	r, s, tt := st.Relations[0], st.Relations[1], st.Relations[2]
+	if r.Name != "R" || r.Window != Rows || r.N != 100 || len(r.Attrs) != 1 {
+		t.Fatalf("R = %+v", r)
+	}
+	if s.Window != Rows || s.N != 50 || len(s.Attrs) != 2 {
+		t.Fatalf("S = %+v", s)
+	}
+	if tt.Window != Range || tt.N != 60 {
+		t.Fatalf("T = %+v", tt)
+	}
+	if st.Preds[0].Left != (Ref{"R", "A"}) || st.Preds[0].Right != (Ref{"S", "A"}) {
+		t.Fatalf("pred 0 = %+v", st.Preds[0])
+	}
+}
+
+func TestParseInferredAttributes(t *testing.T) {
+	st := parseOK(t, `SELECT * FROM R [ROWS 10], S [ROWS 10] WHERE R.K = S.K`)
+	if len(st.Relations[0].Attrs) != 1 || st.Relations[0].Attrs[0] != "K" {
+		t.Fatalf("inferred attrs = %v", st.Relations[0].Attrs)
+	}
+}
+
+func TestParseUnboundedDefaultAndExplicit(t *testing.T) {
+	st := parseOK(t, `SELECT * FROM A, B [UNBOUNDED] WHERE A.X = B.X`)
+	if st.Relations[0].Window != Unbounded || st.Relations[1].Window != Unbounded {
+		t.Fatalf("windows = %+v", st.Relations)
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	parseOK(t, `select * from R [rows 5], S [range 7] where R.A = S.A`)
+}
+
+func TestParseMultiAttributeInference(t *testing.T) {
+	st := parseOK(t, `SELECT * FROM R [ROWS 5], S [ROWS 5], T [ROWS 5]
+		WHERE R.A = S.A AND S.B = T.B`)
+	if got := st.Relations[1].Attrs; len(got) != 2 || got[0] != "A" || got[1] != "B" {
+		t.Fatalf("S attrs = %v (reference order expected)", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	parseErr(t, ``, "SELECT")
+	parseErr(t, `SELECT A FROM R, S WHERE R.A = S.A`, "SELECT *")
+	parseErr(t, `SELECT * FROM R`, "at least 2 relations")
+	parseErr(t, `SELECT * FROM R, R WHERE R.A = R.A`, "duplicate relation")
+	parseErr(t, `SELECT * FROM R, S WHERE R.A = Z.A`, "unknown relation")
+	parseErr(t, `SELECT * FROM R, S WHERE R.A = S`, "Rel.Attr")
+	parseErr(t, `SELECT * FROM R [ROWS 0], S WHERE R.A = S.A`, "positive integer")
+	parseErr(t, `SELECT * FROM R [BOGUS 3], S WHERE R.A = S.A`, "ROWS, RANGE, PARTITION BY, or UNBOUNDED")
+	parseErr(t, `SELECT * FROM R, S`, "no attributes")
+	parseErr(t, `SELECT * FROM R (A), S (A) WHERE R.B = S.A`, "declares only")
+	parseErr(t, `SELECT * FROM R (A, A), S (A) WHERE R.A = S.A`, "twice")
+	parseErr(t, `SELECT * FROM R, S WHERE R.A = S.A garbage`, "trailing input")
+	parseErr(t, `SELECT * FROM WHERE, S WHERE R.A = S.A`, "keyword")
+	parseErr(t, `SELECT * FROM R, S WHERE R.A = S.A AND`, "identifier")
+	parseErr(t, "SELECT * FROM R; S", "unexpected character")
+}
+
+func TestStringRoundTrips(t *testing.T) {
+	src := `SELECT * FROM R (A) [ROWS 100], S (A, B) [ROWS 50], T (B) [RANGE 60] WHERE R.A = S.A AND S.B = T.B`
+	st := parseOK(t, src)
+	st2 := parseOK(t, st.String())
+	if st.String() != st2.String() {
+		t.Fatalf("round trip: %q vs %q", st.String(), st2.String())
+	}
+}
+
+// TestPropertyRandomStatementsRoundTrip generates random statements from
+// the grammar and checks Parse(String(Parse(s))) is a fixed point.
+func TestPropertyRandomStatementsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(4)
+		var b strings.Builder
+		b.WriteString("SELECT * FROM ")
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "Rel%d (A%d)", i, i%2)
+			switch rng.Intn(3) {
+			case 0:
+				fmt.Fprintf(&b, " [ROWS %d]", 1+rng.Intn(500))
+			case 1:
+				fmt.Fprintf(&b, " [RANGE %d]", 1+rng.Intn(500))
+			}
+		}
+		b.WriteString(" WHERE ")
+		for i := 1; i < n; i++ {
+			if i > 1 {
+				b.WriteString(" AND ")
+			}
+			op := []string{"=", "<", "<=", ">", ">=", "!="}[rng.Intn(6)]
+			fmt.Fprintf(&b, "Rel%d.A%d %s Rel%d.A%d", i-1, (i-1)%2, op, i, i%2)
+		}
+		src := b.String()
+		st, err := Parse(src)
+		if err != nil {
+			t.Fatalf("trial %d: Parse(%q): %v", trial, src, err)
+		}
+		st2, err := Parse(st.String())
+		if err != nil {
+			t.Fatalf("trial %d: reparse(%q): %v", trial, st.String(), err)
+		}
+		if st.String() != st2.String() {
+			t.Fatalf("trial %d: not a fixed point:\n%q\n%q", trial, st.String(), st2.String())
+		}
+		if len(st.Preds)+len(st.Thetas) != n-1 {
+			t.Fatalf("trial %d: predicate count %d+%d, want %d",
+				trial, len(st.Preds), len(st.Thetas), n-1)
+		}
+	}
+}
+
+func TestParsePartitionedWindow(t *testing.T) {
+	st := parseOK(t, `SELECT * FROM Quotes (Instr, Px) [PARTITION BY Instr ROWS 10], Refs (Instr)
+		WHERE Quotes.Instr = Refs.Instr`)
+	r := st.Relations[0]
+	if r.Window != Partitioned || r.N != 10 || r.PartitionBy != "Instr" {
+		t.Fatalf("relation = %+v", r)
+	}
+	// Round trip.
+	st2 := parseOK(t, st.String())
+	if st.String() != st2.String() {
+		t.Fatalf("round trip: %q vs %q", st.String(), st2.String())
+	}
+	// Partition attribute inferred into the schema when undeclared.
+	st3 := parseOK(t, `SELECT * FROM Quotes [PARTITION BY Instr ROWS 5], Refs
+		WHERE Quotes.Px = Refs.Px`)
+	found := false
+	for _, a := range st3.Relations[0].Attrs {
+		if a == "Instr" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("partition attribute not inferred: %v", st3.Relations[0].Attrs)
+	}
+	parseErr(t, `SELECT * FROM Q (Px) [PARTITION BY Instr ROWS 5], R (Px) WHERE Q.Px = R.Px`,
+		"partitions by undeclared attribute")
+	parseErr(t, `SELECT * FROM Q [PARTITION BY Instr ROWS 0], R WHERE Q.Instr = R.Instr`,
+		"positive integer")
+}

@@ -1,0 +1,563 @@
+package join
+
+import (
+	"fmt"
+	"sort"
+
+	"acache/internal/cache"
+	"acache/internal/cost"
+	"acache/internal/planner"
+	"acache/internal/query"
+	"acache/internal/stream"
+	"acache/internal/tuple"
+)
+
+// Instance is one physical cache, possibly shared by placements in several
+// pipelines (Definition 4.1: shared caches have the same segment relation
+// set and the same key, so their maintenance cost is paid once).
+type Instance struct {
+	store      *cache.Cache
+	segment    []int // sorted relation set X
+	keyClasses []int
+	gc         bool
+	selfMaint  bool  // GC fallback: exact mini-join maintenance on segment updates
+	y          []int // sorted reduction set Y for GC caches; nil otherwise
+
+	segSchema *tuple.Schema // canonical: segment relations in sorted order
+	segParts  [][]int       // per segment relation: its columns in segSchema
+
+	attachCount int
+	maintHooks  []maintHookRef
+	ySteps      []*step // mini-pipeline joining Y onto the canonical segment schema
+}
+
+type maintHookRef struct {
+	pipeline, pos int
+	op            *maintOp
+}
+
+// NewInstance creates a physical cache for the given candidate spec with
+// the paper's direct-mapped replacement. nbuckets is chosen by the caller
+// from the expected number of entries (Section 3.3); budget < 0 means
+// unlimited memory.
+func NewInstance(q *query.Query, spec *planner.Spec, nbuckets, budget int, meter *cost.Meter) *Instance {
+	return NewInstanceAssoc(q, spec, nbuckets, budget, cache.DirectMapped, meter)
+}
+
+// NewInstanceAssoc is NewInstance with an explicit replacement scheme (the
+// Section 3.3 future-work experiment). Counted (reduced X ⋉ Y) caches
+// require the direct-mapped scheme and ignore the parameter.
+func NewInstanceAssoc(q *query.Query, spec *planner.Spec, nbuckets, budget int, assoc cache.Associativity, meter *cost.Meter) *Instance {
+	if spec.GC && !spec.SelfMaint {
+		assoc = cache.DirectMapped
+	}
+	seg := append([]int(nil), spec.Segment...)
+	sort.Ints(seg)
+	var cols []tuple.Attr
+	for _, r := range seg {
+		cols = append(cols, q.Schema(r).Cols()...)
+	}
+	inst := &Instance{
+		store:      cache.NewAssociative(nbuckets, 8*len(spec.KeyClasses), budget, assoc, meter),
+		segment:    seg,
+		keyClasses: append([]int(nil), spec.KeyClasses...),
+		gc:         spec.GC,
+		selfMaint:  spec.SelfMaint,
+		y:          append([]int(nil), spec.Y...),
+		segSchema:  tuple.NewSchema(cols...),
+	}
+	off := 0
+	for _, r := range seg {
+		w := q.Schema(r).Len()
+		part := make([]int, w)
+		for i := range part {
+			part[i] = off + i
+		}
+		inst.segParts = append(inst.segParts, part)
+		off += w
+	}
+	return inst
+}
+
+// multOf returns X-tuple x's segment-join multiplicity as it will stand
+// once the in-flight update (to relation updRel with operation op) is
+// applied: the product of each segment relation's value count for x's
+// projection, adjusted by ±1 for updRel because relation stores are updated
+// after join processing completes.
+func (inst *Instance) multOf(e *Exec, x tuple.Tuple, updRel int, op stream.Op) int {
+	m := 1
+	for i, r := range inst.segment {
+		c := e.stores[r].CountOf(extract(x, inst.segParts[i]))
+		if r == updRel {
+			if op == stream.Insert {
+				c++
+			} else {
+				c--
+			}
+		}
+		if c <= 0 {
+			return 0
+		}
+		m *= c
+	}
+	return m
+}
+
+// Cache exposes the underlying associative store (stats, budget control).
+func (inst *Instance) Cache() *cache.Cache { return inst.store }
+
+// Segment returns the sorted cached relation set X.
+func (inst *Instance) Segment() []int { return append([]int(nil), inst.segment...) }
+
+// KeyClasses returns the cache key as sorted attribute equivalence classes.
+func (inst *Instance) KeyClasses() []int { return append([]int(nil), inst.keyClasses...) }
+
+// GC reports whether this is a globally-consistent (X ⋉ Y) cache.
+func (inst *Instance) GC() bool { return inst.gc }
+
+// SelfMaintained reports whether this cache uses mini-join maintenance
+// (GC fallback for segments with no host-free closure).
+func (inst *Instance) SelfMaintained() bool { return inst.selfMaint }
+
+// counted reports whether entries carry (mult, support) counts — only true
+// for incrementally maintained GC caches.
+func (inst *Instance) counted() bool { return inst.gc && !inst.selfMaint }
+
+// Y returns the reduction set of a GC cache (nil for prefix caches).
+func (inst *Instance) Y() []int { return append([]int(nil), inst.y...) }
+
+// SegSchema returns the canonical segment schema cached values use.
+func (inst *Instance) SegSchema() *tuple.Schema { return inst.segSchema }
+
+// attachment is one CacheLookup/CacheUpdate placement in a using pipeline.
+type attachment struct {
+	inst       *Instance
+	start, end int
+	keyCols    []int // representative columns of keyClasses in schemas[start]
+	segCols    []int // canonical-segment extraction columns in schemas[end+1]
+	permCols   []int // canonical index for each pipeline-order segment column
+}
+
+// maintOp is a CacheUpdate maintenance operator: it applies the segment-join
+// (or X∪Y-join, for GC caches) deltas flowing through a pipeline position to
+// the instance (Section 3.2's U_l operators). In self-maintenance mode it
+// computes the segment-join delta itself by joining the raw update with the
+// other segment relations — paying explicitly for what the prefix invariant
+// would otherwise provide free — and applies the exact result.
+type maintOp struct {
+	inst    *Instance
+	keyCols []int // representative columns of keyClasses in the position's schema
+	segCols []int // canonical-segment extraction columns
+	// smSteps, when non-nil, marks self-maintenance mode: the
+	// mini-pipeline joining the other segment relations onto the updated
+	// relation's tuple; keyCols and segCols then refer to the
+	// mini-pipeline's output schema.
+	smSteps []*step
+}
+
+// apply feeds one update's delta batch (at this operator's pipeline
+// position) into the cache. updRel is the relation the in-flight update
+// targets — the relation of the pipeline hosting this operator.
+func (m *maintOp) apply(e *Exec, updRel int, batch []tuple.Tuple, op stream.Op) {
+	if m.smSteps != nil {
+		// Self-maintenance: batch is the raw update tuple; the mini-join
+		// computes the exact segment-join delta, which then flows through
+		// the ordinary plain-cache maintenance below.
+		for _, st := range m.smSteps {
+			if len(batch) == 0 {
+				return
+			}
+			batch = st.run(batch, e.stores[st.rel], e.meter)
+		}
+	}
+	if !m.inst.counted() {
+		for _, t := range batch {
+			e.meter.ChargeN(cost.KeyExtract, len(m.keyCols))
+			u := tuple.KeyOf(t, m.keyCols)
+			seg := extract(t, m.segCols)
+			if op == stream.Insert {
+				m.inst.store.Insert(u, seg)
+			} else {
+				m.inst.store.Delete(u, seg)
+			}
+		}
+		return
+	}
+	// GC cache: one delta composite = one (X-instance, Y-combination)
+	// support unit. Group by (key, distinct X-tuple) and apply each group's
+	// support delta in one call.
+	type groupKey struct {
+		u tuple.Key
+		t tuple.Key
+	}
+	counts := make(map[groupKey]int)
+	reps := make(map[groupKey]struct {
+		u tuple.Key
+		t tuple.Tuple
+	})
+	var order []groupKey
+	for _, t := range batch {
+		e.meter.ChargeN(cost.KeyExtract, len(m.keyCols))
+		u := tuple.KeyOf(t, m.keyCols)
+		seg := extract(t, m.segCols)
+		gk := groupKey{u: u, t: tuple.Encode(seg)}
+		if _, ok := reps[gk]; !ok {
+			reps[gk] = struct {
+				u tuple.Key
+				t tuple.Tuple
+			}{u, seg}
+			order = append(order, gk)
+		}
+		counts[gk]++
+	}
+	for _, gk := range order {
+		r := reps[gk]
+		n := counts[gk]
+		if op == stream.Delete {
+			n = -n
+		}
+		m.inst.store.ApplyCountedDelta(r.u, r.t, n, func() int {
+			return m.inst.multOf(e, r.t, updRel, op)
+		})
+	}
+}
+
+func extract(t tuple.Tuple, cols []int) tuple.Tuple {
+	out := make(tuple.Tuple, len(cols))
+	for i, c := range cols {
+		out[i] = t[c]
+	}
+	return out
+}
+
+// segExtractCols computes, for a composite schema s containing all segment
+// relations, the columns that produce the canonical segment tuple.
+func segExtractCols(s *tuple.Schema, canonical *tuple.Schema) []int {
+	cols := make([]int, canonical.Len())
+	for i := 0; i < canonical.Len(); i++ {
+		cols[i] = s.MustColOf(canonical.Col(i))
+	}
+	return cols
+}
+
+// AttachCache splices the instance into pipeline spec.Pipeline at positions
+// spec.Start..spec.End and, on the instance's first attachment, installs its
+// maintenance operators in the segment (and, for GC caches, reduction)
+// relations' pipelines. The spec must describe the same cache the instance
+// was built for, and must not overlap an existing attachment in its pipeline.
+func (e *Exec) AttachCache(spec *planner.Spec, inst *Instance) error {
+	p := e.pipes[spec.Pipeline]
+	if spec.Start < 0 || spec.End >= len(p.steps) || spec.Start > spec.End {
+		return fmt.Errorf("join: attachment span [%d,%d] out of range", spec.Start, spec.End)
+	}
+	seg := make([]int, 0, spec.End-spec.Start+1)
+	for pos := spec.Start; pos <= spec.End; pos++ {
+		seg = append(seg, p.steps[pos].rel)
+	}
+	sort.Ints(seg)
+	if !equalInts(seg, inst.segment) {
+		return fmt.Errorf("join: instance segment %v does not match pipeline span %v", inst.segment, seg)
+	}
+	for pos := spec.Start; pos <= spec.End; pos++ {
+		for q := 0; q < len(p.steps); q++ {
+			if a := p.lookups[q]; a != nil && pos >= q && pos <= a.end {
+				return fmt.Errorf("join: attachment overlaps existing cache at [%d,%d] in pipeline %d", q, a.end, spec.Pipeline)
+			}
+			if a := p.suspended[q]; a != nil && pos >= q && pos <= a.end {
+				return fmt.Errorf("join: attachment overlaps suspended cache at [%d,%d] in pipeline %d", q, a.end, spec.Pipeline)
+			}
+		}
+	}
+	// Hit bypasses jump from Start to End+1: a maintenance operator of
+	// another cache strictly inside the span would miss its deltas. For
+	// prefix-closed segments this cannot arise (nested-set argument in
+	// exec.go), but self-maintained segments are not prefix-closed, so the
+	// executor enforces it dynamically; the engine skips placements the
+	// executor rejects.
+	for pos := spec.Start + 1; pos <= spec.End; pos++ {
+		if len(p.maint[pos]) > 0 {
+			return fmt.Errorf("join: attachment [%d,%d] would bypass a maintenance operator at position %d of pipeline %d",
+				spec.Start, spec.End, pos, spec.Pipeline)
+		}
+	}
+	att := &attachment{
+		inst:    inst,
+		start:   spec.Start,
+		end:     spec.End,
+		keyCols: e.q.RepresentativeCols(p.schemas[spec.Start], inst.keyClasses),
+		segCols: segExtractCols(p.schemas[spec.End+1], inst.segSchema),
+	}
+	// permCols: the using pipeline's segment-portion columns (those appended
+	// by steps Start..End) drawn from the canonical value tuple.
+	prefixLen := p.schemas[spec.Start].Len()
+	segPart := p.schemas[spec.End+1]
+	att.permCols = make([]int, segPart.Len()-prefixLen)
+	for i := range att.permCols {
+		att.permCols[i] = inst.segSchema.MustColOf(segPart.Col(prefixLen + i))
+	}
+	p.lookups[spec.Start] = att
+
+	if inst.attachCount == 0 {
+		if err := e.installMaintenance(inst); err != nil {
+			p.lookups[spec.Start] = nil
+			e.removeMaintenance(inst) // undo any partially installed hooks
+			return err
+		}
+	}
+	inst.attachCount++
+	return nil
+}
+
+// DetachCache removes the attachment at the given pipeline position span,
+// suspended or active. When the instance's last attachment goes away its
+// maintenance operators are removed too; the cache contents are cleared
+// because without maintenance they would go stale.
+func (e *Exec) DetachCache(spec *planner.Spec) {
+	p := e.pipes[spec.Pipeline]
+	att := p.lookups[spec.Start]
+	if att != nil && att.end == spec.End {
+		p.lookups[spec.Start] = nil
+	} else {
+		att = p.suspended[spec.Start]
+		if att == nil || att.end != spec.End {
+			return
+		}
+		delete(p.suspended, spec.Start)
+	}
+	inst := att.inst
+	inst.attachCount--
+	if inst.attachCount == 0 {
+		e.removeMaintenance(inst)
+		inst.store.Clear()
+	}
+}
+
+// SuspendLookup removes the CacheLookup at spec's position while keeping
+// the instance and its maintenance operators alive — the cache stays
+// consistent and can resume warm. It reports whether an active attachment
+// was found.
+func (e *Exec) SuspendLookup(spec *planner.Spec) bool {
+	p := e.pipes[spec.Pipeline]
+	att := p.lookups[spec.Start]
+	if att == nil || att.end != spec.End {
+		return false
+	}
+	p.lookups[spec.Start] = nil
+	p.suspended[spec.Start] = att
+	return true
+}
+
+// ResumeLookup re-installs a suspended CacheLookup. It reports whether a
+// matching suspended attachment was found.
+func (e *Exec) ResumeLookup(spec *planner.Spec) bool {
+	p := e.pipes[spec.Pipeline]
+	att := p.suspended[spec.Start]
+	if att == nil || att.end != spec.End {
+		return false
+	}
+	delete(p.suspended, spec.Start)
+	p.lookups[spec.Start] = att
+	return true
+}
+
+// installMaintenance adds the CacheUpdate operators U_l (Section 3.2): for a
+// prefix cache, in each segment relation's pipeline at position |X|−1; for a
+// GC cache, in each X∪Y relation's pipeline at position |X∪Y|−1. It also
+// compiles the Y mini-pipeline used to compute Y-support counts on misses.
+// Self-maintained caches instead get an operator at position 0 of every
+// segment relation's pipeline that computes the segment-join delta directly.
+func (e *Exec) installMaintenance(inst *Instance) error {
+	if inst.selfMaint {
+		for _, l := range inst.segment {
+			p := e.pipes[l]
+			cur := e.q.Schema(l)
+			prefix := []int{l}
+			var steps []*step
+			for _, r := range inst.segment {
+				if r == l {
+					continue
+				}
+				st := buildStep(e.q, cur, prefix, r, e.stores[r], e.scanOnly)
+				steps = append(steps, st)
+				cur = st.out
+				prefix = append(prefix, r)
+			}
+			op := &maintOp{
+				inst:    inst,
+				keyCols: e.q.RepresentativeCols(cur, inst.keyClasses),
+				segCols: segExtractCols(cur, inst.segSchema),
+				smSteps: steps,
+			}
+			p.maint[0] = append(p.maint[0], op)
+			inst.maintHooks = append(inst.maintHooks, maintHookRef{pipeline: l, pos: 0, op: op})
+		}
+		return nil
+	}
+	scope := inst.segment
+	if inst.gc {
+		scope = append(append([]int(nil), inst.segment...), inst.y...)
+		sort.Ints(scope)
+	}
+	pos := len(scope) - 1
+	// A maintenance operator strictly inside an existing attachment's span
+	// would be bypassed by that cache's hits (see AttachCache); refuse.
+	for _, l := range scope {
+		p := e.pipes[l]
+		check := func(a *attachment, start int) error {
+			if a != nil && pos > start && pos <= a.end {
+				return fmt.Errorf("join: maintenance position %d of pipeline %d lies inside attachment [%d,%d]",
+					pos, l, start, a.end)
+			}
+			return nil
+		}
+		for s := 0; s < len(p.lookups); s++ {
+			if err := check(p.lookups[s], s); err != nil {
+				return err
+			}
+		}
+		for s, a := range p.suspended {
+			if err := check(a, s); err != nil {
+				return err
+			}
+		}
+	}
+	for _, l := range scope {
+		p := e.pipes[l]
+		op := &maintOp{
+			inst:    inst,
+			keyCols: e.q.RepresentativeCols(p.schemas[pos], inst.keyClasses),
+			segCols: segExtractCols(p.schemas[pos], inst.segSchema),
+		}
+		p.maint[pos] = append(p.maint[pos], op)
+		inst.maintHooks = append(inst.maintHooks, maintHookRef{pipeline: l, pos: pos, op: op})
+	}
+	if inst.gc && inst.ySteps == nil {
+		cur := inst.segSchema
+		prefix := append([]int(nil), inst.segment...)
+		for _, r := range inst.y {
+			st := buildStep(e.q, cur, prefix, r, e.stores[r], e.scanOnly)
+			inst.ySteps = append(inst.ySteps, st)
+			cur = st.out
+			prefix = append(prefix, r)
+		}
+	}
+	return nil
+}
+
+func (e *Exec) removeMaintenance(inst *Instance) {
+	for _, h := range inst.maintHooks {
+		ops := e.pipes[h.pipeline].maint[h.pos]
+		for i, op := range ops {
+			if op == h.op {
+				e.pipes[h.pipeline].maint[h.pos] = append(ops[:i:i], ops[i+1:]...)
+				break
+			}
+		}
+	}
+	inst.maintHooks = nil
+}
+
+// Prime eagerly populates the cache with the complete current segment join,
+// grouped by key — the warm-start extension: a freshly selected cache
+// normally fills through misses (the paper's "populated incrementally"),
+// which costs a cold period proportional to its key population; priming
+// pays one bulk computation instead, charged to the meter. Entries created
+// are exact key selections, so consistency is untouched; keys with empty
+// selections are not primed (they miss once and negative-cache then).
+func (inst *Instance) Prime(e *Exec) {
+	if len(inst.segment) == 0 {
+		return
+	}
+	// Build the segment join by scanning the first segment relation and
+	// mini-joining the rest, exactly like self-maintenance steps.
+	first := inst.segment[0]
+	cur := e.q.Schema(first)
+	prefix := []int{first}
+	var steps []*step
+	for _, r := range inst.segment[1:] {
+		st := buildStep(e.q, cur, prefix, r, e.stores[r], e.scanOnly)
+		steps = append(steps, st)
+		cur = st.out
+		prefix = append(prefix, r)
+	}
+	var batch []tuple.Tuple
+	e.stores[first].Scan(func(t tuple.Tuple) bool {
+		batch = append(batch, t)
+		return true
+	})
+	for _, st := range steps {
+		if len(batch) == 0 {
+			return
+		}
+		batch = st.run(batch, e.stores[st.rel], e.meter)
+	}
+	keyCols := e.q.RepresentativeCols(cur, inst.keyClasses)
+	segCols := segExtractCols(cur, inst.segSchema)
+	grouped := make(map[tuple.Key][]tuple.Tuple)
+	var order []tuple.Key
+	for _, t := range batch {
+		e.meter.ChargeN(cost.KeyExtract, len(keyCols))
+		u := tuple.KeyOf(t, keyCols)
+		if _, ok := grouped[u]; !ok {
+			order = append(order, u)
+		}
+		grouped[u] = append(grouped[u], extract(t, segCols))
+	}
+	for _, u := range order {
+		vals := grouped[u]
+		if !inst.counted() {
+			inst.store.Create(u, vals)
+			continue
+		}
+		// Counted mode: distinct tuples with multiplicities and supports.
+		var tuples []tuple.Tuple
+		var mults, supports []int
+		at := make(map[tuple.Key]int)
+		for _, t := range vals {
+			if i, ok := at[tuple.Encode(t)]; ok {
+				mults[i]++
+				continue
+			}
+			at[tuple.Encode(t)] = len(tuples)
+			tuples = append(tuples, t)
+			mults = append(mults, 1)
+			supports = append(supports, inst.countY(e, t))
+		}
+		kept := tuples[:0]
+		var km, ks []int
+		for i, t := range tuples {
+			if supports[i] > 0 {
+				kept = append(kept, t)
+				km = append(km, mults[i])
+				ks = append(ks, mults[i]*supports[i])
+			}
+		}
+		inst.store.CreateCounted(u, kept, km, ks)
+	}
+}
+
+// countY returns the number of Y-join combinations supporting the canonical
+// segment tuple t: the multiplicity used when a GC cache entry is created on
+// a miss. All probe work is charged to the meter as part of miss population.
+func (inst *Instance) countY(e *Exec, t tuple.Tuple) int {
+	batch := []tuple.Tuple{t}
+	for _, st := range inst.ySteps {
+		batch = st.run(batch, e.stores[st.rel], e.meter)
+		if len(batch) == 0 {
+			return 0
+		}
+	}
+	return len(batch)
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,181 @@
+package join
+
+import (
+	"math/rand"
+	"testing"
+
+	"acache/internal/cost"
+	"acache/internal/planner"
+	"acache/internal/query"
+	"acache/internal/stream"
+	"acache/internal/tuple"
+)
+
+func TestRemoveTap(t *testing.T) {
+	q, ord := threeWay(t)
+	meter := &cost.Meter{}
+	e, _ := NewExec(q, ord, meter, Options{})
+	count := 0
+	id := e.Tap(0, 0, func(batch []tuple.Tuple, _ stream.Op) { count += len(batch) })
+	e.Process(stream.Update{Op: stream.Insert, Rel: 0, Tuple: tuple.Tuple{1}})
+	if count != 1 {
+		t.Fatalf("tap fired %d times", count)
+	}
+	e.RemoveTap(id)
+	e.Process(stream.Update{Op: stream.Insert, Rel: 0, Tuple: tuple.Tuple{2}})
+	if count != 1 {
+		t.Fatal("removed tap still fires")
+	}
+	e.RemoveTap(id)    // idempotent
+	e.RemoveTap(99999) // unknown id is a no-op
+}
+
+func TestNegativeValuesEndToEnd(t *testing.T) {
+	q, ord := threeWay(t)
+	meter := &cost.Meter{}
+	e, _ := NewExec(q, ord, meter, Options{})
+	spec := planner.Candidates(q, ord)[0]
+	inst := NewInstance(q, spec, 16, -1, meter)
+	if err := e.AttachCache(spec, inst); err != nil {
+		t.Fatal(err)
+	}
+	e.Process(stream.Update{Op: stream.Insert, Rel: 1, Tuple: tuple.Tuple{-5, -7}})
+	e.Process(stream.Update{Op: stream.Insert, Rel: 2, Tuple: tuple.Tuple{-7}})
+	if out := e.Process(stream.Update{Op: stream.Insert, Rel: 0, Tuple: tuple.Tuple{-5}}); out.Outputs != 1 {
+		t.Fatalf("negative-key join outputs = %d, want 1", out.Outputs)
+	}
+	// Cache hit on re-probe with the same negative key.
+	if out := e.Process(stream.Update{Op: stream.Insert, Rel: 0, Tuple: tuple.Tuple{-5}}); out.Outputs != 1 {
+		t.Fatalf("negative-key re-probe outputs = %d", out.Outputs)
+	}
+	if inst.Cache().Stats().Hits == 0 {
+		t.Fatal("negative key never hit the cache")
+	}
+}
+
+func TestEmptyRelationsProduceNothing(t *testing.T) {
+	q, ord := threeWay(t)
+	meter := &cost.Meter{}
+	e, _ := NewExec(q, ord, meter, Options{})
+	if out := e.Process(stream.Update{Op: stream.Insert, Rel: 0, Tuple: tuple.Tuple{1}}); out.Outputs != 0 {
+		t.Fatalf("join against empty relations produced %d", out.Outputs)
+	}
+	// Deleting from an empty relation (driver bug) must not corrupt state.
+	e.Process(stream.Update{Op: stream.Delete, Rel: 1, Tuple: tuple.Tuple{1, 2}})
+	if e.Store(1).Len() != 0 {
+		t.Fatal("phantom delete changed the store")
+	}
+}
+
+// TestMaintenanceInsideSpanRejected is the regression test for the bypass
+// hole the 5-way property test found: a self-maintained cache spanning
+// positions 0..2 of ΔR2's pipeline would, on hits, jump over the {R2,R3}
+// cache's maintenance operator at position 1 — its deltas would be lost and
+// the shared {R2,R3} cache would silently go stale. The executor must
+// reject whichever attachment comes second.
+func TestMaintenanceInsideSpanRejected(t *testing.T) {
+	schemas := make([]*tuple.Schema, 5)
+	var preds []query.Pred
+	for i := 0; i < 5; i++ {
+		schemas[i] = tuple.RelationSchema(i, "A")
+		if i > 0 {
+			preds = append(preds, query.Pred{
+				Left:  tuple.Attr{Rel: 0, Name: "A"},
+				Right: tuple.Attr{Rel: i, Name: "A"},
+			})
+		}
+	}
+	q, err := query.New(schemas, preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The configuration the property test surfaced (0-based relations).
+	ord := planner.Ordering{{3, 2, 4, 1}, {2, 0, 4, 3}, {1, 0, 4, 3}, {0, 2, 1, 4}, {3, 1, 2, 0}}
+	prefix := planner.Candidates(q, ord)
+	gcs := planner.GCCandidates(q, ord, prefix, len(prefix)+8)
+	var small, big *planner.Spec
+	for _, c := range prefix {
+		if c.Pipeline == 3 && equalInts(c.Segment, []int{1, 2}) {
+			small = c // {R2,R3}@ΔR4: maintenance at position 1 of ΔR2, ΔR3
+		}
+	}
+	for _, c := range gcs {
+		if c.Pipeline == 1 && c.SelfMaint && c.Start == 0 && c.End >= 1 {
+			big = c // SM span in ΔR2 covering position 1
+		}
+	}
+	if small == nil || big == nil {
+		t.Fatalf("configuration not reproduced: small=%v big=%v", small, big)
+	}
+	meter := &cost.Meter{}
+	e, _ := NewExec(q, ord, meter, Options{})
+	// Order A: small first — big must be rejected.
+	iSmall := NewInstance(q, small, 16, -1, meter)
+	if err := e.AttachCache(small, iSmall); err != nil {
+		t.Fatalf("small attach: %v", err)
+	}
+	iBig := NewInstance(q, big, 16, -1, meter)
+	if err := e.AttachCache(big, iBig); err == nil {
+		t.Fatal("span swallowing a maintenance operator must be rejected")
+	}
+	// Order B: big first — small's maintenance install must be rejected.
+	e2, _ := NewExec(q, ord, meter, Options{})
+	iBig2 := NewInstance(q, big, 16, -1, meter)
+	if err := e2.AttachCache(big, iBig2); err != nil {
+		t.Fatalf("big attach alone: %v", err)
+	}
+	iSmall2 := NewInstance(q, small, 16, -1, meter)
+	if err := e2.AttachCache(small, iSmall2); err == nil {
+		t.Fatal("maintenance landing inside an existing span must be rejected")
+	}
+	// And with only one of them, processing stays oracle-exact.
+	rng := rand.New(rand.NewSource(103))
+	runAgainstOracle(t, q, e, randomUpdates(rng, q, 150, 3), nil)
+}
+
+// fiveWayClique extends the random-plan property to n = 5, where sharing
+// groups and nested candidates get richer.
+func TestPropertyRandomPlans5Way(t *testing.T) {
+	schemas := make([]*tuple.Schema, 5)
+	var preds []query.Pred
+	for i := 0; i < 5; i++ {
+		schemas[i] = tuple.RelationSchema(i, "A")
+		if i > 0 {
+			preds = append(preds, query.Pred{
+				Left:  tuple.Attr{Rel: 0, Name: "A"},
+				Right: tuple.Attr{Rel: i, Name: "A"},
+			})
+		}
+	}
+	q, err := query.New(schemas, preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 6; trial++ {
+		ord := randomOrdering(rng, 5)
+		meter := &cost.Meter{}
+		e, err := NewExec(q, ord, meter, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cands := planner.Candidates(q, ord)
+		cands = append(cands, planner.GCCandidates(q, ord, cands, len(cands)+8)...)
+		rng.Shuffle(len(cands), func(a, b int) { cands[a], cands[b] = cands[b], cands[a] })
+		instances := make(map[string]*Instance)
+		for _, spec := range cands {
+			if rng.Intn(3) == 0 {
+				continue
+			}
+			inst, ok := instances[spec.SharingID()]
+			if !ok {
+				inst = NewInstance(q, spec, 1+rng.Intn(8), -1, meter)
+			}
+			if err := e.AttachCache(spec, inst); err != nil {
+				continue
+			}
+			instances[spec.SharingID()] = inst
+		}
+		runAgainstOracle(t, q, e, randomUpdates(rng, q, 180, 3), nil)
+	}
+}

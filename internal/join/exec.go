@@ -1,0 +1,324 @@
+package join
+
+import (
+	"acache/internal/cost"
+	"acache/internal/planner"
+	"acache/internal/query"
+	"acache/internal/relation"
+	"acache/internal/stream"
+	"acache/internal/tuple"
+)
+
+// Options configure executor construction.
+type Options struct {
+	// ScanOnly lists attributes whose relations must not be probed through
+	// a hash index on that attribute: joins touching them use nested-loop
+	// scans. This reproduces Figure 10, which drops the hash index on S.B.
+	ScanOnly []tuple.Attr
+}
+
+// Result summarizes the processing of one update.
+type Result struct {
+	// Outputs is the number of n-way join result updates emitted.
+	Outputs int
+	// Units is the work charged to the meter for this update.
+	Units cost.Units
+}
+
+// Profile carries the per-operator measurements of one profiled update
+// (Appendix A): StepInputs[j] is δ_j, the tuples entering operator ⋈_ij
+// (index len(steps) holds the pipeline's output count, the paper's
+// d_{i,k+1} for k = n−2), and StepUnits[j] is τ_j, the work spent in ⋈_ij.
+type Profile struct {
+	StepInputs []int
+	StepUnits  []cost.Units
+}
+
+// Exec is the MJoin executor: n windowed relation stores and n compiled
+// pipelines, with zero or more cache attachments.
+type Exec struct {
+	q        *query.Query
+	meter    *cost.Meter
+	stores   []*relation.Store
+	pipes    []*pipeline
+	ord      planner.Ordering
+	scanOnly map[tuple.Attr]bool
+	nextTap  int
+}
+
+// NewExec builds an executor for q with the given pipeline ordering.
+func NewExec(q *query.Query, ord planner.Ordering, meter *cost.Meter, opts Options) (*Exec, error) {
+	if err := ord.Validate(q.N()); err != nil {
+		return nil, err
+	}
+	e := &Exec{
+		q:        q,
+		meter:    meter,
+		ord:      ord.Clone(),
+		scanOnly: make(map[tuple.Attr]bool),
+	}
+	for _, a := range opts.ScanOnly {
+		e.scanOnly[a] = true
+	}
+	e.stores = make([]*relation.Store, q.N())
+	for i := 0; i < q.N(); i++ {
+		e.stores[i] = relation.NewStore(i, q.Schema(i), meter)
+	}
+	e.buildPipelines()
+	return e, nil
+}
+
+func (e *Exec) buildPipelines() {
+	e.pipes = make([]*pipeline, e.q.N())
+	for i := 0; i < e.q.N(); i++ {
+		e.pipes[i] = buildPipeline(e.q, i, e.ord[i], e.stores, e.scanOnly)
+	}
+}
+
+// Query returns the executed query.
+func (e *Exec) Query() *query.Query { return e.q }
+
+// Meter returns the shared cost meter.
+func (e *Exec) Meter() *cost.Meter { return e.meter }
+
+// Store returns relation rel's windowed store.
+func (e *Exec) Store(rel int) *relation.Store { return e.stores[rel] }
+
+// Ordering returns a copy of the current pipeline ordering.
+func (e *Exec) Ordering() planner.Ordering { return e.ord.Clone() }
+
+// SetOrdering replaces pipeline ord for one relation and recompiles it.
+// All cache attachments in that pipeline are implicitly dropped — the caller
+// (the adaptive engine) must detach caches first; any attachment state left
+// in the pipeline is discarded, matching Section 4.5 step 5.
+func (e *Exec) SetOrdering(rel int, order []int) error {
+	next := e.ord.Clone()
+	next[rel] = append([]int(nil), order...)
+	if err := next.Validate(e.q.N()); err != nil {
+		return err
+	}
+	e.ord = next
+	e.pipes[rel] = buildPipeline(e.q, rel, order, e.stores, e.scanOnly)
+	return nil
+}
+
+// Tap registers an observer at (pipeline, pos); pos ranges 0..n−1 where
+// n−1 is the output position. It returns an id for RemoveTap.
+func (e *Exec) Tap(pipe, pos int, f func(batch []tuple.Tuple, op stream.Op)) int {
+	e.nextTap++
+	id := e.nextTap
+	p := e.pipes[pipe]
+	p.taps[pos] = append(p.taps[pos], tapEntry{id: id, f: f})
+	return id
+}
+
+// RemoveTap unregisters a tap by id.
+func (e *Exec) RemoveTap(id int) {
+	for _, p := range e.pipes {
+		for pos := range p.taps {
+			for i, t := range p.taps[pos] {
+				if t.id == id {
+					p.taps[pos] = append(p.taps[pos][:i:i], p.taps[pos][i+1:]...)
+					return
+				}
+			}
+		}
+	}
+}
+
+// Process runs one update through its pipeline (join computation plus the
+// relation-store update) with caches active, and returns the result.
+func (e *Exec) Process(u stream.Update) Result {
+	sw := cost.NewStopwatch(e.meter)
+	outputs := e.run(u, false, nil)
+	e.applyStoreUpdate(u)
+	return Result{Outputs: outputs, Units: sw.Elapsed()}
+}
+
+// ProcessProfiled runs one update with this pipeline's caches bypassed
+// (Appendix A: a profiled tuple's processing never uses caches in its own
+// pipeline, so δ_j and τ_j reflect cache-free operator behaviour) and
+// returns per-operator measurements. Maintenance of caches hosted in other
+// pipelines still runs — consistency is unconditional.
+func (e *Exec) ProcessProfiled(u stream.Update) (Result, Profile) {
+	sw := cost.NewStopwatch(e.meter)
+	nsteps := len(e.pipes[u.Rel].steps)
+	prof := Profile{
+		StepInputs: make([]int, nsteps+1),
+		StepUnits:  make([]cost.Units, nsteps),
+	}
+	outputs := e.run(u, true, &prof)
+	e.applyStoreUpdate(u)
+	return Result{Outputs: outputs, Units: sw.Elapsed()}, prof
+}
+
+func (e *Exec) applyStoreUpdate(u stream.Update) {
+	if u.Op == stream.Insert {
+		e.stores[u.Rel].Insert(u.Tuple)
+	} else {
+		e.stores[u.Rel].Delete(u.Tuple)
+	}
+}
+
+// run executes the join computation of one update through pipeline u.Rel,
+// position by position. arrivals[pos] accumulates the composite tuples
+// reaching each position: step outputs land at pos+1, and cache hits jump
+// straight to the position after their segment. Maintenance operators and
+// taps at a position fire on the full batch arriving there, before any
+// lookup — the planner guarantees no maintenance position ever falls
+// strictly inside a used cache's segment, so bypasses never skip one.
+func (e *Exec) run(u stream.Update, profiled bool, prof *Profile) int {
+	p := e.pipes[u.Rel]
+	nsteps := len(p.steps)
+	arrivals := make([][]tuple.Tuple, nsteps+1)
+	arrivals[0] = []tuple.Tuple{u.Tuple}
+	outputs := 0
+	for pos := 0; pos <= nsteps; pos++ {
+		batch := arrivals[pos]
+		if len(batch) > 0 {
+			for _, m := range p.maint[pos] {
+				m.apply(e, u.Rel, batch, u.Op)
+			}
+			for _, t := range p.taps[pos] {
+				t.f(batch, u.Op)
+			}
+		}
+		if pos == nsteps {
+			outputs = len(batch)
+			break
+		}
+		if prof != nil {
+			prof.StepInputs[pos] = len(batch)
+		}
+		if len(batch) == 0 {
+			continue
+		}
+		att := p.lookups[pos]
+		if att != nil && !profiled {
+			misses := e.applyLookup(p, att, batch, arrivals)
+			if len(misses) > 0 {
+				segOut := e.runMissSegment(p, att, misses, u.Op)
+				arrivals[att.end+1] = append(arrivals[att.end+1], segOut...)
+			}
+			continue
+		}
+		sw := cost.NewStopwatch(e.meter)
+		out := p.steps[pos].run(batch, e.stores[p.steps[pos].rel], e.meter)
+		if prof != nil {
+			prof.StepUnits[pos] = sw.Elapsed()
+		}
+		arrivals[pos+1] = append(arrivals[pos+1], out...)
+	}
+	if prof != nil {
+		prof.StepInputs[nsteps] = outputs
+	}
+	return outputs
+}
+
+// applyLookup probes the cache for each tuple of the batch. Hits emit their
+// continuation tuples directly into arrivals[end+1]; misses are returned for
+// regular segment processing.
+func (e *Exec) applyLookup(p *pipeline, att *attachment, batch []tuple.Tuple, arrivals [][]tuple.Tuple) []tuple.Tuple {
+	var misses []tuple.Tuple
+	emit := func(r, s tuple.Tuple) {
+		e.meter.Charge(cost.OutputTuple)
+		out := make(tuple.Tuple, 0, len(r)+len(att.permCols))
+		out = append(out, r...)
+		for _, c := range att.permCols {
+			out = append(out, s[c])
+		}
+		arrivals[att.end+1] = append(arrivals[att.end+1], out)
+	}
+	for _, r := range batch {
+		e.meter.ChargeN(cost.KeyExtract, len(att.keyCols))
+		u := tuple.KeyOf(r, att.keyCols)
+		if att.inst.counted() {
+			tuples, mults, hit := att.inst.store.ProbeCounted(u)
+			if !hit {
+				misses = append(misses, r)
+				continue
+			}
+			for i, s := range tuples {
+				for k := 0; k < mults[i]; k++ {
+					emit(r, s)
+				}
+			}
+			continue
+		}
+		v, hit := att.inst.store.Probe(u)
+		if !hit {
+			misses = append(misses, r)
+			continue
+		}
+		for _, s := range v {
+			emit(r, s)
+		}
+	}
+	return misses
+}
+
+// runMissSegment processes each miss tuple through the cached segment's
+// join operators and installs the computed values in the cache: for every
+// probed key, the complete (possibly empty) multiset of joining segment
+// tuples, taken from exactly one probing tuple — the CacheUpdate create of
+// Section 3.2. Values are multisets: a window holding duplicate rows yields
+// duplicate segment tuples, and each must be cached so a later delete
+// removes exactly one. Taps inside the segment still fire so shadow
+// profilers observe whatever flows (the engine demotes enclosing caches
+// when a subset cache needs the full stream, Section 4.5(b)).
+func (e *Exec) runMissSegment(p *pipeline, att *attachment, misses []tuple.Tuple, op stream.Op) []tuple.Tuple {
+	created := make(map[tuple.Key]bool)
+	var all []tuple.Tuple
+	for _, r := range misses {
+		u := tuple.KeyOf(r, att.keyCols)
+		batch := []tuple.Tuple{r}
+		for pos := att.start; pos <= att.end; pos++ {
+			if pos > att.start && len(batch) > 0 {
+				for _, t := range p.taps[pos] {
+					t.f(batch, op)
+				}
+			}
+			batch = p.steps[pos].run(batch, e.stores[p.steps[pos].rel], e.meter)
+		}
+		all = append(all, batch...)
+		if created[u] {
+			continue
+		}
+		created[u] = true
+		vals := make([]tuple.Tuple, len(batch))
+		for i, out := range batch {
+			vals[i] = extract(out, att.segCols)
+		}
+		if !att.inst.counted() {
+			att.inst.store.Create(u, vals)
+			continue
+		}
+		// GC cache: collapse to distinct tuples with their multiplicities,
+		// keep only Y-supported ones, and record exact total support
+		// (multiplicity × per-instance Y combinations).
+		var tuples []tuple.Tuple
+		var mults, supports []int
+		at := make(map[tuple.Key]int)
+		for _, t := range vals {
+			if i, ok := at[tuple.Encode(t)]; ok {
+				mults[i]++
+				continue
+			}
+			at[tuple.Encode(t)] = len(tuples)
+			tuples = append(tuples, t)
+			mults = append(mults, 1)
+			supports = append(supports, att.inst.countY(e, t))
+		}
+		kept := tuples[:0]
+		var km, ks []int
+		for i, t := range tuples {
+			if supports[i] > 0 {
+				kept = append(kept, t)
+				km = append(km, mults[i])
+				ks = append(ks, mults[i]*supports[i])
+			}
+		}
+		att.inst.store.CreateCounted(u, kept, km, ks)
+	}
+	return all
+}

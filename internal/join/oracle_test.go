@@ -1,0 +1,25 @@
+package join
+
+import (
+	"acache/internal/oracle"
+	"acache/internal/query"
+	"acache/internal/stream"
+	"acache/internal/tuple"
+)
+
+// Thin aliases over the shared test oracle (internal/oracle), kept so the
+// executor tests read naturally.
+
+type testOracle = oracle.Oracle
+
+func newOracle(q *query.Query) *testOracle { return oracle.New(q) }
+
+func canonicalize(q *query.Query, schema *tuple.Schema, ts []tuple.Tuple) []tuple.Tuple {
+	return oracle.Canonicalize(q, schema, ts)
+}
+
+func multiset(ts []tuple.Tuple) map[tuple.Key]int { return oracle.Multiset(ts) }
+
+func multisetEqual(a, b map[tuple.Key]int) bool { return oracle.MultisetEqual(a, b) }
+
+var _ = stream.Update{} // keep the import for test helpers

@@ -1,0 +1,231 @@
+// Package join implements the MJoin executor of Section 3: one pipeline per
+// update stream, join operators that probe hash indexes (or fall back to
+// nested-loop scans), and the CacheLookup / CacheUpdate operators that splice
+// caches into pipelines (Section 3.2).
+//
+// Updates are processed strictly in their global order, each to completion,
+// on a single goroutine; all work is charged to a shared cost meter.
+package join
+
+import (
+	"fmt"
+
+	"acache/internal/cost"
+	"acache/internal/query"
+	"acache/internal/relation"
+	"acache/internal/stream"
+	"acache/internal/tuple"
+)
+
+// step is one join operator ⋈_ij: it joins composite tuples arriving at its
+// position with relation rel, enforcing equality on every attribute
+// equivalence class shared between rel and the pipeline prefix.
+type step struct {
+	rel     int
+	classes []int // shared classes enforced by this operator
+
+	// Index path: probeFromCols[c] is the input-schema column whose value
+	// fills the c-th column of the index key (index columns are the rel's
+	// class attributes sorted by name).
+	indexAttrs    []string
+	probeFromCols []int
+
+	// Scan path (no index or no shared classes): for each check,
+	// input[inCol] must equal relTuple[relCol].
+	scanChecks [][2]int
+
+	// thetas are the residual non-equality predicates between rel and the
+	// prefix, applied to every match: input[inCol] op relTuple[relCol].
+	thetas []thetaCheck
+
+	in, out *tuple.Schema
+}
+
+type thetaCheck struct {
+	inCol  int
+	op     query.CmpOp
+	relCol int
+}
+
+func (st *step) passesThetas(in, m tuple.Tuple, meter *cost.Meter) bool {
+	for _, th := range st.thetas {
+		meter.Charge(cost.CompareStep)
+		if !th.op.Eval(in[th.inCol], m[th.relCol]) {
+			return false
+		}
+	}
+	return true
+}
+
+// tapFunc observes the batch of composite tuples arriving at a pipeline
+// position during the processing of one update. Taps are the profiler's
+// hook: per-operator tuple counts and the shadow CacheLookup Bloom probes of
+// Appendix A are both taps.
+type tapFunc func(batch []tuple.Tuple, op stream.Op)
+
+type tapEntry struct {
+	id int
+	f  tapFunc
+}
+
+// pipeline is ΔR_rel's compiled pipeline: n−1 join steps plus a virtual
+// output position at index len(steps) where results (and maintenance
+// operators for segments spanning all other relations) live.
+type pipeline struct {
+	rel     int
+	order   []int
+	steps   []*step
+	schemas []*tuple.Schema // schemas[pos] = schema arriving at pos; len = len(steps)+1
+
+	lookups []*attachment // by position; nil when no used cache starts here
+	// suspended holds attachments whose CacheLookup is temporarily removed
+	// while their instance (and its maintenance) stays alive — a used
+	// cache moved to the profiled state so a subset candidate can observe
+	// the full probe stream (Section 4.5(b)).
+	suspended map[int]*attachment
+	maint     [][]*maintOp // by position (0..len(steps))
+	taps      [][]tapEntry // by position (0..len(steps))
+}
+
+func buildPipeline(q *query.Query, rel int, order []int, stores []*relation.Store, scanOnly map[tuple.Attr]bool) *pipeline {
+	p := &pipeline{rel: rel, order: append([]int(nil), order...)}
+	cur := q.Schema(rel)
+	p.schemas = append(p.schemas, cur)
+	prefix := []int{rel}
+	for _, r := range order {
+		st := buildStep(q, cur, prefix, r, stores[r], scanOnly)
+		p.steps = append(p.steps, st)
+		cur = st.out
+		p.schemas = append(p.schemas, cur)
+		prefix = append(prefix, r)
+	}
+	n := len(p.steps) + 1
+	p.lookups = make([]*attachment, n)
+	p.suspended = make(map[int]*attachment)
+	p.maint = make([][]*maintOp, n)
+	p.taps = make([][]tapEntry, n)
+	return p
+}
+
+// buildStep compiles the join of the current prefix with relation r.
+func buildStep(q *query.Query, in *tuple.Schema, prefix []int, r int, store *relation.Store, scanOnly map[tuple.Attr]bool) *step {
+	classes := q.SharedClasses(prefix, []int{r})
+	st := &step{
+		rel:     r,
+		classes: classes,
+		in:      in,
+		out:     in.Concat(q.Schema(r)),
+	}
+	// Residual theta predicates between the prefix and r become filters on
+	// this operator's matches, oriented so the prefix side reads from the
+	// input schema.
+	relSchemaT := q.Schema(r)
+	for _, th := range q.ThetasBetween(prefix, []int{r}) {
+		left, op, right := th.Left, th.Op, th.Right
+		if left.Rel == r {
+			// Flip so the input-side attribute comes first.
+			left, right = right, left
+			switch op {
+			case query.Lt:
+				op = query.Gt
+			case query.Le:
+				op = query.Ge
+			case query.Gt:
+				op = query.Lt
+			case query.Ge:
+				op = query.Le
+			}
+		}
+		st.thetas = append(st.thetas, thetaCheck{
+			inCol:  in.MustColOf(left),
+			op:     op,
+			relCol: relSchemaT.MustColOf(right),
+		})
+	}
+	// Collect r's attributes participating in the shared classes, and
+	// whether any of them is marked index-free (Figure 10's dropped index).
+	useIndex := len(classes) > 0
+	var attrNames []string
+	for _, c := range classes {
+		for _, name := range q.ClassAttrsOf(r, c) {
+			attrNames = append(attrNames, name)
+			if scanOnly[tuple.Attr{Rel: r, Name: name}] {
+				useIndex = false
+			}
+		}
+	}
+	if useIndex {
+		idx := store.CreateIndex(attrNames...)
+		st.indexAttrs = attrNames
+		// Align probe values with the index's sorted column order: index
+		// col i holds r's attribute at schema column idx.Cols()[i]; its
+		// probe value comes from the input's representative column of
+		// that attribute's class.
+		relSchema := q.Schema(r)
+		st.probeFromCols = make([]int, 0, len(idx.Cols()))
+		for _, relCol := range idx.Cols() {
+			attr := relSchema.Col(relCol)
+			cls, ok := q.ClassOf(attr)
+			if !ok {
+				panic(fmt.Sprintf("join: index attribute %v has no class", attr))
+			}
+			st.probeFromCols = append(st.probeFromCols, q.RepresentativeCols(in, []int{cls})[0])
+		}
+		return st
+	}
+	// Scan path: equality checks per (class, r-attribute) pair; with no
+	// shared classes this is a pure cross join.
+	relSchema := q.Schema(r)
+	for _, c := range classes {
+		inCol := q.RepresentativeCols(in, []int{c})[0]
+		for _, name := range q.ClassAttrsOf(r, c) {
+			relCol := relSchema.MustColOf(tuple.Attr{Rel: r, Name: name})
+			st.scanChecks = append(st.scanChecks, [2]int{inCol, relCol})
+		}
+	}
+	return st
+}
+
+// run joins the batch with the step's relation, returning the concatenated
+// outputs and charging all probe/scan/output work to the meter.
+func (st *step) run(batch []tuple.Tuple, store *relation.Store, meter *cost.Meter) []tuple.Tuple {
+	var out []tuple.Tuple
+	if st.probeFromCols != nil {
+		idx := store.Index(st.indexAttrs...)
+		if idx == nil {
+			// Index dropped after compilation; rebuild lazily.
+			idx = store.CreateIndex(st.indexAttrs...)
+		}
+		vals := make([]tuple.Value, len(st.probeFromCols))
+		for _, r := range batch {
+			for i, c := range st.probeFromCols {
+				vals[i] = r[c]
+			}
+			meter.ChargeN(cost.KeyExtract, len(vals))
+			for _, m := range store.Probe(idx, tuple.KeyOfValues(vals)) {
+				if !st.passesThetas(r, m, meter) {
+					continue
+				}
+				meter.Charge(cost.OutputTuple)
+				out = append(out, r.Concat(m))
+			}
+		}
+		return out
+	}
+	for _, r := range batch {
+		store.Scan(func(m tuple.Tuple) bool {
+			for _, chk := range st.scanChecks {
+				if r[chk[0]] != m[chk[1]] {
+					return true
+				}
+			}
+			if !st.passesThetas(r, m, meter) {
+				return true
+			}
+			meter.Charge(cost.OutputTuple)
+			out = append(out, r.Concat(m))
+			return true
+		})
+	}
+	return out
+}

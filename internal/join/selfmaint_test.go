@@ -1,0 +1,144 @@
+package join
+
+import (
+	"math/rand"
+	"testing"
+
+	"acache/internal/cost"
+	"acache/internal/planner"
+	"acache/internal/stream"
+	"acache/internal/tuple"
+)
+
+// Self-maintained caches (the GC fallback for segments with no host-free
+// reduction closure — the paper's Figure 12 (T⋈S)⋉R situation): under the
+// ordering ΔR1: R2,R3; ΔR2: R1,R3; ΔR3: R2,R1, the {R2,R3} segment in ΔR1's
+// pipeline does not satisfy the prefix invariant and, with n = 3, no
+// host-free closure exists, so the GC candidate set contains the
+// self-maintained cache instead.
+func findSelfMaintSpec(t *testing.T) (*planner.Spec, planner.Ordering) {
+	t.Helper()
+	ord := planner.Ordering{{1, 2}, {0, 2}, {1, 0}}
+	q, _ := threeWay(t)
+	prefix := planner.Candidates(q, ord)
+	gcs := planner.GCCandidates(q, ord, prefix, len(prefix)+10)
+	for _, c := range gcs {
+		if c.Pipeline == 0 && c.SelfMaint && equalInts(c.Segment, []int{1, 2}) {
+			return c, ord
+		}
+	}
+	t.Fatalf("expected self-maintained {R2,R3} candidate in ΔR1, got %v", gcs)
+	return nil, nil
+}
+
+func TestExecWithSelfMaintCacheMatchesOracle(t *testing.T) {
+	q, _ := threeWay(t)
+	spec, ord := findSelfMaintSpec(t)
+	meter := &cost.Meter{}
+	e, err := NewExec(q, ord, meter, Options{})
+	if err != nil {
+		t.Fatalf("NewExec: %v", err)
+	}
+	inst := NewInstance(q, spec, 64, -1, meter)
+	if !inst.SelfMaintained() {
+		t.Fatal("instance must be in self-maintenance mode")
+	}
+	if err := e.AttachCache(spec, inst); err != nil {
+		t.Fatalf("AttachCache: %v", err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	runAgainstOracle(t, q, e, randomUpdates(rng, q, 900, 5), func(o *testOracle, seq int) {
+		// Entries hold the full segment-join selection and are maintained
+		// exactly, so the plain consistency invariant must hold throughout.
+		checkConsistency(t, q, o, inst, seq)
+	})
+	st := inst.Cache().Stats()
+	if st.Probes == 0 || st.Hits == 0 {
+		t.Fatalf("self-maintained cache saw no traffic: %+v", st)
+	}
+}
+
+// TestSelfMaintKeepsEntriesFresh pins the maintenance behaviour: a cached
+// entry gains and loses tuples as the segment relations churn, staying
+// resident (unlike invalidation, residency is what makes the Figure 12 plan
+// profitable under a probe burst).
+func TestSelfMaintKeepsEntriesFresh(t *testing.T) {
+	q, _ := threeWay(t)
+	spec, ord := findSelfMaintSpec(t)
+	meter := &cost.Meter{}
+	e, _ := NewExec(q, ord, meter, Options{})
+	inst := NewInstance(q, spec, 64, -1, meter)
+	if err := e.AttachCache(spec, inst); err != nil {
+		t.Fatalf("AttachCache: %v", err)
+	}
+	e.Process(stream.Update{Op: stream.Insert, Rel: 1, Tuple: tuple.Tuple{7, 8}})
+	e.Process(stream.Update{Op: stream.Insert, Rel: 2, Tuple: tuple.Tuple{8}})
+	// Populate the entry for key A=7.
+	if out := e.Process(stream.Update{Op: stream.Insert, Rel: 0, Tuple: tuple.Tuple{7}}); out.Outputs != 1 {
+		t.Fatalf("outputs = %d, want 1", out.Outputs)
+	}
+	if inst.Cache().Entries() != 1 {
+		t.Fatalf("entries = %d, want 1", inst.Cache().Entries())
+	}
+	// A new R3 tuple joining B=8 must be ADDED to the entry.
+	e.Process(stream.Update{Op: stream.Insert, Rel: 2, Tuple: tuple.Tuple{8}})
+	if inst.Cache().Entries() != 1 {
+		t.Fatalf("entries = %d after segment insert, want 1 (entry stays resident)", inst.Cache().Entries())
+	}
+	if out := e.Process(stream.Update{Op: stream.Insert, Rel: 0, Tuple: tuple.Tuple{7}}); out.Outputs != 2 {
+		t.Fatalf("outputs after maintenance = %d, want 2", out.Outputs)
+	}
+	if inst.Cache().Stats().Hits == 0 {
+		t.Fatal("second probe should have hit the maintained entry")
+	}
+	// Deleting an R3 tuple shrinks the entry back.
+	e.Process(stream.Update{Op: stream.Delete, Rel: 2, Tuple: tuple.Tuple{8}})
+	if out := e.Process(stream.Update{Op: stream.Insert, Rel: 0, Tuple: tuple.Tuple{7}}); out.Outputs != 1 {
+		t.Fatalf("outputs after segment delete = %d, want 1", out.Outputs)
+	}
+}
+
+// TestSelfMaintSharedAcrossPipelines: self-maintained placements with the
+// same segment and key in different pipelines share one instance whose
+// mini-join maintenance runs once — and stay consistent.
+func TestSelfMaintSharedAcrossPipelines(t *testing.T) {
+	q, _ := fourWayClique(t)
+	// Ordering where {R3,R4} is non-prefix in both ΔR1 and ΔR2 pipelines
+	// at the same positions, with no host-free closure... closure Y could
+	// exist for n=4; find two SM placements with equal SharingID, if the
+	// planner produces them, else skip.
+	ord := planner.Ordering{{2, 3, 1}, {2, 3, 0}, {0, 1, 3}, {0, 1, 2}}
+	prefix := planner.Candidates(q, ord)
+	gcs := planner.GCCandidates(q, ord, prefix, 20)
+	byID := make(map[string][]*planner.Spec)
+	for _, c := range gcs {
+		if c.SelfMaint {
+			byID[c.SharingID()] = append(byID[c.SharingID()], c)
+		}
+	}
+	var shared []*planner.Spec
+	for _, specs := range byID {
+		if len(specs) > 1 {
+			shared = specs
+			break
+		}
+	}
+	if shared == nil {
+		t.Skip("no shared self-maintained group under this ordering")
+	}
+	meter := &cost.Meter{}
+	e, err := NewExec(q, ord, meter, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := NewInstance(q, shared[0], 64, -1, meter)
+	for _, s := range shared {
+		if err := e.AttachCache(s, inst); err != nil {
+			t.Fatalf("AttachCache(%v): %v", s, err)
+		}
+	}
+	rng := rand.New(rand.NewSource(81))
+	runAgainstOracle(t, q, e, randomUpdates(rng, q, 600, 4), func(o *testOracle, seq int) {
+		checkConsistency(t, q, o, inst, seq)
+	})
+}

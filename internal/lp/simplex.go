@@ -1,0 +1,202 @@
+// Package lp provides a small dense two-phase primal simplex solver for the
+// linear relaxation of the cache-selection integer program (Appendix B).
+//
+// Problems are given in the form
+//
+//	minimize  cᵀx
+//	subject to A_eq x = b_eq, A_ub x ≤ b_ub, 0 ≤ x ≤ ub
+//
+// which is all the cache-selection LP needs: coverage equalities
+// Σ_{c∋p} x_c = 1, group-activation inequalities x_c − z_r ≤ 0, and [0,1]
+// bounds. Sizes are tiny (tens of variables), so a dense tableau with
+// Bland's rule is entirely adequate and immune to cycling.
+package lp
+
+import (
+	"errors"
+	"math"
+)
+
+// Problem is a linear program in the package's canonical form.
+type Problem struct {
+	C     []float64   // objective coefficients, length n
+	AEq   [][]float64 // equality rows, each length n
+	BEq   []float64
+	AUb   [][]float64 // inequality rows (≤), each length n
+	BUb   []float64
+	Upper []float64 // per-variable upper bounds (math.Inf(1) for none)
+}
+
+// ErrInfeasible is returned when no feasible point exists.
+var ErrInfeasible = errors.New("lp: infeasible")
+
+// ErrUnbounded is returned when the objective is unbounded below.
+var ErrUnbounded = errors.New("lp: unbounded")
+
+const eps = 1e-9
+
+// Solve minimizes the problem, returning the optimal x and objective value.
+func Solve(p Problem) ([]float64, float64, error) {
+	n := len(p.C)
+	// Convert upper bounds to inequality rows.
+	aub := append([][]float64(nil), p.AUb...)
+	bub := append([]float64(nil), p.BUb...)
+	for j, u := range p.Upper {
+		if math.IsInf(u, 1) {
+			continue
+		}
+		row := make([]float64, n)
+		row[j] = 1
+		aub = append(aub, row)
+		bub = append(bub, u)
+	}
+	me, mu := len(p.AEq), len(aub)
+	m := me + mu
+	// Tableau variables: n structural + mu slacks + m artificials.
+	total := n + mu + m
+	// Rows: m constraints + 2 objective rows (phase-2 cost, phase-1 cost).
+	t := make([][]float64, m+2)
+	for i := range t {
+		t[i] = make([]float64, total+1)
+	}
+	basis := make([]int, m)
+	for i := 0; i < me; i++ {
+		copy(t[i], p.AEq[i])
+		rhs := p.BEq[i]
+		if rhs < 0 {
+			for j := 0; j < n; j++ {
+				t[i][j] = -t[i][j]
+			}
+			rhs = -rhs
+		}
+		t[i][n+mu+i] = 1
+		t[i][total] = rhs
+		basis[i] = n + mu + i
+	}
+	for i := 0; i < mu; i++ {
+		r := me + i
+		copy(t[r], aub[i])
+		rhs := bub[i]
+		slackSign := 1.0
+		if rhs < 0 {
+			for j := 0; j < n; j++ {
+				t[r][j] = -t[r][j]
+			}
+			rhs = -rhs
+			slackSign = -1
+		}
+		t[r][n+i] = slackSign
+		t[r][n+mu+r] = 1
+		t[r][total] = rhs
+		basis[r] = n + mu + r
+	}
+	costRow := m // phase-2 objective
+	phase1Row := m + 1
+	for j := 0; j < n; j++ {
+		t[costRow][j] = p.C[j]
+	}
+	// Phase-1 objective: sum of artificials (cost 1 each), then reduce by
+	// the basic rows so basic (artificial) columns read zero.
+	for i := 0; i < m; i++ {
+		t[phase1Row][n+mu+i] = 1
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j <= total; j++ {
+			t[phase1Row][j] -= t[i][j]
+		}
+	}
+	if err := iterate(t, basis, phase1Row, n+mu+m); err != nil {
+		return nil, 0, err
+	}
+	if t[phase1Row][total] < -1e-7 {
+		return nil, 0, ErrInfeasible
+	}
+	// Drive remaining artificial variables out of the basis where possible.
+	for i := 0; i < m; i++ {
+		if basis[i] < n+mu {
+			continue
+		}
+		pivoted := false
+		for j := 0; j < n+mu; j++ {
+			if math.Abs(t[i][j]) > eps {
+				pivot(t, basis, i, j)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted && math.Abs(t[i][total]) > 1e-7 {
+			return nil, 0, ErrInfeasible
+		}
+	}
+	// Phase 2: forbid artificial columns by restricting the column range.
+	if err := iterate(t, basis, costRow, n+mu); err != nil {
+		return nil, 0, err
+	}
+	x := make([]float64, n)
+	for i, b := range basis {
+		if b < n {
+			x[b] = t[i][len(t[i])-1]
+		}
+	}
+	obj := 0.0
+	for j := 0; j < n; j++ {
+		obj += p.C[j] * x[j]
+	}
+	return x, obj, nil
+}
+
+// iterate runs simplex pivots on the given objective row until optimal,
+// considering only columns < limit for entering variables. Bland's rule
+// (lowest-index entering and leaving) prevents cycling.
+func iterate(t [][]float64, basis []int, objRow, limit int) error {
+	m := len(basis)
+	rhsCol := len(t[0]) - 1
+	for iter := 0; iter < 10000; iter++ {
+		enter := -1
+		for j := 0; j < limit; j++ {
+			if t[objRow][j] < -eps {
+				enter = j
+				break
+			}
+		}
+		if enter == -1 {
+			return nil
+		}
+		leave := -1
+		best := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if t[i][enter] > eps {
+				ratio := t[i][rhsCol] / t[i][enter]
+				if ratio < best-eps || (ratio < best+eps && (leave == -1 || basis[i] < basis[leave])) {
+					best = ratio
+					leave = i
+				}
+			}
+		}
+		if leave == -1 {
+			return ErrUnbounded
+		}
+		pivot(t, basis, leave, enter)
+	}
+	return errors.New("lp: iteration limit exceeded")
+}
+
+func pivot(t [][]float64, basis []int, row, col int) {
+	pv := t[row][col]
+	for j := range t[row] {
+		t[row][j] /= pv
+	}
+	for i := range t {
+		if i == row {
+			continue
+		}
+		f := t[i][col]
+		if math.Abs(f) < eps {
+			continue
+		}
+		for j := range t[i] {
+			t[i][j] -= f * t[row][j]
+		}
+	}
+	basis[row] = col
+}

@@ -1,0 +1,112 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+func solveOK(t *testing.T, p Problem) ([]float64, float64) {
+	t.Helper()
+	x, obj, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return x, obj
+}
+
+func TestSimpleEquality(t *testing.T) {
+	// min x1 + 2 x2 s.t. x1 + x2 = 1, x ≥ 0 → x = (1,0), obj 1.
+	x, obj := solveOK(t, Problem{
+		C:     []float64{1, 2},
+		AEq:   [][]float64{{1, 1}},
+		BEq:   []float64{1},
+		Upper: []float64{math.Inf(1), math.Inf(1)},
+	})
+	if math.Abs(obj-1) > 1e-7 || math.Abs(x[0]-1) > 1e-7 {
+		t.Fatalf("x=%v obj=%v, want x1=1 obj=1", x, obj)
+	}
+}
+
+func TestInequalityAndBounds(t *testing.T) {
+	// max 3x+2y s.t. x+y ≤ 4, x ≤ 2, y ≤ 3 → min −3x−2y → x=2,y=2, obj −10.
+	x, obj := solveOK(t, Problem{
+		C:     []float64{-3, -2},
+		AUb:   [][]float64{{1, 1}},
+		BUb:   []float64{4},
+		Upper: []float64{2, 3},
+	})
+	if math.Abs(obj+10) > 1e-7 {
+		t.Fatalf("x=%v obj=%v, want obj=-10", x, obj)
+	}
+}
+
+func TestDegenerateNoCycle(t *testing.T) {
+	// A classic degenerate instance; Bland's rule must terminate.
+	_, obj := solveOK(t, Problem{
+		C:     []float64{-0.75, 150, -0.02, 6},
+		AUb:   [][]float64{{0.25, -60, -0.04, 9}, {0.5, -90, -0.02, 3}, {0, 0, 1, 0}},
+		BUb:   []float64{0, 0, 1},
+		Upper: []float64{math.Inf(1), math.Inf(1), math.Inf(1), math.Inf(1)},
+	})
+	if math.Abs(obj+0.05) > 1e-6 {
+		t.Fatalf("obj=%v, want -0.05", obj)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	_, _, err := Solve(Problem{
+		C:     []float64{1},
+		AEq:   [][]float64{{1}},
+		BEq:   []float64{2},
+		Upper: []float64{1},
+	})
+	if err != ErrInfeasible {
+		t.Fatalf("err=%v, want ErrInfeasible", err)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	_, _, err := Solve(Problem{
+		C:     []float64{-1},
+		Upper: []float64{math.Inf(1)},
+	})
+	if err != ErrUnbounded {
+		t.Fatalf("err=%v, want ErrUnbounded", err)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// min x s.t. −x ≤ −2 (i.e. x ≥ 2) → x = 2.
+	x, obj := solveOK(t, Problem{
+		C:     []float64{1},
+		AUb:   [][]float64{{-1}},
+		BUb:   []float64{-2},
+		Upper: []float64{math.Inf(1)},
+	})
+	if math.Abs(obj-2) > 1e-7 || math.Abs(x[0]-2) > 1e-7 {
+		t.Fatalf("x=%v obj=%v, want 2", x, obj)
+	}
+}
+
+func TestCoverageLPShape(t *testing.T) {
+	// A miniature of the cache-selection LP: two operators, one cache
+	// covering both (cost 3 incl. group) vs. two operator pseudo-caches
+	// (costs 2 and 2). Optimal fractional = integral: take the cache.
+	// Variables: x_cache, x_op1, x_op2, z_group.
+	x, obj := solveOK(t, Problem{
+		C: []float64{2, 2, 2, 1}, // proc(cache)=2, ops 2+2, group cost 1
+		AEq: [][]float64{
+			{1, 1, 0, 0}, // op1 covered once
+			{1, 0, 1, 0}, // op2 covered once
+		},
+		BEq: []float64{1, 1},
+		AUb: [][]float64{
+			{1, 0, 0, -1}, // x_cache ≤ z
+		},
+		BUb:   []float64{0},
+		Upper: []float64{1, 1, 1, 1},
+	})
+	if math.Abs(obj-3) > 1e-7 || math.Abs(x[0]-1) > 1e-7 {
+		t.Fatalf("x=%v obj=%v, want cache chosen obj=3", x, obj)
+	}
+}

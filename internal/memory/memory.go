@@ -1,0 +1,79 @@
+// Package memory implements the adaptive memory allocator of Section 5:
+// caches are selected assuming infinite memory, then pages are granted
+// greedily by priority — a cache's net benefit per byte of expected memory —
+// so the engine adapts smoothly as the amount of memory available to the
+// query changes.
+package memory
+
+import "sort"
+
+// PageBytes is the allocation granularity. Grants are rounded up to whole
+// pages, matching the paper's dynamically-allocated memory pages
+// (Section 3.3).
+const PageBytes = 1024
+
+// Request asks for memory on behalf of one cache.
+type Request struct {
+	// ID identifies the cache (its sharing identity).
+	ID string
+	// Priority is (benefit − cost) / expected bytes (Section 5).
+	Priority float64
+	// Bytes is the cache's expected memory requirement.
+	Bytes int
+}
+
+// Manager owns a byte budget and divides it among caches.
+type Manager struct {
+	budget int // <0 = unlimited
+}
+
+// NewManager creates a manager with the given budget; budget < 0 means
+// unlimited memory.
+func NewManager(budget int) *Manager { return &Manager{budget: budget} }
+
+// SetBudget changes the budget (Figure 13 sweeps this at run time).
+func (m *Manager) SetBudget(budget int) { m.budget = budget }
+
+// Budget returns the current budget (<0 = unlimited).
+func (m *Manager) Budget() int { return m.budget }
+
+// pages rounds bytes up to whole pages.
+func pages(bytes int) int {
+	if bytes <= 0 {
+		return 0
+	}
+	return (bytes + PageBytes - 1) / PageBytes * PageBytes
+}
+
+// Allocate grants memory greedily by descending priority: each request gets
+// its full (page-rounded) ask while the budget lasts; the first request that
+// does not fit gets the remainder (a cache degrades gracefully under a
+// partial budget thanks to the replacement scheme), and later ones get
+// nothing. With an unlimited budget every request is granted in full.
+// The returned map holds granted bytes per request ID.
+func (m *Manager) Allocate(reqs []Request) map[string]int {
+	out := make(map[string]int, len(reqs))
+	if m.budget < 0 {
+		for _, r := range reqs {
+			out[r.ID] = -1 // unlimited
+		}
+		return out
+	}
+	sorted := append([]Request(nil), reqs...)
+	sort.SliceStable(sorted, func(a, b int) bool {
+		if sorted[a].Priority != sorted[b].Priority {
+			return sorted[a].Priority > sorted[b].Priority
+		}
+		return sorted[a].ID < sorted[b].ID
+	})
+	remaining := m.budget
+	for _, r := range sorted {
+		ask := pages(r.Bytes)
+		if ask > remaining {
+			ask = remaining / PageBytes * PageBytes
+		}
+		out[r.ID] = ask
+		remaining -= ask
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+// Package oracle provides a naive ground-truth recomputation of stream-join
+// deltas, used by tests and invariant checks across the repository. It keeps
+// plain slices of window contents and joins by brute force, enforcing
+// shared-class equality — O(Πᵢ|Rᵢ|) per update, unusable for real workloads
+// and therefore deliberately outside the measured engine.
+package oracle
+
+import (
+	"sort"
+
+	"acache/internal/query"
+	"acache/internal/stream"
+	"acache/internal/tuple"
+)
+
+// Oracle tracks relation contents and recomputes join deltas naively.
+type Oracle struct {
+	q        *query.Query
+	contents [][]tuple.Tuple
+}
+
+// New creates an empty oracle for q.
+func New(q *query.Query) *Oracle {
+	return &Oracle{q: q, contents: make([][]tuple.Tuple, q.N())}
+}
+
+// Contents returns relation rel's current tuples.
+func (o *Oracle) Contents(rel int) []tuple.Tuple {
+	return append([]tuple.Tuple(nil), o.contents[rel]...)
+}
+
+// joinSet computes the join of the given relations' current contents
+// (seeding one forced tuple for seedRel if seed != nil), returning
+// composites in rels order with the concatenated schema.
+func (o *Oracle) joinSet(rels []int, seedRel int, seed tuple.Tuple) ([]tuple.Tuple, *tuple.Schema) {
+	cur := []tuple.Tuple{{}}
+	schema := tuple.NewSchema()
+	prefix := []int{}
+	for _, r := range rels {
+		var src []tuple.Tuple
+		if r == seedRel && seed != nil {
+			src = []tuple.Tuple{seed}
+		} else {
+			src = o.contents[r]
+		}
+		classes := o.q.SharedClasses(prefix, []int{r})
+		thetas := o.q.ThetasBetween(prefix, []int{r})
+		relSchema := o.q.Schema(r)
+		var next []tuple.Tuple
+		for _, a := range cur {
+			for _, b := range src {
+				ok := true
+				for _, c := range classes {
+					av := a[o.q.RepresentativeCols(schema, []int{c})[0]]
+					for _, name := range o.q.ClassAttrsOf(r, c) {
+						if b[relSchema.MustColOf(tuple.Attr{Rel: r, Name: name})] != av {
+							ok = false
+						}
+					}
+				}
+				for _, th := range thetas {
+					var lv, rv tuple.Value
+					if th.Left.Rel == r {
+						lv = b[relSchema.MustColOf(th.Left)]
+						rv = a[schema.MustColOf(th.Right)]
+					} else {
+						lv = a[schema.MustColOf(th.Left)]
+						rv = b[relSchema.MustColOf(th.Right)]
+					}
+					if !th.Op.Eval(lv, rv) {
+						ok = false
+					}
+				}
+				if ok {
+					next = append(next, a.Concat(b))
+				}
+			}
+		}
+		cur = next
+		schema = schema.Concat(relSchema)
+		prefix = append(prefix, r)
+	}
+	return cur, schema
+}
+
+// Process applies update u and returns the delta to the n-way join result
+// as canonical tuples (relations in ascending order).
+func (o *Oracle) Process(u stream.Update) []tuple.Tuple {
+	n := o.q.N()
+	rels := make([]int, 0, n)
+	rels = append(rels, u.Rel)
+	for r := 0; r < n; r++ {
+		if r != u.Rel {
+			rels = append(rels, r)
+		}
+	}
+	delta, schema := o.joinSet(rels, u.Rel, u.Tuple)
+	out := Canonicalize(o.q, schema, delta)
+	if u.Op == stream.Insert {
+		o.contents[u.Rel] = append(o.contents[u.Rel], u.Tuple)
+	} else {
+		for i, t := range o.contents[u.Rel] {
+			if t.Equal(u.Tuple) {
+				o.contents[u.Rel] = append(o.contents[u.Rel][:i:i], o.contents[u.Rel][i+1:]...)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// SegmentJoin computes the current join of the given relation set, in
+// canonical column order.
+func (o *Oracle) SegmentJoin(rels []int) []tuple.Tuple {
+	sorted := append([]int(nil), rels...)
+	sort.Ints(sorted)
+	res, schema := o.joinSet(sorted, -1, nil)
+	return Canonicalize(o.q, schema, res)
+}
+
+// Canonicalize reorders composite columns into ascending-relation, schema
+// order so tuples from different pipelines compare equal.
+func Canonicalize(q *query.Query, schema *tuple.Schema, ts []tuple.Tuple) []tuple.Tuple {
+	rels := schema.Relations()
+	sort.Ints(rels)
+	var cols []int
+	for _, r := range rels {
+		for _, a := range q.Schema(r).Cols() {
+			cols = append(cols, schema.MustColOf(a))
+		}
+	}
+	out := make([]tuple.Tuple, len(ts))
+	for i, t := range ts {
+		c := make(tuple.Tuple, len(cols))
+		for j, col := range cols {
+			c[j] = t[col]
+		}
+		out[i] = c
+	}
+	return out
+}
+
+// Multiset builds a count map over encoded tuples, for multiset comparison.
+func Multiset(ts []tuple.Tuple) map[tuple.Key]int {
+	m := make(map[tuple.Key]int)
+	for _, t := range ts {
+		m[tuple.Encode(t)]++
+	}
+	return m
+}
+
+// MultisetEqual compares two multisets.
+func MultisetEqual(a, b map[tuple.Key]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,109 @@
+package oracle
+
+import (
+	"testing"
+
+	"acache/internal/query"
+	"acache/internal/stream"
+	"acache/internal/tuple"
+)
+
+func chain3(t *testing.T) *query.Query {
+	t.Helper()
+	q, err := query.New(
+		[]*tuple.Schema{
+			tuple.RelationSchema(0, "A"),
+			tuple.RelationSchema(1, "A", "B"),
+			tuple.RelationSchema(2, "B"),
+		},
+		[]query.Pred{
+			{Left: tuple.Attr{Rel: 0, Name: "A"}, Right: tuple.Attr{Rel: 1, Name: "A"}},
+			{Left: tuple.Attr{Rel: 1, Name: "B"}, Right: tuple.Attr{Rel: 2, Name: "B"}},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// TestOracleFigure2 checks the oracle against the paper's hand-worked
+// Figure 2 example: inserting ⟨1⟩ into R1 yields exactly ⟨1,1,2,2⟩.
+func TestOracleFigure2(t *testing.T) {
+	q := chain3(t)
+	o := New(q)
+	for _, v := range []int64{0, 1, 2} {
+		o.Process(stream.Update{Op: stream.Insert, Rel: 0, Tuple: tuple.Tuple{v}})
+	}
+	for _, p := range [][2]int64{{1, 2}, {1, 3}, {3, 6}} {
+		o.Process(stream.Update{Op: stream.Insert, Rel: 1, Tuple: tuple.Tuple{p[0], p[1]}})
+	}
+	var last []tuple.Tuple
+	for _, v := range []int64{2, 4} {
+		last = o.Process(stream.Update{Op: stream.Insert, Rel: 2, Tuple: tuple.Tuple{v}})
+	}
+	_ = last
+	delta := o.Process(stream.Update{Op: stream.Insert, Rel: 0, Tuple: tuple.Tuple{1}})
+	if len(delta) != 1 || !delta[0].Equal(tuple.Tuple{1, 1, 2, 2}) {
+		t.Fatalf("delta = %v, want [⟨1,1,2,2⟩]", delta)
+	}
+}
+
+func TestOracleDeleteRetracts(t *testing.T) {
+	q := chain3(t)
+	o := New(q)
+	o.Process(stream.Update{Op: stream.Insert, Rel: 0, Tuple: tuple.Tuple{1}})
+	o.Process(stream.Update{Op: stream.Insert, Rel: 1, Tuple: tuple.Tuple{1, 2}})
+	o.Process(stream.Update{Op: stream.Insert, Rel: 2, Tuple: tuple.Tuple{2}})
+	delta := o.Process(stream.Update{Op: stream.Delete, Rel: 1, Tuple: tuple.Tuple{1, 2}})
+	if len(delta) != 1 {
+		t.Fatalf("retraction delta = %v", delta)
+	}
+	if len(o.Contents(1)) != 0 {
+		t.Fatal("delete did not remove the tuple")
+	}
+	// Deleting one copy of a duplicate removes exactly one.
+	o.Process(stream.Update{Op: stream.Insert, Rel: 1, Tuple: tuple.Tuple{1, 2}})
+	o.Process(stream.Update{Op: stream.Insert, Rel: 1, Tuple: tuple.Tuple{1, 2}})
+	o.Process(stream.Update{Op: stream.Delete, Rel: 1, Tuple: tuple.Tuple{1, 2}})
+	if len(o.Contents(1)) != 1 {
+		t.Fatalf("multiset delete: %v", o.Contents(1))
+	}
+}
+
+func TestOracleSegmentJoin(t *testing.T) {
+	q := chain3(t)
+	o := New(q)
+	o.Process(stream.Update{Op: stream.Insert, Rel: 1, Tuple: tuple.Tuple{1, 2}})
+	o.Process(stream.Update{Op: stream.Insert, Rel: 2, Tuple: tuple.Tuple{2}})
+	o.Process(stream.Update{Op: stream.Insert, Rel: 2, Tuple: tuple.Tuple{2}})
+	seg := o.SegmentJoin([]int{1, 2})
+	if len(seg) != 2 {
+		t.Fatalf("segment join = %v, want both R3 copies", seg)
+	}
+	if !seg[0].Equal(tuple.Tuple{1, 2, 2}) {
+		t.Fatalf("segment tuple = %v", seg[0])
+	}
+}
+
+func TestMultisetHelpers(t *testing.T) {
+	a := Multiset([]tuple.Tuple{{1}, {1}, {2}})
+	b := Multiset([]tuple.Tuple{{2}, {1}, {1}})
+	if !MultisetEqual(a, b) {
+		t.Fatal("order must not matter")
+	}
+	c := Multiset([]tuple.Tuple{{1}, {2}})
+	if MultisetEqual(a, c) {
+		t.Fatal("multiplicities must matter")
+	}
+}
+
+func TestCanonicalizeReordersColumns(t *testing.T) {
+	q := chain3(t)
+	// A composite in pipeline order R3 ⊗ R2 must canonicalize to R2 ⊗ R3.
+	schema := q.Schema(2).Concat(q.Schema(1))
+	got := Canonicalize(q, schema, []tuple.Tuple{{9, 1, 9}})
+	if len(got) != 1 || !got[0].Equal(tuple.Tuple{1, 9, 9}) {
+		t.Fatalf("canonicalized = %v", got)
+	}
+}

@@ -1,0 +1,166 @@
+// Package plot renders the benchmark harness's experiment series as
+// standalone SVG line charts — the visual counterpart of the paper's
+// figures, with no dependencies beyond the standard library.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one plotted line.
+type Series struct {
+	Label string
+	X, Y  []float64
+}
+
+// Chart describes one figure.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// Width and Height in pixels; zero values use 640×420.
+	Width, Height int
+}
+
+// palette cycles through distinguishable stroke colors.
+var palette = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+
+const (
+	marginLeft   = 70.0
+	marginRight  = 20.0
+	marginTop    = 40.0
+	marginBottom = 70.0
+)
+
+// SVG renders the chart.
+func (c *Chart) SVG() string {
+	w, h := c.Width, c.Height
+	if w == 0 {
+		w = 640
+	}
+	if h == 0 {
+		h = 420
+	}
+	plotW := float64(w) - marginLeft - marginRight
+	plotH := float64(h) - marginTop - marginBottom
+
+	minX, maxX, minY, maxY := c.bounds()
+	// Y axis from zero (rates); pad the top.
+	if minY > 0 {
+		minY = 0
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	maxY *= 1.05
+
+	sx := func(x float64) float64 { return marginLeft + (x-minX)/(maxX-minX)*plotW }
+	sy := func(y float64) float64 { return marginTop + plotH - (y-minY)/(maxY-minY)*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="12">`+"\n", w, h)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	fmt.Fprintf(&b, `<text x="%g" y="20" font-size="14" font-weight="bold">%s</text>`+"\n",
+		marginLeft, escape(c.Title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+		marginLeft, marginTop, marginLeft, marginTop+plotH)
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+		marginLeft, marginTop+plotH, marginLeft+plotW, marginTop+plotH)
+
+	// Ticks: 5 per axis.
+	for i := 0; i <= 5; i++ {
+		fx := minX + (maxX-minX)*float64(i)/5
+		fy := minY + (maxY-minY)*float64(i)/5
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#ccc"/>`+"\n",
+			sx(fx), marginTop, sx(fx), marginTop+plotH)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#ccc"/>`+"\n",
+			marginLeft, sy(fy), marginLeft+plotW, sy(fy))
+		fmt.Fprintf(&b, `<text x="%g" y="%g" text-anchor="middle">%s</text>`+"\n",
+			sx(fx), marginTop+plotH+16, tick(fx))
+		fmt.Fprintf(&b, `<text x="%g" y="%g" text-anchor="end">%s</text>`+"\n",
+			marginLeft-6, sy(fy)+4, tick(fy))
+	}
+	fmt.Fprintf(&b, `<text x="%g" y="%g" text-anchor="middle">%s</text>`+"\n",
+		marginLeft+plotW/2, marginTop+plotH+34, escape(c.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%g" text-anchor="middle" transform="rotate(-90 16 %g)">%s</text>`+"\n",
+		marginTop+plotH/2, marginTop+plotH/2, escape(c.YLabel))
+
+	// Series lines + markers.
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for i := range s.X {
+			if i >= len(s.Y) {
+				break
+			}
+			pts = append(pts, fmt.Sprintf("%g,%g", sx(s.X[i]), sy(s.Y[i])))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+			strings.Join(pts, " "), color)
+		for i := range s.X {
+			if i >= len(s.Y) {
+				break
+			}
+			fmt.Fprintf(&b, `<circle cx="%g" cy="%g" r="3" fill="%s"/>`+"\n",
+				sx(s.X[i]), sy(s.Y[i]), color)
+		}
+		// Legend entry.
+		ly := marginTop + 8 + float64(si)*16
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-width="2"/>`+"\n",
+			marginLeft+plotW-130, ly, marginLeft+plotW-110, ly, color)
+		fmt.Fprintf(&b, `<text x="%g" y="%g">%s</text>`+"\n",
+			marginLeft+plotW-104, ly+4, escape(s.Label))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// bounds computes the data extent across all series.
+func (c *Chart) bounds() (minX, maxX, minY, maxY float64) {
+	minX, minY = math.Inf(1), math.Inf(1)
+	maxX, maxY = math.Inf(-1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.X {
+			if i >= len(s.Y) {
+				break
+			}
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if math.IsInf(minX, 1) { // no data
+		return 0, 1, 0, 1
+	}
+	return minX, maxX, minY, maxY
+}
+
+// tick formats an axis value compactly (12k style above 10 000).
+func tick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 10_000:
+		return fmt.Sprintf("%.0fk", v/1000)
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case av == 0:
+		return "0"
+	default:
+		return fmt.Sprintf("%.2g", v)
+	}
+}
+
+func escape(s string) string {
+	s = strings.ReplaceAll(s, "&", "&amp;")
+	s = strings.ReplaceAll(s, "<", "&lt;")
+	return strings.ReplaceAll(s, ">", "&gt;")
+}

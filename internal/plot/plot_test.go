@@ -1,0 +1,80 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Chart {
+	return &Chart{
+		Title:  "fig6 — hit probability",
+		XLabel: "multiplicity",
+		YLabel: "tuples/sec",
+		Series: []Series{
+			{Label: "With caches", X: []float64{1, 5, 10}, Y: []float64{26000, 31000, 35000}},
+			{Label: "MJoin", X: []float64{1, 5, 10}, Y: []float64{24500, 23800, 23500}},
+		},
+	}
+}
+
+func TestSVGStructure(t *testing.T) {
+	out := sample().SVG()
+	for _, want := range []string{
+		"<svg", "</svg>", "polyline", "circle",
+		"fig6 — hit probability", "multiplicity", "tuples/sec",
+		"With caches", "MJoin", "37k", // top tick: 35000 × 1.05 padding
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("SVG missing %q:\n%.400s", want, out)
+		}
+	}
+	if strings.Count(out, "<polyline") != 2 {
+		t.Fatalf("want 2 polylines, got %d", strings.Count(out, "<polyline"))
+	}
+	if strings.Count(out, "<circle") != 6 {
+		t.Fatalf("want 6 markers, got %d", strings.Count(out, "<circle"))
+	}
+}
+
+func TestSVGEscapesMarkup(t *testing.T) {
+	c := sample()
+	c.Title = `a <b> & c`
+	out := c.SVG()
+	if strings.Contains(out, "<b>") {
+		t.Fatal("unescaped markup in title")
+	}
+	if !strings.Contains(out, "a &lt;b&gt; &amp; c") {
+		t.Fatal("escape output wrong")
+	}
+}
+
+func TestSVGEmptyAndDegenerate(t *testing.T) {
+	empty := &Chart{Title: "empty"}
+	if out := empty.SVG(); !strings.Contains(out, "</svg>") {
+		t.Fatal("empty chart must still render")
+	}
+	flat := &Chart{Series: []Series{{Label: "one", X: []float64{2}, Y: []float64{5}}}}
+	if out := flat.SVG(); !strings.Contains(out, "<circle") {
+		t.Fatal("single-point series must render a marker")
+	}
+}
+
+func TestShortSeriesDoesNotPanic(t *testing.T) {
+	c := &Chart{Series: []Series{{Label: "s", X: []float64{1, 2, 3}, Y: []float64{1}}}}
+	if out := c.SVG(); strings.Count(out, "<circle") != 1 {
+		t.Fatalf("short series markers = %d", strings.Count(out, "<circle"))
+	}
+}
+
+func TestTickFormats(t *testing.T) {
+	for _, tc := range []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"}, {42000, "42k"}, {150, "150"}, {0.5, "0.5"},
+	} {
+		if got := tick(tc.v); got != tc.want {
+			t.Fatalf("tick(%v) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package profiler
+
+import (
+	"testing"
+
+	"acache/internal/planner"
+)
+
+// Cost-model branch coverage for the non-prefix cache modes: reduced
+// (counted GC) and self-maintained candidates route their maintenance cost
+// through different formulas.
+func TestEstimateModes(t *testing.T) {
+	q, e, pf, _ := setup(t, Config{SampleProb: 0.5, RateSpan: 20, Seed: 71})
+	drive(e, pf, 3000)
+	ord := [][]int{{1, 2}, {2, 0}, {1, 0}}
+
+	prefixSpecs := planner.Candidates(q, planner.Ordering(ord))
+	if len(prefixSpecs) == 0 {
+		t.Fatal("no prefix candidates")
+	}
+	prefix := pf.Estimate(prefixSpecs[0], 0.1, 20)
+	if !prefix.Ready || prefix.Cost <= 0 {
+		t.Fatalf("prefix estimate %+v", prefix)
+	}
+
+	gcs := planner.GCCandidates(q, planner.Ordering(ord), prefixSpecs, 10)
+	var sm *planner.Spec
+	for _, c := range gcs {
+		if c.SelfMaint {
+			sm = c
+			break
+		}
+	}
+	if sm == nil {
+		t.Fatal("no self-maintained candidate")
+	}
+	smEst := pf.Estimate(sm, 0.1, 20)
+	if !smEst.Ready {
+		t.Fatalf("self-maintained estimate not ready: %+v", smEst)
+	}
+	// Self-maintenance pays an explicit mini-join: its unit-time cost must
+	// exceed zero and, on this workload, the prefix cache's free
+	// maintenance (update_cost × delta rate) should be cheaper per the
+	// mini-join's probe surcharge.
+	if smEst.Cost <= 0 {
+		t.Fatalf("self-maintained cost = %v", smEst.Cost)
+	}
+	// GC-mode estimates account three ints per element in the memory
+	// estimate; prefix entries are cheaper per tuple.
+	if smEst.ExpectedBytes <= prefix.ExpectedBytes {
+		t.Fatalf("GC memory estimate %v should exceed prefix %v at equal entries",
+			smEst.ExpectedBytes, prefix.ExpectedBytes)
+	}
+}
+
+func TestEstimateMonotoneInDistinct(t *testing.T) {
+	q, e, pf, _ := setup(t, Config{SampleProb: 0.5, RateSpan: 20, Seed: 72})
+	drive(e, pf, 2500)
+	spec := planner.Candidates(q, planner.Ordering([][]int{{1, 2}, {2, 0}, {1, 0}}))[0]
+	small := pf.Estimate(spec, 0.1, 10)
+	big := pf.Estimate(spec, 0.1, 1000)
+	if big.ExpectedBytes <= small.ExpectedBytes {
+		t.Fatalf("memory estimate not monotone in distinct keys: %v vs %v",
+			big.ExpectedBytes, small.ExpectedBytes)
+	}
+	_ = q
+}

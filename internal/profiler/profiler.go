@@ -1,0 +1,373 @@
+// Package profiler implements A-Caching's Profiler component (Figure 4,
+// Section 4.3, Appendix A): online estimation of per-operator tuple rates
+// d_ij and per-tuple costs c_ij from sampled full-pipeline profiling, stream
+// rates rate(R_i), and cache miss probabilities — observed directly for used
+// caches, and estimated with Bloom-filter distinct counting over shadow
+// CacheLookup taps for caches not in use. Every statistic is the average of
+// its W most recent measurements (Table 1).
+package profiler
+
+import (
+	"fmt"
+	"math/rand"
+
+	"acache/internal/bloom"
+	"acache/internal/cost"
+	"acache/internal/join"
+	"acache/internal/planner"
+	"acache/internal/query"
+	"acache/internal/stats"
+	"acache/internal/stream"
+	"acache/internal/tuple"
+)
+
+// Config holds the profiler's tuning parameters, with the paper's defaults.
+type Config struct {
+	// W is the estimation window: every statistic is the mean of its W
+	// most recent observations (default 10, Section 7.1).
+	W int
+	// Wd is the Bloom window: miss probability is estimated per
+	// nonoverlapping window of Wd probe keys (Appendix A).
+	Wd int
+	// Alpha sizes the Bloom filter at Alpha × Wd bits, Alpha ≥ 1.
+	Alpha int
+	// SampleProb is p_i: the probability of profiling a tuple's complete
+	// pipeline processing.
+	SampleProb float64
+	// RateSpan is the number of updates per rate(R_i) measurement span.
+	RateSpan int
+	// PaperMissEstimator makes ShadowMissProb return the paper's
+	// Appendix-A per-window estimate instead of the retention-aware
+	// refinement — an ablation switch (see DESIGN.md deviation 2).
+	PaperMissEstimator bool
+	// Seed makes sampling reproducible.
+	Seed int64
+}
+
+// Defaults fills zero fields with the paper's defaults.
+func (c Config) withDefaults() Config {
+	if c.W == 0 {
+		c.W = 10
+	}
+	if c.Wd == 0 {
+		c.Wd = 100
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 4
+	}
+	if c.SampleProb == 0 {
+		c.SampleProb = 0.02
+	}
+	if c.RateSpan == 0 {
+		c.RateSpan = 50
+	}
+	return c
+}
+
+// pipeStats holds one pipeline's per-operator windows.
+type pipeStats struct {
+	delta []*stats.Window // δ_j per position; index n−1 = pipeline outputs
+	tau   []*stats.Window // τ_j per operator
+	rate  *stats.RateEstimator
+	spanN int
+	spanT float64 // simulated seconds at span start
+}
+
+// Profiler maintains online statistics for one executor.
+type Profiler struct {
+	q     *query.Query
+	e     *join.Exec
+	meter *cost.Meter
+	cfg   Config
+	rng   *rand.Rand
+
+	pipes      []*pipeStats
+	shadows    map[string]*shadow
+	totalTicks int64
+	relTicks   []int64
+}
+
+// New creates a profiler over the executor.
+func New(q *query.Query, e *join.Exec, meter *cost.Meter, cfg Config) *Profiler {
+	cfg = cfg.withDefaults()
+	pf := &Profiler{
+		q:       q,
+		e:       e,
+		meter:   meter,
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		shadows: make(map[string]*shadow),
+	}
+	pf.pipes = make([]*pipeStats, q.N())
+	for i := range pf.pipes {
+		pf.pipes[i] = newPipeStats(q.N(), cfg)
+	}
+	pf.relTicks = make([]int64, q.N())
+	return pf
+}
+
+func newPipeStats(n int, cfg Config) *pipeStats {
+	ps := &pipeStats{rate: stats.NewRateEstimator(cfg.W)}
+	for j := 0; j < n; j++ {
+		ps.delta = append(ps.delta, stats.NewWindow(cfg.W))
+	}
+	for j := 0; j < n-1; j++ {
+		ps.tau = append(ps.tau, stats.NewWindow(cfg.W))
+	}
+	return ps
+}
+
+// W returns the configured estimation window.
+func (pf *Profiler) W() int { return pf.cfg.W }
+
+// ShouldProfile decides whether the next update to rel is profiled.
+func (pf *Profiler) ShouldProfile(rel int) bool {
+	return pf.rng.Float64() < pf.cfg.SampleProb
+}
+
+// Tick records one update to rel for rate estimation. Call it for every
+// update, profiled or not, after processing.
+func (pf *Profiler) Tick(rel int) {
+	pf.totalTicks++
+	pf.relTicks[rel]++
+	ps := pf.pipes[rel]
+	ps.spanN++
+	if ps.spanN >= pf.cfg.RateSpan {
+		now := cost.Seconds(pf.meter.Total())
+		ps.rate.ObserveSpan(ps.spanN, now-ps.spanT)
+		ps.spanN = 0
+		ps.spanT = now
+	}
+}
+
+// Observe feeds one profiled update's per-operator measurements.
+func (pf *Profiler) Observe(rel int, prof join.Profile) {
+	ps := pf.pipes[rel]
+	for j, d := range prof.StepInputs {
+		ps.delta[j].Observe(float64(d))
+	}
+	for j, u := range prof.StepUnits {
+		ps.tau[j].Observe(cost.Seconds(u))
+	}
+}
+
+// Rate returns the estimated updates/second of ΔR_rel.
+func (pf *Profiler) Rate(rel int) float64 { return pf.pipes[rel].rate.Rate() }
+
+// D returns d at (pipeline, position): tuples per second entering operator
+// pos (position n−1 reads the pipeline's output rate). Appendix A:
+// d_ij = rate(R_i) × mean(δ_j).
+func (pf *Profiler) D(pipe, pos int) float64 {
+	return pf.Rate(pipe) * pf.pipes[pipe].delta[pos].Mean()
+}
+
+// C returns c_ij: seconds of work per tuple processed by operator pos of
+// pipeline pipe. Appendix A: c_ij = sum(τ_j)/sum(δ_j).
+func (pf *Profiler) C(pipe, pos int) float64 {
+	d := pf.pipes[pipe].delta[pos].Sum()
+	if d <= 0 {
+		return 0
+	}
+	return pf.pipes[pipe].tau[pos].Sum() / d
+}
+
+// OpCost returns d_ij × c_ij: the unit-time processing cost of the operator,
+// the quantity the selection problem's minimization form covers.
+func (pf *Profiler) OpCost(pipe, pos int) float64 { return pf.D(pipe, pos) * pf.C(pipe, pos) }
+
+// PipelineReady reports whether pipeline pipe has W observations for every
+// operator statistic and a full rate window (Section 4.5 step 2). A
+// pipeline whose relation sees a negligible share of the update traffic is
+// treated as ready with (near-)zero rates — a dimension table that never
+// changes would otherwise never fill its windows and would block every
+// estimate touching it, even though its contribution to any cost is
+// bounded by its traffic share.
+func (pf *Profiler) PipelineReady(pipe int) bool {
+	ps := pf.pipes[pipe]
+	if pf.totalTicks > 20*int64(pf.cfg.RateSpan) &&
+		pf.relTicks[pipe]*50 < pf.totalTicks {
+		return true
+	}
+	if !ps.rate.Ready() {
+		return false
+	}
+	for _, w := range ps.delta {
+		if !w.Full() {
+			return false
+		}
+	}
+	return true
+}
+
+// Ready reports whether every pipeline is ready.
+func (pf *Profiler) Ready() bool {
+	for i := range pf.pipes {
+		if !pf.PipelineReady(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// ResetPipeline discards a pipeline's statistics (after reordering,
+// Section 4.5 step 5).
+func (pf *Profiler) ResetPipeline(pipe int) {
+	pf.pipes[pipe] = newPipeStats(pf.q.N(), pf.cfg)
+}
+
+// shadow estimates the miss probability of a cache not in use from a
+// CacheLookup-position tap over the full probe-key stream (Appendix A).
+//
+// Two estimators are maintained per window of Wd probes:
+//
+//   - the paper's: each key is hashed into a per-window Bloom filter of
+//     Alpha×Wd bits; the set-bit count b estimates the window's distinct
+//     keys and b/Wd its miss probability ("each distinct key misses once,
+//     then it is cached");
+//   - a retention-aware refinement used for decisions: since resident
+//     entries survive across windows under incremental maintenance, a
+//     steady-state probe only misses the first time its key is EVER seen,
+//     so misses are counted against a long-horizon filter instead. The
+//     paper's estimator systematically overestimates misses for long-lived
+//     caches (e.g. keys cycling with period > Wd); the refinement stays
+//     optimistic instead, which the engine's continuous monitoring corrects
+//     cheaply after adoption (Section 4.5(a)) — mispredicting toward "try
+//     the cache" is the cheap direction, as adding and dropping caches is
+//     nearly free.
+//
+// The horizon filter doubles as the distinct-key population estimate for
+// memory sizing. The first window is treated as warm-up and not recorded.
+type shadow struct {
+	tapID       int
+	keyCols     []int
+	filter      *bloom.Filter
+	horizon     *bloom.Filter
+	seen        int
+	newKeys     int
+	warm        bool
+	windows     int           // completed windows since shadow start
+	missWin     *stats.Window // retention-aware (decision) estimate
+	windowedWin *stats.Window // the paper's per-window estimate
+	distinct    *stats.Window
+}
+
+// shadowMaxWindows caps how long a shadow keeps refining a still-falling
+// miss estimate before it is declared ready regardless (large key domains
+// decay slowly; at some point the engine must decide with what it has).
+const shadowMaxWindows = 40
+
+func shadowKey(spec *planner.Spec) string {
+	return fmt.Sprintf("%d:%d:%d:%v", spec.Pipeline, spec.Start, spec.End, spec.GC)
+}
+
+// StartShadow installs the shadow estimator for a candidate cache. It is a
+// no-op if one is already running.
+func (pf *Profiler) StartShadow(spec *planner.Spec) {
+	key := shadowKey(spec)
+	if _, ok := pf.shadows[key]; ok {
+		return
+	}
+	sh := &shadow{
+		filter:      bloom.New(pf.cfg.Alpha*pf.cfg.Wd, 1),
+		horizon:     bloom.New(1<<16, 2),
+		warm:        true,
+		missWin:     stats.NewWindow(pf.cfg.W),
+		windowedWin: stats.NewWindow(pf.cfg.W),
+		distinct:    stats.NewWindow(pf.cfg.W),
+	}
+	// Key columns in the schema arriving at the lookup position.
+	sh.keyCols = pf.q.RepresentativeCols(pf.schemaAt(spec.Pipeline, spec.Start), spec.KeyClasses)
+	sh.tapID = pf.e.Tap(spec.Pipeline, spec.Start, func(batch []tuple.Tuple, _ stream.Op) {
+		for _, t := range batch {
+			pf.meter.ChargeN(cost.BloomHash, sh.filter.Hashes()+sh.horizon.Hashes())
+			k := string(tuple.KeyOf(t, sh.keyCols))
+			sh.filter.Add(k)
+			if !sh.horizon.Add(k) {
+				sh.newKeys++
+			}
+			sh.seen++
+			if sh.seen >= pf.cfg.Wd {
+				if !sh.warm {
+					sh.missWin.Observe(minF(1, float64(sh.newKeys)/float64(pf.cfg.Wd)))
+					sh.windows++
+				}
+				sh.warm = false
+				b := float64(sh.filter.SetBits())
+				sh.windowedWin.Observe(minF(1, b/float64(pf.cfg.Wd)))
+				sh.distinct.Observe(sh.filter.EstimateDistinct())
+				sh.filter.Reset()
+				sh.seen = 0
+				sh.newKeys = 0
+			}
+		}
+	})
+	pf.shadows[key] = sh
+}
+
+// ShadowWindowedMissProb returns the paper's per-window Appendix-A estimate
+// (kept for ablation benchmarks) and whether a full window backs it.
+func (pf *Profiler) ShadowWindowedMissProb(spec *planner.Spec) (float64, bool) {
+	sh, ok := pf.shadows[shadowKey(spec)]
+	if !ok {
+		return 0, false
+	}
+	return sh.windowedWin.Mean(), sh.windowedWin.Full()
+}
+
+// StopShadow removes a candidate's shadow estimator, keeping nothing.
+func (pf *Profiler) StopShadow(spec *planner.Spec) {
+	key := shadowKey(spec)
+	if sh, ok := pf.shadows[key]; ok {
+		pf.e.RemoveTap(sh.tapID)
+		delete(pf.shadows, key)
+	}
+}
+
+// ShadowMissProb returns the shadow's miss-probability estimate and whether
+// it is trustworthy. The reported value is the mean of the most recent
+// windows: as the horizon filter fills, the first-time-key rate decays
+// toward the true steady-state miss probability, so the newest observations
+// are the best ones. The estimate is ready once it has a full window buffer
+// AND has stopped falling rapidly (or the refinement cap is reached) — a
+// still-decaying estimate would bias the selection against long-lived
+// caches over large key domains.
+func (pf *Profiler) ShadowMissProb(spec *planner.Spec) (float64, bool) {
+	sh, ok := pf.shadows[shadowKey(spec)]
+	if !ok {
+		return 0, false
+	}
+	if pf.cfg.PaperMissEstimator {
+		return sh.windowedWin.Mean(), sh.windowedWin.Full()
+	}
+	recent := sh.missWin.RecentMean(3)
+	if !sh.missWin.Full() {
+		return recent, false
+	}
+	stable := recent >= 0.7*sh.missWin.Mean() || sh.windows >= shadowMaxWindows
+	return recent, stable
+}
+
+// ShadowDistinct returns the long-horizon distinct-key estimate: the
+// expected number of cache entries, used for memory sizing (Section 4.3).
+func (pf *Profiler) ShadowDistinct(spec *planner.Spec) (float64, bool) {
+	sh, ok := pf.shadows[shadowKey(spec)]
+	if !ok {
+		return 0, false
+	}
+	return sh.horizon.EstimateDistinct(), sh.missWin.Len() > 0
+}
+
+func (pf *Profiler) schemaAt(pipe, pos int) *tuple.Schema {
+	s := pf.q.Schema(pipe)
+	for _, r := range pf.e.Ordering()[pipe][:pos] {
+		s = s.Concat(pf.q.Schema(r))
+	}
+	return s
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

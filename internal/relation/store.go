@@ -1,0 +1,228 @@
+// Package relation implements the windowed relation stores the MJoin
+// pipelines probe: the current contents of each sliding window, with hash
+// indexes on join attributes and an index-free scan path for nested-loop
+// joins (used by the Figure 10 experiment, which drops the index on S.B).
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"acache/internal/cost"
+	"acache/internal/tuple"
+)
+
+// TupleBytes is the paper's input tuple size (Section 7.1); stores and
+// subresult structures account memory in these units.
+const TupleBytes = 32
+
+// Store holds the current contents of one relation's sliding window.
+// Tuples are identified by stable integer ids so indexes survive arbitrary
+// insert/delete interleavings. All mutating and probing operations charge
+// the configured cost meter.
+type Store struct {
+	rel    int
+	schema *tuple.Schema
+	meter  *cost.Meter
+
+	nextID int
+	byID   map[int]tuple.Tuple
+	order  []int       // ids in scan order (swap-remove)
+	orderP map[int]int // id -> position in order
+	byVal  map[tuple.Key][]int
+
+	indexes map[string]*HashIndex
+}
+
+// NewStore creates an empty store for relation rel with the given schema.
+// meter may be shared across stores; it must not be nil.
+func NewStore(rel int, schema *tuple.Schema, meter *cost.Meter) *Store {
+	return &Store{
+		rel:     rel,
+		schema:  schema,
+		meter:   meter,
+		byID:    make(map[int]tuple.Tuple),
+		orderP:  make(map[int]int),
+		byVal:   make(map[tuple.Key][]int),
+		indexes: make(map[string]*HashIndex),
+	}
+}
+
+// Rel returns the relation index this store holds.
+func (s *Store) Rel() int { return s.rel }
+
+// Schema returns the relation schema.
+func (s *Store) Schema() *tuple.Schema { return s.schema }
+
+// Len returns the number of tuples currently stored.
+func (s *Store) Len() int { return len(s.order) }
+
+// indexName canonicalizes an attribute-name set into an index identifier.
+func indexName(names []string) string {
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	return strings.Join(sorted, ",")
+}
+
+// CreateIndex builds (or returns) a hash index on the given attribute names.
+// Existing tuples are back-filled.
+func (s *Store) CreateIndex(names ...string) *HashIndex {
+	id := indexName(names)
+	if idx, ok := s.indexes[id]; ok {
+		return idx
+	}
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	cols := make([]int, len(sorted))
+	for i, n := range sorted {
+		cols[i] = s.schema.MustColOf(tuple.Attr{Rel: s.rel, Name: n})
+	}
+	idx := &HashIndex{cols: cols, buckets: make(map[tuple.Key][]int)}
+	for _, tid := range s.order {
+		idx.insert(tuple.KeyOf(s.byID[tid], idx.cols), tid)
+	}
+	s.indexes[id] = idx
+	return idx
+}
+
+// DropIndex removes the index on the given attribute names, if present.
+// Joins on those attributes fall back to nested-loop scans.
+func (s *Store) DropIndex(names ...string) { delete(s.indexes, indexName(names)) }
+
+// Index returns the index on the given attribute names, or nil when absent.
+func (s *Store) Index(names ...string) *HashIndex { return s.indexes[indexName(names)] }
+
+// Insert adds t to the store and all indexes.
+func (s *Store) Insert(t tuple.Tuple) {
+	id := s.nextID
+	s.nextID++
+	s.byID[id] = t
+	s.orderP[id] = len(s.order)
+	s.order = append(s.order, id)
+	k := tuple.Encode(t)
+	s.byVal[k] = append(s.byVal[k], id)
+	s.meter.Charge(cost.HashInsert)
+	s.meter.ChargeN(cost.KeyExtract, len(t))
+	for _, idx := range s.indexes {
+		idx.insert(tuple.KeyOf(t, idx.cols), id)
+		s.meter.Charge(cost.HashInsert)
+	}
+}
+
+// Delete removes one tuple equal to t. It reports whether a tuple was found;
+// deleting an absent tuple is a no-op (windows only delete what they
+// inserted, so false indicates a driver bug and is surfaced to tests).
+func (s *Store) Delete(t tuple.Tuple) bool {
+	k := tuple.Encode(t)
+	ids := s.byVal[k]
+	if len(ids) == 0 {
+		return false
+	}
+	id := ids[len(ids)-1]
+	if len(ids) == 1 {
+		delete(s.byVal, k)
+	} else {
+		s.byVal[k] = ids[:len(ids)-1]
+	}
+	// Swap-remove from scan order.
+	p := s.orderP[id]
+	last := s.order[len(s.order)-1]
+	s.order[p] = last
+	s.orderP[last] = p
+	s.order = s.order[:len(s.order)-1]
+	delete(s.orderP, id)
+	delete(s.byID, id)
+	s.meter.Charge(cost.HashInsert)
+	for _, idx := range s.indexes {
+		idx.remove(tuple.KeyOf(t, idx.cols), id)
+		s.meter.Charge(cost.HashInsert)
+	}
+	return true
+}
+
+// Scan iterates the store's current tuples in unspecified order, charging
+// nested-loop scan cost per tuple visited. The callback returns false to
+// stop early. Tuples must not be retained or mutated by the callback.
+func (s *Store) Scan(f func(tuple.Tuple) bool) {
+	for _, id := range s.order {
+		s.meter.Charge(cost.ScanStep)
+		if !f(s.byID[id]) {
+			return
+		}
+	}
+}
+
+// CountOf returns the number of stored tuples equal to t (windows may hold
+// duplicate rows). Used by globally-consistent caches to recompute a cached
+// tuple's segment-join multiplicity from base-store value counts.
+func (s *Store) CountOf(t tuple.Tuple) int {
+	s.meter.Charge(cost.HashProbe)
+	return len(s.byVal[tuple.Encode(t)])
+}
+
+// All returns the current tuples (copy of the slice headers, shared values);
+// for tests and oracles.
+func (s *Store) All() []tuple.Tuple {
+	out := make([]tuple.Tuple, len(s.order))
+	for i, id := range s.order {
+		out[i] = s.byID[id]
+	}
+	return out
+}
+
+// Probe looks up the tuples matching key on the given index, charging join
+// probe cost. The returned slice must not be mutated.
+func (s *Store) Probe(idx *HashIndex, key tuple.Key) []tuple.Tuple {
+	s.meter.Charge(cost.IndexProbe)
+	ids := idx.buckets[key]
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make([]tuple.Tuple, len(ids))
+	for i, id := range ids {
+		out[i] = s.byID[id]
+	}
+	return out
+}
+
+// MemoryBytes returns the store's tuple footprint (window contents only; the
+// paper's memory experiments budget join subresults, not base windows).
+func (s *Store) MemoryBytes() int { return len(s.order) * TupleBytes }
+
+func (s *Store) String() string {
+	return fmt.Sprintf("R%d[%d tuples]", s.rel+1, s.Len())
+}
+
+// HashIndex is an equality index mapping packed key values to tuple ids.
+type HashIndex struct {
+	cols    []int
+	buckets map[tuple.Key][]int
+}
+
+// Cols returns the schema columns (sorted by attribute name) the index keys on.
+func (ix *HashIndex) Cols() []int { return append([]int(nil), ix.cols...) }
+
+// KeyFor extracts the index key for a tuple of the store's schema.
+func (ix *HashIndex) KeyFor(t tuple.Tuple) tuple.Key { return tuple.KeyOf(t, ix.cols) }
+
+// Buckets returns the number of distinct keys currently indexed.
+func (ix *HashIndex) Buckets() int { return len(ix.buckets) }
+
+func (ix *HashIndex) insert(k tuple.Key, id int) { ix.buckets[k] = append(ix.buckets[k], id) }
+
+func (ix *HashIndex) remove(k tuple.Key, id int) {
+	ids := ix.buckets[k]
+	for i, v := range ids {
+		if v == id {
+			ids[i] = ids[len(ids)-1]
+			ids = ids[:len(ids)-1]
+			break
+		}
+	}
+	if len(ids) == 0 {
+		delete(ix.buckets, k)
+	} else {
+		ix.buckets[k] = ids
+	}
+}

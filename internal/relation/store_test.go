@@ -1,0 +1,168 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+
+	"acache/internal/cost"
+	"acache/internal/tuple"
+)
+
+func newTestStore() (*Store, *cost.Meter) {
+	m := &cost.Meter{}
+	return NewStore(0, tuple.RelationSchema(0, "A", "B"), m), m
+}
+
+func TestInsertDeleteScan(t *testing.T) {
+	s, _ := newTestStore()
+	s.Insert(tuple.Tuple{1, 2})
+	s.Insert(tuple.Tuple{3, 4})
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if !s.Delete(tuple.Tuple{1, 2}) {
+		t.Fatal("delete failed")
+	}
+	if s.Delete(tuple.Tuple{9, 9}) {
+		t.Fatal("deleting absent tuple must return false")
+	}
+	var seen []tuple.Tuple
+	s.Scan(func(tp tuple.Tuple) bool {
+		seen = append(seen, tp)
+		return true
+	})
+	if len(seen) != 1 || !seen[0].Equal(tuple.Tuple{3, 4}) {
+		t.Fatalf("scan = %v", seen)
+	}
+}
+
+func TestDuplicatesAreMultiset(t *testing.T) {
+	s, _ := newTestStore()
+	s.Insert(tuple.Tuple{1, 1})
+	s.Insert(tuple.Tuple{1, 1})
+	if s.CountOf(tuple.Tuple{1, 1}) != 2 {
+		t.Fatalf("CountOf = %d", s.CountOf(tuple.Tuple{1, 1}))
+	}
+	s.Delete(tuple.Tuple{1, 1})
+	if s.Len() != 1 || s.CountOf(tuple.Tuple{1, 1}) != 1 {
+		t.Fatal("multiset delete removed both")
+	}
+}
+
+func TestIndexProbe(t *testing.T) {
+	s, _ := newTestStore()
+	idx := s.CreateIndex("A")
+	s.Insert(tuple.Tuple{7, 1})
+	s.Insert(tuple.Tuple{7, 2})
+	s.Insert(tuple.Tuple{8, 3})
+	got := s.Probe(idx, tuple.KeyOfValues([]tuple.Value{7}))
+	if len(got) != 2 {
+		t.Fatalf("probe matched %d, want 2", len(got))
+	}
+	s.Delete(tuple.Tuple{7, 1})
+	got = s.Probe(idx, tuple.KeyOfValues([]tuple.Value{7}))
+	if len(got) != 1 || !got[0].Equal(tuple.Tuple{7, 2}) {
+		t.Fatalf("after delete: %v", got)
+	}
+	if got := s.Probe(idx, tuple.KeyOfValues([]tuple.Value{99})); len(got) != 0 {
+		t.Fatalf("absent key matched %v", got)
+	}
+}
+
+func TestIndexBackfillAndDrop(t *testing.T) {
+	s, _ := newTestStore()
+	s.Insert(tuple.Tuple{5, 6})
+	idx := s.CreateIndex("B")
+	if got := s.Probe(idx, tuple.KeyOfValues([]tuple.Value{6})); len(got) != 1 {
+		t.Fatal("index not backfilled")
+	}
+	if s.Index("B") == nil {
+		t.Fatal("index lookup failed")
+	}
+	s.DropIndex("B")
+	if s.Index("B") != nil {
+		t.Fatal("index not dropped")
+	}
+	// CreateIndex is idempotent.
+	a := s.CreateIndex("A")
+	if b := s.CreateIndex("A"); a != b {
+		t.Fatal("duplicate CreateIndex made a new index")
+	}
+}
+
+func TestCompositeIndexCanonicalOrder(t *testing.T) {
+	s, _ := newTestStore()
+	// Attribute names sort to [A B] regardless of declaration order.
+	i1 := s.CreateIndex("B", "A")
+	i2 := s.Index("A", "B")
+	if i1 != i2 {
+		t.Fatal("composite index name not canonicalized")
+	}
+	s.Insert(tuple.Tuple{1, 2})
+	if got := s.Probe(i1, tuple.KeyOfValues([]tuple.Value{1, 2})); len(got) != 1 {
+		t.Fatalf("composite probe = %v", got)
+	}
+}
+
+func TestScanEarlyStopAndCost(t *testing.T) {
+	s, m := newTestStore()
+	for i := int64(0); i < 10; i++ {
+		s.Insert(tuple.Tuple{i, i})
+	}
+	m.Reset()
+	n := 0
+	s.Scan(func(tuple.Tuple) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Fatalf("early stop visited %d", n)
+	}
+	if m.Total() != 3*cost.ScanStep {
+		t.Fatalf("scan charged %d units, want %d", m.Total(), 3*cost.ScanStep)
+	}
+}
+
+func TestMemoryBytes(t *testing.T) {
+	s, _ := newTestStore()
+	s.Insert(tuple.Tuple{1, 2})
+	s.Insert(tuple.Tuple{3, 4})
+	if s.MemoryBytes() != 2*TupleBytes {
+		t.Fatalf("MemoryBytes = %d", s.MemoryBytes())
+	}
+}
+
+func TestRandomizedChurnAgainstNaive(t *testing.T) {
+	s, _ := newTestStore()
+	idx := s.CreateIndex("A")
+	rng := rand.New(rand.NewSource(8))
+	var live []tuple.Tuple
+	for i := 0; i < 3000; i++ {
+		if len(live) > 0 && rng.Intn(2) == 0 {
+			j := rng.Intn(len(live))
+			tp := live[j]
+			live = append(live[:j:j], live[j+1:]...)
+			if !s.Delete(tp) {
+				t.Fatalf("delete of live tuple %v failed", tp)
+			}
+		} else {
+			tp := tuple.Tuple{rng.Int63n(10), rng.Int63n(10)}
+			live = append(live, tp)
+			s.Insert(tp)
+		}
+		if s.Len() != len(live) {
+			t.Fatalf("len mismatch: %d vs %d", s.Len(), len(live))
+		}
+		// Spot-check one probe per step against the naive count.
+		k := rng.Int63n(10)
+		want := 0
+		for _, tp := range live {
+			if tp[0] == k {
+				want++
+			}
+		}
+		if got := len(s.Probe(idx, tuple.KeyOfValues([]tuple.Value{k}))); got != want {
+			t.Fatalf("probe A=%d: got %d want %d", k, got, want)
+		}
+	}
+}

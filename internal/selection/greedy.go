@@ -1,0 +1,178 @@
+package selection
+
+import (
+	"math"
+	"sort"
+)
+
+// Greedy is the Appendix-B greedy O(log n) approximation for instances with
+// shared caches. It works on the minimization form: every operator must be
+// covered exactly once, by a real cache or by itself (a zero-length cache of
+// cost d_ij·c_ij and no group cost). Each round computes, for every sharing
+// group, the cheapest cost rate D_r = (L_r + Σ_{c∈S} B_c) / (Σ_{c∈S} n_c)
+// over prefix subsets S of the group's caches sorted by B_c/n_c (the claim
+// in Appendix B shows a prefix is optimal), picks the best group, covers its
+// operators, and repeats; overlapping choices are resolved afterwards by
+// keeping the widest cache.
+func Greedy(p *Problem) Result {
+	type item struct {
+		cand  int // candidate index, or −1 for an operator pseudo-cache
+		pipe  int
+		start int
+		end   int
+		proc  float64
+	}
+	type group struct {
+		cost  float64
+		items []int
+	}
+
+	var items []item
+	var groups []group
+	// Real candidates, grouped by sharing group.
+	groupOf := make(map[int]int)
+	for i, c := range p.Cands {
+		proc := -c.Benefit
+		for j := c.Start; j <= c.End; j++ {
+			proc += p.OpCosts[c.Pipeline][j]
+		}
+		if proc < 0 {
+			proc = 0
+		}
+		g, ok := groupOf[c.Group]
+		if !ok {
+			g = len(groups)
+			groupOf[c.Group] = g
+			groups = append(groups, group{cost: p.GroupCosts[c.Group]})
+		}
+		groups[g].items = append(groups[g].items, len(items))
+		items = append(items, item{cand: i, pipe: c.Pipeline, start: c.Start, end: c.End, proc: proc})
+	}
+	// Operator pseudo-caches: cover themselves, no group cost.
+	for pipe, costs := range p.OpCosts {
+		for pos, cost := range costs {
+			groups = append(groups, group{cost: 0, items: []int{len(items)}})
+			items = append(items, item{cand: -1, pipe: pipe, start: pos, end: pos, proc: cost})
+		}
+	}
+
+	covered := make(map[[2]int]bool)
+	totalOps := 0
+	for _, costs := range p.OpCosts {
+		totalOps += len(costs)
+	}
+	// uncovered ops a cache still covers.
+	nc := func(it *item) int {
+		n := 0
+		for j := it.start; j <= it.end; j++ {
+			if !covered[[2]int{it.pipe, j}] {
+				n++
+			}
+		}
+		return n
+	}
+
+	var chosenItems []int
+	for len(covered) < totalOps {
+		bestD := math.Inf(1)
+		var bestSet []int
+		for _, g := range groups {
+			// Live items of this group with their current coverage.
+			type live struct {
+				idx  int
+				n    int
+				rate float64
+			}
+			var ls []live
+			for _, ii := range g.items {
+				if n := nc(&items[ii]); n > 0 {
+					ls = append(ls, live{idx: ii, n: n, rate: items[ii].proc / float64(n)})
+				}
+			}
+			if len(ls) == 0 {
+				continue
+			}
+			sort.Slice(ls, func(a, b int) bool { return ls[a].rate < ls[b].rate })
+			sumB, sumN := g.cost, 0.0
+			for k, l := range ls {
+				sumB += items[l.idx].proc
+				sumN += float64(l.n)
+				if d := sumB / sumN; d < bestD {
+					bestD = d
+					bestSet = make([]int, 0, k+1)
+					for _, x := range ls[:k+1] {
+						bestSet = append(bestSet, x.idx)
+					}
+				}
+			}
+		}
+		if bestSet == nil {
+			break // nothing can cover the remainder (cannot happen: operators always can)
+		}
+		for _, ii := range bestSet {
+			it := &items[ii]
+			for j := it.start; j <= it.end; j++ {
+				covered[[2]int{it.pipe, j}] = true
+			}
+			if it.cand >= 0 {
+				chosenItems = append(chosenItems, it.cand)
+			}
+		}
+	}
+	chosen := resolveOverlaps(p, chosenItems)
+	chosen = pruneNegative(p, chosen)
+	sort.Ints(chosen)
+	return Result{Chosen: chosen, Value: p.objective(chosen)}
+}
+
+// resolveOverlaps keeps, among mutually overlapping chosen caches, the one
+// covering the most operators (Appendix B), iterating until conflict-free.
+func resolveOverlaps(p *Problem, chosen []int) []int {
+	sort.Slice(chosen, func(a, b int) bool {
+		if oa, ob := p.Cands[chosen[a]].ops(), p.Cands[chosen[b]].ops(); oa != ob {
+			return oa > ob
+		}
+		return chosen[a] < chosen[b]
+	})
+	var out []int
+	for _, i := range chosen {
+		ok := true
+		for _, j := range out {
+			if i == j || p.Cands[i].overlaps(&p.Cands[j]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// pruneNegative drops whole groups whose members' combined benefit does not
+// pay for the group cost — the greedy covering can select caches that are
+// cheaper than bare operators in the minimization form yet still carry
+// negative net benefit relative to dropping them (operators then cover those
+// positions for free in the maximization form).
+func pruneNegative(p *Problem, chosen []int) []int {
+	byGroup := make(map[int][]int)
+	for _, i := range chosen {
+		byGroup[p.Cands[i].Group] = append(byGroup[p.Cands[i].Group], i)
+	}
+	var out []int
+	for g, members := range byGroup {
+		sum := 0.0
+		kept := members[:0]
+		for _, i := range members {
+			if p.Cands[i].Benefit > 0 {
+				sum += p.Cands[i].Benefit
+				kept = append(kept, i)
+			}
+		}
+		if sum > p.GroupCosts[g] {
+			out = append(out, kept...)
+		}
+	}
+	return out
+}

@@ -1,0 +1,221 @@
+// Package selection implements the offline cache-selection algorithms of
+// Section 4.4 and Appendix B: the optimal linear-time forest dynamic program
+// for instances without shared caches (Theorem 4.1 / 4.2), exhaustive search
+// over the 2^m candidate subsets (used for small m, as the paper does for
+// n ≤ 6), the greedy O(log n)-approximation, and the randomized
+// LP-rounding O(log n)-approximation (Theorem 4.3 / B.1).
+//
+// All algorithms work on a neutral Problem description: candidate caches
+// with measured statistics, covering operator positions in pipelines, plus
+// sharing groups whose update cost is paid once no matter how many group
+// members are used.
+package selection
+
+import (
+	"sort"
+)
+
+// Candidate is one candidate cache with its measured statistics.
+type Candidate struct {
+	// Pipeline and the covered operator positions Start..End (inclusive).
+	Pipeline   int
+	Start, End int
+	// Group is the sharing-group index (Definition 4.1); every candidate
+	// belongs to exactly one group, singletons included.
+	Group int
+	// Benefit is benefit(C): the unit-time processing saved by using the
+	// cache, before maintenance cost (Section 4.1).
+	Benefit float64
+}
+
+// ops returns the number of operators the candidate covers.
+func (c *Candidate) ops() int { return c.End - c.Start + 1 }
+
+func (c *Candidate) overlaps(d *Candidate) bool {
+	return c.Pipeline == d.Pipeline && c.Start <= d.End && d.Start <= c.End
+}
+
+// Problem is a cache-selection instance.
+type Problem struct {
+	// OpCosts[i][j] is d_ij × c_ij: the unit-time processing cost of
+	// operator j of pipeline i when no cache covers it. Only used by the
+	// minimization-form algorithms (greedy, LP); the objective value
+	// reported by every algorithm is the maximization form.
+	OpCosts [][]float64
+	// Cands are the candidate caches.
+	Cands []Candidate
+	// GroupCosts[g] is cost(C) for the caches of group g: the unit-time
+	// maintenance cost, paid once per group used.
+	GroupCosts []float64
+}
+
+// Result is a selected candidate subset and its objective value
+// Σ benefit(C) − Σ_{groups used} cost(G) (the paper's maximization form).
+type Result struct {
+	Chosen []int // candidate indexes, ascending
+	Value  float64
+}
+
+// objective computes the maximization-form value of a candidate subset.
+func (p *Problem) objective(chosen []int) float64 {
+	v := 0.0
+	groups := make(map[int]bool)
+	for _, i := range chosen {
+		v += p.Cands[i].Benefit
+		groups[p.Cands[i].Group] = true
+	}
+	for g := range groups {
+		v -= p.GroupCosts[g]
+	}
+	return v
+}
+
+// hasSharing reports whether any group has two or more members.
+func (p *Problem) hasSharing() bool {
+	seen := make(map[int]bool)
+	for _, c := range p.Cands {
+		if seen[c.Group] {
+			return true
+		}
+		seen[c.Group] = true
+	}
+	return false
+}
+
+// validate panics on overlapping chosen candidates; used by tests.
+func (p *Problem) validate(chosen []int) bool {
+	for a := 0; a < len(chosen); a++ {
+		for b := a + 1; b < len(chosen); b++ {
+			if p.Cands[chosen[a]].overlaps(&p.Cands[chosen[b]]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Select chooses the algorithm the way the implementation described in
+// Section 4.4 does: the optimal forest DP when no candidate caches are
+// shared; otherwise exhaustive search while 2^m stays cheap (m ≤
+// exhaustiveLimit), falling back to the greedy approximation beyond that.
+func Select(p *Problem) Result {
+	if !p.hasSharing() {
+		return OptimalNoSharing(p)
+	}
+	if len(p.Cands) <= exhaustiveLimit {
+		return Exhaustive(p)
+	}
+	return Greedy(p)
+}
+
+// exhaustiveLimit caps exhaustive search at 2^18 subsets; the paper reports
+// exhaustive overhead is negligible for n ≤ 6 (m = O(n²)).
+const exhaustiveLimit = 18
+
+// OptimalNoSharing solves instances whose groups are all singletons
+// optimally in O(m) per pipeline (Theorem 4.1): candidates within a
+// pipeline form a containment forest, and each subtree's optimum is the
+// better of its root's net benefit and the sum of its children's optima.
+// With sharing present the result is still a feasible solution but carries
+// no optimality guarantee (each shared group's cost is charged to every
+// member).
+func OptimalNoSharing(p *Problem) Result {
+	byPipe := make(map[int][]int)
+	for i, c := range p.Cands {
+		byPipe[c.Pipeline] = append(byPipe[c.Pipeline], i)
+	}
+	var chosen []int
+	for _, idxs := range byPipe {
+		chosen = append(chosen, optimalPipeline(p, idxs)...)
+	}
+	sort.Ints(chosen)
+	return Result{Chosen: chosen, Value: p.objective(chosen)}
+}
+
+// optimalPipeline runs the forest DP over one pipeline's candidates.
+func optimalPipeline(p *Problem, idxs []int) []int {
+	// Sort by span length ascending so parents come after children.
+	sort.Slice(idxs, func(a, b int) bool {
+		return p.Cands[idxs[a]].ops() < p.Cands[idxs[b]].ops()
+	})
+	// parent[i] = position in idxs of the smallest strict superset.
+	parent := make([]int, len(idxs))
+	for i := range parent {
+		parent[i] = -1
+		ci := &p.Cands[idxs[i]]
+		for j := i + 1; j < len(idxs); j++ {
+			cj := &p.Cands[idxs[j]]
+			if cj.Start <= ci.Start && ci.End <= cj.End && cj.ops() > ci.ops() {
+				parent[i] = j
+				break
+			}
+		}
+	}
+	net := func(i int) float64 {
+		c := &p.Cands[idxs[i]]
+		return c.Benefit - p.GroupCosts[c.Group]
+	}
+	// best[i]: optimal value within i's subtree; pick[i]: chosen indexes.
+	best := make([]float64, len(idxs))
+	pick := make([][]int, len(idxs))
+	childSum := make([]float64, len(idxs))
+	childPick := make([][]int, len(idxs))
+	for i := range idxs {
+		v := net(i)
+		if v > childSum[i] {
+			best[i] = v
+			pick[i] = []int{idxs[i]}
+		} else {
+			best[i] = childSum[i]
+			pick[i] = childPick[i]
+		}
+		if best[i] < 0 {
+			best[i] = 0
+			pick[i] = nil
+		}
+		if pr := parent[i]; pr != -1 {
+			childSum[pr] += best[i]
+			childPick[pr] = append(childPick[pr], pick[i]...)
+		}
+	}
+	var out []int
+	for i := range idxs {
+		if parent[i] == -1 {
+			out = append(out, pick[i]...)
+		}
+	}
+	return out
+}
+
+// Exhaustive enumerates every nonoverlapping candidate subset and returns
+// the best; exact for any instance, exponential in m.
+func Exhaustive(p *Problem) Result {
+	m := len(p.Cands)
+	bestVal := 0.0
+	var bestSet []int
+	var cur []int
+	var rec func(i int)
+	rec = func(i int) {
+		if i == m {
+			if v := p.objective(cur); v > bestVal {
+				bestVal = v
+				bestSet = append([]int(nil), cur...)
+			}
+			return
+		}
+		// Skip candidate i.
+		rec(i + 1)
+		// Take candidate i if compatible.
+		for _, j := range cur {
+			if p.Cands[i].overlaps(&p.Cands[j]) {
+				return
+			}
+		}
+		cur = append(cur, i)
+		rec(i + 1)
+		cur = cur[:len(cur)-1]
+	}
+	rec(0)
+	sort.Ints(bestSet)
+	return Result{Chosen: bestSet, Value: bestVal}
+}

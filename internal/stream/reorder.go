@@ -1,0 +1,114 @@
+package stream
+
+import (
+	"container/heap"
+
+	"acache/internal/tuple"
+)
+
+// Reorderer restores the global timestamp order the engine requires
+// (Section 3.1) from a stream with bounded disorder: tuples may arrive up to
+// MaxLateness time units late. Arrivals are buffered in a min-heap keyed on
+// timestamp and released once the watermark — the highest timestamp seen
+// minus the lateness bound — passes them. Ties release in arrival order, the
+// paper's "the system could break ties". A tuple later than the bound is
+// rejected rather than reordered incorrectly.
+//
+// This is the standard watermark machinery of stream processors; the paper's
+// STREAM prototype assumed ordered inputs, so this is substrate beyond the
+// paper, used in front of TimeWindow feeds.
+type Reorderer struct {
+	maxLateness int64
+	heap        pendingHeap
+	watermark   int64
+	seq         uint64
+	started     bool
+}
+
+type pending struct {
+	t   tuple.Tuple
+	ts  int64
+	seq uint64 // arrival order, for stable ties
+}
+
+type pendingHeap []pending
+
+func (h pendingHeap) Len() int { return len(h) }
+func (h pendingHeap) Less(i, j int) bool {
+	if h[i].ts != h[j].ts {
+		return h[i].ts < h[j].ts
+	}
+	return h[i].seq < h[j].seq
+}
+func (h pendingHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pendingHeap) Push(x interface{}) { *h = append(*h, x.(pending)) }
+func (h *pendingHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// NewReorderer creates a reorderer tolerating the given lateness bound
+// (≥ 0; 0 means the input must already be ordered and the reorderer only
+// validates).
+func NewReorderer(maxLateness int64) *Reorderer {
+	if maxLateness < 0 {
+		maxLateness = 0
+	}
+	return &Reorderer{maxLateness: maxLateness}
+}
+
+// Watermark returns the current watermark: every tuple at or below it has
+// been released.
+func (r *Reorderer) Watermark() int64 { return r.watermark }
+
+// Pending returns the number of buffered tuples.
+func (r *Reorderer) Pending() int { return r.heap.Len() }
+
+// Offer accepts a tuple with timestamp ts and returns the tuples (with
+// their timestamps) released by the advancing watermark, in timestamp
+// order. ok is false — and the tuple dropped — when ts is already below the
+// watermark, i.e. later than the lateness bound allows.
+func (r *Reorderer) Offer(t tuple.Tuple, ts int64) (released []pendingOut, ok bool) {
+	if r.started && ts < r.watermark {
+		return nil, false
+	}
+	r.seq++
+	heap.Push(&r.heap, pending{t: t, ts: ts, seq: r.seq})
+	if wm := ts - r.maxLateness; !r.started || wm > r.watermark {
+		r.watermark = wm
+		r.started = true
+	}
+	return r.drain(r.watermark), true
+}
+
+// Flush releases everything still buffered (end of stream), advancing the
+// watermark past the last tuple.
+func (r *Reorderer) Flush() []pendingOut {
+	if n := r.heap.Len(); n > 0 {
+		r.watermark = r.heap[0].ts
+		for _, p := range r.heap {
+			if p.ts > r.watermark {
+				r.watermark = p.ts
+			}
+		}
+	}
+	return r.drain(r.watermark)
+}
+
+// pendingOut is a released (tuple, timestamp) pair.
+type pendingOut struct {
+	Tuple tuple.Tuple
+	TS    int64
+}
+
+func (r *Reorderer) drain(upTo int64) []pendingOut {
+	var out []pendingOut
+	for r.heap.Len() > 0 && r.heap[0].ts <= upTo {
+		p := heap.Pop(&r.heap).(pending)
+		out = append(out, pendingOut{Tuple: p.t, TS: p.ts})
+	}
+	return out
+}

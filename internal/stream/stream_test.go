@@ -1,0 +1,198 @@
+package stream
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"acache/internal/tuple"
+)
+
+func TestSlidingWindowBasics(t *testing.T) {
+	w := NewSlidingWindow(2)
+	u := w.Append(tuple.Tuple{1})
+	if len(u) != 1 || u[0].Op != Insert {
+		t.Fatalf("first append: %v", u)
+	}
+	w.Append(tuple.Tuple{2})
+	u = w.Append(tuple.Tuple{3})
+	if len(u) != 2 || u[0].Op != Delete || !u[0].Tuple.Equal(tuple.Tuple{1}) || u[1].Op != Insert {
+		t.Fatalf("expiring append: %v", u)
+	}
+	got := w.Contents()
+	if len(got) != 2 || !got[0].Equal(tuple.Tuple{2}) || !got[1].Equal(tuple.Tuple{3}) {
+		t.Fatalf("contents: %v", got)
+	}
+}
+
+func TestSlidingWindowUnbounded(t *testing.T) {
+	w := NewSlidingWindow(0)
+	for i := 0; i < 100; i++ {
+		u := w.Append(tuple.Tuple{int64(i)})
+		if len(u) != 1 || u[0].Op != Insert {
+			t.Fatal("unbounded window must never expire")
+		}
+	}
+}
+
+// Property: every inserted tuple is eventually deleted exactly once, in FIFO
+// order, and the window never exceeds its size.
+func TestSlidingWindowInsertDeleteBalance(t *testing.T) {
+	f := func(vals []int64, size8 uint8) bool {
+		size := int(size8%8) + 1
+		w := NewSlidingWindow(size)
+		inserts, deletes := 0, 0
+		var expectedDeletes []int64
+		for _, v := range vals {
+			for _, u := range w.Append(tuple.Tuple{v}) {
+				switch u.Op {
+				case Insert:
+					inserts++
+					expectedDeletes = append(expectedDeletes, v)
+				case Delete:
+					deletes++
+					if u.Tuple[0] != expectedDeletes[0] {
+						return false // not FIFO
+					}
+					expectedDeletes = expectedDeletes[1:]
+				}
+			}
+			if w.Len() > size {
+				return false
+			}
+		}
+		return inserts == len(vals) && deletes == len(vals)-w.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterleaverProportions(t *testing.T) {
+	iv := NewInterleaver([]float64{1, 2, 7})
+	counts := make([]int, 3)
+	const total = 10000
+	for i := 0; i < total; i++ {
+		counts[iv.Next()]++
+	}
+	for i, want := range []float64{0.1, 0.2, 0.7} {
+		got := float64(counts[i]) / total
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("stream %d: share %.3f, want %.3f", i, got, want)
+		}
+	}
+}
+
+func TestInterleaverZeroRateStreamNeverEmits(t *testing.T) {
+	iv := NewInterleaver([]float64{1, 0})
+	for i := 0; i < 100; i++ {
+		if iv.Next() == 1 {
+			t.Fatal("zero-rate stream emitted")
+		}
+	}
+}
+
+func TestInterleaverSetRatesMidStream(t *testing.T) {
+	iv := NewInterleaver([]float64{1, 1})
+	for i := 0; i < 100; i++ {
+		iv.Next()
+	}
+	iv.SetRates([]float64{20, 1})
+	counts := make([]int, 2)
+	for i := 0; i < 2100; i++ {
+		counts[iv.Next()]++
+	}
+	share := float64(counts[0]) / 2100
+	if math.Abs(share-20.0/21) > 0.02 {
+		t.Fatalf("post-burst share %.3f, want ≈ %.3f", share, 20.0/21)
+	}
+}
+
+func TestInterleaverRejectsBadRates(t *testing.T) {
+	for _, rates := range [][]float64{{-1, 1}, {0, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("rates %v must panic", rates)
+				}
+			}()
+			NewInterleaver(rates)
+		}()
+	}
+}
+
+func TestInterleaverDeterministic(t *testing.T) {
+	a := NewInterleaver([]float64{3, 1, 2})
+	b := NewInterleaver([]float64{3, 1, 2})
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("interleaver not deterministic")
+		}
+	}
+}
+
+func TestSourceGlobalOrdering(t *testing.T) {
+	n := int64(0)
+	gen := func() tuple.Tuple { n++; return tuple.Tuple{n} }
+	src := NewSource([]RelStream{
+		{Gen: gen, WindowSize: 2, Rate: 1},
+		{Gen: gen, WindowSize: 2, Rate: 1},
+	})
+	var lastSeq uint64
+	inserts := make(map[int]int)
+	deletes := make(map[int]int)
+	for i := 0; i < 200; i++ {
+		u := src.Next()
+		if i > 0 && u.Seq != lastSeq+1 {
+			t.Fatalf("sequence gap: %d then %d", lastSeq, u.Seq)
+		}
+		lastSeq = u.Seq
+		if u.Op == Insert {
+			inserts[u.Rel]++
+		} else {
+			deletes[u.Rel]++
+		}
+	}
+	for rel := 0; rel < 2; rel++ {
+		if inserts[rel] == 0 || deletes[rel] == 0 {
+			t.Fatalf("rel %d: inserts %d deletes %d", rel, inserts[rel], deletes[rel])
+		}
+		if src.WindowLen(rel) > 2 {
+			t.Fatalf("window overflow: %d", src.WindowLen(rel))
+		}
+	}
+	if src.TotalAppends() != src.Appends(0)+src.Appends(1) {
+		t.Fatal("append accounting inconsistent")
+	}
+}
+
+func TestUpdateString(t *testing.T) {
+	u := Update{Op: Insert, Rel: 0, Tuple: tuple.Tuple{1}, Seq: 5}
+	if u.String() != "+∆R1<1>#5" {
+		t.Fatalf("String = %q", u.String())
+	}
+}
+
+func TestPartitionedWindow(t *testing.T) {
+	w := NewPartitionedWindow(2, 0)
+	// Partition 1 fills independently of partition 2.
+	w.Append(tuple.Tuple{1, 10})
+	w.Append(tuple.Tuple{1, 11})
+	w.Append(tuple.Tuple{2, 20})
+	u := w.Append(tuple.Tuple{1, 12}) // expires (1,10) only
+	if len(u) != 2 || u[0].Op != Delete || !u[0].Tuple.Equal(tuple.Tuple{1, 10}) {
+		t.Fatalf("partition expiry: %v", u)
+	}
+	if w.Len() != 3 || w.Partitions() != 2 {
+		t.Fatalf("len=%d partitions=%d", w.Len(), w.Partitions())
+	}
+}
+
+func TestPartitionedWindowBadSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive size must panic")
+		}
+	}()
+	NewPartitionedWindow(0, 0)
+}

@@ -1,0 +1,47 @@
+// Package stream provides update streams, sliding-window operators, and the
+// deterministic rate-proportional interleaver that merges per-relation
+// streams into the single globally ordered update sequence the engine
+// consumes (Section 3.1 of the paper).
+package stream
+
+import (
+	"fmt"
+
+	"acache/internal/tuple"
+)
+
+// Op is the kind of an update: an insertion into or a deletion from a
+// relation's current contents.
+type Op uint8
+
+const (
+	// Insert adds a tuple to the relation.
+	Insert Op = iota
+	// Delete removes a tuple from the relation.
+	Delete
+)
+
+func (o Op) String() string {
+	switch o {
+	case Insert:
+		return "+"
+	case Delete:
+		return "-"
+	default:
+		return "?"
+	}
+}
+
+// Update is one element of an update stream ΔR_i: an insertion or deletion of
+// a tuple in relation Rel. Seq is the position in the global ordering; the
+// engine processes updates strictly in Seq order, each to completion.
+type Update struct {
+	Op    Op
+	Rel   int
+	Tuple tuple.Tuple
+	Seq   uint64
+}
+
+func (u Update) String() string {
+	return fmt.Sprintf("%v∆R%d%v#%d", u.Op, u.Rel+1, u.Tuple, u.Seq)
+}

@@ -1,0 +1,109 @@
+package stream
+
+import "acache/internal/tuple"
+
+// SlidingWindow converts an append-only stream into an update stream over a
+// count-based sliding window of the most recent Size tuples, mirroring the
+// STREAM prototype's window operators: each append yields an Insert, and once
+// the window is full, a Delete of the expiring (oldest) tuple precedes it.
+//
+// An unbounded window (Size ≤ 0) never expires tuples, which models
+// conventional materialized-view maintenance where deletes arrive explicitly.
+type SlidingWindow struct {
+	size int
+	buf  []tuple.Tuple // ring buffer of current window contents
+	head int           // index of oldest tuple
+	n    int
+}
+
+// NewSlidingWindow creates a count-based window of the given size.
+// size ≤ 0 means unbounded.
+func NewSlidingWindow(size int) *SlidingWindow {
+	w := &SlidingWindow{size: size}
+	if size > 0 {
+		w.buf = make([]tuple.Tuple, size)
+	}
+	return w
+}
+
+// Size returns the configured window size (≤ 0 for unbounded).
+func (w *SlidingWindow) Size() int { return w.size }
+
+// Len returns the number of tuples currently in the window.
+func (w *SlidingWindow) Len() int { return w.n }
+
+// Append pushes a new stream tuple and returns the resulting window updates:
+// a Delete of the expired tuple first, if the window was full, then the
+// Insert of t. Rel and Seq fields are left zero for the caller to fill.
+func (w *SlidingWindow) Append(t tuple.Tuple) []Update {
+	if w.size <= 0 {
+		return []Update{{Op: Insert, Tuple: t}}
+	}
+	var out []Update
+	if w.n == w.size {
+		old := w.buf[w.head]
+		w.buf[w.head] = nil
+		w.head = (w.head + 1) % w.size
+		w.n--
+		out = append(out, Update{Op: Delete, Tuple: old})
+	}
+	w.buf[(w.head+w.n)%w.size] = t
+	w.n++
+	out = append(out, Update{Op: Insert, Tuple: t})
+	return out
+}
+
+// Contents returns the window's current tuples, oldest first. It is intended
+// for tests and invariant checks.
+func (w *SlidingWindow) Contents() []tuple.Tuple {
+	out := make([]tuple.Tuple, 0, w.n)
+	for i := 0; i < w.n; i++ {
+		out = append(out, w.buf[(w.head+i)%w.size])
+	}
+	return out
+}
+
+// PartitionedWindow is CQL's `[PARTITION BY attr ROWS n]`: the stream is
+// partitioned by one column's value and each partition keeps its own
+// count-based window of the n most recent tuples — e.g. "the last 10 quotes
+// per instrument". Appends expire the oldest tuple of the same partition
+// only.
+type PartitionedWindow struct {
+	size int
+	col  int // partitioning column
+	rows map[tuple.Value]*SlidingWindow
+}
+
+// NewPartitionedWindow creates a per-partition window of the given size
+// over the partitioning column col. size must be positive.
+func NewPartitionedWindow(size, col int) *PartitionedWindow {
+	if size <= 0 {
+		panic("stream: partitioned window size must be positive")
+	}
+	return &PartitionedWindow{size: size, col: col, rows: make(map[tuple.Value]*SlidingWindow)}
+}
+
+// Append pushes a stream tuple, returning the partition's window updates:
+// the expiry delete of its partition's oldest tuple (when full), then the
+// insert.
+func (w *PartitionedWindow) Append(t tuple.Tuple) []Update {
+	key := t[w.col]
+	win, ok := w.rows[key]
+	if !ok {
+		win = NewSlidingWindow(w.size)
+		w.rows[key] = win
+	}
+	return win.Append(t)
+}
+
+// Len returns the total tuples across all partitions.
+func (w *PartitionedWindow) Len() int {
+	total := 0
+	for _, win := range w.rows {
+		total += win.Len()
+	}
+	return total
+}
+
+// Partitions returns the number of partitions seen so far.
+func (w *PartitionedWindow) Partitions() int { return len(w.rows) }

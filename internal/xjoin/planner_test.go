@@ -1,0 +1,145 @@
+package xjoin
+
+import (
+	"testing"
+
+	"acache/internal/cost"
+	"acache/internal/query"
+	"acache/internal/stream"
+	"acache/internal/synth"
+)
+
+func uniformStats(n int, rate, window, sel float64) *Stats {
+	s := &Stats{
+		Rates:   make([]float64, n),
+		Windows: make([]float64, n),
+		Sel:     make([][]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		s.Rates[i] = rate
+		s.Windows[i] = window
+		s.Sel[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			if i != j {
+				s.Sel[i][j] = sel
+			}
+		}
+	}
+	return s
+}
+
+func TestCardinalityAndDeltaRate(t *testing.T) {
+	s := uniformStats(3, 2, 100, 0.01)
+	// |R1⋈R2| = 100×100×0.01 = 100.
+	if got := s.cardinality([]int{0, 1}); got != 100 {
+		t.Fatalf("cardinality = %v", got)
+	}
+	// Delta rate of R1⋈R2: each side's updates match 100×0.01 = 1 partner.
+	if got := s.deltaRate([]int{0, 1}); got != 4 {
+		t.Fatalf("deltaRate = %v, want 2×(2×1)", got)
+	}
+}
+
+func TestPlanBestAvoidsHotLeafDeepening(t *testing.T) {
+	// Relation 0 is 50× hotter than the rest: the best tree keeps it
+	// joined LAST (at the root), so its updates probe one materialization
+	// instead of cascading through every node.
+	s := uniformStats(4, 1, 200, 0.005)
+	s.Rates[0] = 50
+	q := clique4(t)
+	best := PlanBest(q, s)
+	// Relation 0 must be a direct child of the root.
+	root := best
+	if root.Leaf() {
+		t.Fatal("root is a leaf")
+	}
+	hotAtRoot := (root.Left.Leaf() && root.Left.Rel == 0) || (root.Right.Leaf() && root.Right.Rel == 0)
+	if !hotAtRoot {
+		t.Fatalf("hot relation buried in %v", best)
+	}
+}
+
+func TestPlanBestAgreesWithTrialMeasurementOnSkew(t *testing.T) {
+	// Measure every tree on a skewed workload and check the analytic
+	// choice lands in the top third of the measured ranking — cost models
+	// need not pick the exact winner, but must not pick a loser.
+	q := clique4(t)
+	build := func() *stream.Source {
+		rels := make([]stream.RelStream, 4)
+		for i := range rels {
+			rate := 1.0
+			if i == 0 {
+				rate = 20
+			}
+			rels[i] = stream.RelStream{
+				Gen:        synth.Tuples(synth.Uniform(0, 300, int64(40+i))),
+				WindowSize: 150,
+				Rate:       rate,
+			}
+		}
+		return stream.NewSource(rels)
+	}
+	type ranked struct {
+		tree *Tree
+		rate float64
+	}
+	var all []ranked
+	for _, tr := range Enumerate([]int{0, 1, 2, 3}) {
+		x := New(q, tr, &cost.Meter{})
+		src := build()
+		for src.TotalAppends() < 2000 {
+			x.Process(src.Next())
+		}
+		start := x.Meter().Total()
+		sa := src.TotalAppends()
+		for src.TotalAppends() < sa+6000 {
+			x.Process(src.Next())
+		}
+		all = append(all, ranked{tree: tr, rate: cost.Rate(int(src.TotalAppends()-sa), x.Meter().Total()-start)})
+	}
+	s := uniformStats(4, 1, 150, 1.0/300)
+	s.Rates[0] = 20
+	best := PlanBest(q, s)
+	// Rank of the analytic choice among measured rates.
+	var bestRate float64
+	for _, r := range all {
+		if r.tree.String() == best.String() {
+			bestRate = r.rate
+		}
+	}
+	better := 0
+	for _, r := range all {
+		if r.rate > bestRate {
+			better++
+		}
+	}
+	if better > len(all)/3 {
+		t.Fatalf("analytic choice %v ranked %d of %d (rate %.0f)", best, better+1, len(all), bestRate)
+	}
+}
+
+func TestMemoryEstimateTracksActual(t *testing.T) {
+	q := clique4(t)
+	tr := LeftDeep(0, 1, 2, 3)
+	x := New(q, tr, &cost.Meter{})
+	src := stream.NewSource([]stream.RelStream{
+		{Gen: synth.Tuples(synth.Uniform(0, 50, 1)), WindowSize: 100, Rate: 1},
+		{Gen: synth.Tuples(synth.Uniform(0, 50, 2)), WindowSize: 100, Rate: 1},
+		{Gen: synth.Tuples(synth.Uniform(0, 50, 3)), WindowSize: 100, Rate: 1},
+		{Gen: synth.Tuples(synth.Uniform(0, 50, 4)), WindowSize: 100, Rate: 1},
+	})
+	for src.TotalAppends() < 3000 {
+		x.Process(src.Next())
+	}
+	s := uniformStats(4, 1, 100, 1.0/50)
+	est := s.MemoryEstimate(tr)
+	got := float64(x.MemoryBytes())
+	if got == 0 || est == 0 {
+		t.Fatalf("estimate %v, actual %v", est, got)
+	}
+	if est < got/4 || est > got*4 {
+		t.Fatalf("memory estimate %v not within 4× of actual %v", est, got)
+	}
+}
+
+func clique4(t *testing.T) *query.Query { return fourWayClique(t) }

@@ -1,0 +1,179 @@
+package acache
+
+import (
+	"fmt"
+	"sort"
+
+	"acache/internal/memory"
+)
+
+// Server hosts multiple continuous queries and divides a global cache-memory
+// budget among them — the DSMS setting the paper situates A-Caching in:
+// "the memory in a DSMS must be partitioned among all active continuous
+// queries" (Section 5). Each registered query runs its own adaptive engine;
+// Rebalance applies the Section 5 greedy priority rule *across* queries,
+// granting memory where the aggregate net benefit per byte is highest.
+//
+// Like the engines it hosts, a Server is not safe for concurrent use: the
+// caller serializes updates and rebalances.
+type Server struct {
+	mgr     *memory.Manager
+	engines map[string]*Engine
+	order   []string
+	// RebalanceEvery is how many processed updates pass between automatic
+	// rebalances (0 disables automatic rebalancing; call Rebalance
+	// directly). Default 10 000.
+	RebalanceEvery int
+	sinceRebalance int
+}
+
+// NewServer creates a server with the given global cache-memory budget in
+// bytes (≤ 0 for unlimited).
+func NewServer(memoryBudget int) *Server {
+	if memoryBudget <= 0 {
+		memoryBudget = -1
+	}
+	return &Server{
+		mgr:            memory.NewManager(memoryBudget),
+		engines:        make(map[string]*Engine),
+		RebalanceEvery: 10_000,
+	}
+}
+
+// Register builds the query and adds its engine under the given name. The
+// engine starts with no cache memory until the first rebalance (or with
+// unlimited memory when the server's budget is unlimited).
+func (s *Server) Register(name string, q *Query, opts Options) (*Engine, error) {
+	if _, dup := s.engines[name]; dup {
+		return nil, fmt.Errorf("acache: query %q already registered", name)
+	}
+	if s.mgr.Budget() >= 0 {
+		// Start minimal; Rebalance grants real budgets by priority.
+		opts.MemoryBudget = memory.PageBytes
+	}
+	eng, err := q.Build(opts)
+	if err != nil {
+		return nil, err
+	}
+	eng.server = s
+	s.engines[name] = eng
+	s.order = append(s.order, name)
+	s.Rebalance()
+	return eng, nil
+}
+
+// Deregister removes a query's engine, returning its memory to the pool.
+func (s *Server) Deregister(name string) {
+	if _, ok := s.engines[name]; !ok {
+		return
+	}
+	delete(s.engines, name)
+	for i, n := range s.order {
+		if n == name {
+			s.order = append(s.order[:i:i], s.order[i+1:]...)
+			break
+		}
+	}
+	s.Rebalance()
+}
+
+// Engine returns the named query's engine, or nil.
+func (s *Server) Engine(name string) *Engine { return s.engines[name] }
+
+// Queries returns the registered query names in registration order.
+func (s *Server) Queries() []string { return append([]string(nil), s.order...) }
+
+// Rebalance re-divides the global budget across the registered queries by
+// the Section 5 priority rule: each query asks for its used caches' memory
+// demand and is ranked by aggregate net benefit per byte; grants are made
+// greedily in priority order. With an unlimited budget every query gets
+// unlimited memory.
+func (s *Server) Rebalance() {
+	s.sinceRebalance = 0
+	if s.mgr.Budget() < 0 {
+		for _, eng := range s.engines {
+			eng.core.SetMemoryBudget(-1)
+		}
+		return
+	}
+	var reqs []memory.Request
+	for _, name := range s.order {
+		eng := s.engines[name]
+		bytes, net := eng.core.MemoryDemand()
+		if bytes < memory.PageBytes {
+			bytes = memory.PageBytes // headroom so new caches can start
+		}
+		reqs = append(reqs, memory.Request{
+			ID:       name,
+			Priority: net / float64(bytes),
+			Bytes:    bytes,
+		})
+	}
+	grants := s.mgr.Allocate(reqs)
+	for name, grant := range grants {
+		s.engines[name].core.SetMemoryBudget(grant)
+	}
+}
+
+// SetBudget changes the global budget and rebalances immediately.
+func (s *Server) SetBudget(bytes int) {
+	if bytes <= 0 {
+		bytes = -1
+	}
+	s.mgr.SetBudget(bytes)
+	s.Rebalance()
+}
+
+// Budgets returns each query's currently granted cache-memory budget in
+// bytes (−1 = unlimited), keyed by query name.
+func (s *Server) Budgets() map[string]int {
+	out := make(map[string]int, len(s.engines))
+	for name, eng := range s.engines {
+		out[name] = eng.core.MemoryBudgetBytes()
+	}
+	return out
+}
+
+// Stats aggregates per-query statistics, keyed by query name.
+func (s *Server) Stats() map[string]Stats {
+	out := make(map[string]Stats, len(s.engines))
+	for name, eng := range s.engines {
+		out[name] = eng.Stats()
+	}
+	return out
+}
+
+// tick is called by hosted engines after each processed update to drive
+// automatic rebalancing.
+func (s *Server) tick() {
+	if s.RebalanceEvery <= 0 {
+		return
+	}
+	s.sinceRebalance++
+	if s.sinceRebalance >= s.RebalanceEvery {
+		s.Rebalance()
+	}
+}
+
+// sortedByPriority is a testing aid: query names by descending current
+// priority.
+func (s *Server) sortedByPriority() []string {
+	type pq struct {
+		name string
+		prio float64
+	}
+	var ps []pq
+	for _, name := range s.order {
+		bytes, net := s.engines[name].core.MemoryDemand()
+		if bytes < 1 {
+			bytes = 1
+		}
+		ps = append(ps, pq{name, net / float64(bytes)})
+	}
+	sort.SliceStable(ps, func(a, b int) bool { return ps[a].prio > ps[b].prio })
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.name
+	}
+	return out
+}
