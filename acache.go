@@ -25,6 +25,10 @@
 //
 // For windowed streams, give each relation a window size and use Append:
 // the engine emits the expiry delete and the insert in order.
+//
+// For multi-core scale-out, BuildSharded runs the same query hash-partitioned
+// across P worker shards, each an independent adaptive engine; see
+// ShardedEngine for the ingress API and ordering contract.
 package acache
 
 import (
@@ -281,15 +285,10 @@ type Engine struct {
 	server   *Server // non-nil when hosted by a Server
 }
 
-// Build validates the query and constructs an Engine.
-func (q *Query) Build(opts Options) (*Engine, error) {
-	if q.err != nil {
-		return nil, q.err
-	}
-	iq, err := query.NewWithThetas(q.schemas, q.preds, q.thetas)
-	if err != nil {
-		return nil, err
-	}
+// coreConfig translates the public Options into the core engine's
+// configuration — shared by Build and BuildSharded (where every shard gets
+// the same configuration apart from its seed and budget slice).
+func (opts Options) coreConfig(q *Query) (core.Config, error) {
 	cfg := core.Config{
 		ReoptInterval:  opts.ReoptInterval,
 		MemoryBudget:   opts.MemoryBudget,
@@ -310,46 +309,73 @@ func (q *Query) Build(opts Options) (*Engine, error) {
 	for _, ref := range opts.NoIndex {
 		a, err := q.parseRef(ref)
 		if err != nil {
-			return nil, err
+			return core.Config{}, err
 		}
 		cfg.ScanOnly = append(cfg.ScanOnly, a)
+	}
+	return cfg, nil
+}
+
+// buildWindows constructs the per-relation ingress window operators shared
+// by Engine and ShardedEngine.
+func (q *Query) buildWindows() (wins []*stream.SlidingWindow, timeWins []*stream.TimeWindow, partWins []*stream.PartitionedWindow) {
+	wins = make([]*stream.SlidingWindow, len(q.windows))
+	timeWins = make([]*stream.TimeWindow, len(q.windows))
+	partWins = make([]*stream.PartitionedWindow, len(q.windows))
+	for i, w := range q.windows {
+		switch {
+		case q.spans[i] > 0:
+			timeWins[i] = stream.NewTimeWindow(q.spans[i])
+		case q.partBy[i] != "":
+			col := q.schemas[i].MustColOf(tuple.Attr{Rel: i, Name: q.partBy[i]})
+			partWins[i] = stream.NewPartitionedWindow(w, col)
+		default:
+			wins[i] = stream.NewSlidingWindow(w)
+		}
+	}
+	return wins, timeWins, partWins
+}
+
+// Build validates the query and constructs an Engine.
+func (q *Query) Build(opts Options) (*Engine, error) {
+	if q.err != nil {
+		return nil, q.err
+	}
+	iq, err := query.NewWithThetas(q.schemas, q.preds, q.thetas)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := opts.coreConfig(q)
+	if err != nil {
+		return nil, err
 	}
 	en, err := core.NewEngine(iq, nil, cfg)
 	if err != nil {
 		return nil, err
 	}
 	e := &Engine{q: q, core: en}
-	e.windows = make([]*stream.SlidingWindow, len(q.windows))
-	e.timeWins = make([]*stream.TimeWindow, len(q.windows))
-	e.partWins = make([]*stream.PartitionedWindow, len(q.windows))
-	for i, w := range q.windows {
-		switch {
-		case q.spans[i] > 0:
-			e.timeWins[i] = stream.NewTimeWindow(q.spans[i])
-		case q.partBy[i] != "":
-			col := q.schemas[i].MustColOf(tuple.Attr{Rel: i, Name: q.partBy[i]})
-			e.partWins[i] = stream.NewPartitionedWindow(w, col)
-		default:
-			e.windows[i] = stream.NewSlidingWindow(w)
-		}
-	}
+	e.windows, e.timeWins, e.partWins = q.buildWindows()
 	return e, nil
 }
 
-func (e *Engine) relIndex(name string) int {
-	idx, ok := e.q.indexOf[name]
+func (q *Query) relIndex(name string) int {
+	idx, ok := q.indexOf[name]
 	if !ok {
 		panic(fmt.Sprintf("acache: unknown relation %q", name))
 	}
 	return idx
 }
 
-func (e *Engine) checkArity(rel int, values []int64) {
-	if want := e.q.schemas[rel].Len(); len(values) != want {
+func (q *Query) checkArity(rel int, values []int64) {
+	if want := q.schemas[rel].Len(); len(values) != want {
 		panic(fmt.Sprintf("acache: relation %q has %d attributes, got %d values",
-			e.q.names[rel], want, len(values)))
+			q.names[rel], want, len(values)))
 	}
 }
+
+func (e *Engine) relIndex(name string) int { return e.q.relIndex(name) }
+
+func (e *Engine) checkArity(rel int, values []int64) { e.q.checkArity(rel, values) }
 
 // Insert processes an insertion into the named relation and returns the
 // number of join-result updates emitted.
@@ -468,29 +494,34 @@ type Stats struct {
 
 // Stats returns a snapshot of counters and the current plan.
 func (e *Engine) Stats() Stats {
+	snap := e.core.Snapshot()
 	s := Stats{
-		Updates:     e.seq,
-		Outputs:     e.core.Outputs(),
-		WorkSeconds: cost.Seconds(e.core.Meter().Total()),
+		Updates:          e.seq,
+		Outputs:          snap.Outputs,
+		WorkSeconds:      cost.Seconds(snap.Work),
+		Reopts:           snap.Reopts,
+		SkippedReopts:    snap.SkippedReopts,
+		CacheMemoryBytes: snap.CacheMemoryBytes,
 	}
-	s.Reopts, s.SkippedReopts = e.core.Reopts()
 	for _, spec := range e.core.UsedCaches() {
 		s.UsedCaches = append(s.UsedCaches, e.describe(spec))
 	}
 	sort.Strings(s.UsedCaches)
-	s.CacheMemoryBytes = e.core.CacheMemoryBytes()
 	return s
 }
 
 // describe renders a cache spec with the query's relation names.
-func (e *Engine) describe(spec *planner.Spec) string {
+func (e *Engine) describe(spec *planner.Spec) string { return e.q.describeSpec(spec) }
+
+// describeSpec renders a cache spec with the query's relation names.
+func (q *Query) describeSpec(spec *planner.Spec) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Δ%s: cache(", e.q.names[spec.Pipeline])
+	fmt.Fprintf(&b, "Δ%s: cache(", q.names[spec.Pipeline])
 	for i, r := range spec.Segment {
 		if i > 0 {
 			b.WriteString(" ⋈ ")
 		}
-		b.WriteString(e.q.names[r])
+		b.WriteString(q.names[r])
 	}
 	switch {
 	case spec.SelfMaint:
@@ -498,7 +529,7 @@ func (e *Engine) describe(spec *planner.Spec) string {
 	case spec.GC:
 		b.WriteString(" ⋉")
 		for _, r := range spec.Y {
-			b.WriteString(" " + e.q.names[r])
+			b.WriteString(" " + q.names[r])
 		}
 	}
 	b.WriteString(")")

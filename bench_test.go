@@ -1,6 +1,7 @@
 package acache
 
 import (
+	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
@@ -113,6 +114,43 @@ func BenchmarkEngineInsertThreeWay(b *testing.B) {
 		default:
 			eng.Append("T", rng.Int63n(100))
 		}
+	}
+}
+
+// BenchmarkShardedInsert measures wall-clock append throughput of the
+// sharded engine at increasing shard counts on the Fig9-style n-way
+// common-attribute workload (6 relations joined on A, window 50, domain
+// 100). On a multi-core host throughput scales with shards; with
+// GOMAXPROCS=1 the shards time-slice one core and the numbers measure
+// sharding overhead instead (see BENCH_sharding.json's gomaxprocs field).
+func BenchmarkShardedInsert(b *testing.B) {
+	const nRel = 6
+	names := make([]string, nRel)
+	for i := range names {
+		names[i] = fmt.Sprintf("R%d", i)
+	}
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", p), func(b *testing.B) {
+			q := NewQuery()
+			for _, n := range names {
+				q.WindowedRelation(n, 50, "A")
+			}
+			for i := 1; i < nRel; i++ {
+				q.Join("R0.A", names[i]+".A")
+			}
+			eng, err := q.BuildSharded(Options{Seed: 1}, ShardOptions{Shards: p})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			rng := rand.New(rand.NewSource(1))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.Append(names[i%nRel], rng.Int63n(100))
+			}
+			eng.Flush()
+			b.StopTimer()
+		})
 	}
 }
 

@@ -4,11 +4,16 @@
 //
 // Usage:
 //
-//	acache-bench [-experiment all|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13]
-//	             [-scale quick|medium|full] [-seed N]
+//	acache-bench [-experiment all|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|sharding]
+//	             [-scale quick|medium|full] [-seed N] [-shards 1,2,4,8]
 //
 // The full scale matches the paper's horizons and takes a few minutes; quick
 // is suitable for smoke runs.
+//
+// The sharding experiment is wall-clock (not cost-model) based: it measures
+// append throughput of the hash-partitioned engine at each shard count of
+// -shards and writes the series to BENCH_sharding.json. Meaningful scaling
+// needs a multi-core host; the JSON records GOMAXPROCS alongside the numbers.
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -35,8 +41,22 @@ func writeSVG(dir string, e *bench.Experiment) error {
 	return os.WriteFile(filepath.Join(dir, e.ID+".svg"), []byte(c.SVG()), 0o644)
 }
 
+// parseShards parses the -shards list, e.g. "1,2,4,8".
+func parseShards(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -shards value %q (want positive integers, e.g. 1,2,4,8)", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
 func main() {
-	experiment := flag.String("experiment", "all", "experiment id (fig6..fig13), 'ablations', 'extensions', or 'all'")
+	experiment := flag.String("experiment", "all", "experiment id (fig6..fig13), 'ablations', 'extensions', 'sharding', or 'all'")
+	shards := flag.String("shards", "1,2,4,8", "comma-separated shard counts for the sharding experiment")
 	scale := flag.String("scale", "medium", "run scale: quick, medium, or full")
 	seed := flag.Int64("seed", 42, "workload seed")
 	parallel := flag.Bool("parallel", false, "run experiments concurrently (each is self-contained); output stays in order")
@@ -98,6 +118,19 @@ func main() {
 		for _, id := range order {
 			fmt.Println(render(runners[id](cfg)))
 		}
+	case "sharding":
+		counts, err := parseShards(*shards)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		rep := bench.RunSharding(6, counts, cfg)
+		if err := os.WriteFile("BENCH_sharding.json", rep.JSON(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "BENCH_sharding.json:", err)
+			os.Exit(1)
+		}
+		fmt.Println(render(rep.Experiment()))
+		fmt.Println("wrote BENCH_sharding.json")
 	case "ablations":
 		for _, e := range bench.Ablations(cfg) {
 			fmt.Println(render(e))
@@ -109,7 +142,7 @@ func main() {
 	default:
 		run, ok := runners[*experiment]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (want %s, ablations, extensions, or all)\n",
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (want %s, ablations, extensions, sharding, or all)\n",
 				*experiment, strings.Join(order, "|"))
 			os.Exit(2)
 		}

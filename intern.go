@@ -1,12 +1,18 @@
 package acache
 
+import "sync"
+
 // Interner maps strings to dense int64 ids and back — a symbol table for
 // feeding string-keyed streams into the engine, whose attribute values are
 // int64 by design (the paper's experiments use integer join attributes; a
 // real deployment interns its strings exactly like this).
 //
-// Like the engine, an Interner is not safe for concurrent use.
+// Unlike the engines, an Interner is safe for concurrent use: with sharded
+// execution, multiple producer goroutines intern strings while preparing
+// updates, so lookups take a read lock and only first-sight assignment takes
+// the write lock.
 type Interner struct {
+	mu    sync.RWMutex
 	ids   map[string]int64
 	names []string
 }
@@ -18,10 +24,19 @@ func NewInterner() *Interner {
 
 // ID returns the id for s, assigning the next dense id on first sight.
 func (in *Interner) ID(s string) int64 {
-	if id, ok := in.ids[s]; ok {
+	in.mu.RLock()
+	id, ok := in.ids[s]
+	in.mu.RUnlock()
+	if ok {
 		return id
 	}
-	id := int64(len(in.names))
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if id, ok := in.ids[s]; ok {
+		// Another producer assigned it between the two locks.
+		return id
+	}
+	id = int64(len(in.names))
 	in.ids[s] = id
 	in.names = append(in.names, s)
 	return id
@@ -29,6 +44,8 @@ func (in *Interner) ID(s string) int64 {
 
 // Lookup returns the id for s without assigning, and whether it was known.
 func (in *Interner) Lookup(s string) (int64, bool) {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
 	id, ok := in.ids[s]
 	return id, ok
 }
@@ -36,6 +53,8 @@ func (in *Interner) Lookup(s string) (int64, bool) {
 // Name returns the string for a previously assigned id; it panics on an
 // unknown id, which indicates a caller bug (ids only come from ID).
 func (in *Interner) Name(id int64) string {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
 	if id < 0 || id >= int64(len(in.names)) {
 		panic("acache: unknown interned id")
 	}
@@ -43,4 +62,8 @@ func (in *Interner) Name(id int64) string {
 }
 
 // Len returns the number of interned strings.
-func (in *Interner) Len() int { return len(in.names) }
+func (in *Interner) Len() int {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return len(in.names)
+}

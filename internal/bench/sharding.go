@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"time"
+
+	"acache/internal/core"
+	"acache/internal/shard"
+)
+
+// The sharding experiment is the one measurement in this package that uses
+// wall-clock time instead of the deterministic cost meter: hash-partitioned
+// parallelism cuts elapsed time by spreading work across cores, while the
+// aggregate simulated work stays the same (shards run the same operators on
+// slices of the same stream). Meter units therefore cannot show a speedup —
+// only the clock can.
+
+// ShardingPoint is one measured shard count of the scaling run.
+type ShardingPoint struct {
+	Shards       int     `json:"shards"`
+	Partitioning string  `json:"partitioning"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	TuplesPerSec float64 `json:"tuples_per_sec"`
+	// SpeedupVsSerial is this point's throughput over the P=1 point's.
+	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+	Outputs         uint64  `json:"outputs"`
+}
+
+// ShardingReport is the full scaling run, JSON-ready for BENCH_sharding.json.
+// GOMAXPROCS and NumCPU record the host parallelism the run had available:
+// on a single-core host every point collapses to ≈1× and the numbers measure
+// sharding overhead, not scaling.
+type ShardingReport struct {
+	Relations  int             `json:"relations"`
+	Warmup     int             `json:"warmup_appends"`
+	Measure    int             `json:"measure_appends"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	NumCPU     int             `json:"num_cpu"`
+	Points     []ShardingPoint `json:"points"`
+}
+
+// RunSharding measures wall-clock throughput of the sharded engine on the
+// Fig9 n-way workload at each shard count. Every run replays the identical
+// update stream; the Outputs column cross-checks that partitioning did not
+// change the result cardinality.
+func RunSharding(n int, shardCounts []int, cfg RunConfig) *ShardingReport {
+	rep := &ShardingReport{
+		Relations:  n,
+		Warmup:     cfg.Warmup,
+		Measure:    cfg.Measure,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	for _, p := range shardCounts {
+		rep.Points = append(rep.Points, runShardingPoint(n, p, cfg))
+	}
+	for i := range rep.Points {
+		if base := rep.Points[0].TuplesPerSec; base > 0 {
+			rep.Points[i].SpeedupVsSerial = rep.Points[i].TuplesPerSec / base
+		}
+	}
+	return rep
+}
+
+func runShardingPoint(n, shards int, cfg RunConfig) ShardingPoint {
+	w := nWayWorkload(n)
+	plan := shard.PlanPartitions(w.q, shards)
+	sh, err := shard.New(plan, 0, func(i int) (*core.Engine, error) {
+		return core.NewEngine(w.q, nil, core.Config{
+			ReoptInterval: cfg.Measure / 8,
+			GCQuota:       6,
+			// Decorrelate per-shard sampling, as BuildSharded does.
+			Seed: cfg.Seed + int64(i)*1_000_003,
+		})
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer sh.Close()
+	src := w.source()
+	for src.TotalAppends() < uint64(cfg.Warmup) {
+		sh.Offer(src.Next())
+	}
+	sh.Flush()
+	startAppends := src.TotalAppends()
+	start := time.Now()
+	for src.TotalAppends() < startAppends+uint64(cfg.Measure) {
+		sh.Offer(src.Next())
+	}
+	sh.Flush()
+	wall := time.Since(start).Seconds()
+	pt := ShardingPoint{
+		Shards:       plan.Shards,
+		Partitioning: plan.String(),
+		WallSeconds:  wall,
+		Outputs:      sh.Outputs(),
+	}
+	if wall > 0 {
+		pt.TuplesPerSec = float64(cfg.Measure) / wall
+	}
+	return pt
+}
+
+// JSON renders the report for BENCH_sharding.json.
+func (r *ShardingReport) JSON() []byte {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	return append(b, '\n')
+}
+
+// Experiment renders the report in the package's common table/chart form.
+func (r *ShardingReport) Experiment() *Experiment {
+	var x, tput, speedup []float64
+	notes := []string{
+		fmt.Sprintf("n=%d relations, GOMAXPROCS=%d, NumCPU=%d (wall-clock measurement)",
+			r.Relations, r.GOMAXPROCS, r.NumCPU),
+	}
+	for _, pt := range r.Points {
+		x = append(x, float64(pt.Shards))
+		tput = append(tput, pt.TuplesPerSec)
+		speedup = append(speedup, pt.SpeedupVsSerial)
+	}
+	if len(r.Points) > 0 {
+		notes = append(notes, "partitioning: "+r.Points[len(r.Points)-1].Partitioning)
+	}
+	return &Experiment{
+		ID:     "sharding",
+		Title:  "Hash-partitioned scaling (wall clock)",
+		XLabel: "shards",
+		YLabel: "appends/sec (wall)",
+		Series: []Series{
+			{Label: "tuples/sec", X: x, Y: tput},
+			{Label: "speedup vs P=1", X: x, Y: speedup},
+		},
+		Notes: notes,
+	}
+}

@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestRunShardingShape(t *testing.T) {
+	cfg := RunConfig{Warmup: 500, Measure: 1500, Seed: 42}
+	rep := RunSharding(4, []int{1, 2}, cfg)
+	if len(rep.Points) != 2 {
+		t.Fatalf("points = %d, want 2", len(rep.Points))
+	}
+	if rep.Points[0].Shards != 1 || rep.Points[1].Shards != 2 {
+		t.Fatalf("shard counts = %d, %d", rep.Points[0].Shards, rep.Points[1].Shards)
+	}
+	// Partitioning must not change result cardinality: same stream, same
+	// outputs at every shard count.
+	if rep.Points[0].Outputs != rep.Points[1].Outputs {
+		t.Fatalf("outputs diverge across shard counts: %d vs %d",
+			rep.Points[0].Outputs, rep.Points[1].Outputs)
+	}
+	for i, pt := range rep.Points {
+		if pt.TuplesPerSec <= 0 || pt.WallSeconds <= 0 {
+			t.Fatalf("point %d not measured: %+v", i, pt)
+		}
+	}
+	if rep.Points[0].SpeedupVsSerial != 1 {
+		t.Fatalf("P=1 speedup = %v, want 1", rep.Points[0].SpeedupVsSerial)
+	}
+
+	var back ShardingReport
+	if err := json.Unmarshal(rep.JSON(), &back); err != nil {
+		t.Fatalf("JSON round-trip: %v", err)
+	}
+	if back.GOMAXPROCS != rep.GOMAXPROCS || len(back.Points) != 2 {
+		t.Fatalf("JSON lost fields: %+v", back)
+	}
+
+	e := rep.Experiment()
+	if e.ID != "sharding" || len(e.Series) != 2 {
+		t.Fatalf("experiment shape: %+v", e)
+	}
+	for _, s := range e.Series {
+		finitePositive(t, s)
+	}
+}

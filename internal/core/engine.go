@@ -404,6 +404,48 @@ func (en *Engine) Process(u stream.Update) int {
 	return outputs
 }
 
+// ProcessBatch runs a batch of updates in order, each to completion, and
+// returns the total join-result updates emitted. It is the batched ingestion
+// path used by sharded execution: one call per mailbox batch amortizes the
+// per-update dispatch overhead without changing any per-update semantics.
+func (en *Engine) ProcessBatch(ups []stream.Update) int {
+	total := 0
+	for _, u := range ups {
+		total += en.Process(u)
+	}
+	return total
+}
+
+// Snapshot is an aggregate of the engine's headline counters. Sharded
+// execution reads one Snapshot per shard and sums them; the single-engine
+// Stats API is a rendering of the same numbers.
+type Snapshot struct {
+	// Updates is the number of updates processed by this engine.
+	Updates int
+	// Outputs is the number of join-result updates emitted.
+	Outputs uint64
+	// Work is the simulated processing work consumed so far.
+	Work cost.Units
+	// Reopts and SkippedReopts count selection runs and p-threshold skips.
+	Reopts, SkippedReopts int
+	// CacheMemoryBytes is the bytes held by cache instances.
+	CacheMemoryBytes int
+}
+
+// Snapshot returns the engine's current counters. Callers aggregating across
+// shards must quiesce the shard goroutines first; the method itself takes no
+// locks.
+func (en *Engine) Snapshot() Snapshot {
+	return Snapshot{
+		Updates:          en.updates,
+		Outputs:          en.outputs,
+		Work:             en.meter.Total(),
+		Reopts:           en.reopts,
+		SkippedReopts:    en.skippedReopts,
+		CacheMemoryBytes: en.CacheMemoryBytes(),
+	}
+}
+
 // SetMemoryBudget changes the cache memory budget at run time (Figure 13)
 // and immediately re-divides it among the used caches by priority.
 func (en *Engine) SetMemoryBudget(bytes int) {

@@ -170,8 +170,14 @@ func (e *Exec) applyStoreUpdate(u stream.Update) {
 func (e *Exec) run(u stream.Update, profiled bool, prof *Profile) int {
 	p := e.pipes[u.Rel]
 	nsteps := len(p.steps)
-	arrivals := make([][]tuple.Tuple, nsteps+1)
-	arrivals[0] = []tuple.Tuple{u.Tuple}
+	if p.arrivals == nil {
+		p.arrivals = make([][]tuple.Tuple, nsteps+1)
+	}
+	arrivals := p.arrivals
+	for i := range arrivals {
+		arrivals[i] = arrivals[i][:0]
+	}
+	arrivals[0] = append(arrivals[0], u.Tuple)
 	outputs := 0
 	for pos := 0; pos <= nsteps; pos++ {
 		batch := arrivals[pos]

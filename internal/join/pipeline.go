@@ -26,9 +26,12 @@ type step struct {
 
 	// Index path: probeFromCols[c] is the input-schema column whose value
 	// fills the c-th column of the index key (index columns are the rel's
-	// class attributes sorted by name).
+	// class attributes sorted by name). probeVals is the probe-key scratch,
+	// sized at compile time; pipelines are single-goroutine so reuse across
+	// run calls is safe (KeyOfValues copies, it never retains the slice).
 	indexAttrs    []string
 	probeFromCols []int
+	probeVals     []tuple.Value
 
 	// Scan path (no index or no shared classes): for each check,
 	// input[inCol] must equal relTuple[relCol].
@@ -85,6 +88,12 @@ type pipeline struct {
 	suspended map[int]*attachment
 	maint     [][]*maintOp // by position (0..len(steps))
 	taps      [][]tapEntry // by position (0..len(steps))
+
+	// arrivals is Exec.run's per-update scratch (len(steps)+1 batches),
+	// reused across updates: only run touches it, engines are
+	// single-goroutine, and nothing downstream retains the batch slices
+	// (taps, maintenance, and profilers all copy what they keep).
+	arrivals [][]tuple.Tuple
 }
 
 func buildPipeline(q *query.Query, rel int, order []int, stores []*relation.Store, scanOnly map[tuple.Attr]bool) *pipeline {
@@ -171,6 +180,7 @@ func buildStep(q *query.Query, in *tuple.Schema, prefix []int, r int, store *rel
 			}
 			st.probeFromCols = append(st.probeFromCols, q.RepresentativeCols(in, []int{cls})[0])
 		}
+		st.probeVals = make([]tuple.Value, len(st.probeFromCols))
 		return st
 	}
 	// Scan path: equality checks per (class, r-attribute) pair; with no
@@ -196,7 +206,7 @@ func (st *step) run(batch []tuple.Tuple, store *relation.Store, meter *cost.Mete
 			// Index dropped after compilation; rebuild lazily.
 			idx = store.CreateIndex(st.indexAttrs...)
 		}
-		vals := make([]tuple.Value, len(st.probeFromCols))
+		vals := st.probeVals
 		for _, r := range batch {
 			for i, c := range st.probeFromCols {
 				vals[i] = r[c]

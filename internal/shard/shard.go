@@ -1,0 +1,339 @@
+// Package shard hash-partitions a continuous multiway join across P
+// independent worker shards, each running its own unmodified single-goroutine
+// core.Engine — its own executor, cost meter, profiler, and cache set — on a
+// dedicated goroutine fed by a batched mailbox.
+//
+// Partitioning multi-way stream joins by join key is the standard scale-out
+// move for this plan shape, and it composes cleanly with A-Caching because
+// each shard is just a smaller instance of the paper's engine: every
+// consistency invariant of Section 3.2 is per-shard state, so no cross-shard
+// coordination is ever needed.
+//
+// The partitioning scheme is chosen from the join graph's attribute
+// equivalence classes:
+//
+//   - When one class has an attribute in every relation (the n-way join on a
+//     common attribute), every relation is partitioned by that class's value
+//     and each shard computes a disjoint slice of the result.
+//   - Otherwise the largest-degree class partitions the relations it covers,
+//     and updates of non-covered relations are broadcast to all shards. A
+//     result tuple's covered constituents all carry the same class value (the
+//     class is an equivalence class), so they live in exactly one shard and
+//     the result is still produced exactly once.
+//   - Degenerate graphs (no class spanning two relations) fall back to P=1.
+//
+// Ordering contract: updates offered by the single ingress goroutine are
+// processed in offer order within each shard (a shard's input is the offer
+// order restricted to that shard); cross-shard interleaving is unspecified.
+// Result callbacks preserve per-shard emission order; emissions from
+// different shards interleave arbitrarily.
+package shard
+
+import (
+	"fmt"
+	"sync"
+
+	"acache/internal/core"
+	"acache/internal/query"
+	"acache/internal/stream"
+	"acache/internal/tuple"
+)
+
+// Plan describes how a query's update streams are hash-partitioned across
+// shards.
+type Plan struct {
+	// Shards is the number of worker shards P (1 = serial fallback).
+	Shards int
+	// Class is the partitioning attribute equivalence class, or −1 when the
+	// plan fell back to P=1.
+	Class int
+	// KeyCols[rel] is the tuple column of relation rel carrying the
+	// partitioning class's value, or −1 when the relation is not covered by
+	// the class and its updates are broadcast to every shard.
+	KeyCols []int
+}
+
+// Covered reports whether relation rel is hash-partitioned (as opposed to
+// broadcast).
+func (p Plan) Covered(rel int) bool { return p.Shards > 1 && p.KeyCols[rel] >= 0 }
+
+// NumBroadcast returns the number of relations whose updates are broadcast.
+func (p Plan) NumBroadcast() int {
+	if p.Shards <= 1 {
+		return 0
+	}
+	n := 0
+	for _, c := range p.KeyCols {
+		if c < 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func (p Plan) String() string {
+	if p.Shards <= 1 {
+		return "serial (P=1)"
+	}
+	return fmt.Sprintf("P=%d on class %d (%d broadcast)", p.Shards, p.Class, p.NumBroadcast())
+}
+
+// PlanPartitions picks the partitioning scheme for q from its join graph:
+// the attribute equivalence class covering the most relations wins (ties to
+// the lowest class id, so plans are deterministic); relations it does not
+// cover are broadcast. When no class spans at least two relations — a
+// degenerate graph — or shards ≤ 1, the plan falls back to P=1.
+func PlanPartitions(q *query.Query, shards int) Plan {
+	n := q.N()
+	plan := Plan{Shards: 1, Class: -1, KeyCols: make([]int, n)}
+	for i := range plan.KeyCols {
+		plan.KeyCols[i] = -1
+	}
+	if shards <= 1 {
+		return plan
+	}
+	best, bestDeg := -1, 1
+	for c := 0; c < q.NumClasses(); c++ {
+		deg := 0
+		for rel := 0; rel < n; rel++ {
+			if len(q.ClassAttrsOf(rel, c)) > 0 {
+				deg++
+			}
+		}
+		if deg > bestDeg {
+			best, bestDeg = c, deg
+		}
+	}
+	if best < 0 {
+		return plan
+	}
+	plan.Shards = shards
+	plan.Class = best
+	for rel := 0; rel < n; rel++ {
+		names := q.ClassAttrsOf(rel, best)
+		if len(names) == 0 {
+			continue
+		}
+		// Any member attribute works: inside a valid composite tuple all
+		// attributes of one class carry equal values. Use the first in the
+		// canonical (sorted) order.
+		plan.KeyCols[rel] = q.Schema(rel).MustColOf(tuple.Attr{Rel: rel, Name: names[0]})
+	}
+	return plan
+}
+
+// mix is the splitmix64 finalizer: raw join-attribute values are often dense
+// small integers, which would otherwise land consecutive values on
+// consecutive shards and turn range-skewed streams into shard skew.
+func mix(v int64) uint64 {
+	x := uint64(v) + 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// ShardOf returns the shard an update routes to, or −1 when the update's
+// relation is broadcast to every shard. Routing is a pure function of the
+// partitioning value, so a tuple's delete always follows its insert to the
+// same shard.
+func (p Plan) ShardOf(u stream.Update) int {
+	if p.Shards <= 1 {
+		return 0
+	}
+	col := p.KeyCols[u.Rel]
+	if col < 0 {
+		return -1
+	}
+	return int(mix(u.Tuple[col]) % uint64(p.Shards))
+}
+
+// mailboxDepth is the per-shard channel buffer in batches; it decouples the
+// ingress from transient per-shard slowdowns (a shard mid-re-optimization)
+// while still applying backpressure when a shard falls persistently behind.
+const mailboxDepth = 8
+
+// DefaultBatchSize is the ingress batch size when the caller passes ≤ 0:
+// large enough to amortize a channel hand-off over many updates, small
+// enough to keep shard latency and ingress buffering negligible.
+const DefaultBatchSize = 128
+
+type batchMsg struct {
+	ups []stream.Update
+	ack chan<- struct{}
+}
+
+// Engine fans updates out to per-shard core engines. One ingress goroutine
+// calls Offer/Flush/Close; each shard runs on its own goroutine. All
+// inspection (Snapshot, Shard, per-shard state) must happen with the shards
+// quiesced: after a Flush and before the next Offer.
+type Engine struct {
+	plan   Plan
+	shards []*core.Engine
+	mail   []chan batchMsg
+	ing    *stream.Batcher
+	wg     sync.WaitGroup
+	resMu  sync.Mutex // serializes merged result callbacks
+	closed bool
+}
+
+// New builds a sharded engine over plan.Shards core engines constructed by
+// mk (one call per shard, so each shard gets its own meter, profiler, cache
+// set, and seed) and starts the worker goroutines. batchSize ≤ 0 uses
+// DefaultBatchSize.
+func New(plan Plan, batchSize int, mk func(shard int) (*core.Engine, error)) (*Engine, error) {
+	if plan.Shards < 1 {
+		return nil, fmt.Errorf("shard: plan has %d shards", plan.Shards)
+	}
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
+	e := &Engine{plan: plan}
+	for i := 0; i < plan.Shards; i++ {
+		en, err := mk(i)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		e.shards = append(e.shards, en)
+		e.mail = append(e.mail, make(chan batchMsg, mailboxDepth))
+	}
+	e.ing = stream.NewBatcher(plan.Shards, batchSize, func(route int, ups []stream.Update) {
+		e.mail[route] <- batchMsg{ups: ups}
+	})
+	for i := range e.shards {
+		e.wg.Add(1)
+		go e.worker(i)
+	}
+	return e, nil
+}
+
+func (e *Engine) worker(i int) {
+	defer e.wg.Done()
+	en := e.shards[i]
+	for m := range e.mail[i] {
+		if len(m.ups) > 0 {
+			en.ProcessBatch(m.ups)
+		}
+		if m.ack != nil {
+			m.ack <- struct{}{}
+		}
+	}
+}
+
+// Plan returns the partitioning plan in effect.
+func (e *Engine) Plan() Plan { return e.plan }
+
+// NumShards returns P.
+func (e *Engine) NumShards() int { return len(e.shards) }
+
+// Offer routes one update to its shard's pending batch (or to every shard's,
+// for a broadcast relation). The update's tuple must not be mutated
+// afterwards: broadcast shards share it, and shards retain tuples in their
+// windows.
+func (e *Engine) Offer(u stream.Update) {
+	s := e.plan.ShardOf(u)
+	if s >= 0 {
+		e.ing.Add(s, u)
+		return
+	}
+	for i := range e.mail {
+		e.ing.Add(i, u)
+	}
+}
+
+// Flush submits every pending batch and returns only after every shard has
+// processed everything offered so far — the quiescent point at which
+// per-shard state may be inspected from the ingress goroutine.
+func (e *Engine) Flush() {
+	e.ing.Flush()
+	ack := make(chan struct{}, len(e.mail))
+	for _, m := range e.mail {
+		m <- batchMsg{ack: ack}
+	}
+	for range e.mail {
+		<-ack
+	}
+}
+
+// Close flushes, stops the worker goroutines, and waits for them to exit.
+// The engine must not be used afterwards.
+func (e *Engine) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	e.ing.Flush()
+	for _, m := range e.mail {
+		close(m)
+	}
+	e.wg.Wait()
+}
+
+// Shard exposes shard i's core engine. Only valid while quiesced (after
+// Flush, before the next Offer).
+func (e *Engine) Shard(i int) *core.Engine { return e.shards[i] }
+
+// Snapshot flushes and returns the sum of all shards' counters.
+func (e *Engine) Snapshot() core.Snapshot {
+	e.Flush()
+	var total core.Snapshot
+	for _, en := range e.shards {
+		s := en.Snapshot()
+		total.Updates += s.Updates
+		total.Outputs += s.Outputs
+		total.Work += s.Work
+		total.Reopts += s.Reopts
+		total.SkippedReopts += s.SkippedReopts
+		total.CacheMemoryBytes += s.CacheMemoryBytes
+	}
+	return total
+}
+
+// Outputs flushes and returns the total join-result updates emitted across
+// shards. Note that a broadcast relation's update may emit results in
+// several shards; the sum is the same total a serial engine would emit.
+func (e *Engine) Outputs() uint64 { return e.Snapshot().Outputs }
+
+// OnResult registers a merged result callback: every shard's join-result
+// deltas are funneled through one mutex into f. Per-shard emission order is
+// preserved; cross-shard interleaving is unspecified. Must be called before
+// the first Offer. f runs on shard goroutines and must not call back into
+// the engine.
+func (e *Engine) OnResult(f func(insert bool, result []tuple.Value)) {
+	for _, en := range e.shards {
+		en.OnResult(func(ins bool, vals []tuple.Value) {
+			e.resMu.Lock()
+			f(ins, vals)
+			e.resMu.Unlock()
+		})
+	}
+}
+
+// MemoryDemand flushes and sums the shards' cache-memory demand — the
+// sharded engine's appetite when a server divides a global budget across
+// queries.
+func (e *Engine) MemoryDemand() (bytes int, netBenefit float64) {
+	e.Flush()
+	for _, en := range e.shards {
+		b, net := en.MemoryDemand()
+		bytes += b
+		netBenefit += net
+	}
+	return bytes, netBenefit
+}
+
+// SetMemoryBudget flushes and divides a cache-memory budget evenly across
+// the shards (each shard runs its own Section 5 allocation below its slice);
+// bytes < 0 grants every shard unlimited memory.
+func (e *Engine) SetMemoryBudget(bytes int) {
+	e.Flush()
+	per := bytes
+	if bytes >= 0 {
+		per = bytes / len(e.shards)
+	}
+	for _, en := range e.shards {
+		en.SetMemoryBudget(per)
+	}
+}

@@ -15,10 +15,13 @@ import (
 // granting memory where the aggregate net benefit per byte is highest.
 //
 // Like the engines it hosts, a Server is not safe for concurrent use: the
-// caller serializes updates and rebalances.
+// caller serializes updates and rebalances. Sharded engines run their shards
+// on worker goroutines, but their ingress is part of the same single-caller
+// contract — the server quiesces them (Flush) before reading their demand.
 type Server struct {
 	mgr     *memory.Manager
 	engines map[string]*Engine
+	sharded map[string]*ShardedEngine
 	order   []string
 	// RebalanceEvery is how many processed updates pass between automatic
 	// rebalances (0 disables automatic rebalancing; call Rebalance
@@ -36,6 +39,7 @@ func NewServer(memoryBudget int) *Server {
 	return &Server{
 		mgr:            memory.NewManager(memoryBudget),
 		engines:        make(map[string]*Engine),
+		sharded:        make(map[string]*ShardedEngine),
 		RebalanceEvery: 10_000,
 	}
 }
@@ -44,7 +48,7 @@ func NewServer(memoryBudget int) *Server {
 // engine starts with no cache memory until the first rebalance (or with
 // unlimited memory when the server's budget is unlimited).
 func (s *Server) Register(name string, q *Query, opts Options) (*Engine, error) {
-	if _, dup := s.engines[name]; dup {
+	if s.registered(name) {
 		return nil, fmt.Errorf("acache: query %q already registered", name)
 	}
 	if s.mgr.Budget() >= 0 {
@@ -62,12 +66,50 @@ func (s *Server) Register(name string, q *Query, opts Options) (*Engine, error) 
 	return eng, nil
 }
 
-// Deregister removes a query's engine, returning its memory to the pool.
+func (s *Server) registered(name string) bool {
+	_, e := s.engines[name]
+	_, sh := s.sharded[name]
+	return e || sh
+}
+
+// RegisterSharded builds the query as a hash-partitioned sharded engine and
+// adds it under the given name. The server treats the whole sharded engine
+// as one query for budgeting: Rebalance grants it one budget, which the
+// engine divides evenly across its shards.
+func (s *Server) RegisterSharded(name string, q *Query, opts Options, sopts ShardOptions) (*ShardedEngine, error) {
+	if s.registered(name) {
+		return nil, fmt.Errorf("acache: query %q already registered", name)
+	}
+	if s.mgr.Budget() >= 0 {
+		// Start minimal (one page per shard); Rebalance grants real budgets.
+		shards := sopts.Shards
+		if shards < 1 {
+			shards = 1
+		}
+		opts.MemoryBudget = memory.PageBytes * shards
+	}
+	eng, err := q.BuildSharded(opts, sopts)
+	if err != nil {
+		return nil, err
+	}
+	eng.server = s
+	s.sharded[name] = eng
+	s.order = append(s.order, name)
+	s.Rebalance()
+	return eng, nil
+}
+
+// Deregister removes a query's engine, returning its memory to the pool. A
+// sharded engine is closed (its shard goroutines stop).
 func (s *Server) Deregister(name string) {
-	if _, ok := s.engines[name]; !ok {
+	if !s.registered(name) {
 		return
 	}
+	if eng, ok := s.sharded[name]; ok {
+		eng.Close()
+	}
 	delete(s.engines, name)
+	delete(s.sharded, name)
 	for i, n := range s.order {
 		if n == name {
 			s.order = append(s.order[:i:i], s.order[i+1:]...)
@@ -77,8 +119,12 @@ func (s *Server) Deregister(name string) {
 	s.Rebalance()
 }
 
-// Engine returns the named query's engine, or nil.
+// Engine returns the named query's serial engine, or nil (sharded queries
+// are reached through Sharded).
 func (s *Server) Engine(name string) *Engine { return s.engines[name] }
+
+// Sharded returns the named query's sharded engine, or nil.
+func (s *Server) Sharded(name string) *ShardedEngine { return s.sharded[name] }
 
 // Queries returns the registered query names in registration order.
 func (s *Server) Queries() []string { return append([]string(nil), s.order...) }
@@ -94,15 +140,14 @@ func (s *Server) Rebalance() {
 		for _, eng := range s.engines {
 			eng.core.SetMemoryBudget(-1)
 		}
+		for _, eng := range s.sharded {
+			eng.sh.SetMemoryBudget(-1)
+		}
 		return
 	}
 	var reqs []memory.Request
 	for _, name := range s.order {
-		eng := s.engines[name]
-		bytes, net := eng.core.MemoryDemand()
-		if bytes < memory.PageBytes {
-			bytes = memory.PageBytes // headroom so new caches can start
-		}
+		bytes, net := s.demandOf(name)
 		reqs = append(reqs, memory.Request{
 			ID:       name,
 			Priority: net / float64(bytes),
@@ -111,8 +156,33 @@ func (s *Server) Rebalance() {
 	}
 	grants := s.mgr.Allocate(reqs)
 	for name, grant := range grants {
-		s.engines[name].core.SetMemoryBudget(grant)
+		if eng, ok := s.engines[name]; ok {
+			eng.core.SetMemoryBudget(grant)
+			continue
+		}
+		// A sharded engine receives one grant and splits it evenly across
+		// its shards; each shard re-divides its slice among its caches by
+		// the Section 5 priority rule, so the hierarchy is server → query →
+		// shard → cache.
+		s.sharded[name].sh.SetMemoryBudget(grant)
 	}
+}
+
+// demandOf returns the named query's cache-memory demand and aggregate net
+// benefit, floored at one page per shard so new caches can start.
+func (s *Server) demandOf(name string) (bytes int, net float64) {
+	floor := memory.PageBytes
+	if eng, ok := s.engines[name]; ok {
+		bytes, net = eng.core.MemoryDemand()
+	} else {
+		eng := s.sharded[name]
+		bytes, net = eng.memoryDemand() // quiesces the shards
+		floor *= eng.NumShards()
+	}
+	if bytes < floor {
+		bytes = floor
+	}
+	return bytes, net
 }
 
 // SetBudget changes the global budget and rebalances immediately.
@@ -125,19 +195,36 @@ func (s *Server) SetBudget(bytes int) {
 }
 
 // Budgets returns each query's currently granted cache-memory budget in
-// bytes (−1 = unlimited), keyed by query name.
+// bytes (−1 = unlimited), keyed by query name. A sharded query reports the
+// sum of its shards' budgets.
 func (s *Server) Budgets() map[string]int {
-	out := make(map[string]int, len(s.engines))
+	out := make(map[string]int, len(s.engines)+len(s.sharded))
 	for name, eng := range s.engines {
 		out[name] = eng.core.MemoryBudgetBytes()
+	}
+	for name, eng := range s.sharded {
+		eng.Flush()
+		total := 0
+		for i := 0; i < eng.NumShards(); i++ {
+			b := eng.sh.Shard(i).MemoryBudgetBytes()
+			if b < 0 {
+				total = -1
+				break
+			}
+			total += b
+		}
+		out[name] = total
 	}
 	return out
 }
 
 // Stats aggregates per-query statistics, keyed by query name.
 func (s *Server) Stats() map[string]Stats {
-	out := make(map[string]Stats, len(s.engines))
+	out := make(map[string]Stats, len(s.engines)+len(s.sharded))
 	for name, eng := range s.engines {
+		out[name] = eng.Stats()
+	}
+	for name, eng := range s.sharded {
 		out[name] = eng.Stats()
 	}
 	return out
@@ -164,10 +251,7 @@ func (s *Server) sortedByPriority() []string {
 	}
 	var ps []pq
 	for _, name := range s.order {
-		bytes, net := s.engines[name].core.MemoryDemand()
-		if bytes < 1 {
-			bytes = 1
-		}
+		bytes, net := s.demandOf(name)
 		ps = append(ps, pq{name, net / float64(bytes)})
 	}
 	sort.SliceStable(ps, func(a, b int) bool { return ps[a].prio > ps[b].prio })

@@ -128,3 +128,44 @@ func TestServerRebalanceGrantsArePageMultiples(t *testing.T) {
 	s.Rebalance()
 	_ = eng
 }
+
+func TestServerHostsShardedQuery(t *testing.T) {
+	s := NewServer(64 * 1024)
+	sq, err := s.RegisterSharded("sq", threeWayDecl("s"), Options{Seed: 11}, ShardOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Sharded("sq") != sq || s.Engine("sq") != nil {
+		t.Fatal("sharded lookup failed")
+	}
+	if _, err := s.Register("sq", threeWayDecl("x"), Options{}); err == nil {
+		t.Fatal("duplicate name across serial/sharded accepted")
+	}
+	serial, err := s.Register("plain", threeWayDecl("p"), Options{Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 2_000; i++ {
+		sq.Append("sR", rng.Int63n(30))
+		sq.Append("sS", rng.Int63n(30), rng.Int63n(30))
+		sq.Append("sT", rng.Int63n(30))
+		serial.Append("pR", rng.Int63n(30))
+	}
+	s.Rebalance()
+	b := s.Budgets()
+	if b["sq"] < 0 || b["plain"] < 0 {
+		t.Fatalf("finite global budget granted unlimited memory: %v", b)
+	}
+	if b["sq"]+b["plain"] > 64*1024 {
+		t.Fatalf("grants %v exceed the global budget", b)
+	}
+	st := s.Stats()
+	if st["sq"].Updates == 0 {
+		t.Fatal("sharded query stats missing")
+	}
+	s.Deregister("sq")
+	if s.Sharded("sq") != nil || len(s.Queries()) != 1 {
+		t.Fatal("sharded Deregister incomplete")
+	}
+}

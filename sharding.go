@@ -1,0 +1,332 @@
+package acache
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"acache/internal/core"
+	"acache/internal/cost"
+	"acache/internal/query"
+	"acache/internal/shard"
+	"acache/internal/stream"
+	"acache/internal/tuple"
+)
+
+// ShardOptions tune hash-partitioned parallel execution.
+type ShardOptions struct {
+	// Shards is the number of worker shards P. Values ≤ 1 — and join graphs
+	// the partition planner deems degenerate — run a single shard.
+	Shards int
+	// BatchSize is how many updates the ingress buffers per shard before
+	// handing the batch to the shard's mailbox (≤ 0 uses a default sized to
+	// amortize channel traffic).
+	BatchSize int
+}
+
+// ShardedEngine executes a built query hash-partitioned across P worker
+// shards, each running its own unmodified single-goroutine adaptive engine —
+// its own cost meter, profiler, and cache set — on a dedicated goroutine fed
+// by a batched mailbox. The partition planner picks the scheme from the join
+// graph: a class covering every relation partitions all of them (disjoint
+// result slices per shard); otherwise the largest-degree class partitions
+// the relations it covers and the rest are broadcast to all shards.
+//
+// Ingress (Insert, Delete, Append, AppendAt, AdvanceTime, Flush, Close) is
+// single-producer: one goroutine feeds the engine, defining the global
+// update order, exactly like the serial Engine. Updates are processed
+// asynchronously; ingress calls return once the update is routed, so they
+// report no per-call result count — use OnResult for deltas and Stats for
+// totals. Flush blocks until every routed update is fully processed.
+//
+// Ordering contract: within a shard, updates are processed in ingress order
+// (each shard sees the global order restricted to its slice); cross-shard
+// interleaving is unspecified. OnResult callbacks preserve per-shard
+// emission order and interleave arbitrarily across shards.
+type ShardedEngine struct {
+	q    *Query
+	plan shard.Plan
+	sh   *shard.Engine
+
+	windows  []*stream.SlidingWindow
+	timeWins []*stream.TimeWindow
+	partWins []*stream.PartitionedWindow
+	seq      uint64
+	server   *Server // non-nil when hosted by a Server
+}
+
+// BuildSharded validates the query and constructs a sharded engine. The
+// memory budget in opts is the whole engine's budget; each shard receives an
+// equal slice.
+func (q *Query) BuildSharded(opts Options, sopts ShardOptions) (*ShardedEngine, error) {
+	if q.err != nil {
+		return nil, q.err
+	}
+	iq, err := query.NewWithThetas(q.schemas, q.preds, q.thetas)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := opts.coreConfig(q)
+	if err != nil {
+		return nil, err
+	}
+	plan := shard.PlanPartitions(iq, sopts.Shards)
+	if cfg.MemoryBudget > 0 && plan.Shards > 1 {
+		cfg.MemoryBudget /= plan.Shards
+		if cfg.MemoryBudget < 1 {
+			cfg.MemoryBudget = 1
+		}
+	}
+	sh, err := shard.New(plan, sopts.BatchSize, func(i int) (*core.Engine, error) {
+		c := cfg
+		// Decorrelate per-shard sampling and randomized selection; shard 0
+		// keeps the caller's seed so P=1 reproduces the serial engine.
+		c.Seed = cfg.Seed + int64(i)*1_000_003
+		return core.NewEngine(iq, nil, c)
+	})
+	if err != nil {
+		return nil, err
+	}
+	e := &ShardedEngine{q: q, plan: plan, sh: sh}
+	e.windows, e.timeWins, e.partWins = q.buildWindows()
+	return e, nil
+}
+
+// NumShards returns the number of worker shards the planner settled on.
+func (e *ShardedEngine) NumShards() int { return e.sh.NumShards() }
+
+// Partitioning describes the partition plan: the chosen scheme and, per
+// relation, whether it is hash-partitioned or broadcast.
+func (e *ShardedEngine) Partitioning() string {
+	if e.plan.Shards <= 1 {
+		return "serial (P=1)"
+	}
+	var parts, bcast []string
+	for i, name := range e.q.names {
+		if e.plan.Covered(i) {
+			col := e.plan.KeyCols[i]
+			parts = append(parts, name+"."+e.q.schemas[i].Col(col).Name)
+		} else {
+			bcast = append(bcast, name)
+		}
+	}
+	s := fmt.Sprintf("P=%d, partitioned on %s", e.plan.Shards, strings.Join(parts, ", "))
+	if len(bcast) > 0 {
+		s += ", broadcast " + strings.Join(bcast, ", ")
+	}
+	return s
+}
+
+// route stamps the global sequence number and hands the update to its
+// shard(s).
+func (e *ShardedEngine) route(u stream.Update) {
+	e.seq++
+	u.Seq = e.seq
+	e.sh.Offer(u)
+	if e.server != nil {
+		e.server.tick()
+	}
+}
+
+// Insert routes an insertion into the named relation. Processing is
+// asynchronous; use Flush to wait for completion.
+func (e *ShardedEngine) Insert(rel string, values ...int64) {
+	e.applySharded(stream.Insert, e.q.relIndex(rel), values)
+}
+
+// Delete routes a deletion from the named relation.
+func (e *ShardedEngine) Delete(rel string, values ...int64) {
+	e.applySharded(stream.Delete, e.q.relIndex(rel), values)
+}
+
+func (e *ShardedEngine) applySharded(op stream.Op, rel int, values []int64) {
+	e.q.checkArity(rel, values)
+	e.route(stream.Update{Op: op, Rel: rel, Tuple: tuple.Tuple(values)})
+}
+
+// Append pushes one tuple of a count-windowed relation's append-only stream,
+// routing the expiry delete (if the window was full) and then the insert.
+// The window operators live at the ingress, so window semantics are global —
+// identical to the serial engine — regardless of how tuples are partitioned.
+func (e *ShardedEngine) Append(rel string, values ...int64) {
+	idx := e.q.relIndex(rel)
+	e.q.checkArity(idx, values)
+	var ups []stream.Update
+	switch {
+	case e.partWins[idx] != nil:
+		ups = e.partWins[idx].Append(tuple.Tuple(values).Clone())
+	case e.windows[idx] != nil:
+		ups = e.windows[idx].Append(tuple.Tuple(values).Clone())
+	default:
+		panic(fmt.Sprintf("acache: relation %q is time-windowed; use AppendAt", rel))
+	}
+	for _, u := range ups {
+		u.Rel = idx
+		e.route(u)
+	}
+}
+
+// AppendAt pushes one tuple of a time-windowed relation's stream at
+// application time ts, expiring every time window first (as AdvanceTime).
+// Timestamps must be non-decreasing across the engine.
+func (e *ShardedEngine) AppendAt(rel string, ts int64, values ...int64) {
+	idx := e.q.relIndex(rel)
+	if e.timeWins[idx] == nil {
+		panic(fmt.Sprintf("acache: relation %q is not time-windowed; use Append or Insert", rel))
+	}
+	e.q.checkArity(idx, values)
+	e.AdvanceTime(ts)
+	for _, u := range e.timeWins[idx].Append(tuple.Tuple(values).Clone(), ts) {
+		u.Rel = idx
+		e.route(u)
+	}
+}
+
+// AdvanceTime moves the global clock to ts without inserting anything,
+// routing every time window's expiry deletes.
+func (e *ShardedEngine) AdvanceTime(ts int64) {
+	for idx, w := range e.timeWins {
+		if w == nil {
+			continue
+		}
+		for _, u := range w.AdvanceTo(ts) {
+			u.Rel = idx
+			e.route(u)
+		}
+	}
+}
+
+// Flush blocks until every routed update has been processed by its shard —
+// the quiescent point for Stats, Explain, and DescribePlan.
+func (e *ShardedEngine) Flush() { e.sh.Flush() }
+
+// Close flushes, stops the shard goroutines, and releases the engine. The
+// engine must not be used afterwards.
+func (e *ShardedEngine) Close() { e.sh.Close() }
+
+// OnResult registers a callback receiving every join-result delta as a flat
+// row (see Query.ResultColumns for the labels), with insert = true for
+// additions and false for retractions. Callbacks are merged across shards
+// under a mutex: per-shard emission order is preserved, cross-shard
+// interleaving is unspecified. Must be called before the first update; the
+// callback runs on shard goroutines and must not call back into the engine.
+func (e *ShardedEngine) OnResult(f func(insert bool, row []int64)) {
+	e.sh.OnResult(func(ins bool, vals []tuple.Value) { f(ins, vals) })
+}
+
+// Stats flushes and returns counters aggregated across shards: Updates is
+// the ingress count (broadcast updates counted once), Outputs and
+// WorkSeconds are summed (WorkSeconds is aggregate work, not wall-clock —
+// shards run concurrently), and UsedCaches lists each distinct cache
+// placement annotated with how many shards currently use it.
+func (e *ShardedEngine) Stats() Stats {
+	snap := e.sh.Snapshot() // flushes
+	s := Stats{
+		Updates:          e.seq,
+		Outputs:          snap.Outputs,
+		WorkSeconds:      cost.Seconds(snap.Work),
+		Reopts:           snap.Reopts,
+		SkippedReopts:    snap.SkippedReopts,
+		CacheMemoryBytes: snap.CacheMemoryBytes,
+	}
+	counts := make(map[string]int)
+	for i := 0; i < e.sh.NumShards(); i++ {
+		for _, spec := range e.sh.Shard(i).UsedCaches() {
+			counts[e.q.describeSpec(spec)]++
+		}
+	}
+	for desc, k := range counts {
+		if e.sh.NumShards() > 1 {
+			desc = fmt.Sprintf("%s [%d/%d shards]", desc, k, e.sh.NumShards())
+		}
+		s.UsedCaches = append(s.UsedCaches, desc)
+	}
+	sort.Strings(s.UsedCaches)
+	return s
+}
+
+// Explain flushes and renders every shard's adaptive-optimizer view, one
+// section per shard.
+func (e *ShardedEngine) Explain() string {
+	e.Flush()
+	var b strings.Builder
+	for i := 0; i < e.sh.NumShards(); i++ {
+		fmt.Fprintf(&b, "— shard %d —\n", i)
+		for _, c := range e.sh.Shard(i).Candidates() {
+			fmt.Fprintf(&b, "%-9s %s  benefit=%.4f cost=%.4f miss=%.2f",
+				c.State.String(), e.q.describeSpec(c.Spec), c.Benefit, c.Cost, c.MissProb)
+			if !c.Ready {
+				b.WriteString("  (estimating)")
+			}
+			if c.Demotions > 0 {
+				fmt.Fprintf(&b, "  demoted×%d", c.Demotions)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// DescribePlan flushes and renders every shard's physical plan, one section
+// per shard, prefixed by the partitioning scheme.
+func (e *ShardedEngine) DescribePlan() string {
+	e.Flush()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", e.Partitioning())
+	for i := 0; i < e.sh.NumShards(); i++ {
+		fmt.Fprintf(&b, "— shard %d —\n", i)
+		plan := e.sh.Shard(i).Plan()
+		for p, pipe := range plan.Pipelines {
+			fmt.Fprintf(&b, "Δ%s:", e.q.names[p])
+			for _, r := range pipe {
+				fmt.Fprintf(&b, " ⋈ %s", e.q.names[r])
+			}
+			b.WriteByte('\n')
+		}
+		for _, c := range plan.Caches {
+			mode := "prefix"
+			switch {
+			case c.SelfMnt:
+				mode = "self-maintained"
+			case c.Reduced:
+				mode = "reduced"
+			}
+			fmt.Fprintf(&b, "  cache %s [%s]: %d entries, %.1f KB, %.0f%% hits\n",
+				e.q.describeSpec(c.Spec), mode, c.Entries, float64(c.Bytes)/1024, 100*c.HitRate)
+		}
+	}
+	return b.String()
+}
+
+// WindowLen flushes and returns the named relation's current tuple count:
+// summed across shards for a partitioned relation (shards hold disjoint
+// slices), and one shard's count for a broadcast relation (every shard holds
+// an identical replica).
+func (e *ShardedEngine) WindowLen(rel string) int {
+	e.Flush()
+	idx := e.q.relIndex(rel)
+	if !e.plan.Covered(idx) {
+		return e.sh.Shard(0).Exec().Store(idx).Len()
+	}
+	total := 0
+	for i := 0; i < e.sh.NumShards(); i++ {
+		total += e.sh.Shard(i).Exec().Store(idx).Len()
+	}
+	return total
+}
+
+// SetMemoryBudget changes the engine-wide cache memory budget at run time;
+// each shard receives an equal slice and re-divides it among its caches by
+// priority immediately.
+func (e *ShardedEngine) SetMemoryBudget(bytes int) {
+	if bytes <= 0 {
+		bytes = -1
+	}
+	e.sh.SetMemoryBudget(bytes)
+}
+
+// memoryDemand flushes and sums the shards' cache-memory demand, for the
+// hosting server's cross-query rebalance.
+func (e *ShardedEngine) memoryDemand() (bytes int, net float64) {
+	return e.sh.MemoryDemand()
+}
