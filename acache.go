@@ -282,7 +282,8 @@ type Engine struct {
 	timeWins []*stream.TimeWindow        // non-nil for time-windowed relations
 	partWins []*stream.PartitionedWindow // non-nil for partitioned relations
 	seq      uint64
-	server   *Server // non-nil when hosted by a Server
+	server   *Server         // non-nil when hosted by a Server
+	upsBuf   []stream.Update // Append's window-update scratch, reused per call
 }
 
 // coreConfig translates the public Options into the core engine's
@@ -419,12 +420,13 @@ func (e *Engine) Append(rel string, values ...int64) int {
 	var ups []stream.Update
 	switch {
 	case e.partWins[idx] != nil:
-		ups = e.partWins[idx].Append(tuple.Tuple(values).Clone())
+		ups = e.partWins[idx].AppendInto(tuple.Tuple(values).Clone(), e.upsBuf[:0])
 	case e.windows[idx] != nil:
-		ups = e.windows[idx].Append(tuple.Tuple(values).Clone())
+		ups = e.windows[idx].AppendInto(tuple.Tuple(values).Clone(), e.upsBuf[:0])
 	default:
 		panic(fmt.Sprintf("acache: relation %q is time-windowed; use AppendAt", rel))
 	}
+	e.upsBuf = ups[:0]
 	total := 0
 	for _, u := range ups {
 		u.Rel = idx

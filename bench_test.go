@@ -117,6 +117,44 @@ func BenchmarkEngineInsertThreeWay(b *testing.B) {
 	}
 }
 
+// TestEngineInsertAllocBudget pins the steady-state allocation count of the
+// warm three-way insert path. The slab store, open-addressing indexes, and
+// join arena exist to keep this near zero; the budget has slack so GC-timing
+// noise does not flake, but a regression back to per-update key/slice
+// allocations (tens per op) fails loudly.
+func TestEngineInsertAllocBudget(t *testing.T) {
+	const budget = 12 // actual is ~2: the window clone + one cache-resident segment
+	eng, err := NewQuery().
+		WindowedRelation("R", 100, "A").
+		WindowedRelation("S", 100, "A", "B").
+		WindowedRelation("T", 100, "B").
+		Join("R.A", "S.A").
+		Join("S.B", "T.B").
+		Build(Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	step := func() {
+		switch v := rng.Int63n(100); rng.Intn(3) {
+		case 0:
+			eng.Append("R", v)
+		case 1:
+			eng.Append("S", v, rng.Int63n(100))
+		default:
+			eng.Append("T", v)
+		}
+	}
+	// Warm: fill every window past capacity so inserts, evictions, probes,
+	// and output emission are all exercised by the measured runs.
+	for i := 0; i < 2_000; i++ {
+		step()
+	}
+	if got := testing.AllocsPerRun(500, step); got > budget {
+		t.Fatalf("warm three-way insert: %.1f allocs/op, budget %d", got, budget)
+	}
+}
+
 // BenchmarkShardedInsert measures wall-clock append throughput of the
 // sharded engine at increasing shard counts on the Fig9-style n-way
 // common-attribute workload (6 relations joined on A, window 50, domain

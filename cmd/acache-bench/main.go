@@ -4,16 +4,22 @@
 //
 // Usage:
 //
-//	acache-bench [-experiment all|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|sharding]
+//	acache-bench [-experiment all|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|sharding|hotpath]
 //	             [-scale quick|medium|full] [-seed N] [-shards 1,2,4,8]
+//	             [-cpuprofile FILE] [-memprofile FILE]
 //
 // The full scale matches the paper's horizons and takes a few minutes; quick
 // is suitable for smoke runs.
 //
-// The sharding experiment is wall-clock (not cost-model) based: it measures
+// Two experiments are wall-clock (not cost-model) based: sharding measures
 // append throughput of the hash-partitioned engine at each shard count of
-// -shards and writes the series to BENCH_sharding.json. Meaningful scaling
-// needs a multi-core host; the JSON records GOMAXPROCS alongside the numbers.
+// -shards and writes BENCH_sharding.json; hotpath measures the warm
+// per-update ns/op, B/op, and allocs/op of the n-way insert path (n = 3, 5, 7)
+// and writes BENCH_hotpath.json. Both JSON files record GOMAXPROCS/NumCPU,
+// since wall-clock numbers do not transfer across hosts.
+//
+// -cpuprofile and -memprofile write pprof profiles of whatever experiments
+// run, for digging into the hot path itself.
 package main
 
 import (
@@ -21,6 +27,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -62,7 +70,39 @@ func main() {
 	parallel := flag.Bool("parallel", false, "run experiments concurrently (each is self-contained); output stays in order")
 	format := flag.String("format", "table", "output format: table or csv")
 	svgDir := flag.String("svg", "", "also write one SVG chart per experiment into this directory")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}()
+	}
 
 	render := func(e *bench.Experiment) string {
 		if *svgDir != "" {
@@ -131,6 +171,14 @@ func main() {
 		}
 		fmt.Println(render(rep.Experiment()))
 		fmt.Println("wrote BENCH_sharding.json")
+	case "hotpath":
+		rep := bench.RunHotpath([]int{3, 5, 7}, cfg)
+		if err := os.WriteFile("BENCH_hotpath.json", rep.JSON(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "BENCH_hotpath.json:", err)
+			os.Exit(1)
+		}
+		fmt.Println(render(rep.Experiment()))
+		fmt.Println("wrote BENCH_hotpath.json")
 	case "ablations":
 		for _, e := range bench.Ablations(cfg) {
 			fmt.Println(render(e))
@@ -142,7 +190,7 @@ func main() {
 	default:
 		run, ok := runners[*experiment]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (want %s, ablations, extensions, sharding, or all)\n",
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (want %s, ablations, extensions, sharding, hotpath, or all)\n",
 				*experiment, strings.Join(order, "|"))
 			os.Exit(2)
 		}

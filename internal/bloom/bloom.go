@@ -8,18 +8,18 @@
 package bloom
 
 import (
-	"hash/maphash"
+	"encoding/binary"
 	"math"
 )
 
 // Filter is a fixed-size Bloom filter with k hash functions derived by
-// double hashing from a single 64-bit maphash (Kirsch–Mitzenmacher).
+// double hashing from a single 64-bit hash (Kirsch–Mitzenmacher). Hashing is
+// deterministically seeded, so fixed-seed workloads produce bit-identical
+// profiler estimates across runs; flooding resistance is not a goal.
 type Filter struct {
 	bits  []uint64
 	nbits uint64
 	k     int
-	seed1 maphash.Seed
-	seed2 maphash.Seed
 	nset  int // population count of set bits, maintained incrementally
 }
 
@@ -37,16 +37,74 @@ func New(nbits int, k int) *Filter {
 		bits:  make([]uint64, words),
 		nbits: uint64(nbits),
 		k:     k,
-		seed1: maphash.MakeSeed(),
-		seed2: maphash.MakeSeed(),
 	}
 }
 
+const (
+	seed1 uint64 = 0x9ae16a3b2f90404f
+	seed2 uint64 = 0xc949d7c7509e6557
+
+	hashMul1 = 0xff51afd7ed558ccd
+	hashMul2 = 0xc4ceb9fe1a85ec53
+)
+
+func mixWord(h, v uint64) uint64 {
+	h ^= v
+	h *= hashMul1
+	h ^= h >> 33
+	h *= hashMul2
+	h ^= h >> 29
+	return h
+}
+
+// hashString and hashBytes produce identical values for identical bytes:
+// 8-byte little-endian words, a zero-padded tail, and a length finalizer.
+func hashString(s string, seed uint64) uint64 {
+	h := seed
+	i := 0
+	for ; i+8 <= len(s); i += 8 {
+		v := uint64(s[i]) | uint64(s[i+1])<<8 | uint64(s[i+2])<<16 | uint64(s[i+3])<<24 |
+			uint64(s[i+4])<<32 | uint64(s[i+5])<<40 | uint64(s[i+6])<<48 | uint64(s[i+7])<<56
+		h = mixWord(h, v)
+	}
+	if i < len(s) {
+		var v uint64
+		for j := 0; i+j < len(s); j++ {
+			v |= uint64(s[i+j]) << (8 * j)
+		}
+		h = mixWord(h, v)
+	}
+	return h // length folded in by callers via hash2*
+}
+
+func hashBytes(b []byte, seed uint64) uint64 {
+	h := seed
+	for len(b) >= 8 {
+		h = mixWord(h, binary.LittleEndian.Uint64(b))
+		b = b[8:]
+	}
+	n := len(b)
+	if n > 0 {
+		var v uint64
+		for j := 0; j < n; j++ {
+			v |= uint64(b[j]) << (8 * j)
+		}
+		h = mixWord(h, v)
+	}
+	return h // length folded in by callers via hash2*
+}
+
 func (f *Filter) hash2(key string) (uint64, uint64) {
-	h1 := maphash.String(f.seed1, key)
-	h2 := maphash.String(f.seed2, key)
+	h1 := mixWord(hashString(key, seed1), uint64(len(key)))
+	h2 := mixWord(hashString(key, seed2), uint64(len(key)))
 	// Guarantee h2 is odd so all k probes differ even when nbits is a
 	// power of two.
+	return h1, h2 | 1
+}
+
+func (f *Filter) hash2Bytes(key []byte) (uint64, uint64) {
+	h1 := mixWord(hashBytes(key, seed1), uint64(len(key)))
+	h2 := mixWord(hashBytes(key, seed2), uint64(len(key)))
 	return h1, h2 | 1
 }
 
@@ -54,6 +112,17 @@ func (f *Filter) hash2(key string) (uint64, uint64) {
 // insertion (true = all its bits were already set).
 func (f *Filter) Add(key string) bool {
 	h1, h2 := f.hash2(key)
+	return f.add(h1, h2)
+}
+
+// AddBytes is Add for a key supplied as bytes (a scratch buffer on hot
+// paths); it allocates nothing and matches Add for equal bytes.
+func (f *Filter) AddBytes(key []byte) bool {
+	h1, h2 := f.hash2Bytes(key)
+	return f.add(h1, h2)
+}
+
+func (f *Filter) add(h1, h2 uint64) bool {
 	present := true
 	for i := 0; i < f.k; i++ {
 		pos := (h1 + uint64(i)*h2) % f.nbits
@@ -70,6 +139,16 @@ func (f *Filter) Add(key string) bool {
 // Contains reports whether key is possibly in the filter.
 func (f *Filter) Contains(key string) bool {
 	h1, h2 := f.hash2(key)
+	return f.contains(h1, h2)
+}
+
+// ContainsBytes is Contains for a key supplied as bytes.
+func (f *Filter) ContainsBytes(key []byte) bool {
+	h1, h2 := f.hash2Bytes(key)
+	return f.contains(h1, h2)
+}
+
+func (f *Filter) contains(h1, h2 uint64) bool {
 	for i := 0; i < f.k; i++ {
 		pos := (h1 + uint64(i)*h2) % f.nbits
 		if f.bits[pos/64]&(uint64(1)<<(pos%64)) == 0 {
@@ -88,8 +167,8 @@ func (f *Filter) Bits() int { return int(f.nbits) }
 // Hashes returns the number of hash functions k.
 func (f *Filter) Hashes() int { return f.k }
 
-// Reset clears all bits, keeping the seeds, so windows of probes can reuse
-// one allocation.
+// Reset clears all bits, keeping the filter's allocation, so windows of
+// probes reuse one filter.
 func (f *Filter) Reset() {
 	for i := range f.bits {
 		f.bits[i] = 0

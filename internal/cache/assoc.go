@@ -39,7 +39,13 @@ func NewAssociative(nSets, keyBytes, budget int, assoc Associativity, meter *cos
 
 // way returns the two candidate slots for a key in two-way mode.
 func (c *Cache) ways(u tuple.Key) (*slot, *slot, int) {
-	h := int(hashOf(c.seed, u) % uint64(c.nbuckets))
+	h := int(hashOf(u) % uint64(c.nbuckets))
+	return &c.slots[h], &c.slots2[h], h
+}
+
+// waysBytes is ways for a packed key supplied as bytes.
+func (c *Cache) waysBytes(k []byte) (*slot, *slot, int) {
+	h := int(tuple.HashBytes(k, cacheSeed) % uint64(c.nbuckets))
 	return &c.slots[h], &c.slots2[h], h
 }
 
@@ -55,6 +61,27 @@ func (c *Cache) probeAssoc(u tuple.Key) ([]tuple.Tuple, bool) {
 	}
 	c.meter.Charge(cost.CacheInsertTuple) // the extra way comparison
 	if s1.occupied && s1.key == u {
+		c.stats.Hits++
+		c.lru[set] = 0
+		return s1.val, true
+	}
+	c.stats.Misses++
+	return nil, false
+}
+
+// probeAssocBytes implements ProbeBytes for two-way mode, with the same
+// charges and LRU updates as probeAssoc.
+func (c *Cache) probeAssocBytes(k []byte) ([]tuple.Tuple, bool) {
+	c.meter.Charge(cost.HashProbe)
+	c.stats.Probes++
+	s0, s1, set := c.waysBytes(k)
+	if s0.occupied && keyEq(s0.key, k) {
+		c.stats.Hits++
+		c.lru[set] = 1
+		return s0.val, true
+	}
+	c.meter.Charge(cost.CacheInsertTuple) // the extra way comparison
+	if s1.occupied && keyEq(s1.key, k) {
 		c.stats.Hits++
 		c.lru[set] = 0
 		return s1.val, true
@@ -122,6 +149,18 @@ func (c *Cache) slotForAssoc(u tuple.Key) *slot {
 		return s0
 	}
 	if s1.occupied && s1.key == u {
+		return s1
+	}
+	return nil
+}
+
+// slotForAssocBytes is slotForAssoc for a packed key supplied as bytes.
+func (c *Cache) slotForAssocBytes(k []byte) *slot {
+	s0, s1, _ := c.waysBytes(k)
+	if s0.occupied && keyEq(s0.key, k) {
+		return s0
+	}
+	if s1.occupied && keyEq(s1.key, k) {
 		return s1
 	}
 	return nil

@@ -6,8 +6,6 @@
 package cache
 
 import (
-	"hash/maphash"
-
 	"acache/internal/cost"
 	"acache/internal/tuple"
 )
@@ -40,7 +38,6 @@ type Stats struct {
 type Cache struct {
 	nbuckets int
 	slots    []slot
-	seed     maphash.Seed
 	meter    *cost.Meter
 
 	// Two-way set-associative mode (NewAssociative): assoc is 2, slots2
@@ -77,19 +74,30 @@ func New(nbuckets, keyBytes, budget int, meter *cost.Meter) *Cache {
 	return &Cache{
 		nbuckets: nbuckets,
 		slots:    make([]slot, nbuckets),
-		seed:     maphash.MakeSeed(),
 		meter:    meter,
 		keyBytes: keyBytes,
 		budget:   budget,
 	}
 }
 
-func hashOf(seed maphash.Seed, u tuple.Key) uint64 {
-	return maphash.String(seed, string(u))
-}
+// cacheSeed is a fixed hash seed: slot placement — and therefore eviction
+// patterns and every cached-mode cost figure — is identical across runs for
+// a fixed workload seed.
+const cacheSeed uint64 = 0x2545f4914f6cdd1d
+
+func hashOf(u tuple.Key) uint64 { return tuple.HashKey(u, cacheSeed) }
+
+// keyEq compares a resident key against packed key bytes without
+// materializing a string (the compiler elides the conversion allocations in
+// a string==string comparison).
+func keyEq(key tuple.Key, k []byte) bool { return string(key) == string(k) }
 
 func (c *Cache) slotOf(u tuple.Key) *slot {
-	return &c.slots[hashOf(c.seed, u)%uint64(c.nbuckets)]
+	return &c.slots[hashOf(u)%uint64(c.nbuckets)]
+}
+
+func (c *Cache) slotOfBytes(k []byte) *slot {
+	return &c.slots[tuple.HashBytes(k, cacheSeed)%uint64(c.nbuckets)]
 }
 
 // residentSlot returns the slot currently holding key u, or nil — the
@@ -100,6 +108,18 @@ func (c *Cache) residentSlot(u tuple.Key) *slot {
 	}
 	s := c.slotOf(u)
 	if s.occupied && s.key == u {
+		return s
+	}
+	return nil
+}
+
+// residentSlotBytes is residentSlot for packed key bytes.
+func (c *Cache) residentSlotBytes(k []byte) *slot {
+	if c.assoc == 2 {
+		return c.slotForAssocBytes(k)
+	}
+	s := c.slotOfBytes(k)
+	if s.occupied && keyEq(s.key, k) {
 		return s
 	}
 	return nil
@@ -120,6 +140,24 @@ func (c *Cache) Probe(u tuple.Key) ([]tuple.Tuple, bool) {
 	c.stats.Probes++
 	s := c.slotOf(u)
 	if s.occupied && s.key == u {
+		c.stats.Hits++
+		return s.val, true
+	}
+	c.stats.Misses++
+	return nil, false
+}
+
+// ProbeBytes is Probe for a packed key supplied as bytes (a scratch buffer
+// filled by tuple.AppendKey). It allocates nothing: hashing and comparison
+// work directly on the bytes. Charges and statistics match Probe exactly.
+func (c *Cache) ProbeBytes(k []byte) ([]tuple.Tuple, bool) {
+	if c.assoc == 2 {
+		return c.probeAssocBytes(k)
+	}
+	c.meter.Charge(cost.HashProbe)
+	c.stats.Probes++
+	s := c.slotOfBytes(k)
+	if s.occupied && keyEq(s.key, k) {
 		c.stats.Hits++
 		return s.val, true
 	}
@@ -187,11 +225,71 @@ func (c *Cache) Insert(u tuple.Key, r tuple.Tuple) {
 	c.stats.Inserts++
 }
 
+// InsertBytes is Insert for a packed key supplied as bytes. The tuple r is
+// retained by the cache, so callers passing arena-backed composites must
+// clone first (maintenance extracts already copy).
+func (c *Cache) InsertBytes(k []byte, r tuple.Tuple) {
+	c.meter.Charge(cost.HashProbe)
+	s := c.residentSlotBytes(k)
+	if s == nil {
+		return
+	}
+	c.meter.Charge(cost.CacheInsertTuple)
+	if c.budget >= 0 && c.usedBytes+RefBytes > c.budget {
+		c.dropSlot(s)
+		c.stats.MemoryDrops++
+		return
+	}
+	s.val = append(s.val, r)
+	c.usedBytes += RefBytes
+	c.stats.Inserts++
+}
+
 // Delete removes one tuple equal to r from the entry for key u, if the entry
 // is present; otherwise it is ignored.
 func (c *Cache) Delete(u tuple.Key, r tuple.Tuple) {
 	c.meter.Charge(cost.HashProbe)
 	s := c.residentSlot(u)
+	if s == nil {
+		return
+	}
+	c.meter.Charge(cost.CacheInsertTuple)
+	for i, t := range s.val {
+		if t.Equal(r) {
+			s.val[i] = s.val[len(s.val)-1]
+			s.val = s.val[:len(s.val)-1]
+			c.usedBytes -= RefBytes
+			c.stats.Deletes++
+			return
+		}
+	}
+}
+
+// InsertBytesLazy is InsertBytes taking the tuple as a constructor, invoked
+// only when the entry is resident and fits the budget — maintenance avoids
+// materializing a heap copy of the segment tuple on the absent path. Charges
+// and statistics match Insert exactly.
+func (c *Cache) InsertBytesLazy(k []byte, mk func() tuple.Tuple) {
+	c.meter.Charge(cost.HashProbe)
+	s := c.residentSlotBytes(k)
+	if s == nil {
+		return
+	}
+	c.meter.Charge(cost.CacheInsertTuple)
+	if c.budget >= 0 && c.usedBytes+RefBytes > c.budget {
+		c.dropSlot(s)
+		c.stats.MemoryDrops++
+		return
+	}
+	s.val = append(s.val, mk())
+	c.usedBytes += RefBytes
+	c.stats.Inserts++
+}
+
+// DeleteBytes is Delete for a packed key supplied as bytes.
+func (c *Cache) DeleteBytes(k []byte, r tuple.Tuple) {
+	c.meter.Charge(cost.HashProbe)
+	s := c.residentSlotBytes(k)
 	if s == nil {
 		return
 	}
@@ -226,6 +324,14 @@ func (c *Cache) dropSlot(s *slot) {
 func (c *Cache) Drop(u tuple.Key) {
 	c.meter.Charge(cost.HashProbe)
 	if s := c.residentSlot(u); s != nil {
+		c.dropSlot(s)
+	}
+}
+
+// DropBytes is Drop for a packed key supplied as bytes.
+func (c *Cache) DropBytes(k []byte) {
+	c.meter.Charge(cost.HashProbe)
+	if s := c.residentSlotBytes(k); s != nil {
 		c.dropSlot(s)
 	}
 }

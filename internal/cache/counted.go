@@ -88,6 +88,19 @@ func (c *Cache) ProbeCounted(u tuple.Key) (tuples []tuple.Tuple, mults []int, ok
 	return nil, nil, false
 }
 
+// ProbeCountedBytes is ProbeCounted for a packed key supplied as bytes.
+func (c *Cache) ProbeCountedBytes(k []byte) (tuples []tuple.Tuple, mults []int, ok bool) {
+	c.meter.Charge(cost.HashProbe)
+	c.stats.Probes++
+	s := c.slotOfBytes(k)
+	if s.occupied && keyEq(s.key, k) {
+		c.stats.Hits++
+		return s.val, s.mult, true
+	}
+	c.stats.Misses++
+	return nil, nil, false
+}
+
 // ApplyCountedDelta applies a maintenance delta of n support units (n > 0
 // inserts, n < 0 deletes) for X-tuple r under key u. recomputeMult returns
 // r's X-join multiplicity as it will stand once the triggering update is

@@ -148,10 +148,8 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// placementKey identifies one candidate placement.
-func placementKey(s *planner.Spec) string {
-	return fmt.Sprintf("%d:%d:%d:gc=%v", s.Pipeline, s.Start, s.End, s.GC)
-}
+// placementKey identifies one candidate placement (memoized on the spec).
+func placementKey(s *planner.Spec) string { return s.Key() }
 
 // cand tracks one candidate placement's state and statistics.
 type cand struct {

@@ -153,6 +153,10 @@ type maintOp struct {
 	// relation's tuple; keyCols and segCols then refer to the
 	// mini-pipeline's output schema.
 	smSteps []*step
+	// segBuf is the delete-path scratch for the extracted segment tuple
+	// (deletes only compare, so no heap copy is needed). Executors are
+	// single-goroutine, so per-operator reuse is safe.
+	segBuf tuple.Tuple
 }
 
 // apply feeds one update's delta batch (at this operator's pipeline
@@ -167,18 +171,23 @@ func (m *maintOp) apply(e *Exec, updRel int, batch []tuple.Tuple, op stream.Op) 
 			if len(batch) == 0 {
 				return
 			}
-			batch = st.run(batch, e.stores[st.rel], e.meter)
+			batch = st.run(batch, e.stores[st.rel], e.meter, &e.arena, nil)
 		}
 	}
 	if !m.inst.counted() {
 		for _, t := range batch {
 			e.meter.ChargeN(cost.KeyExtract, len(m.keyCols))
-			u := tuple.KeyOf(t, m.keyCols)
-			seg := extract(t, m.segCols)
+			e.keyBuf = tuple.AppendKey(e.keyBuf[:0], t, m.keyCols)
 			if op == stream.Insert {
-				m.inst.store.Insert(u, seg)
+				// The inserted tuple is retained by the cache; the lazy
+				// variant materializes the copy only on the resident path.
+				t := t
+				m.inst.store.InsertBytesLazy(e.keyBuf, func() tuple.Tuple {
+					return extract(t, m.segCols)
+				})
 			} else {
-				m.inst.store.Delete(u, seg)
+				m.segBuf = extractInto(m.segBuf[:0], t, m.segCols)
+				m.inst.store.DeleteBytes(e.keyBuf, m.segBuf)
 			}
 		}
 		return
@@ -228,6 +237,15 @@ func extract(t tuple.Tuple, cols []int) tuple.Tuple {
 		out[i] = t[c]
 	}
 	return out
+}
+
+// extractInto is extract into a reusable scratch buffer, for compare-only
+// uses that must not allocate.
+func extractInto(dst tuple.Tuple, t tuple.Tuple, cols []int) tuple.Tuple {
+	for _, c := range cols {
+		dst = append(dst, t[c])
+	}
+	return dst
 }
 
 // segExtractCols computes, for a composite schema s containing all segment
@@ -489,7 +507,7 @@ func (inst *Instance) Prime(e *Exec) {
 		if len(batch) == 0 {
 			return
 		}
-		batch = st.run(batch, e.stores[st.rel], e.meter)
+		batch = st.run(batch, e.stores[st.rel], e.meter, &e.arena, nil)
 	}
 	keyCols := e.q.RepresentativeCols(cur, inst.keyClasses)
 	segCols := segExtractCols(cur, inst.segSchema)
@@ -542,7 +560,7 @@ func (inst *Instance) Prime(e *Exec) {
 func (inst *Instance) countY(e *Exec, t tuple.Tuple) int {
 	batch := []tuple.Tuple{t}
 	for _, st := range inst.ySteps {
-		batch = st.run(batch, e.stores[st.rel], e.meter)
+		batch = st.run(batch, e.stores[st.rel], e.meter, &e.arena, nil)
 		if len(batch) == 0 {
 			return 0
 		}

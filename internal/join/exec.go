@@ -44,6 +44,13 @@ type Exec struct {
 	ord      planner.Ordering
 	scanOnly map[tuple.Attr]bool
 	nextTap  int
+
+	// arena holds the composite tuples built while processing one update;
+	// it is reset when the next update starts. keyBuf is the shared packed-
+	// key scratch for cache probes and maintenance. Both rely on the
+	// executor being single-goroutine.
+	arena  valueArena
+	keyBuf []byte
 }
 
 // NewExec builds an executor for q with the given pipeline ordering.
@@ -173,6 +180,7 @@ func (e *Exec) run(u stream.Update, profiled bool, prof *Profile) int {
 	if p.arrivals == nil {
 		p.arrivals = make([][]tuple.Tuple, nsteps+1)
 	}
+	e.arena.reset()
 	arrivals := p.arrivals
 	for i := range arrivals {
 		arrivals[i] = arrivals[i][:0]
@@ -209,11 +217,10 @@ func (e *Exec) run(u stream.Update, profiled bool, prof *Profile) int {
 			continue
 		}
 		sw := cost.NewStopwatch(e.meter)
-		out := p.steps[pos].run(batch, e.stores[p.steps[pos].rel], e.meter)
+		arrivals[pos+1] = p.steps[pos].run(batch, e.stores[p.steps[pos].rel], e.meter, &e.arena, arrivals[pos+1])
 		if prof != nil {
 			prof.StepUnits[pos] = sw.Elapsed()
 		}
-		arrivals[pos+1] = append(arrivals[pos+1], out...)
 	}
 	if prof != nil {
 		prof.StepInputs[nsteps] = outputs
@@ -228,18 +235,18 @@ func (e *Exec) applyLookup(p *pipeline, att *attachment, batch []tuple.Tuple, ar
 	var misses []tuple.Tuple
 	emit := func(r, s tuple.Tuple) {
 		e.meter.Charge(cost.OutputTuple)
-		out := make(tuple.Tuple, 0, len(r)+len(att.permCols))
-		out = append(out, r...)
-		for _, c := range att.permCols {
-			out = append(out, s[c])
+		out := e.arena.alloc(len(r) + len(att.permCols))
+		copy(out, r)
+		for i, c := range att.permCols {
+			out[len(r)+i] = s[c]
 		}
 		arrivals[att.end+1] = append(arrivals[att.end+1], out)
 	}
 	for _, r := range batch {
 		e.meter.ChargeN(cost.KeyExtract, len(att.keyCols))
-		u := tuple.KeyOf(r, att.keyCols)
+		e.keyBuf = tuple.AppendKey(e.keyBuf[:0], r, att.keyCols)
 		if att.inst.counted() {
-			tuples, mults, hit := att.inst.store.ProbeCounted(u)
+			tuples, mults, hit := att.inst.store.ProbeCountedBytes(e.keyBuf)
 			if !hit {
 				misses = append(misses, r)
 				continue
@@ -251,7 +258,7 @@ func (e *Exec) applyLookup(p *pipeline, att *attachment, batch []tuple.Tuple, ar
 			}
 			continue
 		}
-		v, hit := att.inst.store.Probe(u)
+		v, hit := att.inst.store.ProbeBytes(e.keyBuf)
 		if !hit {
 			misses = append(misses, r)
 			continue
@@ -284,7 +291,7 @@ func (e *Exec) runMissSegment(p *pipeline, att *attachment, misses []tuple.Tuple
 					t.f(batch, op)
 				}
 			}
-			batch = p.steps[pos].run(batch, e.stores[p.steps[pos].rel], e.meter)
+			batch = p.steps[pos].run(batch, e.stores[p.steps[pos].rel], e.meter, &e.arena, nil)
 		}
 		all = append(all, batch...)
 		if created[u] {

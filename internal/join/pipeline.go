@@ -28,8 +28,13 @@ type step struct {
 	// fills the c-th column of the index key (index columns are the rel's
 	// class attributes sorted by name). probeVals is the probe-key scratch,
 	// sized at compile time; pipelines are single-goroutine so reuse across
-	// run calls is safe (KeyOfValues copies, it never retains the slice).
+	// run calls is safe (ProbeEach never retains the slice). idx caches the
+	// store's index, revalidated through the store epoch so drops and lazy
+	// rebuilds are honored without a per-run name lookup.
 	indexAttrs    []string
+	indexID       string
+	idx           *relation.HashIndex
+	idxEpoch      uint64
 	probeFromCols []int
 	probeVals     []tuple.Value
 
@@ -166,6 +171,9 @@ func buildStep(q *query.Query, in *tuple.Schema, prefix []int, r int, store *rel
 	if useIndex {
 		idx := store.CreateIndex(attrNames...)
 		st.indexAttrs = attrNames
+		st.indexID = relation.IndexNameOf(attrNames)
+		st.idx = idx
+		st.idxEpoch = store.Epoch()
 		// Align probe values with the index's sorted column order: index
 		// col i holds r's attribute at schema column idx.Cols()[i]; its
 		// probe value comes from the input's representative column of
@@ -196,15 +204,21 @@ func buildStep(q *query.Query, in *tuple.Schema, prefix []int, r int, store *rel
 	return st
 }
 
-// run joins the batch with the step's relation, returning the concatenated
-// outputs and charging all probe/scan/output work to the meter.
-func (st *step) run(batch []tuple.Tuple, store *relation.Store, meter *cost.Meter) []tuple.Tuple {
-	var out []tuple.Tuple
+// run joins the batch with the step's relation, appending the concatenated
+// outputs to dst and charging all probe/scan/output work to the meter.
+// Output tuples are carved from the arena, so they are valid only until the
+// owning executor's next update; callers that keep them must copy.
+func (st *step) run(batch []tuple.Tuple, store *relation.Store, meter *cost.Meter, arena *valueArena, dst []tuple.Tuple) []tuple.Tuple {
+	out := dst
 	if st.probeFromCols != nil {
-		idx := store.Index(st.indexAttrs...)
-		if idx == nil {
-			// Index dropped after compilation; rebuild lazily.
-			idx = store.CreateIndex(st.indexAttrs...)
+		if st.idx == nil || st.idxEpoch != store.Epoch() {
+			idx := store.IndexNamed(st.indexID)
+			if idx == nil {
+				// Index dropped after compilation; rebuild lazily.
+				idx = store.CreateIndex(st.indexAttrs...)
+			}
+			st.idx = idx
+			st.idxEpoch = store.Epoch()
 		}
 		vals := st.probeVals
 		for _, r := range batch {
@@ -212,13 +226,13 @@ func (st *step) run(batch []tuple.Tuple, store *relation.Store, meter *cost.Mete
 				vals[i] = r[c]
 			}
 			meter.ChargeN(cost.KeyExtract, len(vals))
-			for _, m := range store.Probe(idx, tuple.KeyOfValues(vals)) {
+			store.ProbeEach(st.idx, vals, func(m tuple.Tuple) {
 				if !st.passesThetas(r, m, meter) {
-					continue
+					return
 				}
 				meter.Charge(cost.OutputTuple)
-				out = append(out, r.Concat(m))
-			}
+				out = append(out, arena.concat(r, m))
+			})
 		}
 		return out
 	}
@@ -233,7 +247,7 @@ func (st *step) run(batch []tuple.Tuple, store *relation.Store, meter *cost.Mete
 				return true
 			}
 			meter.Charge(cost.OutputTuple)
-			out = append(out, r.Concat(m))
+			out = append(out, arena.concat(r, m))
 			return true
 		})
 	}

@@ -81,6 +81,21 @@ type Spec struct {
 	// instead of the paper's host-in-Y reduction, whose probe-correctness
 	// hole is analyzed in DESIGN.md.
 	SelfMaint bool
+
+	// key memoizes Key; Spec fields are never mutated after planning.
+	key string
+}
+
+// Key identifies one candidate placement: pipeline, span, and mode. The
+// adaptive engine and the profiler look placements up on every update, so
+// the identifier is memoized rather than re-formatted per call. (The format
+// matches the engine's historical placement key, whose string order breaks
+// selection ties.)
+func (s *Spec) Key() string {
+	if s.key == "" {
+		s.key = fmt.Sprintf("%d:%d:%d:gc=%v", s.Pipeline, s.Start, s.End, s.GC)
+	}
+	return s.key
 }
 
 // SharingID returns the canonical identity under which caches are shared

@@ -8,7 +8,6 @@
 package profiler
 
 import (
-	"fmt"
 	"math/rand"
 
 	"acache/internal/bloom"
@@ -240,6 +239,7 @@ func (pf *Profiler) ResetPipeline(pipe int) {
 type shadow struct {
 	tapID       int
 	keyCols     []int
+	keyBuf      []byte // packed-key scratch, reused across tap batches
 	filter      *bloom.Filter
 	horizon     *bloom.Filter
 	seen        int
@@ -256,9 +256,7 @@ type shadow struct {
 // decay slowly; at some point the engine must decide with what it has).
 const shadowMaxWindows = 40
 
-func shadowKey(spec *planner.Spec) string {
-	return fmt.Sprintf("%d:%d:%d:%v", spec.Pipeline, spec.Start, spec.End, spec.GC)
-}
+func shadowKey(spec *planner.Spec) string { return spec.Key() }
 
 // StartShadow installs the shadow estimator for a candidate cache. It is a
 // no-op if one is already running.
@@ -280,9 +278,9 @@ func (pf *Profiler) StartShadow(spec *planner.Spec) {
 	sh.tapID = pf.e.Tap(spec.Pipeline, spec.Start, func(batch []tuple.Tuple, _ stream.Op) {
 		for _, t := range batch {
 			pf.meter.ChargeN(cost.BloomHash, sh.filter.Hashes()+sh.horizon.Hashes())
-			k := string(tuple.KeyOf(t, sh.keyCols))
-			sh.filter.Add(k)
-			if !sh.horizon.Add(k) {
+			sh.keyBuf = tuple.AppendKey(sh.keyBuf[:0], t, sh.keyCols)
+			sh.filter.AddBytes(sh.keyBuf)
+			if !sh.horizon.AddBytes(sh.keyBuf) {
 				sh.newKeys++
 			}
 			sh.seen++

@@ -2,6 +2,13 @@
 // pipelines probe: the current contents of each sliding window, with hash
 // indexes on join attributes and an index-free scan path for nested-loop
 // joins (used by the Figure 10 experiment, which drops the index on S.B).
+//
+// Storage is a slab: tuples live in a dense slice addressed by small integer
+// ids recycled through a free list, scan order is a swap-remove id slice, and
+// both the by-value table and every hash index are open-addressing tables
+// keyed by an inline 64-bit hash of the relevant columns — no key string is
+// materialized on the insert/delete/probe paths, so steady-state window
+// maintenance does not allocate.
 package relation
 
 import (
@@ -17,22 +24,165 @@ import (
 // subresult structures account memory in these units.
 const TupleBytes = 32
 
+// hashSeed is the fixed seed for the store's inline hashing. Deterministic
+// across runs so fixed-seed workloads reproduce bit-identically.
+const hashSeed uint64 = 0x9e3779b97f4a7c15
+
+// Chain-link sentinel: end of a bucket chain.
+const nilID int32 = -1
+
+// Open-addressing slot states, stored in oaSlot.head.
+const (
+	emptySlot int32 = -1 // never occupied (probe chains stop here)
+	tombSlot  int32 = -2 // deleted; probe chains continue past it
+)
+
+// oaSlot is one open-addressing slot: the key hash plus the head tuple id of
+// the chain of tuples sharing that key (chained through a per-table next
+// array indexed by tuple id).
+type oaSlot struct {
+	hash       uint64
+	head, tail int32
+}
+
+// oaTable is a linear-probing open-addressing table from 64-bit key hashes
+// to tuple-id chains. Equality on hash collisions is delegated to the caller
+// through an eq callback that compares the probe key against a resident id.
+type oaTable struct {
+	slots []oaSlot
+	mask  uint64
+	live  int // occupied slots
+	used  int // occupied + tombstones (drives rehash)
+}
+
+const minTableSize = 8
+
+func newOATable() oaTable {
+	t := oaTable{slots: make([]oaSlot, minTableSize), mask: minTableSize - 1}
+	for i := range t.slots {
+		t.slots[i].head = emptySlot
+	}
+	return t
+}
+
+// find returns the slot index holding hash with eq(head) true, or -1.
+func (t *oaTable) find(hash uint64, eq func(id int32) bool) int {
+	if t.slots == nil {
+		return -1
+	}
+	for i := hash & t.mask; ; i = (i + 1) & t.mask {
+		s := &t.slots[i]
+		if s.head == emptySlot {
+			return -1
+		}
+		if s.head != tombSlot && s.hash == hash && eq(s.head) {
+			return int(i)
+		}
+	}
+}
+
+// findOrClaim returns the slot index for hash/eq, claiming an empty or
+// tombstone slot when the key is absent (claimed reports which). The caller
+// must immediately occupy a claimed slot.
+func (t *oaTable) findOrClaim(hash uint64, eq func(id int32) bool) (idx int, claimed bool) {
+	if t.slots == nil {
+		*t = newOATable()
+	}
+	firstFree := -1
+	for i := hash & t.mask; ; i = (i + 1) & t.mask {
+		s := &t.slots[i]
+		if s.head == emptySlot {
+			if firstFree >= 0 {
+				return firstFree, true
+			}
+			return int(i), true
+		}
+		if s.head == tombSlot {
+			if firstFree < 0 {
+				firstFree = int(i)
+			}
+			continue
+		}
+		if s.hash == hash && eq(s.head) {
+			return int(i), false
+		}
+	}
+}
+
+// occupy marks a claimed slot live, growing the table when it passes the
+// load threshold. rehash is invoked after a grow to re-insert every chain
+// (the caller owns chain storage, so it drives the rebuild).
+func (t *oaTable) occupy(idx int, hash uint64, head, tail int32) (grew bool) {
+	s := &t.slots[idx]
+	if s.head == emptySlot {
+		t.used++
+	}
+	s.hash = hash
+	s.head = head
+	s.tail = tail
+	t.live++
+	// Grow at 3/4 load (counting tombstones, which lengthen probe chains).
+	return t.used*4 >= len(t.slots)*3
+}
+
+// clearSlot removes a slot's chain, leaving a tombstone.
+func (t *oaTable) clearSlot(idx int) {
+	t.slots[idx].head = tombSlot
+	t.live--
+}
+
+// reset re-allocates the slot array for at least capacity chains; the caller
+// re-inserts every chain afterwards.
+func (t *oaTable) reset(capacity int) {
+	size := minTableSize
+	for size*3 < capacity*4 { // inverse of the 3/4 load threshold
+		size *= 2
+	}
+	size *= 2 // headroom so a rehash isn't immediately re-triggered
+	t.slots = make([]oaSlot, size)
+	t.mask = uint64(size - 1)
+	for i := range t.slots {
+		t.slots[i].head = emptySlot
+	}
+	t.live = 0
+	t.used = 0
+}
+
+// insertChain re-inserts a whole chain during a rehash: no equality check is
+// needed because chains are unique per key.
+func (t *oaTable) insertChain(hash uint64, head, tail int32) {
+	for i := hash & t.mask; ; i = (i + 1) & t.mask {
+		s := &t.slots[i]
+		if s.head == emptySlot {
+			s.hash = hash
+			s.head = head
+			s.tail = tail
+			t.live++
+			t.used++
+			return
+		}
+	}
+}
+
 // Store holds the current contents of one relation's sliding window.
-// Tuples are identified by stable integer ids so indexes survive arbitrary
-// insert/delete interleavings. All mutating and probing operations charge
-// the configured cost meter.
+// Tuples are identified by slab ids (dense, free-list recycled) so indexes
+// survive arbitrary insert/delete interleavings. All mutating and probing
+// operations charge the configured cost meter.
 type Store struct {
 	rel    int
 	schema *tuple.Schema
 	meter  *cost.Meter
 
-	nextID int
-	byID   map[int]tuple.Tuple
-	order  []int       // ids in scan order (swap-remove)
-	orderP map[int]int // id -> position in order
-	byVal  map[tuple.Key][]int
+	tuples   []tuple.Tuple // slab: id -> tuple (nil when free)
+	freeIDs  []int32
+	order    []int32 // ids in scan order (swap-remove)
+	orderPos []int32 // id -> position in order
+
+	byVal   oaTable // full-tuple hash -> duplicate chain
+	valNext []int32 // id -> next id in its byVal chain
 
 	indexes map[string]*HashIndex
+	epoch   uint64 // bumped on index create/drop so compiled steps revalidate
 }
 
 // NewStore creates an empty store for relation rel with the given schema.
@@ -42,9 +192,6 @@ func NewStore(rel int, schema *tuple.Schema, meter *cost.Meter) *Store {
 		rel:     rel,
 		schema:  schema,
 		meter:   meter,
-		byID:    make(map[int]tuple.Tuple),
-		orderP:  make(map[int]int),
-		byVal:   make(map[tuple.Key][]int),
 		indexes: make(map[string]*HashIndex),
 	}
 }
@@ -58,54 +205,116 @@ func (s *Store) Schema() *tuple.Schema { return s.schema }
 // Len returns the number of tuples currently stored.
 func (s *Store) Len() int { return len(s.order) }
 
+// Epoch changes whenever the index set changes; compiled join steps cache
+// the *HashIndex they probe and revalidate it when the epoch moves.
+func (s *Store) Epoch() uint64 { return s.epoch }
+
 // indexName canonicalizes an attribute-name set into an index identifier.
 func indexName(names []string) string {
+	if len(names) == 1 {
+		return names[0]
+	}
 	sorted := append([]string(nil), names...)
 	sort.Strings(sorted)
 	return strings.Join(sorted, ",")
 }
 
+// IndexNameOf returns the canonical index identifier for an attribute-name
+// set, for callers that cache it and look indexes up with IndexNamed.
+func IndexNameOf(names []string) string { return indexName(names) }
+
 // CreateIndex builds (or returns) a hash index on the given attribute names.
 // Existing tuples are back-filled.
 func (s *Store) CreateIndex(names ...string) *HashIndex {
-	id := indexName(names)
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	id := strings.Join(sorted, ",")
 	if idx, ok := s.indexes[id]; ok {
 		return idx
 	}
-	sorted := append([]string(nil), names...)
-	sort.Strings(sorted)
 	cols := make([]int, len(sorted))
 	for i, n := range sorted {
 		cols[i] = s.schema.MustColOf(tuple.Attr{Rel: s.rel, Name: n})
 	}
-	idx := &HashIndex{cols: cols, buckets: make(map[tuple.Key][]int)}
+	idx := &HashIndex{store: s, cols: cols}
+	idx.table = newOATable()
+	idx.next = make([]int32, len(s.tuples))
 	for _, tid := range s.order {
-		idx.insert(tuple.KeyOf(s.byID[tid], idx.cols), tid)
+		idx.insert(s.tuples[tid], tid)
 	}
 	s.indexes[id] = idx
+	s.epoch++
 	return idx
 }
 
 // DropIndex removes the index on the given attribute names, if present.
 // Joins on those attributes fall back to nested-loop scans.
-func (s *Store) DropIndex(names ...string) { delete(s.indexes, indexName(names)) }
+func (s *Store) DropIndex(names ...string) {
+	id := indexName(names)
+	if _, ok := s.indexes[id]; ok {
+		delete(s.indexes, id)
+		s.epoch++
+	}
+}
 
 // Index returns the index on the given attribute names, or nil when absent.
 func (s *Store) Index(names ...string) *HashIndex { return s.indexes[indexName(names)] }
 
+// IndexNamed returns the index with the given canonical identifier (from
+// IndexNameOf), or nil — the allocation-free lookup for compiled steps.
+func (s *Store) IndexNamed(id string) *HashIndex { return s.indexes[id] }
+
+// allocID claims a slab id for t, growing every per-id side array in step.
+func (s *Store) allocID(t tuple.Tuple) int32 {
+	if n := len(s.freeIDs); n > 0 {
+		id := s.freeIDs[n-1]
+		s.freeIDs = s.freeIDs[:n-1]
+		s.tuples[id] = t
+		return id
+	}
+	id := int32(len(s.tuples))
+	s.tuples = append(s.tuples, t)
+	s.orderPos = append(s.orderPos, 0)
+	s.valNext = append(s.valNext, nilID)
+	for _, idx := range s.indexes {
+		idx.next = append(idx.next, nilID)
+	}
+	return id
+}
+
+// rehashByVal rebuilds the byVal table after a grow: chains survive intact
+// (they are linked through valNext), only slot placement changes.
+func (s *Store) rehashByVal() {
+	old := s.byVal.slots
+	s.byVal.reset(s.byVal.live)
+	for i := range old {
+		if old[i].head >= 0 {
+			s.byVal.insertChain(old[i].hash, old[i].head, old[i].tail)
+		}
+	}
+}
+
 // Insert adds t to the store and all indexes.
 func (s *Store) Insert(t tuple.Tuple) {
-	id := s.nextID
-	s.nextID++
-	s.byID[id] = t
-	s.orderP[id] = len(s.order)
+	id := s.allocID(t)
+	s.orderPos[id] = int32(len(s.order))
 	s.order = append(s.order, id)
-	k := tuple.Encode(t)
-	s.byVal[k] = append(s.byVal[k], id)
+	h := tuple.HashTuple(t, hashSeed)
+	slot, claimed := s.byVal.findOrClaim(h, func(o int32) bool { return s.tuples[o].Equal(t) })
+	s.valNext[id] = nilID
+	if claimed {
+		if s.byVal.occupy(slot, h, id, id) {
+			s.rehashByVal()
+		}
+	} else {
+		sl := &s.byVal.slots[slot]
+		s.valNext[sl.tail] = id
+		sl.tail = id
+	}
 	s.meter.Charge(cost.HashInsert)
 	s.meter.ChargeN(cost.KeyExtract, len(t))
 	for _, idx := range s.indexes {
-		idx.insert(tuple.KeyOf(t, idx.cols), id)
+		idx.insert(t, id)
 		s.meter.Charge(cost.HashInsert)
 	}
 }
@@ -113,31 +322,39 @@ func (s *Store) Insert(t tuple.Tuple) {
 // Delete removes one tuple equal to t. It reports whether a tuple was found;
 // deleting an absent tuple is a no-op (windows only delete what they
 // inserted, so false indicates a driver bug and is surfaced to tests).
+// Among duplicates the most recently inserted tuple is removed.
 func (s *Store) Delete(t tuple.Tuple) bool {
-	k := tuple.Encode(t)
-	ids := s.byVal[k]
-	if len(ids) == 0 {
+	h := tuple.HashTuple(t, hashSeed)
+	slot := s.byVal.find(h, func(o int32) bool { return s.tuples[o].Equal(t) })
+	if slot < 0 {
 		return false
 	}
-	id := ids[len(ids)-1]
-	if len(ids) == 1 {
-		delete(s.byVal, k)
+	sl := &s.byVal.slots[slot]
+	id := sl.tail
+	if sl.head == id {
+		s.byVal.clearSlot(slot)
 	} else {
-		s.byVal[k] = ids[:len(ids)-1]
+		prev := sl.head
+		for s.valNext[prev] != id {
+			prev = s.valNext[prev]
+		}
+		s.valNext[prev] = nilID
+		sl.tail = prev
 	}
 	// Swap-remove from scan order.
-	p := s.orderP[id]
+	p := s.orderPos[id]
 	last := s.order[len(s.order)-1]
 	s.order[p] = last
-	s.orderP[last] = p
+	s.orderPos[last] = p
 	s.order = s.order[:len(s.order)-1]
-	delete(s.orderP, id)
-	delete(s.byID, id)
 	s.meter.Charge(cost.HashInsert)
+	full := s.tuples[id]
 	for _, idx := range s.indexes {
-		idx.remove(tuple.KeyOf(t, idx.cols), id)
+		idx.remove(full, id)
 		s.meter.Charge(cost.HashInsert)
 	}
+	s.tuples[id] = nil
+	s.freeIDs = append(s.freeIDs, id)
 	return true
 }
 
@@ -147,7 +364,7 @@ func (s *Store) Delete(t tuple.Tuple) bool {
 func (s *Store) Scan(f func(tuple.Tuple) bool) {
 	for _, id := range s.order {
 		s.meter.Charge(cost.ScanStep)
-		if !f(s.byID[id]) {
+		if !f(s.tuples[id]) {
 			return
 		}
 	}
@@ -158,7 +375,15 @@ func (s *Store) Scan(f func(tuple.Tuple) bool) {
 // tuple's segment-join multiplicity from base-store value counts.
 func (s *Store) CountOf(t tuple.Tuple) int {
 	s.meter.Charge(cost.HashProbe)
-	return len(s.byVal[tuple.Encode(t)])
+	slot := s.byVal.find(tuple.HashTuple(t, hashSeed), func(o int32) bool { return s.tuples[o].Equal(t) })
+	if slot < 0 {
+		return 0
+	}
+	n := 0
+	for id := s.byVal.slots[slot].head; id != nilID; id = s.valNext[id] {
+		n++
+	}
+	return n
 }
 
 // All returns the current tuples (copy of the slice headers, shared values);
@@ -166,24 +391,31 @@ func (s *Store) CountOf(t tuple.Tuple) int {
 func (s *Store) All() []tuple.Tuple {
 	out := make([]tuple.Tuple, len(s.order))
 	for i, id := range s.order {
-		out[i] = s.byID[id]
+		out[i] = s.tuples[id]
 	}
 	return out
 }
 
 // Probe looks up the tuples matching key on the given index, charging join
-// probe cost. The returned slice must not be mutated.
+// probe cost. The returned slice must not be mutated. This is the
+// allocating convenience path; hot loops use ProbeEach.
 func (s *Store) Probe(idx *HashIndex, key tuple.Key) []tuple.Tuple {
 	s.meter.Charge(cost.IndexProbe)
-	ids := idx.buckets[key]
-	if len(ids) == 0 {
-		return nil
-	}
-	out := make([]tuple.Tuple, len(ids))
-	for i, id := range ids {
-		out[i] = s.byID[id]
-	}
+	vals := key.Values()
+	var out []tuple.Tuple
+	idx.each(tuple.HashValues(vals, hashSeed), vals, func(t tuple.Tuple) {
+		out = append(out, t)
+	})
 	return out
+}
+
+// ProbeEach visits the index's tuples whose key columns equal vals, in
+// insertion order, charging one join probe. Visited tuples must not be
+// retained or mutated. It is the zero-allocation probe path: no key is
+// materialized and no result slice is built.
+func (s *Store) ProbeEach(idx *HashIndex, vals []tuple.Value, f func(t tuple.Tuple)) {
+	s.meter.Charge(cost.IndexProbe)
+	idx.each(tuple.HashValues(vals, hashSeed), vals, f)
 }
 
 // MemoryBytes returns the store's tuple footprint (window contents only; the
@@ -194,35 +426,109 @@ func (s *Store) String() string {
 	return fmt.Sprintf("R%d[%d tuples]", s.rel+1, s.Len())
 }
 
-// HashIndex is an equality index mapping packed key values to tuple ids.
+// HashIndex is an equality index mapping key values to tuple-id chains in an
+// open-addressing table. Chains are linked through a per-index next array
+// indexed by slab id, preserving insertion order.
 type HashIndex struct {
-	cols    []int
-	buckets map[tuple.Key][]int
+	store *Store
+	cols  []int
+	table oaTable
+	next  []int32 // id -> next id in its bucket chain
 }
 
-// Cols returns the schema columns (sorted by attribute name) the index keys on.
-func (ix *HashIndex) Cols() []int { return append([]int(nil), ix.cols...) }
+// Cols returns the schema columns (sorted by attribute name) the index keys
+// on. The returned slice is the index's own and must not be modified.
+func (ix *HashIndex) Cols() []int { return ix.cols }
 
 // KeyFor extracts the index key for a tuple of the store's schema.
 func (ix *HashIndex) KeyFor(t tuple.Tuple) tuple.Key { return tuple.KeyOf(t, ix.cols) }
 
 // Buckets returns the number of distinct keys currently indexed.
-func (ix *HashIndex) Buckets() int { return len(ix.buckets) }
+func (ix *HashIndex) Buckets() int { return ix.table.live }
 
-func (ix *HashIndex) insert(k tuple.Key, id int) { ix.buckets[k] = append(ix.buckets[k], id) }
-
-func (ix *HashIndex) remove(k tuple.Key, id int) {
-	ids := ix.buckets[k]
-	for i, v := range ids {
-		if v == id {
-			ids[i] = ids[len(ids)-1]
-			ids = ids[:len(ids)-1]
-			break
+// keyEquals reports whether tuple o's key columns equal t's.
+func (ix *HashIndex) keyEquals(o, t tuple.Tuple) bool {
+	for _, c := range ix.cols {
+		if o[c] != t[c] {
+			return false
 		}
 	}
-	if len(ids) == 0 {
-		delete(ix.buckets, k)
-	} else {
-		ix.buckets[k] = ids
+	return true
+}
+
+// valsEqual reports whether tuple o's key columns equal the probe values.
+func (ix *HashIndex) valsEqual(o tuple.Tuple, vals []tuple.Value) bool {
+	for i, c := range ix.cols {
+		if o[c] != vals[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (ix *HashIndex) insert(t tuple.Tuple, id int32) {
+	h := tuple.HashOf(t, ix.cols, hashSeed)
+	s := ix.store
+	slot, claimed := ix.table.findOrClaim(h, func(o int32) bool { return ix.keyEquals(s.tuples[o], t) })
+	ix.next[id] = nilID
+	if claimed {
+		if ix.table.occupy(slot, h, id, id) {
+			ix.rehash()
+		}
+		return
+	}
+	sl := &ix.table.slots[slot]
+	ix.next[sl.tail] = id
+	sl.tail = id
+}
+
+func (ix *HashIndex) remove(t tuple.Tuple, id int32) {
+	h := tuple.HashOf(t, ix.cols, hashSeed)
+	s := ix.store
+	slot := ix.table.find(h, func(o int32) bool { return ix.keyEquals(s.tuples[o], t) })
+	if slot < 0 {
+		return
+	}
+	sl := &ix.table.slots[slot]
+	if sl.head == id {
+		if ix.next[id] == nilID {
+			ix.table.clearSlot(slot)
+		} else {
+			sl.head = ix.next[id]
+		}
+		return
+	}
+	prev := sl.head
+	for ix.next[prev] != id {
+		if ix.next[prev] == nilID {
+			return // id not under this key (driver bug; mirror old no-op)
+		}
+		prev = ix.next[prev]
+	}
+	ix.next[prev] = ix.next[id]
+	if sl.tail == id {
+		sl.tail = prev
+	}
+}
+
+func (ix *HashIndex) rehash() {
+	old := ix.table.slots
+	ix.table.reset(ix.table.live)
+	for i := range old {
+		if old[i].head >= 0 {
+			ix.table.insertChain(old[i].hash, old[i].head, old[i].tail)
+		}
+	}
+}
+
+// each visits the chain for the probe values in insertion order.
+func (ix *HashIndex) each(hash uint64, vals []tuple.Value, f func(t tuple.Tuple)) {
+	s := ix.store
+	slot := ix.table.find(hash, func(o int32) bool { return ix.valsEqual(s.tuples[o], vals) })
+	if slot < 0 {
+		return
+	}
+	for id := ix.table.slots[slot].head; id != nilID; id = ix.next[id] {
+		f(s.tuples[id])
 	}
 }

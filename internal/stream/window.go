@@ -36,10 +36,15 @@ func (w *SlidingWindow) Len() int { return w.n }
 // a Delete of the expired tuple first, if the window was full, then the
 // Insert of t. Rel and Seq fields are left zero for the caller to fill.
 func (w *SlidingWindow) Append(t tuple.Tuple) []Update {
+	return w.AppendInto(t, nil)
+}
+
+// AppendInto is Append accumulating into a caller-owned buffer (appended to,
+// typically passed as buf[:0]) so steady-state appends allocate nothing.
+func (w *SlidingWindow) AppendInto(t tuple.Tuple, out []Update) []Update {
 	if w.size <= 0 {
-		return []Update{{Op: Insert, Tuple: t}}
+		return append(out, Update{Op: Insert, Tuple: t})
 	}
-	var out []Update
 	if w.n == w.size {
 		old := w.buf[w.head]
 		w.buf[w.head] = nil
@@ -49,8 +54,7 @@ func (w *SlidingWindow) Append(t tuple.Tuple) []Update {
 	}
 	w.buf[(w.head+w.n)%w.size] = t
 	w.n++
-	out = append(out, Update{Op: Insert, Tuple: t})
-	return out
+	return append(out, Update{Op: Insert, Tuple: t})
 }
 
 // Contents returns the window's current tuples, oldest first. It is intended
@@ -87,13 +91,18 @@ func NewPartitionedWindow(size, col int) *PartitionedWindow {
 // the expiry delete of its partition's oldest tuple (when full), then the
 // insert.
 func (w *PartitionedWindow) Append(t tuple.Tuple) []Update {
+	return w.AppendInto(t, nil)
+}
+
+// AppendInto is Append accumulating into a caller-owned buffer.
+func (w *PartitionedWindow) AppendInto(t tuple.Tuple, out []Update) []Update {
 	key := t[w.col]
 	win, ok := w.rows[key]
 	if !ok {
 		win = NewSlidingWindow(w.size)
 		w.rows[key] = win
 	}
-	return win.Append(t)
+	return win.AppendInto(t, out)
 }
 
 // Len returns the total tuples across all partitions.

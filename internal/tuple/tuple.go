@@ -103,9 +103,102 @@ func (k Key) Values() []Value {
 // Encode packs an entire tuple into a Key. It is used by relation stores to
 // locate tuples for deletion (windows deliver deletes by value).
 func Encode(t Tuple) Key {
-	cols := make([]int, len(t))
-	for i := range cols {
-		cols[i] = i
+	buf := make([]byte, 8*len(t))
+	for i, v := range t {
+		binary.LittleEndian.PutUint64(buf[8*i:], uint64(v))
 	}
-	return KeyOf(t, cols)
+	return Key(buf)
+}
+
+// AppendKey appends the packed key of t's cols to dst and returns the
+// extended buffer — the zero-allocation counterpart of KeyOf for hot paths
+// that reuse a per-pipeline scratch buffer. AppendKey(dst[:0], t, cols)
+// produces bytes identical to KeyOf(t, cols).
+func AppendKey(dst []byte, t Tuple, cols []int) []byte {
+	var w [8]byte
+	for _, c := range cols {
+		binary.LittleEndian.PutUint64(w[:], uint64(t[c]))
+		dst = append(dst, w[:]...)
+	}
+	return dst
+}
+
+// AppendKeyTuple appends the packed encoding of the entire tuple to dst,
+// matching Encode(t) byte for byte.
+func AppendKeyTuple(dst []byte, t Tuple) []byte {
+	var w [8]byte
+	for _, v := range t {
+		binary.LittleEndian.PutUint64(w[:], uint64(v))
+		dst = append(dst, w[:]...)
+	}
+	return dst
+}
+
+// Hashing: a fixed-seed multiply-xor word hash (splitmix64-style finalizer
+// per value word) used by the open-addressing stores and indexes. It is
+// deliberately deterministic across runs so fixed-seed workloads reproduce
+// bit-identically; hash-flooding resistance is not a goal of this engine.
+
+const (
+	hashMul1 = 0xff51afd7ed558ccd
+	hashMul2 = 0xc4ceb9fe1a85ec53
+)
+
+func hashWord(h, v uint64) uint64 {
+	h ^= v
+	h *= hashMul1
+	h ^= h >> 33
+	h *= hashMul2
+	h ^= h >> 29
+	return h
+}
+
+// HashOf returns a 64-bit hash of t's values at cols. The same values in the
+// same order produce the same hash regardless of how they are supplied
+// (HashOf, HashValues, or HashTuple over an equal projection).
+func HashOf(t Tuple, cols []int, seed uint64) uint64 {
+	h := seed
+	for _, c := range cols {
+		h = hashWord(h, uint64(t[c]))
+	}
+	return hashWord(h, uint64(len(cols)))
+}
+
+// HashValues hashes raw values, matching HashOf for the same value sequence.
+func HashValues(vals []Value, seed uint64) uint64 {
+	h := seed
+	for _, v := range vals {
+		h = hashWord(h, uint64(v))
+	}
+	return hashWord(h, uint64(len(vals)))
+}
+
+// HashTuple hashes the full tuple, matching HashValues(t, seed).
+func HashTuple(t Tuple, seed uint64) uint64 {
+	h := seed
+	for _, v := range t {
+		h = hashWord(h, uint64(v))
+	}
+	return hashWord(h, uint64(len(t)))
+}
+
+// HashKey hashes a packed key, word by word. HashKey(KeyOf(t, cols), seed)
+// equals HashOf(t, cols, seed); HashBytes over the same bytes matches too.
+func HashKey(k Key, seed uint64) uint64 {
+	h := seed
+	n := len(k) / 8
+	for i := 0; i < n; i++ {
+		h = hashWord(h, binary.LittleEndian.Uint64([]byte(k[8*i:8*i+8])))
+	}
+	return hashWord(h, uint64(n))
+}
+
+// HashBytes hashes packed key bytes, matching HashKey for equal bytes.
+func HashBytes(b []byte, seed uint64) uint64 {
+	h := seed
+	n := len(b) / 8
+	for i := 0; i < n; i++ {
+		h = hashWord(h, binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return hashWord(h, uint64(n))
 }
