@@ -437,6 +437,44 @@ func (e *Engine) Append(rel string, values ...int64) int {
 	return total
 }
 
+// AppendBatch pushes a batch of tuples of a count-windowed relation's
+// append-only stream and processes the resulting window updates through the
+// engine's vectorized batch path. The window emits the expiry deletes the
+// batch forces out first and then the inserts (grouped schedule, see
+// stream.SlidingWindow.AppendBatchInto), so the executor sees two long
+// same-operation runs it can vectorize instead of alternating singletons.
+// It returns the total join-result updates emitted.
+func (e *Engine) AppendBatch(rel string, rows [][]int64) int {
+	idx := e.relIndex(rel)
+	ts := make([]tuple.Tuple, len(rows))
+	for i, r := range rows {
+		e.checkArity(idx, r)
+		ts[i] = tuple.Tuple(r).Clone()
+	}
+	var ups []stream.Update
+	switch {
+	case e.partWins[idx] != nil:
+		ups = e.partWins[idx].AppendBatchInto(ts, e.upsBuf[:0])
+	case e.windows[idx] != nil:
+		ups = e.windows[idx].AppendBatchInto(ts, e.upsBuf[:0])
+	default:
+		panic(fmt.Sprintf("acache: relation %q is time-windowed; use AppendAt", rel))
+	}
+	for i := range ups {
+		ups[i].Rel = idx
+		e.seq++
+		ups[i].Seq = e.seq
+	}
+	total := e.core.ProcessBatch(ups)
+	if e.server != nil {
+		for range ups {
+			e.server.tick()
+		}
+	}
+	e.upsBuf = ups[:0]
+	return total
+}
+
 // AppendAt pushes one tuple of a time-windowed relation's stream at
 // application time ts. Time is global: before the insert, every
 // time-windowed relation expires its tuples older than its span relative to

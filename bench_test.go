@@ -155,6 +155,84 @@ func TestEngineInsertAllocBudget(t *testing.T) {
 	}
 }
 
+// BenchmarkEngineProcessBatch measures the vectorized batch path against the
+// per-update loop on a bursty 4-way common-attribute workload (window 64,
+// domain 16, bursts of 256 rows per relation visit). Domain 16 puts each
+// probe's fan-out near 4 — the join-selectivity regime the paper's
+// experiments run at, and the one the batch path amortizes: sub-batches of
+// composites share probe keys and duplicate updates share whole pipeline
+// passes. Every sub-benchmark replays the identical row stream; b.N counts
+// tuples. "loop" appends rows one at a time, "batch=K" feeds the same bursts
+// through AppendBatch in chunks of K. ReoptInterval is pushed out so the
+// steady state after the initial cache selection is what's measured. `go run
+// ./cmd/acache-bench -experiment batch` records the same comparison (at the
+// internal/core layer) into BENCH_batch.json.
+func BenchmarkEngineProcessBatch(b *testing.B) {
+	const nRel, window, domain, burst = 4, 64, 16, 256
+	names := make([]string, nRel)
+	for i := range names {
+		names[i] = fmt.Sprintf("R%d", i)
+	}
+	run := func(b *testing.B, batch int) {
+		q := NewQuery()
+		for _, n := range names {
+			q.WindowedRelation(n, window, "A")
+		}
+		for i := 1; i < nRel; i++ {
+			q.Join("R0.A", names[i]+".A")
+		}
+		eng, err := q.Build(Options{Seed: 1, ReoptInterval: 10_000_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(1))
+		rows := make([][]int64, burst)
+		for i := range rows {
+			rows[i] = make([]int64, 1)
+		}
+		rel := 0
+		feed := func(n int) {
+			for i := 0; i < n; i++ {
+				rows[i][0] = rng.Int63n(domain)
+			}
+			name := names[rel]
+			rel = (rel + 1) % nRel
+			if batch <= 0 {
+				for _, r := range rows[:n] {
+					eng.Append(name, r...)
+				}
+				return
+			}
+			for off := 0; off < n; off += batch {
+				end := off + batch
+				if end > n {
+					end = n
+				}
+				eng.AppendBatch(name, rows[off:end])
+			}
+		}
+		// Warm: fill every window past capacity so the measured runs exercise
+		// expiries, probes, and output emission.
+		for i := 0; i < 2*nRel; i++ {
+			feed(burst)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for done := 0; done < b.N; {
+			n := burst
+			if rest := b.N - done; n > rest {
+				n = rest
+			}
+			feed(n)
+			done += n
+		}
+	}
+	b.Run("loop", func(b *testing.B) { run(b, 0) })
+	for _, batch := range []int{1, 8, 64, 256} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) { run(b, batch) })
+	}
+}
+
 // BenchmarkShardedInsert measures wall-clock append throughput of the
 // sharded engine at increasing shard counts on the Fig9-style n-way
 // common-attribute workload (6 relations joined on A, window 50, domain

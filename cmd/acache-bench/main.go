@@ -4,19 +4,22 @@
 //
 // Usage:
 //
-//	acache-bench [-experiment all|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|sharding|hotpath]
-//	             [-scale quick|medium|full] [-seed N] [-shards 1,2,4,8]
+//	acache-bench [-experiment all|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|sharding|hotpath|batch]
+//	             [-scale quick|medium|full] [-seed N] [-shards 1,2,4,8] [-batch N]
 //	             [-cpuprofile FILE] [-memprofile FILE]
 //
 // The full scale matches the paper's horizons and takes a few minutes; quick
 // is suitable for smoke runs.
 //
-// Two experiments are wall-clock (not cost-model) based: sharding measures
+// Three experiments are wall-clock (not cost-model) based: sharding measures
 // append throughput of the hash-partitioned engine at each shard count of
-// -shards and writes BENCH_sharding.json; hotpath measures the warm
-// per-update ns/op, B/op, and allocs/op of the n-way insert path (n = 3, 5, 7)
-// and writes BENCH_hotpath.json. Both JSON files record GOMAXPROCS/NumCPU,
-// since wall-clock numbers do not transfer across hosts.
+// -shards (with -batch setting the ingress batch size) and writes
+// BENCH_sharding.json; hotpath measures the warm per-update ns/op, B/op, and
+// allocs/op of the n-way insert path (n = 3, 5, 7) and writes
+// BENCH_hotpath.json; batch measures the vectorized ProcessBatch path against
+// the per-update loop at batch sizes 1, 8, 64, 256 and writes
+// BENCH_batch.json. The JSON files record GOMAXPROCS/NumCPU, since wall-clock
+// numbers do not transfer across hosts.
 //
 // -cpuprofile and -memprofile write pprof profiles of whatever experiments
 // run, for digging into the hot path itself.
@@ -35,6 +38,7 @@ import (
 
 	"acache/internal/bench"
 	"acache/internal/plot"
+	"acache/internal/shard"
 )
 
 // writeSVG renders one experiment as an SVG chart file named after its id.
@@ -65,6 +69,7 @@ func parseShards(s string) ([]int, error) {
 func main() {
 	experiment := flag.String("experiment", "all", "experiment id (fig6..fig13), 'ablations', 'extensions', 'sharding', or 'all'")
 	shards := flag.String("shards", "1,2,4,8", "comma-separated shard counts for the sharding experiment")
+	batch := flag.Int("batch", 0, "sharding experiment ingress batch size (0 = default)")
 	scale := flag.String("scale", "medium", "run scale: quick, medium, or full")
 	seed := flag.Int64("seed", 42, "workload seed")
 	parallel := flag.Bool("parallel", false, "run experiments concurrently (each is self-contained); output stays in order")
@@ -164,13 +169,21 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		rep := bench.RunSharding(6, counts, cfg)
+		rep := bench.RunSharding(6, counts, shard.Options{BatchSize: *batch}, cfg)
 		if err := os.WriteFile("BENCH_sharding.json", rep.JSON(), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "BENCH_sharding.json:", err)
 			os.Exit(1)
 		}
 		fmt.Println(render(rep.Experiment()))
 		fmt.Println("wrote BENCH_sharding.json")
+	case "batch":
+		rep := bench.RunBatch(4, []int{1, 8, 64, 256}, cfg)
+		if err := os.WriteFile("BENCH_batch.json", rep.JSON(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "BENCH_batch.json:", err)
+			os.Exit(1)
+		}
+		fmt.Println(render(rep.Experiment()))
+		fmt.Println("wrote BENCH_batch.json")
 	case "hotpath":
 		rep := bench.RunHotpath([]int{3, 5, 7}, cfg)
 		if err := os.WriteFile("BENCH_hotpath.json", rep.JSON(), 0o644); err != nil {
@@ -190,7 +203,7 @@ func main() {
 	default:
 		run, ok := runners[*experiment]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (want %s, ablations, extensions, sharding, hotpath, or all)\n",
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (want %s, ablations, extensions, sharding, hotpath, batch, or all)\n",
 				*experiment, strings.Join(order, "|"))
 			os.Exit(2)
 		}

@@ -33,28 +33,39 @@ type ShardingPoint struct {
 // on a single-core host every point collapses to ≈1× and the numbers measure
 // sharding overhead, not scaling.
 type ShardingReport struct {
-	Relations  int             `json:"relations"`
-	Warmup     int             `json:"warmup_appends"`
-	Measure    int             `json:"measure_appends"`
+	Relations int `json:"relations"`
+	Warmup    int `json:"warmup_appends"`
+	Measure   int `json:"measure_appends"`
+	// BatchSize is the ingress→mailbox batch size in effect (the mailbox
+	// batch is also what each shard's vectorized ProcessBatch digests per
+	// call, up to MaxBatch); MaxBatch ≤ 0 means uncapped.
+	BatchSize  int             `json:"batch_size"`
+	MaxBatch   int             `json:"max_batch"`
 	GOMAXPROCS int             `json:"gomaxprocs"`
 	NumCPU     int             `json:"num_cpu"`
 	Points     []ShardingPoint `json:"points"`
 }
 
 // RunSharding measures wall-clock throughput of the sharded engine on the
-// Fig9 n-way workload at each shard count. Every run replays the identical
-// update stream; the Outputs column cross-checks that partitioning did not
-// change the result cardinality.
-func RunSharding(n int, shardCounts []int, cfg RunConfig) *ShardingReport {
+// Fig9 n-way workload at each shard count, with the given mailbox batching
+// options. Every run replays the identical update stream; the Outputs column
+// cross-checks that partitioning did not change the result cardinality.
+func RunSharding(n int, shardCounts []int, sopts shard.Options, cfg RunConfig) *ShardingReport {
+	batchSize := sopts.BatchSize
+	if batchSize <= 0 {
+		batchSize = shard.DefaultBatchSize
+	}
 	rep := &ShardingReport{
 		Relations:  n,
 		Warmup:     cfg.Warmup,
 		Measure:    cfg.Measure,
+		BatchSize:  batchSize,
+		MaxBatch:   sopts.MaxBatch,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 	}
 	for _, p := range shardCounts {
-		rep.Points = append(rep.Points, runShardingPoint(n, p, cfg))
+		rep.Points = append(rep.Points, runShardingPoint(n, p, sopts, cfg))
 	}
 	for i := range rep.Points {
 		if base := rep.Points[0].TuplesPerSec; base > 0 {
@@ -64,10 +75,10 @@ func RunSharding(n int, shardCounts []int, cfg RunConfig) *ShardingReport {
 	return rep
 }
 
-func runShardingPoint(n, shards int, cfg RunConfig) ShardingPoint {
+func runShardingPoint(n, shards int, sopts shard.Options, cfg RunConfig) ShardingPoint {
 	w := nWayWorkload(n)
 	plan := shard.PlanPartitions(w.q, shards)
-	sh, err := shard.New(plan, 0, func(i int) (*core.Engine, error) {
+	sh, err := shard.New(plan, sopts, func(i int) (*core.Engine, error) {
 		return core.NewEngine(w.q, nil, core.Config{
 			ReoptInterval: cfg.Measure / 8,
 			GCQuota:       6,

@@ -3,11 +3,13 @@ package bench
 import (
 	"encoding/json"
 	"testing"
+
+	"acache/internal/shard"
 )
 
 func TestRunShardingShape(t *testing.T) {
 	cfg := RunConfig{Warmup: 500, Measure: 1500, Seed: 42}
-	rep := RunSharding(4, []int{1, 2}, cfg)
+	rep := RunSharding(4, []int{1, 2}, shard.Options{}, cfg)
 	if len(rep.Points) != 2 {
 		t.Fatalf("points = %d, want 2", len(rep.Points))
 	}

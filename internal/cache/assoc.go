@@ -120,6 +120,7 @@ func (c *Cache) createAssoc(u tuple.Key, v []tuple.Tuple) {
 		c.stats.MemoryDrops++
 		return
 	}
+	c.version++
 	if target.occupied {
 		if target.key != u {
 			c.stats.Evictions++

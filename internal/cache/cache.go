@@ -52,6 +52,8 @@ type Cache struct {
 	usedBytes  int
 	numEntries int
 
+	version uint64 // bumped on every entry mutation; validates probe memos
+
 	stats Stats
 }
 
@@ -187,6 +189,7 @@ func (c *Cache) Create(u tuple.Key, v []tuple.Tuple) {
 		c.stats.MemoryDrops++
 		return
 	}
+	c.version++
 	if s.occupied {
 		if s.key != u {
 			c.stats.Evictions++
@@ -220,6 +223,7 @@ func (c *Cache) Insert(u tuple.Key, r tuple.Tuple) {
 		c.stats.MemoryDrops++
 		return
 	}
+	c.version++
 	s.val = append(s.val, r)
 	c.usedBytes += RefBytes
 	c.stats.Inserts++
@@ -240,6 +244,7 @@ func (c *Cache) InsertBytes(k []byte, r tuple.Tuple) {
 		c.stats.MemoryDrops++
 		return
 	}
+	c.version++
 	s.val = append(s.val, r)
 	c.usedBytes += RefBytes
 	c.stats.Inserts++
@@ -256,6 +261,7 @@ func (c *Cache) Delete(u tuple.Key, r tuple.Tuple) {
 	c.meter.Charge(cost.CacheInsertTuple)
 	for i, t := range s.val {
 		if t.Equal(r) {
+			c.version++
 			s.val[i] = s.val[len(s.val)-1]
 			s.val = s.val[:len(s.val)-1]
 			c.usedBytes -= RefBytes
@@ -281,6 +287,7 @@ func (c *Cache) InsertBytesLazy(k []byte, mk func() tuple.Tuple) {
 		c.stats.MemoryDrops++
 		return
 	}
+	c.version++
 	s.val = append(s.val, mk())
 	c.usedBytes += RefBytes
 	c.stats.Inserts++
@@ -296,6 +303,7 @@ func (c *Cache) DeleteBytes(k []byte, r tuple.Tuple) {
 	c.meter.Charge(cost.CacheInsertTuple)
 	for i, t := range s.val {
 		if t.Equal(r) {
+			c.version++
 			s.val[i] = s.val[len(s.val)-1]
 			s.val = s.val[:len(s.val)-1]
 			c.usedBytes -= RefBytes
@@ -309,6 +317,7 @@ func (c *Cache) dropSlot(s *slot) {
 	if !s.occupied {
 		return
 	}
+	c.version++
 	c.usedBytes -= c.slotBytes(s)
 	c.numEntries--
 	s.occupied = false

@@ -57,6 +57,7 @@ func (c *Cache) CreateCounted(u tuple.Key, tuples []tuple.Tuple, mults, supports
 		c.stats.MemoryDrops++
 		return
 	}
+	c.version++
 	if s.occupied {
 		if s.key != u {
 			c.stats.Evictions++
@@ -115,6 +116,7 @@ func (c *Cache) ApplyCountedDelta(u tuple.Key, r tuple.Tuple, n int, recomputeMu
 		return
 	}
 	c.meter.Charge(cost.CacheInsertTuple)
+	c.version++
 	if n > 0 {
 		c.stats.Inserts++
 	} else {

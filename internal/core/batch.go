@@ -1,0 +1,130 @@
+package core
+
+import (
+	"acache/internal/cost"
+	"acache/internal/stream"
+)
+
+// Batched ingestion. ProcessBatch splits an update batch into runs —
+// maximal stretches of consecutive updates to the same relation with the
+// same operation — and pushes each run through the executor's vectorized
+// path (join.Exec.ProcessRun) in one pass, amortizing arena resets, operator
+// dispatch, and adaptivity bookkeeping over the run while keeping results
+// and simulated cost charges identical to the per-update loop.
+//
+// The equivalence rests on where the serial path *observes* shared state:
+//
+//   - The cost meter is read only at profiler rate-span boundaries (the
+//     Tick that rolls a span over), by stopwatches, and by the monitor /
+//     re-optimization machinery. Run lengths are capped (runLimit) so none
+//     of those observation points falls strictly inside a run; reordering
+//     charges within a run is therefore invisible.
+//   - The profiler's random sequence is consumed only by ShouldProfile,
+//     exactly once per update. The driver draws in update order while
+//     sizing a run; a terminating "profile this one" draw is carried to the
+//     next iteration instead of redrawn.
+//   - Profiled updates, runs of one, and relations the executor reports as
+//     non-batchable all go through processUpdate — literally the serial
+//     code path.
+//
+// Adaptivity counters advance by the run length at run end, which lands on
+// the same update indices as the serial loop because runLimit never lets a
+// run cross a monitor or re-optimization boundary: a boundary can only
+// coincide with a run's final update.
+func (en *Engine) ProcessBatch(ups []stream.Update) int {
+	total := 0
+	carryProfiled := false // ups[i]'s draw already made (and true) while sizing
+	for i := 0; i < len(ups); {
+		u := ups[i]
+		var profiled bool
+		if carryProfiled {
+			profiled, carryProfiled = true, false
+		} else {
+			profiled = en.pf.ShouldProfile(u.Rel)
+		}
+		limit := en.runLimit(u.Rel)
+		if profiled || limit <= 1 {
+			en.batchSerial++
+			en.meter.Charge(cost.WindowMaint)
+			total += en.processUpdate(u, profiled)
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(ups) && j-i < limit && ups[j].Rel == u.Rel && ups[j].Op == u.Op {
+			if en.pf.ShouldProfile(ups[j].Rel) {
+				carryProfiled = true
+				break
+			}
+			j++
+		}
+		if j == i+1 {
+			// A run of one gains nothing over the serial path.
+			en.batchSerial++
+			en.meter.Charge(cost.WindowMaint)
+			total += en.processUpdate(u, false)
+			i++
+			continue
+		}
+		k := j - i
+		en.batchRuns++
+		en.batchRunUpdates += uint64(k)
+		en.meter.ChargeN(cost.WindowMaint, k)
+		res := en.exec.ProcessRun(ups[i:j])
+		en.pf.TickN(u.Rel, k)
+		en.updates += k
+		en.outputs += uint64(res.Outputs)
+		total += res.Outputs
+		i = j
+		if len(en.cfg.ForcedCaches) > 0 || en.cfg.DisableCaching {
+			continue
+		}
+		en.sinceMonitor += k
+		if en.sinceMonitor >= en.cfg.MonitorInterval {
+			en.sinceMonitor = 0
+			en.monitorUsed()
+		}
+		// runLimit returned >1, so the engine was not profiling when the run
+		// was admitted, and a run cannot start profiling mid-way: the serial
+		// branch for en.profiling is unreachable here.
+		en.sinceReopt += k
+		if en.sinceReopt >= en.cfg.ReoptInterval {
+			en.sinceReopt = 0
+			en.startReopt()
+		}
+	}
+	return total
+}
+
+// BatchStats reports how ProcessBatch admitted its input since construction:
+// vectorized runs (count and total updates), serially processed updates, and
+// the executor's duplicate-replay count within runs.
+func (en *Engine) BatchStats() (runs, runUpdates, serial, dupReplays uint64) {
+	return en.batchRuns, en.batchRunUpdates, en.batchSerial, en.exec.DupReplays()
+}
+
+// runLimit bounds the length of a batched run starting at an update to rel so
+// that no state observation point falls strictly inside the run. The profiler
+// caps it at the next rate-span boundary; outside the forced / caching-off
+// modes (which skip adaptivity entirely) the monitor and re-optimization
+// intervals cap it too, and profiling phases force fully serial processing so
+// every update's statsReady check happens at its per-update position.
+func (en *Engine) runLimit(rel int) int {
+	if !en.exec.Batchable(rel) {
+		return 1
+	}
+	limit := en.pf.TicksToSpan(rel)
+	if len(en.cfg.ForcedCaches) > 0 || en.cfg.DisableCaching {
+		return limit
+	}
+	if en.profiling {
+		return 1
+	}
+	if m := en.cfg.MonitorInterval - en.sinceMonitor; m < limit {
+		limit = m
+	}
+	if r := en.cfg.ReoptInterval - en.sinceReopt; r < limit {
+		limit = r
+	}
+	return limit
+}

@@ -207,6 +207,11 @@ type Engine struct {
 	sinceMonitor int
 	profiling    bool
 	profilingFor int
+	// readyCand caches the candidate whose shadow window statsReady last
+	// found unfilled, so the per-update readiness poll during a profiling
+	// phase re-checks one window instead of scanning all candidates. Purely
+	// a memo: statsReady's answer is unchanged (see the invariant there).
+	readyCand *cand
 	// reoptCount drives the profiling duty cycle: a full profile — which
 	// suspends used caches that deny subset candidates their probe stream
 	// (Section 4.5(b)) — runs only every fullProfileEvery-th
@@ -217,6 +222,11 @@ type Engine struct {
 	outputs uint64
 	// Reopts counts selection runs; SkippedReopts counts p-threshold skips.
 	reopts, skippedReopts int
+
+	// Batch-path observability: how ProcessBatch admitted its input. Runs of
+	// length ≥ 2 go through the vectorized executor (batchRuns/batchRunUpdates);
+	// everything else takes the serial per-update path (batchSerial).
+	batchRuns, batchRunUpdates, batchSerial uint64
 
 	// resultSinks receive canonicalized join-result deltas; resultTaps
 	// tracks the executor tap id per pipeline (−1 = none) so pipeline
@@ -365,8 +375,17 @@ func (en *Engine) instanceFor(spec *planner.Spec, buckets int) *join.Instance {
 // updates emitted.
 func (en *Engine) Process(u stream.Update) int {
 	en.meter.Charge(cost.WindowMaint)
+	return en.processUpdate(u, en.pf.ShouldProfile(u.Rel))
+}
+
+// processUpdate is the serial per-update path with the window-maintenance
+// charge and the profiling draw hoisted to the caller: Process draws inline,
+// while the batch driver (ProcessBatch) draws ahead when sizing runs and
+// passes the outcome through so the profiler's random sequence is consumed in
+// exactly the per-update order.
+func (en *Engine) processUpdate(u stream.Update, profiled bool) int {
 	var outputs int
-	if en.pf.ShouldProfile(u.Rel) {
+	if profiled {
 		res, prof := en.exec.ProcessProfiled(u)
 		en.pf.Observe(u.Rel, prof)
 		outputs = res.Outputs
@@ -402,18 +421,6 @@ func (en *Engine) Process(u stream.Update) int {
 	return outputs
 }
 
-// ProcessBatch runs a batch of updates in order, each to completion, and
-// returns the total join-result updates emitted. It is the batched ingestion
-// path used by sharded execution: one call per mailbox batch amortizes the
-// per-update dispatch overhead without changing any per-update semantics.
-func (en *Engine) ProcessBatch(ups []stream.Update) int {
-	total := 0
-	for _, u := range ups {
-		total += en.Process(u)
-	}
-	return total
-}
-
 // Snapshot is an aggregate of the engine's headline counters. Sharded
 // execution reads one Snapshot per shard and sums them; the single-engine
 // Stats API is a rendering of the same numbers.
@@ -430,9 +437,14 @@ type Snapshot struct {
 	CacheMemoryBytes int
 }
 
-// Snapshot returns the engine's current counters. Callers aggregating across
-// shards must quiesce the shard goroutines first; the method itself takes no
-// locks.
+// Snapshot returns the engine's current counters. The method takes no locks:
+// an Engine is single-goroutine, so the only safe cross-goroutine use is by a
+// caller that has quiesced whatever goroutine drives this engine. Sharded
+// execution does exactly that — ShardedEngine.Stats (and the shard package's
+// Group.Snapshot it builds on) flush every mailbox and read the per-shard
+// snapshots from the acknowledgement barrier, never concurrently with
+// processing. Callers holding a raw *Engine from Shard() must arrange the
+// same quiescence themselves.
 func (en *Engine) Snapshot() Snapshot {
 	return Snapshot{
 		Updates:          en.updates,

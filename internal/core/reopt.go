@@ -145,11 +145,29 @@ func (en *Engine) startProfilingPhase() {
 	}
 	en.profiling = true
 	en.profilingFor = 0
+	en.readyCand = nil
 }
 
 // statsReady reports whether every pipeline statistic and every profiled
 // candidate's shadow window is full.
+//
+// It is polled once per update during a profiling phase, so it keeps a
+// cursor (en.readyCand) on the candidate last found unready and re-checks
+// that one first. The memo is sound because readiness is monotone within a
+// phase: shadow windows only fill (ShadowMissProb flips false→true once, as
+// observations are never discarded mid-phase), and candidate states change
+// only at phase boundaries (startReopt / finishReopt), which clear the
+// cursor. An unready cursor therefore short-circuits to the same false the
+// full scan would return.
 func (en *Engine) statsReady() bool {
+	if c := en.readyCand; c != nil {
+		if c.state == Profiled && c.shadowOn {
+			if _, ok := en.pf.ShadowMissProb(c.spec); !ok {
+				return false
+			}
+		}
+		en.readyCand = nil
+	}
 	if !en.pf.Ready() {
 		return false
 	}
@@ -158,6 +176,7 @@ func (en *Engine) statsReady() bool {
 			continue
 		}
 		if _, ok := en.pf.ShadowMissProb(c.spec); !ok {
+			en.readyCand = c
 			return false
 		}
 	}
@@ -169,6 +188,7 @@ func (en *Engine) statsReady() bool {
 // cache set.
 func (en *Engine) finishReopt() {
 	en.profiling = false
+	en.readyCand = nil
 	for _, c := range en.cands {
 		if c.state == Used || c.shadowOn {
 			c.est = en.estimate(c)

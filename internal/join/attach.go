@@ -323,6 +323,7 @@ func (e *Exec) AttachCache(spec *planner.Spec, inst *Instance) error {
 		}
 	}
 	inst.attachCount++
+	e.refreshBatchable()
 	return nil
 }
 
@@ -348,6 +349,7 @@ func (e *Exec) DetachCache(spec *planner.Spec) {
 		e.removeMaintenance(inst)
 		inst.store.Clear()
 	}
+	e.refreshBatchable()
 }
 
 // SuspendLookup removes the CacheLookup at spec's position while keeping
@@ -362,6 +364,7 @@ func (e *Exec) SuspendLookup(spec *planner.Spec) bool {
 	}
 	p.lookups[spec.Start] = nil
 	p.suspended[spec.Start] = att
+	e.refreshBatchable()
 	return true
 }
 
@@ -375,6 +378,7 @@ func (e *Exec) ResumeLookup(spec *planner.Spec) bool {
 	}
 	delete(p.suspended, spec.Start)
 	p.lookups[spec.Start] = att
+	e.refreshBatchable()
 	return true
 }
 

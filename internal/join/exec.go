@@ -45,13 +45,31 @@ type Exec struct {
 	scanOnly map[tuple.Attr]bool
 	nextTap  int
 
-	// arena holds the composite tuples built while processing one update;
-	// it is reset when the next update starts. keyBuf is the shared packed-
-	// key scratch for cache probes and maintenance. Both rely on the
-	// executor being single-goroutine.
+	// arena holds the composite tuples built while processing one update
+	// (or one batch run); it is reset when the next update or run starts.
+	// keyBuf is the shared packed-key scratch for cache probes and
+	// maintenance. Both rely on the executor being single-goroutine.
 	arena  valueArena
 	keyBuf []byte
+
+	// ProcessRun scratch, reused across runs: bounds[pos][j] is the end
+	// offset of update j's sub-batch within arrivals[pos], and missBuf holds
+	// one sub-batch's cache-lookup misses. charges[pos][j] records the meter
+	// delta of update j's sub-batch at join-step position pos, and dupOf /
+	// dupSlots back the run's duplicate-update detection (see runDups).
+	bounds   [][]int32
+	missBuf  []tuple.Tuple
+	charges  [][]cost.Units
+	dupOf    []int32
+	dupSlots []dupSlot
+	dupEpoch uint32
+	// dupReplays counts replayed duplicate-update step segments (telemetry).
+	dupReplays uint64
 }
+
+// DupReplays reports how many step segments ProcessRun replayed for
+// duplicate updates instead of re-probing.
+func (e *Exec) DupReplays() uint64 { return e.dupReplays }
 
 // NewExec builds an executor for q with the given pipeline ordering.
 func NewExec(q *query.Query, ord planner.Ordering, meter *cost.Meter, opts Options) (*Exec, error) {
@@ -72,6 +90,7 @@ func NewExec(q *query.Query, ord planner.Ordering, meter *cost.Meter, opts Optio
 		e.stores[i] = relation.NewStore(i, q.Schema(i), meter)
 	}
 	e.buildPipelines()
+	e.refreshBatchable()
 	return e, nil
 }
 
@@ -106,6 +125,7 @@ func (e *Exec) SetOrdering(rel int, order []int) error {
 	}
 	e.ord = next
 	e.pipes[rel] = buildPipeline(e.q, rel, order, e.stores, e.scanOnly)
+	e.refreshBatchable()
 	return nil
 }
 
@@ -211,7 +231,7 @@ func (e *Exec) run(u stream.Update, profiled bool, prof *Profile) int {
 		if att != nil && !profiled {
 			misses := e.applyLookup(p, att, batch, arrivals)
 			if len(misses) > 0 {
-				segOut := e.runMissSegment(p, att, misses, u.Op)
+				segOut := e.runMissSegment(p, att, misses, u.Op, false)
 				arrivals[att.end+1] = append(arrivals[att.end+1], segOut...)
 			}
 			continue
@@ -279,7 +299,11 @@ func (e *Exec) applyLookup(p *pipeline, att *attachment, batch []tuple.Tuple, ar
 // removes exactly one. Taps inside the segment still fire so shadow
 // profilers observe whatever flows (the engine demotes enclosing caches
 // when a subset cache needs the full stream, Section 4.5(b)).
-func (e *Exec) runMissSegment(p *pipeline, att *attachment, misses []tuple.Tuple, op stream.Op) []tuple.Tuple {
+//
+// useMemo engages the step probe memos; only the batch path (ProcessRun)
+// passes true, where the memoized replay is charge-identical and the stores
+// it probes are guaranteed unchanged for the duration of the run.
+func (e *Exec) runMissSegment(p *pipeline, att *attachment, misses []tuple.Tuple, op stream.Op, useMemo bool) []tuple.Tuple {
 	created := make(map[tuple.Key]bool)
 	var all []tuple.Tuple
 	for _, r := range misses {
@@ -291,7 +315,12 @@ func (e *Exec) runMissSegment(p *pipeline, att *attachment, misses []tuple.Tuple
 					t.f(batch, op)
 				}
 			}
-			batch = p.steps[pos].run(batch, e.stores[p.steps[pos].rel], e.meter, &e.arena, nil)
+			st := p.steps[pos]
+			if useMemo {
+				batch = st.runMemo(batch, e.stores[st.rel], e.meter, &e.arena, nil)
+			} else {
+				batch = st.run(batch, e.stores[st.rel], e.meter, &e.arena, nil)
+			}
 		}
 		all = append(all, batch...)
 		if created[u] {

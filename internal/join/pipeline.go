@@ -46,6 +46,27 @@ type step struct {
 	// prefix, applied to every match: input[inCol] op relTuple[relCol].
 	thetas []thetaCheck
 
+	// memo caches index probe chains across the updates of one batch run
+	// (ProcessRun). Only runMemo uses it; the serial run path never does, so
+	// per-update processing stays structurally untouched. Validity is checked
+	// against the store's mutation counter on every probe, so the memo can
+	// simply persist here across runs. memoable gates it to steps whose probe
+	// key is a strict projection of the input tuple — when the key covers
+	// every input column, distinct inputs never share a key, so the memo
+	// would pay its bookkeeping without ever hitting (duplicate inputs are
+	// already replayed wholesale by ProcessRun's runDups).
+	memo     relation.ProbeMemo
+	memoable bool
+
+	// keyFromRoot marks index steps whose probe-key columns all come from the
+	// pipeline root's schema (columns 0..rootWidth−1 of every composite). A
+	// composite's key then equals its root tuple's key, so within one update's
+	// sub-batch — where every composite extends the same root tuple — the key
+	// is constant and runGrouped probes the index once for the whole
+	// sub-batch. groupBuf is its match-list scratch.
+	keyFromRoot bool
+	groupBuf    []tuple.Tuple
+
 	in, out *tuple.Schema
 }
 
@@ -99,6 +120,12 @@ type pipeline struct {
 	// single-goroutine, and nothing downstream retains the batch slices
 	// (taps, maintenance, and profilers all copy what they keep).
 	arrivals [][]tuple.Tuple
+
+	// batchable reports whether ProcessRun may execute multi-update runs
+	// through this pipeline; recomputed by refreshBatchable whenever the
+	// attachment or maintenance configuration changes. See computeBatchable
+	// for the exclusions.
+	batchable bool
 }
 
 func buildPipeline(q *query.Query, rel int, order []int, stores []*relation.Store, scanOnly map[tuple.Attr]bool) *pipeline {
@@ -118,6 +145,7 @@ func buildPipeline(q *query.Query, rel int, order []int, stores []*relation.Stor
 	p.suspended = make(map[int]*attachment)
 	p.maint = make([][]*maintOp, n)
 	p.taps = make([][]tapEntry, n)
+	p.batchable = true
 	return p
 }
 
@@ -189,6 +217,25 @@ func buildStep(q *query.Query, in *tuple.Schema, prefix []int, r int, store *rel
 			st.probeFromCols = append(st.probeFromCols, q.RepresentativeCols(in, []int{cls})[0])
 		}
 		st.probeVals = make([]tuple.Value, len(st.probeFromCols))
+		st.memoable = len(st.probeFromCols) < in.Len()
+		// keyFromRoot: every probe-key column's equivalence class has a member
+		// in the root relation's schema. Earlier steps enforce class equality
+		// within a composite, so such a column's value equals the root tuple's
+		// — constant across a sub-batch of composites extending one root tuple.
+		rootClasses := make(map[int]bool)
+		for i := 0; i < q.Schema(prefix[0]).Len(); i++ {
+			if cls, ok := q.ClassOf(q.Schema(prefix[0]).Col(i)); ok {
+				rootClasses[cls] = true
+			}
+		}
+		st.keyFromRoot = true
+		for _, c := range st.probeFromCols {
+			cls, ok := q.ClassOf(in.Col(c))
+			if !ok || !rootClasses[cls] {
+				st.keyFromRoot = false
+				break
+			}
+		}
 		return st
 	}
 	// Scan path: equality checks per (class, r-attribute) pair; with no
@@ -251,5 +298,94 @@ func (st *step) run(batch []tuple.Tuple, store *relation.Store, meter *cost.Mete
 			return true
 		})
 	}
+	return out
+}
+
+// runMemo is run with the step's probe memo engaged: equal probe keys within
+// a batch run resolve the index chain once and replay it, with charges
+// identical to run (the memo charges one IndexProbe per logical probe, and
+// the replayed matches pass through the same theta and output charging here).
+// Only the batch path (Exec.ProcessRun) calls it; the serial path keeps the
+// plain run so per-update processing is structurally untouched. The scan path
+// has no memo, and steps whose probe key covers the whole input tuple never
+// benefit (see memoable); both fall through to run.
+func (st *step) runMemo(batch []tuple.Tuple, store *relation.Store, meter *cost.Meter, arena *valueArena, dst []tuple.Tuple) []tuple.Tuple {
+	if st.keyFromRoot {
+		if len(batch) > 1 {
+			return st.runGrouped(batch, store, meter, arena, dst)
+		}
+		return st.run(batch, store, meter, arena, dst)
+	}
+	if st.probeFromCols == nil || !st.memoable {
+		return st.run(batch, store, meter, arena, dst)
+	}
+	out := dst
+	if st.idx == nil || st.idxEpoch != store.Epoch() {
+		idx := store.IndexNamed(st.indexID)
+		if idx == nil {
+			idx = store.CreateIndex(st.indexAttrs...)
+		}
+		st.idx = idx
+		st.idxEpoch = store.Epoch()
+	}
+	vals := st.probeVals
+	for _, r := range batch {
+		for i, c := range st.probeFromCols {
+			vals[i] = r[c]
+		}
+		meter.ChargeN(cost.KeyExtract, len(vals))
+		store.ProbeEachMemo(st.idx, vals, &st.memo, func(m tuple.Tuple) {
+			if !st.passesThetas(r, m, meter) {
+				return
+			}
+			meter.Charge(cost.OutputTuple)
+			out = append(out, arena.concat(r, m))
+		})
+	}
+	return out
+}
+
+// runGrouped is run for a sub-batch whose probe key is constant (keyFromRoot,
+// all composites extending one root tuple): the index is probed once and the
+// match list cross-producted with the sub-batch. Charge totals are identical
+// to run — ProbeEach charges the single real probe's IndexProbe, every other
+// composite charges its own, and each composite pays its KeyExtract and
+// per-match theta/output charges — only their order within the sub-batch
+// shifts, which no observation point can see (observations happen at run
+// boundaries only). The match tuples reference the store's slab, which is
+// stable for the whole run: the executor defers the updated relation's store
+// mutations to run end, and no other store changes mid-run.
+func (st *step) runGrouped(batch []tuple.Tuple, store *relation.Store, meter *cost.Meter, arena *valueArena, dst []tuple.Tuple) []tuple.Tuple {
+	if st.idx == nil || st.idxEpoch != store.Epoch() {
+		idx := store.IndexNamed(st.indexID)
+		if idx == nil {
+			idx = store.CreateIndex(st.indexAttrs...)
+		}
+		st.idx = idx
+		st.idxEpoch = store.Epoch()
+	}
+	vals := st.probeVals
+	for i, c := range st.probeFromCols {
+		vals[i] = batch[0][c]
+	}
+	matches := st.groupBuf[:0]
+	store.ProbeEach(st.idx, vals, func(m tuple.Tuple) {
+		matches = append(matches, m)
+	})
+	out := dst
+	for bi, r := range batch {
+		meter.ChargeN(cost.KeyExtract, len(vals))
+		if bi > 0 { // ProbeEach above charged the first composite's IndexProbe
+			meter.Charge(cost.IndexProbe)
+		}
+		for _, m := range matches {
+			if !st.passesThetas(r, m, meter) {
+				continue
+			}
+			meter.Charge(cost.OutputTuple)
+			out = append(out, arena.concat(r, m))
+		}
+	}
+	st.groupBuf = matches[:0]
 	return out
 }

@@ -139,6 +139,34 @@ func (pf *Profiler) Tick(rel int) {
 	}
 }
 
+// TickN records k consecutive updates to rel at once — equivalent to k Tick
+// calls when the caller guarantees k ≤ TicksToSpan(rel), which the engine's
+// batch driver does by capping run lengths there. At most one span boundary
+// can then fire, at the end, after every charge of the run is already in the
+// meter — exactly where the serial loop's boundary Tick would observe it.
+func (pf *Profiler) TickN(rel, k int) {
+	pf.totalTicks += int64(k)
+	pf.relTicks[rel] += int64(k)
+	ps := pf.pipes[rel]
+	ps.spanN += k
+	if ps.spanN >= pf.cfg.RateSpan {
+		now := cost.Seconds(pf.meter.Total())
+		ps.rate.ObserveSpan(ps.spanN, now-ps.spanT)
+		ps.spanN = 0
+		ps.spanT = now
+	}
+}
+
+// TicksToSpan returns how many more Ticks to rel can happen before a
+// rate-span boundary is observed, always ≥ 1 (spanN resets to zero at each
+// boundary). The boundary tick reads the shared cost meter, so the engine's
+// batch driver caps run lengths with this: a span boundary may coincide with
+// a run's final tick — where every charge of the run is already in, exactly
+// as in per-update processing — but never falls strictly inside one.
+func (pf *Profiler) TicksToSpan(rel int) int {
+	return pf.cfg.RateSpan - pf.pipes[rel].spanN
+}
+
 // Observe feeds one profiled update's per-operator measurements.
 func (pf *Profiler) Observe(rel int, prof join.Profile) {
 	ps := pf.pipes[rel]

@@ -12,6 +12,7 @@
 package relation
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 	"strings"
@@ -182,7 +183,10 @@ type Store struct {
 	valNext []int32 // id -> next id in its byVal chain
 
 	indexes map[string]*HashIndex
-	epoch   uint64 // bumped on index create/drop so compiled steps revalidate
+	idxList []*HashIndex // map values as a slice, so hot paths avoid map iteration
+	epoch   uint64       // bumped on index create/drop so compiled steps revalidate
+
+	mutations uint64 // bumped on every Insert/Delete; validates probe memos
 }
 
 // NewStore creates an empty store for relation rel with the given schema.
@@ -208,6 +212,10 @@ func (s *Store) Len() int { return len(s.order) }
 // Epoch changes whenever the index set changes; compiled join steps cache
 // the *HashIndex they probe and revalidate it when the epoch moves.
 func (s *Store) Epoch() uint64 { return s.epoch }
+
+// Mutations changes whenever the store's contents change (any Insert or
+// successful Delete). Probe memos record it to detect staleness.
+func (s *Store) Mutations() uint64 { return s.mutations }
 
 // indexName canonicalizes an attribute-name set into an index identifier.
 func indexName(names []string) string {
@@ -243,6 +251,7 @@ func (s *Store) CreateIndex(names ...string) *HashIndex {
 		idx.insert(s.tuples[tid], tid)
 	}
 	s.indexes[id] = idx
+	s.idxList = append(s.idxList, idx)
 	s.epoch++
 	return idx
 }
@@ -251,8 +260,14 @@ func (s *Store) CreateIndex(names ...string) *HashIndex {
 // Joins on those attributes fall back to nested-loop scans.
 func (s *Store) DropIndex(names ...string) {
 	id := indexName(names)
-	if _, ok := s.indexes[id]; ok {
+	if idx, ok := s.indexes[id]; ok {
 		delete(s.indexes, id)
+		for i, other := range s.idxList {
+			if other == idx {
+				s.idxList = append(s.idxList[:i], s.idxList[i+1:]...)
+				break
+			}
+		}
 		s.epoch++
 	}
 }
@@ -276,7 +291,7 @@ func (s *Store) allocID(t tuple.Tuple) int32 {
 	s.tuples = append(s.tuples, t)
 	s.orderPos = append(s.orderPos, 0)
 	s.valNext = append(s.valNext, nilID)
-	for _, idx := range s.indexes {
+	for _, idx := range s.idxList {
 		idx.next = append(idx.next, nilID)
 	}
 	return id
@@ -296,6 +311,7 @@ func (s *Store) rehashByVal() {
 
 // Insert adds t to the store and all indexes.
 func (s *Store) Insert(t tuple.Tuple) {
+	s.mutations++
 	id := s.allocID(t)
 	s.orderPos[id] = int32(len(s.order))
 	s.order = append(s.order, id)
@@ -313,7 +329,7 @@ func (s *Store) Insert(t tuple.Tuple) {
 	}
 	s.meter.Charge(cost.HashInsert)
 	s.meter.ChargeN(cost.KeyExtract, len(t))
-	for _, idx := range s.indexes {
+	for _, idx := range s.idxList {
 		idx.insert(t, id)
 		s.meter.Charge(cost.HashInsert)
 	}
@@ -329,6 +345,7 @@ func (s *Store) Delete(t tuple.Tuple) bool {
 	if slot < 0 {
 		return false
 	}
+	s.mutations++
 	sl := &s.byVal.slots[slot]
 	id := sl.tail
 	if sl.head == id {
@@ -349,7 +366,7 @@ func (s *Store) Delete(t tuple.Tuple) bool {
 	s.order = s.order[:len(s.order)-1]
 	s.meter.Charge(cost.HashInsert)
 	full := s.tuples[id]
-	for _, idx := range s.indexes {
+	for _, idx := range s.idxList {
 		idx.remove(full, id)
 		s.meter.Charge(cost.HashInsert)
 	}
@@ -416,6 +433,114 @@ func (s *Store) Probe(idx *HashIndex, key tuple.Key) []tuple.Tuple {
 func (s *Store) ProbeEach(idx *HashIndex, vals []tuple.Value, f func(t tuple.Tuple)) {
 	s.meter.Charge(cost.IndexProbe)
 	idx.each(tuple.HashValues(vals, hashSeed), vals, f)
+}
+
+// probeMemoSlots sizes a ProbeMemo's open-addressing table. Runs are capped
+// by the profiler's rate span (well under the table size), so the fill bound
+// below exists only as a safety valve, not a working limit.
+const (
+	probeMemoSlots   = 512 // power of two
+	probeMemoMaxFill = probeMemoSlots / 2
+)
+
+// memoEntry is one memoized chain: the probe key (a window into keys) and the
+// recorded chain (a window into ids). An entry is live only when its epoch
+// matches the memo's, which makes reset O(1) instead of a table clear.
+type memoEntry struct {
+	hash       uint64
+	epoch      uint32
+	koff, klen int32
+	off, n     int32
+}
+
+// ProbeMemo caches the tuple-id chains returned by index probes, keyed by the
+// packed probe values, so repeated equal-key probes within a batch skip the
+// slot search and chain walk. A memo is valid only for one (index,
+// store-mutation) pair; ProbeEachMemo resets it automatically when either
+// moves, so callers just embed a ProbeMemo and reuse it across batches. The
+// table is a fixed epoch-stamped open-addressing array — the memo sits on the
+// hot path, where a map's hashing and key-allocation overhead would cost more
+// than the probes it saves.
+type ProbeMemo struct {
+	idx       *HashIndex
+	mutations uint64
+	epoch     uint32
+	fill      int
+	entries   []memoEntry
+	keyBuf    []byte
+	keys      []byte
+	ids       []int32
+}
+
+func (m *ProbeMemo) reset(idx *HashIndex, mutations uint64) {
+	m.idx = idx
+	m.mutations = mutations
+	m.fill = 0
+	m.ids = m.ids[:0]
+	m.keys = m.keys[:0]
+	if m.entries == nil {
+		m.entries = make([]memoEntry, probeMemoSlots)
+	}
+	m.epoch++
+	if m.epoch == 0 { // wrapped: stale entries would alias the new epoch
+		clear(m.entries)
+		m.epoch = 1
+	}
+}
+
+// ProbeEachMemo is ProbeEach with a chain memo: the first probe of a key
+// walks the index and records the chain's tuple ids; subsequent probes of the
+// same key replay the recorded chain in the same insertion order. Charges are
+// identical to ProbeEach in both cases — one IndexProbe per logical probe —
+// so the simulated cost model cannot tell the paths apart. The caller must
+// not mutate the store between memoized probes it expects to share (the memo
+// detects mutation and resets, which is correct but forfeits sharing).
+func (s *Store) ProbeEachMemo(idx *HashIndex, vals []tuple.Value, memo *ProbeMemo, f func(t tuple.Tuple)) {
+	if memo.idx != idx || memo.mutations != s.mutations || memo.entries == nil {
+		memo.reset(idx, s.mutations)
+	}
+	s.meter.Charge(cost.IndexProbe)
+	h := tuple.HashValues(vals, hashSeed)
+	memo.keyBuf = tuple.AppendKeyValues(memo.keyBuf[:0], vals)
+	var free *memoEntry
+	for i := h & (probeMemoSlots - 1); ; i = (i + 1) & (probeMemoSlots - 1) {
+		e := &memo.entries[i]
+		if e.epoch != memo.epoch {
+			if memo.fill < probeMemoMaxFill {
+				free = e
+			}
+			break
+		}
+		if e.hash == h && int(e.klen) == len(memo.keyBuf) &&
+			bytes.Equal(memo.keys[e.koff:e.koff+e.klen], memo.keyBuf) {
+			for _, id := range memo.ids[e.off : e.off+e.n] {
+				f(s.tuples[id])
+			}
+			return
+		}
+	}
+	if free == nil { // table at the fill bound: probe directly, don't record
+		idx.each(h, vals, f)
+		return
+	}
+	off := int32(len(memo.ids))
+	slot := idx.table.find(h, func(o int32) bool {
+		return idx.valsEqual(s.tuples[o], vals)
+	})
+	if slot >= 0 {
+		for id := idx.table.slots[slot].head; id != nilID; id = idx.next[id] {
+			memo.ids = append(memo.ids, id)
+			f(s.tuples[id])
+		}
+	}
+	koff := int32(len(memo.keys))
+	memo.keys = append(memo.keys, memo.keyBuf...)
+	*free = memoEntry{
+		hash: h, epoch: memo.epoch,
+		koff: koff, klen: int32(len(memo.keyBuf)),
+		off: off, n: int32(len(memo.ids)) - off,
+	}
+	memo.fill++
 }
 
 // MemoryBytes returns the store's tuple footprint (window contents only; the

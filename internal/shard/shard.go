@@ -160,6 +160,18 @@ const mailboxDepth = 8
 // enough to keep shard latency and ingress buffering negligible.
 const DefaultBatchSize = 128
 
+// Options tune the mailbox machinery between the ingress and the shards.
+type Options struct {
+	// BatchSize is how many updates the ingress buffers per shard before
+	// handing the batch to the shard's mailbox (≤ 0 uses DefaultBatchSize).
+	BatchSize int
+	// MaxBatch caps how many updates a worker passes to its engine's
+	// ProcessBatch per call (≤ 0: the whole mailbox batch at once). The
+	// engine's vectorized path gets faster with bigger batches, so the cap
+	// exists for experiments that bound batch effects, not for throughput.
+	MaxBatch int
+}
+
 type batchMsg struct {
 	ups []stream.Update
 	ack chan<- struct{}
@@ -170,27 +182,28 @@ type batchMsg struct {
 // inspection (Snapshot, Shard, per-shard state) must happen with the shards
 // quiesced: after a Flush and before the next Offer.
 type Engine struct {
-	plan   Plan
-	shards []*core.Engine
-	mail   []chan batchMsg
-	ing    *stream.Batcher
-	wg     sync.WaitGroup
-	resMu  sync.Mutex // serializes merged result callbacks
-	closed bool
+	plan     Plan
+	shards   []*core.Engine
+	mail     []chan batchMsg
+	ing      *stream.Batcher
+	maxBatch int
+	wg       sync.WaitGroup
+	resMu    sync.Mutex // serializes merged result callbacks
+	closed   bool
 }
 
 // New builds a sharded engine over plan.Shards core engines constructed by
 // mk (one call per shard, so each shard gets its own meter, profiler, cache
-// set, and seed) and starts the worker goroutines. batchSize ≤ 0 uses
-// DefaultBatchSize.
-func New(plan Plan, batchSize int, mk func(shard int) (*core.Engine, error)) (*Engine, error) {
+// set, and seed) and starts the worker goroutines.
+func New(plan Plan, opts Options, mk func(shard int) (*core.Engine, error)) (*Engine, error) {
 	if plan.Shards < 1 {
 		return nil, fmt.Errorf("shard: plan has %d shards", plan.Shards)
 	}
+	batchSize := opts.BatchSize
 	if batchSize <= 0 {
 		batchSize = DefaultBatchSize
 	}
-	e := &Engine{plan: plan}
+	e := &Engine{plan: plan, maxBatch: opts.MaxBatch}
 	for i := 0; i < plan.Shards; i++ {
 		en, err := mk(i)
 		if err != nil {
@@ -213,8 +226,14 @@ func (e *Engine) worker(i int) {
 	defer e.wg.Done()
 	en := e.shards[i]
 	for m := range e.mail[i] {
-		if len(m.ups) > 0 {
-			en.ProcessBatch(m.ups)
+		ups := m.ups
+		for len(ups) > 0 {
+			n := len(ups)
+			if e.maxBatch > 0 && n > e.maxBatch {
+				n = e.maxBatch
+			}
+			en.ProcessBatch(ups[:n])
+			ups = ups[n:]
 		}
 		if m.ack != nil {
 			m.ack <- struct{}{}
@@ -271,16 +290,29 @@ func (e *Engine) Close() {
 	e.wg.Wait()
 }
 
-// Shard exposes shard i's core engine. Only valid while quiesced (after
-// Flush, before the next Offer).
+// Shard exposes shard i's core engine for inspection. A core.Engine takes no
+// locks anywhere — including core.Engine.Snapshot — so every read through
+// this handle is only valid while the shard goroutines are quiesced: after a
+// Flush and before the next Offer. Snapshot and Snapshots bundle the flush
+// and are the safe way to read counters.
 func (e *Engine) Shard(i int) *core.Engine { return e.shards[i] }
+
+// Snapshots flushes — quiescing every shard goroutine, which
+// core.Engine.Snapshot's no-locks contract requires — and then reads one
+// snapshot per shard, in shard order.
+func (e *Engine) Snapshots() []core.Snapshot {
+	e.Flush()
+	out := make([]core.Snapshot, len(e.shards))
+	for i, en := range e.shards {
+		out[i] = en.Snapshot()
+	}
+	return out
+}
 
 // Snapshot flushes and returns the sum of all shards' counters.
 func (e *Engine) Snapshot() core.Snapshot {
-	e.Flush()
 	var total core.Snapshot
-	for _, en := range e.shards {
-		s := en.Snapshot()
+	for _, s := range e.Snapshots() {
 		total.Updates += s.Updates
 		total.Outputs += s.Outputs
 		total.Work += s.Work

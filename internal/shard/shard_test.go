@@ -124,7 +124,7 @@ func driveBoth(t *testing.T, q *query.Query, shards, appends int, arity func(rel
 	if err != nil {
 		t.Fatal(err)
 	}
-	sharded, err := New(PlanPartitions(q, shards), 16, mkEngine(q))
+	sharded, err := New(PlanPartitions(q, shards), Options{BatchSize: 16}, mkEngine(q))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +183,7 @@ func TestShardedOutputsMatchSerialBroadcast(t *testing.T) {
 
 func TestMergedOnResultPreservesPerShardCounts(t *testing.T) {
 	q := starQuery(t, 3)
-	sharded, err := New(PlanPartitions(q, 4), 8, mkEngine(q))
+	sharded, err := New(PlanPartitions(q, 4), Options{BatchSize: 8}, mkEngine(q))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +219,7 @@ func TestMergedOnResultPreservesPerShardCounts(t *testing.T) {
 
 func TestFlushQuiescesAndSumsSnapshots(t *testing.T) {
 	q := starQuery(t, 3)
-	sharded, err := New(PlanPartitions(q, 2), 64, mkEngine(q))
+	sharded, err := New(PlanPartitions(q, 2), Options{BatchSize: 64}, mkEngine(q))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -57,6 +57,52 @@ func (w *SlidingWindow) AppendInto(t tuple.Tuple, out []Update) []Update {
 	return append(out, Update{Op: Insert, Tuple: t})
 }
 
+// AppendBatch is AppendBatchInto with a fresh output buffer.
+func (w *SlidingWindow) AppendBatch(ts []tuple.Tuple) []Update {
+	return w.AppendBatchInto(ts, nil)
+}
+
+// AppendBatchInto pushes a batch of stream tuples and returns the resulting
+// window updates with the expiries hoisted: all deletes forced out by the
+// batch first (oldest first), then all inserts in batch order. The final
+// window contents and the update multiset are exactly those of appending the
+// tuples one by one; only the delete/insert interleaving differs, and the
+// grouped schedule is what the engine's vectorized batch path wants — two
+// long same-operation runs instead of 2·len(ts) runs of one.
+//
+// Batches larger than the window are processed in window-sized chunks, so a
+// tuple whose insert and expiry both fall inside one call is still inserted
+// before it is deleted.
+func (w *SlidingWindow) AppendBatchInto(ts []tuple.Tuple, out []Update) []Update {
+	if w.size <= 0 {
+		for _, t := range ts {
+			out = append(out, Update{Op: Insert, Tuple: t})
+		}
+		return out
+	}
+	for len(ts) > 0 {
+		m := len(ts)
+		if m > w.size {
+			m = w.size
+		}
+		chunk := ts[:m]
+		ts = ts[m:]
+		for expire := w.n + m - w.size; expire > 0; expire-- {
+			old := w.buf[w.head]
+			w.buf[w.head] = nil
+			w.head = (w.head + 1) % w.size
+			w.n--
+			out = append(out, Update{Op: Delete, Tuple: old})
+		}
+		for _, t := range chunk {
+			w.buf[(w.head+w.n)%w.size] = t
+			w.n++
+			out = append(out, Update{Op: Insert, Tuple: t})
+		}
+	}
+	return out
+}
+
 // Contents returns the window's current tuples, oldest first. It is intended
 // for tests and invariant checks.
 func (w *SlidingWindow) Contents() []tuple.Tuple {
@@ -76,6 +122,7 @@ type PartitionedWindow struct {
 	size int
 	col  int // partitioning column
 	rows map[tuple.Value]*SlidingWindow
+	pend map[*SlidingWindow]int // AppendBatchInto's per-call scratch
 }
 
 // NewPartitionedWindow creates a per-partition window of the given size
@@ -103,6 +150,51 @@ func (w *PartitionedWindow) AppendInto(t tuple.Tuple, out []Update) []Update {
 		w.rows[key] = win
 	}
 	return win.AppendInto(t, out)
+}
+
+// AppendBatch is AppendBatchInto with a fresh output buffer.
+func (w *PartitionedWindow) AppendBatch(ts []tuple.Tuple) []Update {
+	return w.AppendBatchInto(ts, nil)
+}
+
+// AppendBatchInto pushes a batch of stream tuples and returns the window
+// updates with expiries hoisted across partitions: first every delete the
+// batch forces out (each partition expiring its own oldest, in batch order),
+// then every insert in batch order. Final per-partition contents and the
+// update multiset match one-by-one appends exactly; see
+// SlidingWindow.AppendBatchInto for why the grouped schedule.
+//
+// Degenerate case: when one partition receives more tuples than its window
+// holds in a single batch, the overflow expiries of tuples inserted by this
+// same batch are emitted in the insert pass (an insert run briefly broken by
+// deletes) — correctness over run purity.
+func (w *PartitionedWindow) AppendBatchInto(ts []tuple.Tuple, out []Update) []Update {
+	if w.pend == nil {
+		w.pend = make(map[*SlidingWindow]int)
+	}
+	for _, t := range ts {
+		key := t[w.col]
+		win, ok := w.rows[key]
+		if !ok {
+			win = NewSlidingWindow(w.size)
+			w.rows[key] = win
+		}
+		if win.n > 0 && win.n+w.pend[win] >= win.size {
+			old := win.buf[win.head]
+			win.buf[win.head] = nil
+			win.head = (win.head + 1) % win.size
+			win.n--
+			out = append(out, Update{Op: Delete, Tuple: old})
+		}
+		w.pend[win]++
+	}
+	clear(w.pend)
+	for _, t := range ts {
+		// AppendInto inserts without expiring here — the first pass already
+		// made room — except in the same-batch-overflow case noted above.
+		out = w.rows[t[w.col]].AppendInto(t, out)
+	}
+	return out
 }
 
 // Len returns the total tuples across all partitions.

@@ -134,6 +134,17 @@ func AppendKeyTuple(dst []byte, t Tuple) []byte {
 	return dst
 }
 
+// AppendKeyValues appends the packed encoding of raw values to dst, matching
+// KeyOfValues(vals) byte for byte.
+func AppendKeyValues(dst []byte, vals []Value) []byte {
+	var w [8]byte
+	for _, v := range vals {
+		binary.LittleEndian.PutUint64(w[:], uint64(v))
+		dst = append(dst, w[:]...)
+	}
+	return dst
+}
+
 // Hashing: a fixed-seed multiply-xor word hash (splitmix64-style finalizer
 // per value word) used by the open-addressing stores and indexes. It is
 // deliberately deterministic across runs so fixed-seed workloads reproduce

@@ -22,6 +22,11 @@ type ShardOptions struct {
 	// handing the batch to the shard's mailbox (≤ 0 uses a default sized to
 	// amortize channel traffic).
 	BatchSize int
+	// MaxBatch caps how many updates a shard hands to its engine's
+	// vectorized batch path per call (≤ 0: whole mailbox batches). Larger
+	// batches are faster; the cap exists for experiments that bound batch
+	// effects.
+	MaxBatch int
 }
 
 // ShardedEngine executes a built query hash-partitioned across P worker
@@ -77,7 +82,7 @@ func (q *Query) BuildSharded(opts Options, sopts ShardOptions) (*ShardedEngine, 
 			cfg.MemoryBudget = 1
 		}
 	}
-	sh, err := shard.New(plan, sopts.BatchSize, func(i int) (*core.Engine, error) {
+	sh, err := shard.New(plan, shard.Options{BatchSize: sopts.BatchSize, MaxBatch: sopts.MaxBatch}, func(i int) (*core.Engine, error) {
 		c := cfg
 		// Decorrelate per-shard sampling and randomized selection; shard 0
 		// keeps the caller's seed so P=1 reproduces the serial engine.
@@ -166,6 +171,33 @@ func (e *ShardedEngine) Append(rel string, values ...int64) {
 	}
 }
 
+// AppendBatch pushes a batch of tuples of a count-windowed relation's
+// append-only stream, routing the expiry deletes the batch forces out first
+// and then the inserts (the grouped window schedule — see
+// stream.SlidingWindow.AppendBatchInto). The long same-operation runs it
+// produces are what each shard's vectorized batch path digests fastest.
+func (e *ShardedEngine) AppendBatch(rel string, rows [][]int64) {
+	idx := e.q.relIndex(rel)
+	ts := make([]tuple.Tuple, len(rows))
+	for i, r := range rows {
+		e.q.checkArity(idx, r)
+		ts[i] = tuple.Tuple(r).Clone()
+	}
+	var ups []stream.Update
+	switch {
+	case e.partWins[idx] != nil:
+		ups = e.partWins[idx].AppendBatch(ts)
+	case e.windows[idx] != nil:
+		ups = e.windows[idx].AppendBatch(ts)
+	default:
+		panic(fmt.Sprintf("acache: relation %q is time-windowed; use AppendAt", rel))
+	}
+	for _, u := range ups {
+		u.Rel = idx
+		e.route(u)
+	}
+}
+
 // AppendAt pushes one tuple of a time-windowed relation's stream at
 // application time ts, expiring every time window first (as AdvanceTime).
 // Timestamps must be non-decreasing across the engine.
@@ -243,6 +275,32 @@ func (e *ShardedEngine) Stats() Stats {
 	}
 	sort.Strings(s.UsedCaches)
 	return s
+}
+
+// ShardStats flushes — quiescing the shard goroutines, as the per-shard
+// engines' lock-free snapshot contract requires — and returns one Stats per
+// shard, in shard order. Updates counts the updates the shard actually
+// processed (a broadcast update counts once per shard), and UsedCaches lists
+// that shard's own cache placements; the aggregate view is Stats.
+func (e *ShardedEngine) ShardStats() []Stats {
+	snaps := e.sh.Snapshots() // flushes
+	out := make([]Stats, len(snaps))
+	for i, snap := range snaps {
+		s := Stats{
+			Updates:          uint64(snap.Updates),
+			Outputs:          snap.Outputs,
+			WorkSeconds:      cost.Seconds(snap.Work),
+			Reopts:           snap.Reopts,
+			SkippedReopts:    snap.SkippedReopts,
+			CacheMemoryBytes: snap.CacheMemoryBytes,
+		}
+		for _, spec := range e.sh.Shard(i).UsedCaches() {
+			s.UsedCaches = append(s.UsedCaches, e.q.describeSpec(spec))
+		}
+		sort.Strings(s.UsedCaches)
+		out[i] = s
+	}
+	return out
 }
 
 // Explain flushes and renders every shard's adaptive-optimizer view, one
