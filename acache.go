@@ -530,6 +530,29 @@ type Stats struct {
 	Reopts, SkippedReopts int
 	// CacheMemoryBytes is the total bytes held by used caches.
 	CacheMemoryBytes int
+
+	// Resilience telemetry, populated by sharded engines (ShardedEngine
+	// with ShardOptions.Resilience set); zero elsewhere.
+
+	// Shedded is the number of input tuples dropped under overload —
+	// admission shedding plus degradation-ladder ingress shedding. Results
+	// remain the exact answer over the non-shed subset of the input.
+	Shedded uint64
+	// SheddedByRelation breaks Shedded down by relation name (nil when
+	// nothing was shed).
+	SheddedByRelation map[string]uint64
+	// CallbackPanics counts OnResult callback panics that were isolated.
+	CallbackPanics uint64
+	// Recoveries counts shard workers rebuilt from checkpoint after a panic.
+	Recoveries int
+	// QueueDepth is the updates buffered between ingress and shards.
+	QueueDepth int
+	// AdmissionWaitSeconds is the total time the ingress spent blocked on
+	// full shard mailboxes (backpressure).
+	AdmissionWaitSeconds float64
+	// DegradeLevel is the degradation-ladder rung in effect: 0 normal,
+	// 1 caches paused, 2 caches paused + input shedding.
+	DegradeLevel int
 }
 
 // Stats returns a snapshot of counters and the current plan.

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	acache-bench [-experiment all|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|sharding|hotpath|batch]
+//	acache-bench [-experiment all|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|sharding|hotpath|batch|overload]
 //	             [-scale quick|medium|full] [-seed N] [-shards 1,2,4,8] [-batch N]
 //	             [-cpuprofile FILE] [-memprofile FILE]
 //
@@ -18,8 +18,10 @@
 // allocs/op of the n-way insert path (n = 3, 5, 7) and writes
 // BENCH_hotpath.json; batch measures the vectorized ProcessBatch path against
 // the per-update loop at batch sizes 1, 8, 64, 256 and writes
-// BENCH_batch.json. The JSON files record GOMAXPROCS/NumCPU, since wall-clock
-// numbers do not transfer across hosts.
+// BENCH_batch.json; overload measures throughput and shed rate under
+// injected worker slowdowns, with and without the cache-first degradation
+// ladder, and writes BENCH_overload.json. The JSON files record
+// GOMAXPROCS/NumCPU, since wall-clock numbers do not transfer across hosts.
 //
 // -cpuprofile and -memprofile write pprof profiles of whatever experiments
 // run, for digging into the hot path itself.
@@ -37,6 +39,7 @@ import (
 	"sync"
 
 	"acache/internal/bench"
+	"acache/internal/bench/overload"
 	"acache/internal/plot"
 	"acache/internal/shard"
 )
@@ -192,6 +195,14 @@ func main() {
 		}
 		fmt.Println(render(rep.Experiment()))
 		fmt.Println("wrote BENCH_hotpath.json")
+	case "overload":
+		rep := overload.Run(cfg)
+		if err := os.WriteFile("BENCH_overload.json", rep.JSON(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "BENCH_overload.json:", err)
+			os.Exit(1)
+		}
+		fmt.Println(render(rep.Experiment()))
+		fmt.Println("wrote BENCH_overload.json")
 	case "ablations":
 		for _, e := range bench.Ablations(cfg) {
 			fmt.Println(render(e))
@@ -203,7 +214,7 @@ func main() {
 	default:
 		run, ok := runners[*experiment]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (want %s, ablations, extensions, sharding, hotpath, batch, or all)\n",
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (want %s, ablations, extensions, sharding, hotpath, batch, overload, or all)\n",
 				*experiment, strings.Join(order, "|"))
 			os.Exit(2)
 		}

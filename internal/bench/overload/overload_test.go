@@ -1,0 +1,42 @@
+package overload
+
+import (
+	"encoding/json"
+	"testing"
+
+	"acache/internal/bench"
+)
+
+// TestRunSmoke runs the sweep at a tiny scale and checks shape and
+// accounting invariants — not timings, which depend on the host.
+func TestRunSmoke(t *testing.T) {
+	rep := Run(bench.RunConfig{Measure: 400, Seed: 1})
+	if len(rep.Points) != 6 {
+		t.Fatalf("got %d points, want 6 (3 loads × ladder off/on)", len(rep.Points))
+	}
+	for _, pt := range rep.Points {
+		if pt.Offered != 400 {
+			t.Fatalf("%s ladder=%v: offered %d, want 400", pt.Load, pt.Ladder, pt.Offered)
+		}
+		if pt.WallSeconds <= 0 || pt.AppendsPerSec <= 0 {
+			t.Fatalf("%s ladder=%v: non-positive timing %+v", pt.Load, pt.Ladder, pt)
+		}
+		if pt.ShedRate < 0 || float64(pt.Shed) < pt.ShedRate*float64(pt.Offered)-1 {
+			t.Fatalf("%s ladder=%v: shed accounting inconsistent: %+v", pt.Load, pt.Ladder, pt)
+		}
+		if !pt.Ladder && pt.MaxDegradeLevel != 0 {
+			t.Fatalf("%s: degrade level %d with the ladder off", pt.Load, pt.MaxDegradeLevel)
+		}
+	}
+	var back OverloadReport
+	if err := json.Unmarshal(rep.JSON(), &back); err != nil {
+		t.Fatalf("JSON round-trip: %v", err)
+	}
+	if len(back.Points) != len(rep.Points) {
+		t.Fatalf("round-trip lost points")
+	}
+	e := rep.Experiment()
+	if e == nil || len(e.Series) != 4 {
+		t.Fatalf("Experiment shape wrong: %+v", e)
+	}
+}

@@ -76,7 +76,7 @@ func (en *Engine) ProcessBatch(ups []stream.Update) int {
 		en.outputs += uint64(res.Outputs)
 		total += res.Outputs
 		i = j
-		if len(en.cfg.ForcedCaches) > 0 || en.cfg.DisableCaching {
+		if len(en.cfg.ForcedCaches) > 0 || en.cfg.DisableCaching || en.pausedCaching {
 			continue
 		}
 		en.sinceMonitor += k
@@ -114,7 +114,7 @@ func (en *Engine) runLimit(rel int) int {
 		return 1
 	}
 	limit := en.pf.TicksToSpan(rel)
-	if len(en.cfg.ForcedCaches) > 0 || en.cfg.DisableCaching {
+	if len(en.cfg.ForcedCaches) > 0 || en.cfg.DisableCaching || en.pausedCaching {
 		return limit
 	}
 	if en.profiling {

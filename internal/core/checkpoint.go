@@ -1,0 +1,246 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"acache/internal/cost"
+	"acache/internal/tuple"
+)
+
+// Checkpoint is a serializable snapshot of the engine state a restart must
+// preserve: the relation windows (the only state join results depend on) and
+// the headline counters at capture time. Caches, profiler statistics, and
+// adaptivity phase are deliberately excluded — the paper's central property
+// (Section 3.2: caches obey consistency but not completeness) means a
+// restored engine can start cache-cold and repopulate adaptively while every
+// join result stays exact.
+//
+// Checkpoint must be called quiesced: the engine is single-goroutine, so the
+// caller is either the goroutine driving it (a shard worker between batches)
+// or has arranged the same happens-before a Flush barrier provides.
+type Checkpoint struct {
+	// Snap holds the counters at capture, so a supervisor can carry totals
+	// across an engine rebuild (the rebuilt engine restarts from zero and
+	// recounts only post-checkpoint replay).
+	Snap Snapshot
+	// Rels[rel] is relation rel's window contents at capture.
+	Rels [][]tuple.Tuple
+}
+
+// Checkpoint captures the engine's windows and counters.
+func (en *Engine) Checkpoint() *Checkpoint {
+	n := en.q.N()
+	ck := &Checkpoint{Snap: en.Snapshot(), Rels: make([][]tuple.Tuple, n)}
+	for rel := 0; rel < n; rel++ {
+		all := en.exec.Store(rel).All()
+		ts := make([]tuple.Tuple, len(all))
+		for i, t := range all {
+			// Clone: store tuples live in the store's slab, which dies with
+			// the engine the checkpoint is meant to outlive.
+			ts[i] = t.Clone()
+		}
+		ck.Rels[rel] = ts
+	}
+	return ck
+}
+
+// RestoreWindows bulk-loads a checkpoint's window contents into a freshly
+// constructed engine: tuples go straight into the relation stores (and their
+// indexes) without join processing, so nothing is emitted and no cache is
+// populated. The engine must not have processed any updates yet. A nil
+// checkpoint restores nothing (recovery from the stream start).
+func (en *Engine) RestoreWindows(ck *Checkpoint) error {
+	if en.updates != 0 {
+		return fmt.Errorf("core: RestoreWindows on an engine that has processed %d updates", en.updates)
+	}
+	if ck == nil {
+		return nil
+	}
+	if len(ck.Rels) != en.q.N() {
+		return fmt.Errorf("core: checkpoint has %d relations, engine %d", len(ck.Rels), en.q.N())
+	}
+	for rel, ts := range ck.Rels {
+		st := en.exec.Store(rel)
+		for _, t := range ts {
+			if len(t) != en.q.Schema(rel).Len() {
+				return fmt.Errorf("core: checkpoint relation %d tuple arity %d, want %d",
+					rel, len(t), en.q.Schema(rel).Len())
+			}
+			st.Insert(t)
+		}
+	}
+	return nil
+}
+
+// Binary checkpoint format: a magic+version header, the six counters, then
+// per relation a tuple count, arity, and the row values, all little-endian
+// fixed-width — trivially portable and versionable.
+const ckptMagic = uint32(0xacac_0001)
+
+// MarshalBinary serializes the checkpoint.
+func (ck *Checkpoint) MarshalBinary() ([]byte, error) {
+	size := 4 + 6*8 + 4
+	for _, ts := range ck.Rels {
+		size += 8
+		for _, t := range ts {
+			size += 8 * len(t)
+		}
+	}
+	buf := make([]byte, 0, size)
+	u32 := func(v uint32) { buf = binary.LittleEndian.AppendUint32(buf, v) }
+	u64 := func(v uint64) { buf = binary.LittleEndian.AppendUint64(buf, v) }
+	u32(ckptMagic)
+	u64(uint64(ck.Snap.Updates))
+	u64(ck.Snap.Outputs)
+	u64(uint64(ck.Snap.Work))
+	u64(uint64(ck.Snap.Reopts))
+	u64(uint64(ck.Snap.SkippedReopts))
+	u64(uint64(ck.Snap.CacheMemoryBytes))
+	u32(uint32(len(ck.Rels)))
+	for _, ts := range ck.Rels {
+		u32(uint32(len(ts)))
+		arity := 0
+		if len(ts) > 0 {
+			arity = len(ts[0])
+		}
+		u32(uint32(arity))
+		for _, t := range ts {
+			if len(t) != arity {
+				return nil, fmt.Errorf("core: ragged checkpoint relation (arity %d vs %d)", len(t), arity)
+			}
+			for _, v := range t {
+				u64(uint64(v))
+			}
+		}
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary deserializes a checkpoint produced by MarshalBinary.
+func (ck *Checkpoint) UnmarshalBinary(data []byte) error {
+	pos := 0
+	u32 := func() (uint32, error) {
+		if pos+4 > len(data) {
+			return 0, fmt.Errorf("core: truncated checkpoint at byte %d", pos)
+		}
+		v := binary.LittleEndian.Uint32(data[pos:])
+		pos += 4
+		return v, nil
+	}
+	u64 := func() (uint64, error) {
+		if pos+8 > len(data) {
+			return 0, fmt.Errorf("core: truncated checkpoint at byte %d", pos)
+		}
+		v := binary.LittleEndian.Uint64(data[pos:])
+		pos += 8
+		return v, nil
+	}
+	magic, err := u32()
+	if err != nil {
+		return err
+	}
+	if magic != ckptMagic {
+		return fmt.Errorf("core: bad checkpoint magic %#x", magic)
+	}
+	var fields [6]uint64
+	for i := range fields {
+		if fields[i], err = u64(); err != nil {
+			return err
+		}
+	}
+	ck.Snap = Snapshot{
+		Updates:          int(fields[0]),
+		Outputs:          fields[1],
+		Work:             cost.Units(fields[2]),
+		Reopts:           int(fields[3]),
+		SkippedReopts:    int(fields[4]),
+		CacheMemoryBytes: int(fields[5]),
+	}
+	nrels, err := u32()
+	if err != nil {
+		return err
+	}
+	ck.Rels = make([][]tuple.Tuple, nrels)
+	for rel := range ck.Rels {
+		count, err := u32()
+		if err != nil {
+			return err
+		}
+		arity, err := u32()
+		if err != nil {
+			return err
+		}
+		if uint64(count)*uint64(arity)*8 > uint64(len(data)-pos) {
+			return fmt.Errorf("core: checkpoint relation %d claims %d×%d values beyond buffer", rel, count, arity)
+		}
+		ts := make([]tuple.Tuple, count)
+		for i := range ts {
+			t := make(tuple.Tuple, arity)
+			for j := range t {
+				v, err := u64()
+				if err != nil {
+					return err
+				}
+				t[j] = tuple.Value(v)
+			}
+			ts[i] = t
+		}
+		ck.Rels[rel] = ts
+	}
+	if pos != len(data) {
+		return fmt.Errorf("core: %d trailing bytes after checkpoint", len(data)-pos)
+	}
+	return nil
+}
+
+// AddSnapshot accumulates another snapshot's cumulative counters into s —
+// the supervisor-side merge when totals span engine rebuilds.
+// CacheMemoryBytes is a point-in-time gauge, not a cumulative counter, so it
+// is not summed.
+func (s *Snapshot) AddSnapshot(o Snapshot) {
+	s.Updates += o.Updates
+	s.Outputs += o.Outputs
+	s.Work += o.Work
+	s.Reopts += o.Reopts
+	s.SkippedReopts += o.SkippedReopts
+}
+
+// DropCaches detaches every used (or suspended) cache immediately — the
+// paper's near-zero-cost degradation move: results stay exact, only the
+// work saved by the caches is lost until they are re-selected.
+func (en *Engine) DropCaches() {
+	for _, c := range en.cands {
+		if c.state == Used || c.suspended {
+			en.detach(c)
+		}
+	}
+}
+
+// SetCachingPaused pauses (or resumes) adaptive caching at run time — the
+// first rung of the overload degradation ladder. Pausing drops every cache
+// and stops all adaptivity work (profiling, monitoring, re-optimization),
+// shedding their overhead while results stay exact; resuming recomputes the
+// candidate set and starts a fresh profiling phase so caches can return.
+// No-op in forced-cache or caching-disabled modes, and when the state does
+// not change.
+func (en *Engine) SetCachingPaused(paused bool) {
+	if len(en.cfg.ForcedCaches) > 0 || en.cfg.DisableCaching || paused == en.pausedCaching {
+		return
+	}
+	en.pausedCaching = paused
+	if paused {
+		en.stopShadows()
+		en.profiling = false
+		en.readyCand = nil
+		en.DropCaches()
+		return
+	}
+	en.sinceReopt = 0
+	en.sinceMonitor = 0
+	en.refreshCandidates()
+	en.startProfilingPhase()
+}
+
+// CachingPaused reports whether adaptive caching is paused.
+func (en *Engine) CachingPaused() bool { return en.pausedCaching }

@@ -207,6 +207,10 @@ type Engine struct {
 	sinceMonitor int
 	profiling    bool
 	profilingFor int
+	// pausedCaching suspends all adaptivity (profiling, monitoring,
+	// re-optimization) with caches dropped — the overload degradation
+	// ladder's first rung (see SetCachingPaused).
+	pausedCaching bool
 	// readyCand caches the candidate whose shadow window statsReady last
 	// found unfilled, so the per-update readiness poll during a profiling
 	// phase re-checks one window instead of scanning all candidates. Purely
@@ -396,7 +400,7 @@ func (en *Engine) processUpdate(u stream.Update, profiled bool) int {
 	en.updates++
 	en.outputs += uint64(outputs)
 
-	if len(en.cfg.ForcedCaches) > 0 || en.cfg.DisableCaching {
+	if len(en.cfg.ForcedCaches) > 0 || en.cfg.DisableCaching || en.pausedCaching {
 		return outputs
 	}
 

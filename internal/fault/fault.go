@@ -1,0 +1,279 @@
+// Package fault is a deterministic fault-injection harness for the sharded
+// engine's resilience machinery. An Injector holds a schedule of fault
+// points, each armed at a specific (shard, update-index) coordinate:
+//
+//   - Panic: the shard worker panics immediately before processing the
+//     update — exercising the checkpoint / replay recovery path.
+//   - Slow: the worker sleeps before processing the update (recurring
+//     variants model a persistently slow worker).
+//   - Stall: the worker blocks until Release is called — a stuck consumer.
+//   - Collapse: the shard's cache-memory budget collapses to one page — the
+//     memory-pressure trigger for the degradation ladder.
+//
+// The hot-path contract is "no-op when absent": workers hold a nil *Injector
+// unless a test or benchmark arms one, and the only cost in that case is a
+// nil check. With an injector armed, workers ask Next for the earliest
+// trigger inside the span of updates they are about to process and split the
+// span there, so a fault fires at exactly its configured update index
+// regardless of batching.
+//
+// Schedules are deterministic: points fire as a pure function of the
+// (shard, index) stream, and RandomSchedule derives a schedule from a seed,
+// so chaos tests are reproducible bit-for-bit.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Kind is a fault class.
+type Kind int
+
+const (
+	// Panic makes the shard worker panic before processing the update.
+	Panic Kind = iota
+	// Slow makes the worker sleep for Dur before processing the update.
+	Slow
+	// Stall makes the worker block until Release is called.
+	Stall
+	// Collapse collapses the shard's cache budget to one page.
+	Collapse
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Panic:
+		return "panic"
+	case Slow:
+		return "slow"
+	case Stall:
+		return "stall"
+	case Collapse:
+		return "collapse"
+	default:
+		return "unknown"
+	}
+}
+
+// point is one armed fault.
+type point struct {
+	kind  Kind
+	shard int // target shard, or −1 for every shard
+	at    uint64
+	every uint64 // recurring interval (0 = one-shot)
+	dur   time.Duration
+	// fired tracks delivery: one-shot points fire once globally (per
+	// matching shard for shard == −1); recurring points track the last
+	// fired index per shard.
+	fired map[int]uint64 // shard → last index fired (one-shot: any entry means done)
+}
+
+// Injector holds a fault schedule. Safe for concurrent use by multiple shard
+// workers. The zero value is not usable; call New.
+type Injector struct {
+	mu      sync.Mutex
+	points  []*point
+	release chan struct{}
+
+	panics, slows, stalls, collapses int
+}
+
+// New creates an empty injector.
+func New() *Injector {
+	return &Injector{release: make(chan struct{})}
+}
+
+// PanicAt arms a one-shot panic on shard before its nth admitted update
+// (1-based). Arm the same coordinate k times to make the update panic on k
+// consecutive recovery attempts.
+func (in *Injector) PanicAt(shard int, nth uint64) *Injector {
+	return in.arm(&point{kind: Panic, shard: shard, at: nth})
+}
+
+// SlowAt arms a one-shot sleep of d on shard before its nth admitted update.
+func (in *Injector) SlowAt(shard int, nth uint64, d time.Duration) *Injector {
+	return in.arm(&point{kind: Slow, shard: shard, at: nth, dur: d})
+}
+
+// SlowEvery arms a recurring sleep of d on shard before every every-th
+// admitted update starting at nth — a persistently slow worker.
+func (in *Injector) SlowEvery(shard int, nth, every uint64, d time.Duration) *Injector {
+	if every == 0 {
+		every = 1
+	}
+	return in.arm(&point{kind: Slow, shard: shard, at: nth, every: every, dur: d})
+}
+
+// StallAt arms a one-shot stall on shard before its nth admitted update: the
+// worker blocks until Release.
+func (in *Injector) StallAt(shard int, nth uint64) *Injector {
+	return in.arm(&point{kind: Stall, shard: shard, at: nth})
+}
+
+// CollapseBudgetAt arms a one-shot cache-budget collapse on shard at its nth
+// admitted update.
+func (in *Injector) CollapseBudgetAt(shard int, nth uint64) *Injector {
+	return in.arm(&point{kind: Collapse, shard: shard, at: nth})
+}
+
+func (in *Injector) arm(p *point) *Injector {
+	if p.at == 0 {
+		p.at = 1
+	}
+	p.fired = make(map[int]uint64)
+	in.mu.Lock()
+	in.points = append(in.points, p)
+	in.mu.Unlock()
+	return in
+}
+
+// matchesAt reports the earliest index ≥ from and < to at which p fires for
+// shard, or false.
+func (p *point) matchesAt(shard int, from, to uint64) (uint64, bool) {
+	if p.shard >= 0 && p.shard != shard {
+		return 0, false
+	}
+	last, hasFired := p.fired[shard]
+	if p.every == 0 {
+		if hasFired || p.at < from || p.at >= to {
+			return 0, false
+		}
+		return p.at, true
+	}
+	// Recurring: next index ≥ max(from, last+1) on the arithmetic progression
+	// at, at+every, at+2·every, …
+	lo := from
+	if hasFired && last+1 > lo {
+		lo = last + 1
+	}
+	if lo <= p.at {
+		if p.at < to {
+			return p.at, true
+		}
+		return 0, false
+	}
+	k := (lo - p.at + p.every - 1) / p.every
+	next := p.at + k*p.every
+	if next < to {
+		return next, true
+	}
+	return 0, false
+}
+
+// Next returns the earliest armed trigger index in [from, to) for shard. The
+// caller processes updates before that index normally, then calls Fire with
+// the returned index.
+func (in *Injector) Next(shard int, from, to uint64) (uint64, bool) {
+	if in == nil || from >= to {
+		return 0, false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	best, ok := uint64(0), false
+	for _, p := range in.points {
+		if at, hit := p.matchesAt(shard, from, to); hit && (!ok || at < best) {
+			best, ok = at, true
+		}
+	}
+	return best, ok
+}
+
+// Fire delivers the fault(s) armed at (shard, at), in arm order: sleeps and
+// stalls happen inside Fire; a panic is raised from Fire (so the caller's
+// recover sees it at the right update); Collapse is returned for the caller
+// to apply to its engine, since the injector has no engine handle.
+func (in *Injector) Fire(shard int, at uint64) (collapse bool) {
+	in.mu.Lock()
+	var todo []*point
+	sawPanic := false
+	for _, p := range in.points {
+		if _, ok := p.matchesAt(shard, at, at+1); !ok {
+			continue
+		}
+		if p.kind == Panic {
+			// At most one panic point fires per call: a panic aborts the
+			// update, and re-processing it after recovery must find the next
+			// stacked panic (if any) still armed.
+			if sawPanic {
+				continue
+			}
+			sawPanic = true
+		}
+		p.fired[shard] = at
+		todo = append(todo, p)
+	}
+	release := in.release
+	in.mu.Unlock()
+
+	// Deliver the panic last: it unwinds the stack, and every other matched
+	// point was already marked fired.
+	sort.SliceStable(todo, func(a, b int) bool {
+		return todo[a].kind != Panic && todo[b].kind == Panic
+	})
+	for _, p := range todo {
+		switch p.kind {
+		case Slow:
+			in.count(&in.slows)
+			time.Sleep(p.dur)
+		case Stall:
+			in.count(&in.stalls)
+			<-release
+		case Collapse:
+			in.count(&in.collapses)
+			collapse = true
+		case Panic:
+			in.count(&in.panics)
+			panic(fmt.Sprintf("fault: injected panic at shard %d update %d", shard, at))
+		}
+	}
+	return collapse
+}
+
+func (in *Injector) count(c *int) {
+	in.mu.Lock()
+	*c++
+	in.mu.Unlock()
+}
+
+// Release unblocks every worker stalled on a Stall point, and every future
+// Stall point (the channel stays closed).
+func (in *Injector) Release() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	select {
+	case <-in.release:
+		// already released
+	default:
+		close(in.release)
+	}
+}
+
+// Counts reports how many faults of each kind have fired.
+func (in *Injector) Counts() (panics, slows, stalls, collapses int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.panics, in.slows, in.stalls, in.collapses
+}
+
+// RandomSchedule arms n faults at random coordinates drawn deterministically
+// from seed: panics and slows (stalls and collapses need out-of-band
+// coordination, so randomized chaos sticks to the self-clearing kinds).
+// Updates indexes are drawn from [1, horizon]; shards from [0, shards).
+func RandomSchedule(seed int64, shards int, horizon uint64, n int) *Injector {
+	rng := rand.New(rand.NewSource(seed))
+	in := New()
+	for i := 0; i < n; i++ {
+		shard := rng.Intn(shards)
+		at := 1 + uint64(rng.Int63n(int64(horizon)))
+		if rng.Intn(2) == 0 {
+			in.PanicAt(shard, at)
+		} else {
+			in.SlowAt(shard, at, time.Duration(1+rng.Intn(3))*time.Millisecond)
+		}
+	}
+	return in
+}

@@ -1,0 +1,116 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNextSplitsSpanAtTrigger(t *testing.T) {
+	in := New().PanicAt(1, 500)
+	if _, ok := in.Next(0, 1, 10_000); ok {
+		t.Fatal("shard 0 should have no trigger")
+	}
+	at, ok := in.Next(1, 1, 10_000)
+	if !ok || at != 500 {
+		t.Fatalf("Next = %d, %v; want 500, true", at, ok)
+	}
+	if _, ok := in.Next(1, 501, 10_000); ok {
+		t.Fatal("trigger past the span start should not match")
+	}
+}
+
+func TestOneShotFiresOnce(t *testing.T) {
+	in := New().SlowAt(0, 3, time.Microsecond)
+	if c := in.Fire(0, 3); c {
+		t.Fatal("slow point must not request a collapse")
+	}
+	if _, ok := in.Next(0, 1, 100); ok {
+		t.Fatal("one-shot point matched again after firing")
+	}
+	_, slows, _, _ := in.Counts()
+	if slows != 1 {
+		t.Fatalf("slows = %d, want 1", slows)
+	}
+}
+
+func TestSameCoordinateArmsStack(t *testing.T) {
+	in := New().PanicAt(2, 7).PanicAt(2, 7)
+	for round := 0; round < 2; round++ {
+		at, ok := in.Next(2, 1, 100)
+		if !ok || at != 7 {
+			t.Fatalf("round %d: Next = %d, %v; want 7, true", round, at, ok)
+		}
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("round %d: Fire did not panic", round)
+				}
+			}()
+			in.Fire(2, 7)
+		}()
+	}
+	if _, ok := in.Next(2, 1, 100); ok {
+		t.Fatal("both stacked panics fired; nothing should remain")
+	}
+}
+
+func TestRecurringSlow(t *testing.T) {
+	in := New().SlowEvery(0, 10, 10, time.Microsecond)
+	want := []uint64{10, 20, 30}
+	for _, w := range want {
+		at, ok := in.Next(0, 1, 1000)
+		if !ok || at != w {
+			t.Fatalf("Next = %d, %v; want %d", at, ok, w)
+		}
+		in.Fire(0, at)
+	}
+}
+
+func TestStallReleases(t *testing.T) {
+	in := New().StallAt(0, 1)
+	done := make(chan struct{})
+	go func() {
+		in.Fire(0, 1)
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("stall returned before Release")
+	case <-time.After(10 * time.Millisecond):
+	}
+	in.Release()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("stall did not release")
+	}
+	in.Release() // idempotent
+}
+
+func TestRandomScheduleDeterministic(t *testing.T) {
+	a := RandomSchedule(7, 4, 1000, 6)
+	b := RandomSchedule(7, 4, 1000, 6)
+	for shard := 0; shard < 4; shard++ {
+		from := uint64(1)
+		for {
+			atA, okA := a.Next(shard, from, 2000)
+			atB, okB := b.Next(shard, from, 2000)
+			if okA != okB || atA != atB {
+				t.Fatalf("schedules diverge at shard %d from %d", shard, from)
+			}
+			if !okA {
+				break
+			}
+			// Consume without panicking: mark fired via matches bookkeeping.
+			func() {
+				defer func() { recover() }()
+				a.Fire(shard, atA)
+			}()
+			func() {
+				defer func() { recover() }()
+				b.Fire(shard, atB)
+			}()
+			from = atA + 1
+		}
+	}
+}

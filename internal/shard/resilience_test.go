@@ -1,0 +1,478 @@
+package shard
+
+import (
+	"context"
+	"flag"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"acache/internal/core"
+	"acache/internal/fault"
+	"acache/internal/stream"
+	"acache/internal/tuple"
+)
+
+// chaosSeed adds one extra randomized schedule to TestRandomizedChaos on top
+// of its fixed seeds — CI passes a fresh value per run so the sweep keeps
+// exploring new fault interleavings (failures reproduce with the same seed).
+var chaosSeed = flag.Int64("chaos.seed", 0, "extra TestRandomizedChaos schedule seed (0 = none)")
+
+// resultLog collects delivered results as a multiset, safe for concurrent
+// delivery.
+type resultLog struct {
+	mu   sync.Mutex
+	seen map[string]int
+	n    int
+}
+
+func newResultLog() *resultLog { return &resultLog{seen: make(map[string]int)} }
+
+func (l *resultLog) add(ins bool, vals []tuple.Value) {
+	k := "-"
+	if ins {
+		k = "+"
+	}
+	l.mu.Lock()
+	l.seen[k+string(tuple.AppendKeyTuple(nil, vals))]++
+	l.n++
+	l.mu.Unlock()
+}
+
+func (l *resultLog) equal(o *resultLog) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if len(l.seen) != len(o.seen) {
+		return false
+	}
+	for k, n := range l.seen {
+		if o.seen[k] != n {
+			return false
+		}
+	}
+	return true
+}
+
+// driveWindowed replays a windowed workload through a serial reference and a
+// resilient sharded engine, comparing delivered-result multisets.
+func driveWindowed(t *testing.T, shards, appends, window int, opts Options) (serial *core.Engine, sharded *Engine, refLog, gotLog *resultLog) {
+	t.Helper()
+	q := starQuery(t, 3)
+	var err error
+	serial, err = core.NewEngine(q, nil, core.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err = New(PlanPartitions(q, shards), opts, mkEngine(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refLog, gotLog = newResultLog(), newResultLog()
+	serial.OnResult(refLog.add)
+	sharded.OnResult(gotLog.add)
+
+	rng := rand.New(rand.NewSource(11))
+	wins := make([]*stream.SlidingWindow, q.N())
+	for i := range wins {
+		wins[i] = stream.NewSlidingWindow(window)
+	}
+	seq := uint64(0)
+	for i := 0; i < appends; i++ {
+		rel := rng.Intn(q.N())
+		vals := tuple.Tuple{rng.Int63n(25)}
+		for _, u := range wins[rel].Append(vals) {
+			u.Rel = rel
+			seq++
+			u.Seq = seq
+			serial.Process(u)
+			sharded.Offer(u)
+		}
+	}
+	sharded.Flush()
+	return serial, sharded, refLog, gotLog
+}
+
+// TestPanicRecoveryMatchesSerial injects a panic into one of four shards
+// mid-stream and asserts the engine keeps serving, recovers the shard from
+// its checkpoint, reports the recovery in Health, and converges to exactly
+// the serial reference: same output count and same delivered-result multiset
+// (exactly-once across the crash).
+func TestPanicRecoveryMatchesSerial(t *testing.T) {
+	inj := fault.New().PanicAt(1, 50)
+	serial, sharded, refLog, gotLog := driveWindowed(t, 4, 900, 20, Options{
+		BatchSize:       16,
+		CheckpointEvery: 32,
+		Injector:        inj,
+	})
+	defer sharded.Close()
+
+	if p, _, _, _ := inj.Counts(); p != 1 {
+		t.Fatalf("injector fired %d panics, want 1", p)
+	}
+	if sharded.Recoveries() != 1 {
+		t.Fatalf("Recoveries() = %d, want 1", sharded.Recoveries())
+	}
+	h := sharded.Health()[1]
+	if h.Recoveries != 1 {
+		t.Fatalf("shard 1 health reports %d recoveries, want 1", h.Recoveries)
+	}
+	if h.LastError == "" {
+		t.Fatal("recovered shard reports no LastError")
+	}
+	if sharded.Shed() != 0 {
+		t.Fatalf("shed %d updates with blocking admission", sharded.Shed())
+	}
+	if got, want := sharded.Outputs(), serial.Outputs(); got != want {
+		t.Fatalf("outputs: sharded %d, serial %d", got, want)
+	}
+	if !refLog.equal(gotLog) {
+		t.Fatalf("delivered result multisets differ (serial %d, sharded %d deliveries)", refLog.n, gotLog.n)
+	}
+	if refLog.n == 0 {
+		t.Fatal("workload delivered no results; test is vacuous")
+	}
+	// Post-recovery window contents match the serial reference per relation.
+	for rel := 0; rel < 3; rel++ {
+		want := serial.Exec().Store(rel).Len()
+		got := 0
+		for i := 0; i < sharded.NumShards(); i++ {
+			got += sharded.Shard(i).Exec().Store(rel).Len()
+		}
+		if got != want {
+			t.Fatalf("relation %d: sharded windows hold %d tuples, serial %d", rel, got, want)
+		}
+	}
+}
+
+// TestStackedPanicsQuarantine arms more consecutive panics at one update
+// than MaxRecoveries allows: the shard must quarantine, the engine must keep
+// serving and flushing, and the quarantined shard's input must be counted
+// shed.
+func TestStackedPanicsQuarantine(t *testing.T) {
+	inj := fault.New()
+	for i := 0; i < 5; i++ {
+		inj.PanicAt(0, 10)
+	}
+	_, sharded, _, gotLog := driveWindowed(t, 4, 600, 20, Options{
+		BatchSize:       8,
+		CheckpointEvery: 16,
+		MaxRecoveries:   2,
+		Injector:        inj,
+	})
+	defer sharded.Close()
+
+	h := sharded.Health()
+	if h[0].State != Quarantined {
+		t.Fatalf("shard 0 state = %v, want quarantined", h[0].State)
+	}
+	if h[0].Recoveries != 2 {
+		t.Fatalf("shard 0 recoveries = %d, want 2", h[0].Recoveries)
+	}
+	if h[0].Shed == 0 {
+		t.Fatal("quarantined shard shed nothing")
+	}
+	for i := 1; i < 4; i++ {
+		if h[i].State != Healthy {
+			t.Fatalf("shard %d state = %v, want healthy", i, h[i].State)
+		}
+		if h[i].Shed != 0 {
+			t.Fatalf("healthy shard %d shed %d updates", i, h[i].Shed)
+		}
+	}
+	if gotLog.n == 0 {
+		t.Fatal("engine stopped serving after quarantine")
+	}
+	// The flush barrier still works with a quarantined shard.
+	sharded.Flush()
+}
+
+// TestCallbackPanicIsolation feeds a callback that panics on every third
+// result and asserts the workers survive, the panics are counted, and the
+// engine's own result count is unaffected — in both plain and resilient
+// modes.
+func TestCallbackPanicIsolation(t *testing.T) {
+	for _, res := range []bool{false, true} {
+		name := "plain"
+		opts := Options{BatchSize: 8}
+		if res {
+			name = "resilient"
+			opts.CheckpointEvery = 64
+		}
+		t.Run(name, func(t *testing.T) {
+			q := starQuery(t, 3)
+			sharded, err := New(PlanPartitions(q, 4), opts, mkEngine(q))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sharded.Close()
+			var mu sync.Mutex
+			calls := 0
+			sharded.OnResult(func(ins bool, vals []tuple.Value) {
+				mu.Lock()
+				calls++
+				n := calls
+				mu.Unlock()
+				if n%3 == 0 {
+					panic("user callback bug")
+				}
+			})
+			rng := rand.New(rand.NewSource(7))
+			for i := 0; i < 500; i++ {
+				sharded.Offer(stream.Update{
+					Op: stream.Insert, Rel: i % 3, Tuple: tuple.Tuple{rng.Int63n(8)}, Seq: uint64(i + 1),
+				})
+			}
+			sharded.Flush()
+			out := sharded.Outputs()
+			if out == 0 {
+				t.Fatal("no results; test is vacuous")
+			}
+			mu.Lock()
+			delivered := calls
+			mu.Unlock()
+			if uint64(delivered) != out {
+				t.Fatalf("callback invoked %d times, engine emitted %d", delivered, out)
+			}
+			if want := uint64(delivered / 3); sharded.CallbackPanics() != want {
+				t.Fatalf("CallbackPanics = %d, want %d", sharded.CallbackPanics(), want)
+			}
+		})
+	}
+}
+
+// TestAdmissionRejectAccounting overloads slowed workers with non-blocking
+// admission and asserts exact conservation on an insert-only workload:
+// every offered update is either in a shard window or counted shed.
+func TestAdmissionRejectAccounting(t *testing.T) {
+	q := starQuery(t, 3)
+	inj := fault.New().SlowEvery(-1, 1, 16, 2*time.Millisecond)
+	sharded, err := New(PlanPartitions(q, 2), Options{
+		BatchSize: 4,
+		Admission: AdmitReject,
+		Injector:  inj,
+	}, mkEngine(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sharded.Close()
+	const offered = 4000
+	for i := 0; i < offered; i++ {
+		sharded.Offer(stream.Update{
+			Op: stream.Insert, Rel: i % 3, Tuple: tuple.Tuple{int64(i % 40)}, Seq: uint64(i + 1),
+		})
+	}
+	sharded.Flush()
+	shed := sharded.Shed()
+	if shed == 0 {
+		t.Fatal("overload produced no shedding; tighten the workload")
+	}
+	inWindows := 0
+	for i := 0; i < sharded.NumShards(); i++ {
+		for rel := 0; rel < 3; rel++ {
+			inWindows += sharded.Shard(i).Exec().Store(rel).Len()
+		}
+	}
+	if uint64(inWindows)+shed != offered {
+		t.Fatalf("conservation violated: %d in windows + %d shed != %d offered",
+			inWindows, shed, offered)
+	}
+	var byRel uint64
+	for _, n := range sharded.ShedByRelation() {
+		byRel += n
+	}
+	if byRel != shed {
+		t.Fatalf("per-relation shed counters sum to %d, total %d", byRel, shed)
+	}
+	if sharded.AdmissionWait() < 0 {
+		t.Fatal("negative admission wait")
+	}
+}
+
+// TestShedOldestKeepsDeletes runs a windowed (insert+delete) workload under
+// shed-oldest admission and asserts exact conservation: shed inserts never
+// reach windows, their expiry deletes are dropped by the filter, and every
+// retained delete is eventually applied.
+func TestShedOldestKeepsDeletes(t *testing.T) {
+	q := starQuery(t, 3)
+	inj := fault.New().SlowEvery(-1, 1, 16, 2*time.Millisecond)
+	sharded, err := New(PlanPartitions(q, 2), Options{
+		BatchSize: 4,
+		Admission: AdmitShedOldest,
+		Injector:  inj,
+	}, mkEngine(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sharded.Close()
+
+	rng := rand.New(rand.NewSource(5))
+	wins := make([]*stream.SlidingWindow, 3)
+	for i := range wins {
+		wins[i] = stream.NewSlidingWindow(12)
+	}
+	inserts, deletes := uint64(0), uint64(0)
+	seq := uint64(0)
+	for i := 0; i < 3000; i++ {
+		rel := rng.Intn(3)
+		for _, u := range wins[rel].Append(tuple.Tuple{rng.Int63n(30)}) {
+			u.Rel = rel
+			seq++
+			u.Seq = seq
+			if u.Op == stream.Insert {
+				inserts++
+			} else {
+				deletes++
+			}
+			sharded.Offer(u)
+		}
+	}
+	sharded.Flush()
+	shed, filtered := sharded.Shed(), sharded.FilteredDeletes()
+	if shed == 0 {
+		t.Fatal("overload produced no shedding; tighten the workload")
+	}
+	if filtered > shed {
+		t.Fatalf("filtered %d deletes but shed only %d inserts", filtered, shed)
+	}
+	inWindows := uint64(0)
+	for i := 0; i < sharded.NumShards(); i++ {
+		for rel := 0; rel < 3; rel++ {
+			inWindows += uint64(sharded.Shard(i).Exec().Store(rel).Len())
+		}
+	}
+	if want := (inserts - shed) - (deletes - filtered); inWindows != want {
+		t.Fatalf("conservation violated: %d in windows, want %d (I=%d D=%d shed=%d filtered=%d)",
+			inWindows, want, inserts, deletes, shed, filtered)
+	}
+}
+
+// TestFlushContextTimeoutOnStall stalls a worker, asserts FlushContext times
+// out instead of wedging and the watchdog flags the shard, then releases the
+// stall and asserts the engine drains clean.
+func TestFlushContextTimeoutOnStall(t *testing.T) {
+	q := starQuery(t, 3)
+	inj := fault.New().StallAt(0, 5)
+	sharded, err := New(PlanPartitions(q, 2), Options{
+		BatchSize:       4,
+		CheckpointEvery: 64,
+		StallTimeout:    20 * time.Millisecond,
+		Injector:        inj,
+	}, mkEngine(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sharded.Close()
+	// 40 updates (≈20 per shard) fit the stalled shard's mailbox, so Offer
+	// never blocks behind the stall; the flush barrier is what must time out.
+	for i := 0; i < 40; i++ {
+		sharded.Offer(stream.Update{
+			Op: stream.Insert, Rel: i % 3, Tuple: tuple.Tuple{int64(i % 10)}, Seq: uint64(i + 1),
+		})
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if err := sharded.FlushContext(ctx); err == nil {
+		t.Fatal("FlushContext returned nil while a worker was stalled")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if sharded.Health()[0].State == Degraded {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("watchdog never flagged the stalled shard")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	inj.Release()
+	if err := sharded.FlushContext(context.Background()); err != nil {
+		t.Fatalf("flush after release: %v", err)
+	}
+	if got := sharded.Snapshot().Updates; got != 40 {
+		t.Fatalf("processed %d updates after release, want 40", got)
+	}
+}
+
+// TestCloseIdempotentAndConcurrent closes engines twice sequentially and
+// from several goroutines at once, in both modes.
+func TestCloseIdempotentAndConcurrent(t *testing.T) {
+	for _, res := range []bool{false, true} {
+		opts := Options{BatchSize: 8}
+		if res {
+			opts.CheckpointEvery = 32
+		}
+		q := starQuery(t, 3)
+		sharded, err := New(PlanPartitions(q, 4), opts, mkEngine(q))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 100; i++ {
+			sharded.Offer(stream.Update{
+				Op: stream.Insert, Rel: i % 3, Tuple: tuple.Tuple{int64(i % 10)}, Seq: uint64(i + 1),
+			})
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sharded.Close()
+			}()
+		}
+		wg.Wait()
+		sharded.Close() // and once more after shutdown
+	}
+}
+
+// TestRandomizedChaos replays seeded random fault schedules (panics and
+// slowdowns) against the serial reference: with nothing shed the engines
+// must agree exactly; with quarantine-induced shedding the sharded engine
+// must emit a subset and account for every dropped update.
+func TestRandomizedChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep skipped in -short")
+	}
+	seeds := []int64{1, 2, 3, 4}
+	if *chaosSeed != 0 {
+		seeds = append(seeds, *chaosSeed)
+	}
+	for _, seed := range seeds {
+		chaosSweep(t, seed)
+	}
+}
+
+func chaosSweep(t *testing.T, seed int64) {
+	t.Helper()
+	inj := fault.RandomSchedule(seed, 4, 800, 6)
+	serial, sharded, refLog, gotLog := driveWindowed(t, 4, 900, 20, Options{
+		BatchSize:       16,
+		CheckpointEvery: 32,
+		Injector:        inj,
+	})
+	defer sharded.Close()
+	shed := sharded.Shed()
+	if shed == 0 {
+		if got, want := sharded.Outputs(), serial.Outputs(); got != want {
+			t.Fatalf("seed %d: outputs %d, serial %d with nothing shed", seed, got, want)
+		}
+		if !refLog.equal(gotLog) {
+			t.Fatalf("seed %d: result multisets differ with nothing shed", seed)
+		}
+		return
+	}
+	if got, want := sharded.Outputs(), serial.Outputs(); got > want {
+		t.Fatalf("seed %d: sharded emitted %d results, more than serial's %d", seed, got, want)
+	}
+	quarantined := false
+	for _, h := range sharded.Health() {
+		if h.State == Quarantined {
+			quarantined = true
+		}
+	}
+	if !quarantined {
+		t.Fatalf("seed %d: %d updates shed without a quarantined shard under blocking admission", seed, shed)
+	}
+}

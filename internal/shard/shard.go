@@ -27,13 +27,25 @@
 // order restricted to that shard); cross-shard interleaving is unspecified.
 // Result callbacks preserve per-shard emission order; emissions from
 // different shards interleave arbitrarily.
+//
+// Resilience: the zero Options value runs the engine exactly as described
+// above. Setting any resilience option (admission policy, offer timeout,
+// checkpointing, stall watchdog, fault injector) switches the workers to the
+// recoverable path in resilience.go: bounded admission with shed accounting,
+// panic-isolated workers that rebuild their engine from a windows checkpoint
+// plus a replay log, quarantine when recovery is exhausted, and a per-shard
+// Health report.
 package shard
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"acache/internal/core"
+	"acache/internal/fault"
 	"acache/internal/query"
 	"acache/internal/stream"
 	"acache/internal/tuple"
@@ -160,7 +172,10 @@ const mailboxDepth = 8
 // enough to keep shard latency and ingress buffering negligible.
 const DefaultBatchSize = 128
 
-// Options tune the mailbox machinery between the ingress and the shards.
+// Options tune the mailbox machinery between the ingress and the shards. The
+// zero value (plus BatchSize / MaxBatch) reproduces the non-resilient engine
+// exactly; setting any of the remaining fields switches the workers to the
+// recoverable path (see resilience.go).
 type Options struct {
 	// BatchSize is how many updates the ingress buffers per shard before
 	// handing the batch to the shard's mailbox (≤ 0 uses DefaultBatchSize).
@@ -170,6 +185,42 @@ type Options struct {
 	// engine's vectorized path gets faster with bigger batches, so the cap
 	// exists for experiments that bound batch effects, not for throughput.
 	MaxBatch int
+
+	// Admission selects the policy applied when a shard's mailbox is full
+	// (default AdmitBlock: block the ingress — classic backpressure).
+	Admission AdmissionPolicy
+	// OfferTimeout bounds how long AdmitBlock may block the ingress before
+	// the batch is shed instead (0 = block indefinitely).
+	OfferTimeout time.Duration
+	// CheckpointEvery enables panic recovery: each shard checkpoints its
+	// window contents every CheckpointEvery committed updates, keeps a
+	// replay log of updates since, and after a worker panic rebuilds its
+	// engine from checkpoint + replay. ≤ 0 disables recovery: a panicking
+	// shard is quarantined immediately.
+	CheckpointEvery int
+	// MaxRecoveries caps successful recoveries per shard before it is
+	// quarantined (0 with CheckpointEvery > 0 defaults to 3; < 0 disables
+	// recovery).
+	MaxRecoveries int
+	// StallTimeout enables a watchdog that marks a shard Degraded when its
+	// mailbox is non-empty but its worker makes no progress for this long.
+	StallTimeout time.Duration
+	// Injector arms deterministic faults for chaos tests and overload
+	// benchmarks. Nil in production; the plain path never consults it.
+	Injector *fault.Injector
+	// ForceResilient switches to the recoverable path even when no other
+	// resilience option is set — callers that need live occupancy telemetry
+	// or cache pausing (the degradation ladder) require the resilient
+	// workers' progress counters and control channels.
+	ForceResilient bool
+}
+
+// resilient reports whether any resilience option is set, switching the
+// engine from the plain (pre-resilience, bit-identical) code path to the
+// recoverable one.
+func (o Options) resilient() bool {
+	return o.Admission != AdmitBlock || o.OfferTimeout > 0 || o.CheckpointEvery > 0 ||
+		o.MaxRecoveries != 0 || o.StallTimeout > 0 || o.Injector != nil || o.ForceResilient
 }
 
 type batchMsg struct {
@@ -180,21 +231,57 @@ type batchMsg struct {
 // Engine fans updates out to per-shard core engines. One ingress goroutine
 // calls Offer/Flush/Close; each shard runs on its own goroutine. All
 // inspection (Snapshot, Shard, per-shard state) must happen with the shards
-// quiesced: after a Flush and before the next Offer.
+// quiesced: after a Flush and before the next Offer. Close is idempotent and
+// safe to call from multiple goroutines; Health may be read at any time.
 type Engine struct {
-	plan     Plan
-	shards   []*core.Engine
-	mail     []chan batchMsg
-	ing      *stream.Batcher
-	maxBatch int
-	wg       sync.WaitGroup
-	resMu    sync.Mutex // serializes merged result callbacks
-	closed   bool
+	plan      Plan
+	shards    []*core.Engine
+	mail      []chan batchMsg
+	ing       *stream.Batcher
+	maxBatch  int
+	batchSize int
+	wg        sync.WaitGroup
+	resMu     sync.Mutex // serializes merged result callbacks
+	userCB    func(insert bool, result []tuple.Value)
+	closeOnce sync.Once
+
+	// Resilience state (resilience.go). res gates every non-default branch
+	// so the zero-Options engine runs the exact plain code path.
+	res           bool
+	admission     AdmissionPolicy
+	offerTimeout  time.Duration
+	ckptEvery     int
+	maxRecoveries int
+	inj           *fault.Injector
+	mk            func(shard int) (*core.Engine, error)
+	states        []*shardState
+	ctrl          []chan func(*core.Engine)
+	// pending holds per-route deletes deferred by a shed batch; they are
+	// disposed ahead of the route's next submission. Ingress-owned.
+	pending [][]stream.Update
+	// live counts, per route and tuple key, instances submitted to the shard
+	// minus deletes submitted — the disposition-time guard that drops the
+	// expiry deletes of shed inserts so windows never retract tuples they do
+	// not hold. Ingress-owned.
+	live []map[string]int
+	// deque buffers per-route undisposed batches under shed-oldest admission
+	// so evictions always precede later dispositions in stream order.
+	// Ingress-owned.
+	deque           [][][]stream.Update
+	shedByRel       []atomic.Uint64
+	filteredDeletes atomic.Uint64
+	cbPanics        atomic.Uint64
+	// subCtx bounds blocking mailbox sends during OfferContext/FlushContext;
+	// subErr carries the abort out of the Batcher emit callback.
+	subCtx    context.Context
+	subErr    error
+	stopWatch chan struct{}
 }
 
 // New builds a sharded engine over plan.Shards core engines constructed by
 // mk (one call per shard, so each shard gets its own meter, profiler, cache
-// set, and seed) and starts the worker goroutines.
+// set, and seed) and starts the worker goroutines. mk is retained when
+// recovery is enabled: a recovering shard rebuilds its engine with mk(i).
 func New(plan Plan, opts Options, mk func(shard int) (*core.Engine, error)) (*Engine, error) {
 	if plan.Shards < 1 {
 		return nil, fmt.Errorf("shard: plan has %d shards", plan.Shards)
@@ -203,7 +290,24 @@ func New(plan Plan, opts Options, mk func(shard int) (*core.Engine, error)) (*En
 	if batchSize <= 0 {
 		batchSize = DefaultBatchSize
 	}
-	e := &Engine{plan: plan, maxBatch: opts.MaxBatch}
+	e := &Engine{
+		plan:          plan,
+		maxBatch:      opts.MaxBatch,
+		batchSize:     batchSize,
+		res:           opts.resilient(),
+		admission:     opts.Admission,
+		offerTimeout:  opts.OfferTimeout,
+		ckptEvery:     opts.CheckpointEvery,
+		maxRecoveries: opts.MaxRecoveries,
+		inj:           opts.Injector,
+		mk:            mk,
+	}
+	if e.maxRecoveries == 0 && e.ckptEvery > 0 {
+		e.maxRecoveries = 3
+	}
+	if e.maxRecoveries < 0 {
+		e.maxRecoveries = 0
+	}
 	for i := 0; i < plan.Shards; i++ {
 		en, err := mk(i)
 		if err != nil {
@@ -211,13 +315,37 @@ func New(plan Plan, opts Options, mk func(shard int) (*core.Engine, error)) (*En
 		}
 		e.shards = append(e.shards, en)
 		e.mail = append(e.mail, make(chan batchMsg, mailboxDepth))
+		e.states = append(e.states, &shardState{})
 	}
-	e.ing = stream.NewBatcher(plan.Shards, batchSize, func(route int, ups []stream.Update) {
-		e.mail[route] <- batchMsg{ups: ups}
-	})
+	e.shedByRel = make([]atomic.Uint64, len(plan.KeyCols))
+	if e.res {
+		e.ctrl = make([]chan func(*core.Engine), plan.Shards)
+		for i := range e.ctrl {
+			e.ctrl[i] = make(chan func(*core.Engine), 4)
+		}
+		e.pending = make([][]stream.Update, plan.Shards)
+		e.live = make([]map[string]int, plan.Shards)
+		if opts.Admission == AdmitShedOldest {
+			e.deque = make([][][]stream.Update, plan.Shards)
+		}
+		e.ing = stream.NewBatcher(plan.Shards, batchSize, e.submit)
+	} else {
+		e.ing = stream.NewBatcher(plan.Shards, batchSize, func(route int, ups []stream.Update) {
+			e.mail[route] <- batchMsg{ups: ups}
+		})
+	}
 	for i := range e.shards {
 		e.wg.Add(1)
-		go e.worker(i)
+		if e.res {
+			go e.resilientWorker(i)
+		} else {
+			go e.worker(i)
+		}
+	}
+	if opts.StallTimeout > 0 {
+		e.stopWatch = make(chan struct{})
+		e.wg.Add(1)
+		go e.watchdog(opts.StallTimeout)
 	}
 	return e, nil
 }
@@ -266,6 +394,11 @@ func (e *Engine) Offer(u stream.Update) {
 // processed everything offered so far — the quiescent point at which
 // per-shard state may be inspected from the ingress goroutine.
 func (e *Engine) Flush() {
+	if e.res {
+		// Background context: cannot expire, so the error is always nil.
+		_ = e.flushResilient(context.Background())
+		return
+	}
 	e.ing.Flush()
 	ack := make(chan struct{}, len(e.mail))
 	for _, m := range e.mail {
@@ -276,18 +409,37 @@ func (e *Engine) Flush() {
 	}
 }
 
+// FlushContext is Flush bounded by ctx: it aborts (returning the context's
+// error) if a shard cannot drain in time — a stalled worker no longer wedges
+// the ingress forever. On abort the engine stays usable: unsubmitted batches
+// are retried by the next Offer/Flush, and stray flush acks are ignored.
+func (e *Engine) FlushContext(ctx context.Context) error {
+	if !e.res {
+		e.Flush()
+		return nil
+	}
+	return e.flushResilient(ctx)
+}
+
 // Close flushes, stops the worker goroutines, and waits for them to exit.
-// The engine must not be used afterwards.
+// Idempotent and safe to call from multiple goroutines (every caller returns
+// only after shutdown completes); the engine must not be offered to
+// afterwards.
 func (e *Engine) Close() {
-	if e.closed {
-		return
-	}
-	e.closed = true
-	e.ing.Flush()
-	for _, m := range e.mail {
-		close(m)
-	}
-	e.wg.Wait()
+	e.closeOnce.Do(func() {
+		if e.res {
+			_ = e.flushResilient(context.Background())
+		} else {
+			e.ing.Flush()
+		}
+		if e.stopWatch != nil {
+			close(e.stopWatch)
+		}
+		for _, m := range e.mail {
+			close(m)
+		}
+		e.wg.Wait()
+	})
 }
 
 // Shard exposes shard i's core engine for inspection. A core.Engine takes no
@@ -299,12 +451,14 @@ func (e *Engine) Shard(i int) *core.Engine { return e.shards[i] }
 
 // Snapshots flushes — quiescing every shard goroutine, which
 // core.Engine.Snapshot's no-locks contract requires — and then reads one
-// snapshot per shard, in shard order.
+// snapshot per shard, in shard order. Counters carried over from engines
+// replaced during recovery are folded in, so totals span rebuilds.
 func (e *Engine) Snapshots() []core.Snapshot {
 	e.Flush()
 	out := make([]core.Snapshot, len(e.shards))
 	for i, en := range e.shards {
 		out[i] = en.Snapshot()
+		out[i].AddSnapshot(e.states[i].snapBase)
 	}
 	return out
 }
@@ -332,23 +486,49 @@ func (e *Engine) Outputs() uint64 { return e.Snapshot().Outputs }
 // deltas are funneled through one mutex into f. Per-shard emission order is
 // preserved; cross-shard interleaving is unspecified. Must be called before
 // the first Offer. f runs on shard goroutines and must not call back into
-// the engine.
+// the engine. A panic in f is contained: it is swallowed, counted (see
+// CallbackPanics), and processing continues.
+//
+// In resilient mode delivery is transactional: results are staged and handed
+// to f only after their sub-batch commits, so a recovered shard's replay
+// never delivers a result twice and a discarded attempt delivers nothing.
 func (e *Engine) OnResult(f func(insert bool, result []tuple.Value)) {
+	e.userCB = f
+	if e.res {
+		for i, en := range e.shards {
+			e.attachSink(i, en)
+		}
+		return
+	}
 	for _, en := range e.shards {
 		en.OnResult(func(ins bool, vals []tuple.Value) {
 			e.resMu.Lock()
-			f(ins, vals)
+			e.safeCall(ins, vals)
 			e.resMu.Unlock()
 		})
 	}
 }
 
+// safeCall invokes the user callback with panic containment. Caller holds
+// resMu.
+func (e *Engine) safeCall(ins bool, vals []tuple.Value) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.cbPanics.Add(1)
+		}
+	}()
+	e.userCB(ins, vals)
+}
+
 // MemoryDemand flushes and sums the shards' cache-memory demand — the
 // sharded engine's appetite when a server divides a global budget across
-// queries.
+// queries. Quarantined shards are skipped.
 func (e *Engine) MemoryDemand() (bytes int, netBenefit float64) {
 	e.Flush()
-	for _, en := range e.shards {
+	for i, en := range e.shards {
+		if e.res && e.states[i].getHealth() == Quarantined {
+			continue
+		}
 		b, net := en.MemoryDemand()
 		bytes += b
 		netBenefit += net
@@ -358,14 +538,18 @@ func (e *Engine) MemoryDemand() (bytes int, netBenefit float64) {
 
 // SetMemoryBudget flushes and divides a cache-memory budget evenly across
 // the shards (each shard runs its own Section 5 allocation below its slice);
-// bytes < 0 grants every shard unlimited memory.
+// bytes < 0 grants every shard unlimited memory. Quarantined shards are
+// skipped.
 func (e *Engine) SetMemoryBudget(bytes int) {
 	e.Flush()
 	per := bytes
 	if bytes >= 0 {
 		per = bytes / len(e.shards)
 	}
-	for _, en := range e.shards {
+	for i, en := range e.shards {
+		if e.res && e.states[i].getHealth() == Quarantined {
+			continue
+		}
 		en.SetMemoryBudget(per)
 	}
 }

@@ -1,0 +1,253 @@
+package acache
+
+import (
+	"context"
+	"math/rand"
+	"time"
+
+	"acache/internal/fault"
+	"acache/internal/shard"
+	"acache/internal/stream"
+)
+
+// AdmissionPolicy selects what a sharded engine does when a shard's mailbox
+// is full: block the ingress (backpressure), reject the new batch, or evict
+// the oldest queued batch.
+type AdmissionPolicy = shard.AdmissionPolicy
+
+const (
+	// AdmitBlock blocks the ingress until the shard drains — classic
+	// backpressure, the default.
+	AdmitBlock = shard.AdmitBlock
+	// AdmitReject sheds the newly offered batch when the mailbox is full.
+	AdmitReject = shard.AdmitReject
+	// AdmitShedOldest evicts the oldest queued batch to admit the new one —
+	// freshest data wins.
+	AdmitShedOldest = shard.AdmitShedOldest
+)
+
+// HealthState is a shard's coarse condition: Healthy, Degraded (stalled or
+// recently recovered), Recovering (rebuilding from checkpoint), or
+// Quarantined (failed permanently; its slice of the stream is shed).
+type HealthState = shard.HealthState
+
+const (
+	Healthy     = shard.Healthy
+	Degraded    = shard.Degraded
+	Recovering  = shard.Recovering
+	Quarantined = shard.Quarantined
+)
+
+// ShardHealth is one shard's health report: state, recovery count, queued
+// updates, updates shed by that shard, and the last worker error.
+type ShardHealth = shard.ShardHealth
+
+// FaultInjector arms deterministic faults (panic at the Nth update of shard
+// k, slow worker, stalled consumer, budget collapse) for chaos tests and
+// overload experiments. Production engines pass nil.
+type FaultInjector = fault.Injector
+
+// NewFaultInjector returns an empty injector; arm it with PanicAt, SlowAt,
+// SlowEvery, StallAt, and CollapseBudgetAt (shard −1 matches every shard).
+func NewFaultInjector() *FaultInjector { return fault.New() }
+
+// ResilienceOptions enable and tune overload and fault handling for sharded
+// execution. The zero value disables all of it: the engine runs the exact
+// pre-resilience code path, bit-identical results included.
+//
+// The degradation ladder (DegradeHighWater > 0) follows the paper's order of
+// sacrifice. Caches obey consistency but not completeness (§3.2), so rung 1
+// pauses adaptive caching — near-zero switch cost and results stay exact —
+// and only rung 2 sheds input tuples, keeping per-relation counts so results
+// are a well-defined subset. Ladder shedding happens at the window ingress,
+// before a tuple enters its window, so no orphan expiry delete is ever
+// produced.
+type ResilienceOptions struct {
+	// Admission is the mailbox-full policy (default AdmitBlock).
+	Admission AdmissionPolicy
+	// OfferTimeout bounds how long blocking admission may stall the ingress
+	// before the batch is shed instead (0 = block indefinitely).
+	OfferTimeout time.Duration
+	// CheckpointEvery enables panic recovery: each shard checkpoints its
+	// windows every CheckpointEvery processed updates and, after a worker
+	// panic, rebuilds its engine from checkpoint + replay. ≤ 0 quarantines a
+	// panicking shard immediately.
+	CheckpointEvery int
+	// MaxRecoveries caps recoveries per shard before quarantine (0 with
+	// checkpoints on defaults to 3; < 0 disables recovery).
+	MaxRecoveries int
+	// StallTimeout enables a watchdog that marks a shard Degraded when it
+	// has queued work but makes no progress for this long.
+	StallTimeout time.Duration
+	// DegradeHighWater enables the degradation ladder: when the most loaded
+	// shard's mailbox occupancy (0..1) reaches it, the engine climbs one
+	// rung (1: pause caches; 2: shed window input).
+	DegradeHighWater float64
+	// DegradeLowWater is the occupancy below which the engine steps back
+	// down a rung (default DegradeHighWater/2).
+	DegradeLowWater float64
+	// MaxShedProb is the rung-2 probability of dropping an appended tuple
+	// (default 0.5, capped at 0.95 so the ladder always sees fresh load).
+	MaxShedProb float64
+	// FaultInjector arms deterministic faults for chaos tests; nil in
+	// production.
+	FaultInjector *FaultInjector
+}
+
+// enabled reports whether any resilience feature is requested.
+func (r ResilienceOptions) enabled() bool {
+	return r.Admission != AdmitBlock || r.OfferTimeout > 0 || r.CheckpointEvery > 0 ||
+		r.MaxRecoveries != 0 || r.StallTimeout > 0 || r.DegradeHighWater > 0 ||
+		r.FaultInjector != nil
+}
+
+// ladderCheckEvery is how many routed (or ladder-shed) updates pass between
+// occupancy checks: cheap enough to be negligible, frequent enough to react
+// within a fraction of a mailbox drain.
+const ladderCheckEvery = 256
+
+// ladderState is the degradation ladder: level 0 runs normally, level 1
+// pauses adaptive caching on every shard, level 2 additionally sheds window
+// input with probability shedProb. Ingress-owned.
+type ladderState struct {
+	on         bool
+	high, low  float64
+	shedProb   float64
+	level      int
+	rng        *rand.Rand
+	sinceCheck int
+	shed       []uint64 // per-relation tuples dropped at the window ingress
+	shedTotal  uint64
+}
+
+func newLadder(r ResilienceOptions, rels int, seed int64) ladderState {
+	l := ladderState{on: r.DegradeHighWater > 0}
+	if !l.on {
+		return l
+	}
+	l.high = r.DegradeHighWater
+	l.low = r.DegradeLowWater
+	if l.low <= 0 || l.low >= l.high {
+		l.low = l.high / 2
+	}
+	l.shedProb = r.MaxShedProb
+	if l.shedProb <= 0 {
+		l.shedProb = 0.5
+	}
+	if l.shedProb > 0.95 {
+		l.shedProb = 0.95
+	}
+	l.rng = rand.New(rand.NewSource(seed ^ 0x5eed1adde7))
+	l.shed = make([]uint64, rels)
+	return l
+}
+
+// tickLadder advances the ladder clock and, every ladderCheckEvery ticks,
+// moves one rung up or down based on worst-shard mailbox occupancy, with
+// hysteresis between the two watermarks.
+func (e *ShardedEngine) tickLadder() {
+	l := &e.ladder
+	if !l.on {
+		return
+	}
+	l.sinceCheck++
+	if l.sinceCheck < ladderCheckEvery {
+		return
+	}
+	l.sinceCheck = 0
+	occ := e.sh.MaxOccupancy()
+	switch {
+	case occ >= l.high && l.level < 2:
+		l.level++
+		if l.level == 1 {
+			e.sh.PauseCaching(true)
+		}
+	case occ <= l.low && l.level > 0:
+		l.level--
+		if l.level == 0 {
+			e.sh.PauseCaching(false)
+			if e.grantDeferred {
+				e.sh.SetMemoryBudget(e.deferredGrant)
+				e.grantDeferred = false
+			}
+		}
+	}
+}
+
+// shedIngress decides whether a tuple appended to relation idx is dropped by
+// the rung-2 ladder before it enters its window (so no expiry delete is ever
+// generated for it). Counted per relation for Stats.
+func (e *ShardedEngine) shedIngress(idx int) bool {
+	l := &e.ladder
+	if l.level < 2 {
+		return false
+	}
+	if l.rng.Float64() >= l.shedProb {
+		return false
+	}
+	l.shed[idx]++
+	l.shedTotal++
+	e.tickLadder() // shed tuples still advance the ladder clock
+	return true
+}
+
+// DegradeLevel returns the ladder rung in effect: 0 normal, 1 caches
+// paused, 2 caches paused + input shedding.
+func (e *ShardedEngine) DegradeLevel() int { return e.ladder.level }
+
+// Health reports each shard's condition. Safe to call while the engine is
+// running (it does not quiesce the shards).
+func (e *ShardedEngine) Health() []ShardHealth { return e.sh.Health() }
+
+// FlushContext is Flush bounded by ctx: it returns ctx's error instead of
+// wedging when a shard is stalled. A timed-out flush leaves the engine
+// usable; updates still queued simply remain queued.
+func (e *ShardedEngine) FlushContext(ctx context.Context) error {
+	return e.sh.FlushContext(ctx)
+}
+
+// routeCtx is route bounded by ctx: if admission blocks past the deadline
+// the blocked batch is shed (accounted in Stats) and ctx's error returned.
+func (e *ShardedEngine) routeCtx(ctx context.Context, u stream.Update) error {
+	e.seq++
+	u.Seq = e.seq
+	err := e.sh.OfferContext(ctx, u)
+	if e.server != nil {
+		e.server.tick()
+	}
+	e.tickLadder()
+	return err
+}
+
+// AppendContext is Append bounded by ctx. The window is advanced regardless
+// — every generated update is disposed (admitted or shed, never lost) — so
+// on error the result stream is still a well-defined subset; the error only
+// reports that shedding occurred because of the deadline.
+func (e *ShardedEngine) AppendContext(ctx context.Context, rel string, values ...int64) error {
+	idx := e.q.relIndex(rel)
+	e.q.checkArity(idx, values)
+	if e.shedIngress(idx) {
+		return nil
+	}
+	ups := e.windowAppend(idx, values, rel)
+	var first error
+	for _, u := range ups {
+		u.Rel = idx
+		if err := e.routeCtx(ctx, u); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// TryAppend is a non-blocking Append: it returns false — without touching
+// the window — when the most loaded shard's mailbox is full, letting the
+// caller apply its own policy (retry, spill, drop). Only meaningful with
+// resilience enabled; otherwise it always appends.
+func (e *ShardedEngine) TryAppend(rel string, values ...int64) bool {
+	if e.resOn && e.sh.MaxOccupancy() >= 1 {
+		return false
+	}
+	e.Append(rel, values...)
+	return true
+}

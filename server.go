@@ -141,7 +141,7 @@ func (s *Server) Rebalance() {
 			eng.core.SetMemoryBudget(-1)
 		}
 		for _, eng := range s.sharded {
-			eng.sh.SetMemoryBudget(-1)
+			eng.applyGrant(-1)
 		}
 		return
 	}
@@ -163,8 +163,9 @@ func (s *Server) Rebalance() {
 		// A sharded engine receives one grant and splits it evenly across
 		// its shards; each shard re-divides its slice among its caches by
 		// the Section 5 priority rule, so the hierarchy is server → query →
-		// shard → cache.
-		s.sharded[name].sh.SetMemoryBudget(grant)
+		// shard → cache. A degraded engine defers the grant until its
+		// ladder steps back down (see ShardedEngine.applyGrant).
+		s.sharded[name].applyGrant(grant)
 	}
 }
 
@@ -226,6 +227,17 @@ func (s *Server) Stats() map[string]Stats {
 	}
 	for name, eng := range s.sharded {
 		out[name] = eng.Stats()
+	}
+	return out
+}
+
+// Health reports per-shard health for every registered sharded query, keyed
+// by query name (serial engines have no shards and are omitted). Safe to
+// call while engines are running.
+func (s *Server) Health() map[string][]ShardHealth {
+	out := make(map[string][]ShardHealth, len(s.sharded))
+	for name, eng := range s.sharded {
+		out[name] = eng.Health()
 	}
 	return out
 }

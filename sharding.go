@@ -27,6 +27,10 @@ type ShardOptions struct {
 	// batches are faster; the cap exists for experiments that bound batch
 	// effects.
 	MaxBatch int
+	// Resilience enables overload and fault handling: bounded admission,
+	// the degradation ladder, checkpoint/replay panic recovery, and the
+	// watchdog. The zero value keeps the exact plain execution path.
+	Resilience ResilienceOptions
 }
 
 // ShardedEngine executes a built query hash-partitioned across P worker
@@ -58,6 +62,13 @@ type ShardedEngine struct {
 	partWins []*stream.PartitionedWindow
 	seq      uint64
 	server   *Server // non-nil when hosted by a Server
+
+	// Resilience layer (resilience.go). resOn mirrors the shard engine's
+	// mode; the ladder and deferred grant are ingress-owned.
+	resOn         bool
+	ladder        ladderState
+	deferredGrant int
+	grantDeferred bool
 }
 
 // BuildSharded validates the query and constructs a sharded engine. The
@@ -82,7 +93,20 @@ func (q *Query) BuildSharded(opts Options, sopts ShardOptions) (*ShardedEngine, 
 			cfg.MemoryBudget = 1
 		}
 	}
-	sh, err := shard.New(plan, shard.Options{BatchSize: sopts.BatchSize, MaxBatch: sopts.MaxBatch}, func(i int) (*core.Engine, error) {
+	r := sopts.Resilience
+	sh, err := shard.New(plan, shard.Options{
+		BatchSize:       sopts.BatchSize,
+		MaxBatch:        sopts.MaxBatch,
+		Admission:       r.Admission,
+		OfferTimeout:    r.OfferTimeout,
+		CheckpointEvery: r.CheckpointEvery,
+		MaxRecoveries:   r.MaxRecoveries,
+		StallTimeout:    r.StallTimeout,
+		Injector:        r.FaultInjector,
+		// The ladder needs the resilient workers' occupancy counters and
+		// cache-pause control channels even when nothing else is set.
+		ForceResilient: r.DegradeHighWater > 0,
+	}, func(i int) (*core.Engine, error) {
 		c := cfg
 		// Decorrelate per-shard sampling and randomized selection; shard 0
 		// keeps the caller's seed so P=1 reproduces the serial engine.
@@ -92,7 +116,8 @@ func (q *Query) BuildSharded(opts Options, sopts ShardOptions) (*ShardedEngine, 
 	if err != nil {
 		return nil, err
 	}
-	e := &ShardedEngine{q: q, plan: plan, sh: sh}
+	e := &ShardedEngine{q: q, plan: plan, sh: sh, resOn: r.enabled()}
+	e.ladder = newLadder(r, len(q.names), cfg.Seed)
 	e.windows, e.timeWins, e.partWins = q.buildWindows()
 	return e, nil
 }
@@ -131,6 +156,7 @@ func (e *ShardedEngine) route(u stream.Update) {
 	if e.server != nil {
 		e.server.tick()
 	}
+	e.tickLadder()
 }
 
 // Insert routes an insertion into the named relation. Processing is
@@ -156,18 +182,26 @@ func (e *ShardedEngine) applySharded(op stream.Op, rel int, values []int64) {
 func (e *ShardedEngine) Append(rel string, values ...int64) {
 	idx := e.q.relIndex(rel)
 	e.q.checkArity(idx, values)
-	var ups []stream.Update
-	switch {
-	case e.partWins[idx] != nil:
-		ups = e.partWins[idx].Append(tuple.Tuple(values).Clone())
-	case e.windows[idx] != nil:
-		ups = e.windows[idx].Append(tuple.Tuple(values).Clone())
-	default:
-		panic(fmt.Sprintf("acache: relation %q is time-windowed; use AppendAt", rel))
+	if e.shedIngress(idx) {
+		return
 	}
-	for _, u := range ups {
+	for _, u := range e.windowAppend(idx, values, rel) {
 		u.Rel = idx
 		e.route(u)
+	}
+}
+
+// windowAppend runs the count-window operators for one appended tuple and
+// returns the updates to route: the expiry delete (if the window was full)
+// followed by the insert.
+func (e *ShardedEngine) windowAppend(idx int, values []int64, rel string) []stream.Update {
+	switch {
+	case e.partWins[idx] != nil:
+		return e.partWins[idx].Append(tuple.Tuple(values).Clone())
+	case e.windows[idx] != nil:
+		return e.windows[idx].Append(tuple.Tuple(values).Clone())
+	default:
+		panic(fmt.Sprintf("acache: relation %q is time-windowed; use AppendAt", rel))
 	}
 }
 
@@ -178,10 +212,16 @@ func (e *ShardedEngine) Append(rel string, values ...int64) {
 // produces are what each shard's vectorized batch path digests fastest.
 func (e *ShardedEngine) AppendBatch(rel string, rows [][]int64) {
 	idx := e.q.relIndex(rel)
-	ts := make([]tuple.Tuple, len(rows))
-	for i, r := range rows {
+	ts := make([]tuple.Tuple, 0, len(rows))
+	for _, r := range rows {
 		e.q.checkArity(idx, r)
-		ts[i] = tuple.Tuple(r).Clone()
+		if e.shedIngress(idx) {
+			continue
+		}
+		ts = append(ts, tuple.Tuple(r).Clone())
+	}
+	if len(ts) == 0 {
+		return
 	}
 	var ups []stream.Update
 	switch {
@@ -208,6 +248,9 @@ func (e *ShardedEngine) AppendAt(rel string, ts int64, values ...int64) {
 	}
 	e.q.checkArity(idx, values)
 	e.AdvanceTime(ts)
+	if e.shedIngress(idx) {
+		return
+	}
 	for _, u := range e.timeWins[idx].Append(tuple.Tuple(values).Clone(), ts) {
 		u.Rel = idx
 		e.route(u)
@@ -274,7 +317,40 @@ func (e *ShardedEngine) Stats() Stats {
 		s.UsedCaches = append(s.UsedCaches, desc)
 	}
 	sort.Strings(s.UsedCaches)
+	e.fillResilienceStats(&s)
 	return s
+}
+
+// fillResilienceStats populates the Stats resilience fields from live
+// counters. It does not quiesce the shards, so it is safe during overload —
+// including from the ingress while a flush would wedge on a stalled shard.
+func (e *ShardedEngine) fillResilienceStats(s *Stats) {
+	s.CallbackPanics = e.sh.CallbackPanics()
+	if !e.resOn {
+		return
+	}
+	s.Shedded = e.sh.Shed() + e.ladder.shedTotal
+	s.Recoveries = e.sh.Recoveries()
+	s.QueueDepth = e.sh.QueueDepth()
+	s.AdmissionWaitSeconds = e.sh.AdmissionWait().Seconds()
+	s.DegradeLevel = e.ladder.level
+	byRel := e.sh.ShedByRelation()
+	m := make(map[string]uint64)
+	for i, name := range e.q.names {
+		n := uint64(0)
+		if i < len(byRel) {
+			n += byRel[i]
+		}
+		if e.ladder.shed != nil {
+			n += e.ladder.shed[i]
+		}
+		if n > 0 {
+			m[name] = n
+		}
+	}
+	if len(m) > 0 {
+		s.SheddedByRelation = m
+	}
 }
 
 // ShardStats flushes — quiescing the shard goroutines, as the per-shard
@@ -284,6 +360,10 @@ func (e *ShardedEngine) Stats() Stats {
 // that shard's own cache placements; the aggregate view is Stats.
 func (e *ShardedEngine) ShardStats() []Stats {
 	snaps := e.sh.Snapshots() // flushes
+	var health []ShardHealth
+	if e.resOn {
+		health = e.sh.Health()
+	}
 	out := make([]Stats, len(snaps))
 	for i, snap := range snaps {
 		s := Stats{
@@ -293,6 +373,10 @@ func (e *ShardedEngine) ShardStats() []Stats {
 			Reopts:           snap.Reopts,
 			SkippedReopts:    snap.SkippedReopts,
 			CacheMemoryBytes: snap.CacheMemoryBytes,
+		}
+		if health != nil {
+			s.Shedded = health[i].Shed
+			s.QueueDepth = health[i].Pending
 		}
 		for _, spec := range e.sh.Shard(i).UsedCaches() {
 			s.UsedCaches = append(s.UsedCaches, e.q.describeSpec(spec))
@@ -387,4 +471,16 @@ func (e *ShardedEngine) SetMemoryBudget(bytes int) {
 // hosting server's cross-query rebalance.
 func (e *ShardedEngine) memoryDemand() (bytes int, net float64) {
 	return e.sh.MemoryDemand()
+}
+
+// applyGrant receives a budget grant from the hosting server. While the
+// degradation ladder is engaged the grant is deferred — re-dividing cache
+// memory mid-overload would thrash caches the ladder has already paused —
+// and applied when the ladder steps back to level 0.
+func (e *ShardedEngine) applyGrant(bytes int) {
+	if e.ladder.level > 0 {
+		e.deferredGrant, e.grantDeferred = bytes, true
+		return
+	}
+	e.sh.SetMemoryBudget(bytes)
 }
