@@ -270,6 +270,16 @@ type Options struct {
 	// PrimeCaches eagerly populates freshly selected caches instead of
 	// filling them through misses.
 	PrimeCaches bool
+	// DisableFilters turns off the fingerprint filters in front of the
+	// relation indexes and cache tables (for ablation and differential
+	// testing). Results and simulated cost are identical either way; the
+	// filters only short-circuit real slot searches on guaranteed misses.
+	DisableFilters bool
+	// FilterAwareCostModel makes the profiler's probe-cost estimates use
+	// the observed filter effectiveness (the filtered-miss / hit-path cost
+	// split) instead of the unfiltered tariff. Off by default so published
+	// cost figures stay byte-identical with and without filters.
+	FilterAwareCostModel bool
 }
 
 // Engine executes a built query. It is not safe for concurrent use: updates
@@ -300,6 +310,9 @@ func (opts Options) coreConfig(q *Query) (core.Config, error) {
 		TwoWayCaches:   opts.TwoWayCaches,
 		PrimeCaches:    opts.PrimeCaches,
 		Seed:           opts.Seed,
+		DisableFilters: opts.DisableFilters,
+
+		FilterAwareCostModel: opts.FilterAwareCostModel,
 	}
 	if cfg.MemoryBudget <= 0 {
 		cfg.MemoryBudget = -1
@@ -530,6 +543,15 @@ type Stats struct {
 	Reopts, SkippedReopts int
 	// CacheMemoryBytes is the total bytes held by used caches.
 	CacheMemoryBytes int
+	// FilterBytes is the memory resident in fingerprint filters (store
+	// indexes plus cache tables), charged against the server budget.
+	FilterBytes int
+	// FilteredProbes counts probes the filters short-circuited: guaranteed
+	// misses answered without touching a bucket.
+	FilteredProbes uint64
+	// FilterFalsePositives counts probes the filters passed that then
+	// missed anyway (the cuckoo false-positive tail).
+	FilterFalsePositives uint64
 
 	// Resilience telemetry, populated by sharded engines (ShardedEngine
 	// with ShardOptions.Resilience set); zero elsewhere.
@@ -565,6 +587,10 @@ func (e *Engine) Stats() Stats {
 		Reopts:           snap.Reopts,
 		SkippedReopts:    snap.SkippedReopts,
 		CacheMemoryBytes: snap.CacheMemoryBytes,
+
+		FilterBytes:          snap.FilterBytes,
+		FilteredProbes:       snap.FilteredProbes,
+		FilterFalsePositives: snap.FilterFalsePositives,
 	}
 	for _, spec := range e.core.UsedCaches() {
 		s.UsedCaches = append(s.UsedCaches, e.describe(spec))

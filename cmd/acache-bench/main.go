@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	acache-bench [-experiment all|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|sharding|hotpath|batch|overload]
+//	acache-bench [-experiment all|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|sharding|hotpath|batch|filter|overload]
 //	             [-scale quick|medium|full] [-seed N] [-shards 1,2,4,8] [-batch N]
 //	             [-cpuprofile FILE] [-memprofile FILE]
 //
@@ -18,7 +18,9 @@
 // allocs/op of the n-way insert path (n = 3, 5, 7) and writes
 // BENCH_hotpath.json; batch measures the vectorized ProcessBatch path against
 // the per-update loop at batch sizes 1, 8, 64, 256 and writes
-// BENCH_batch.json; overload measures throughput and shed rate under
+// BENCH_batch.json; filter measures the fingerprint-filtered probe path
+// against unfiltered execution on miss-heavy and hit-heavy workloads and
+// writes BENCH_filter.json; overload measures throughput and shed rate under
 // injected worker slowdowns, with and without the cache-first degradation
 // ladder, and writes BENCH_overload.json. The JSON files record
 // GOMAXPROCS/NumCPU, since wall-clock numbers do not transfer across hosts.
@@ -187,6 +189,14 @@ func main() {
 		}
 		fmt.Println(render(rep.Experiment()))
 		fmt.Println("wrote BENCH_batch.json")
+	case "filter":
+		rep := bench.RunFilter(cfg)
+		if err := os.WriteFile("BENCH_filter.json", rep.JSON(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "BENCH_filter.json:", err)
+			os.Exit(1)
+		}
+		fmt.Println(render(rep.Experiment()))
+		fmt.Println("wrote BENCH_filter.json")
 	case "hotpath":
 		rep := bench.RunHotpath([]int{3, 5, 7}, cfg)
 		if err := os.WriteFile("BENCH_hotpath.json", rep.JSON(), 0o644); err != nil {
@@ -214,7 +224,7 @@ func main() {
 	default:
 		run, ok := runners[*experiment]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (want %s, ablations, extensions, sharding, hotpath, batch, overload, or all)\n",
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (want %s, ablations, extensions, sharding, hotpath, batch, filter, overload, or all)\n",
 				*experiment, strings.Join(order, "|"))
 			os.Exit(2)
 		}

@@ -1,0 +1,232 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"acache/internal/core"
+	"acache/internal/stream"
+	"acache/internal/tuple"
+)
+
+// The filter experiment measures the real (wall-clock) effect of the
+// fingerprint filters in front of the relation indexes. Like hotpath it
+// steps outside the deterministic cost meter: the meter charges the
+// unfiltered tariff whether filters are on or off (results and simulated
+// cost are bit-identical by construction), so only ns/op can show what the
+// short-circuited slot searches save. Two regimes bracket the design
+// targets: a miss-heavy workload (disjoint join domains, miss probability
+// ≈ 1) where filters should win ≥ 1.3×, and a hit-heavy workload (a tiny
+// shared domain, probes nearly always match) where the filters are pure
+// overhead and the adaptive knob is expected to hold the regression ≤ 5%.
+
+// FilterPoint is one measured configuration.
+type FilterPoint struct {
+	Workload    string  `json:"workload"` // "miss-heavy" | "hit-heavy"
+	Filters     bool    `json:"filters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+	// MissProb is the observed index-probe miss probability over the run.
+	MissProb float64 `json:"miss_prob"`
+	// ShortCircuits and FalsePositives are the filter telemetry at the end
+	// of the measured run; FilterBytes is the resident filter footprint.
+	ShortCircuits  uint64 `json:"short_circuits"`
+	FalsePositives uint64 `json:"false_positives"`
+	FilterBytes    int    `json:"filter_bytes"`
+}
+
+// FilterReport is the full run, JSON-ready for BENCH_filter.json.
+type FilterReport struct {
+	Warmup     int           `json:"warmup_appends"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"num_cpu"`
+	GoVersion  string        `json:"go_version"`
+	Points     []FilterPoint `json:"points"`
+	// SpeedupMissHeavy is unfiltered-ns / filtered-ns on the miss-heavy
+	// workload (target ≥ 1.3); RegressionHitHeavy is filtered-ns /
+	// unfiltered-ns − 1 on the hit-heavy workload (target ≤ 0.05).
+	SpeedupMissHeavy   float64 `json:"speedup_miss_heavy"`
+	RegressionHitHeavy float64 `json:"regression_hit_heavy"`
+}
+
+// filterSource generates the three-way workload's update stream: relations
+// round-robin, each keeping a sliding window of the given size, values drawn
+// from per-relation domains. Disjoint domains (miss-heavy) make every index
+// probe a guaranteed miss; a shared tiny domain (hit-heavy) makes nearly
+// every probe match.
+type filterSource struct {
+	rng    *simpleRNG
+	wins   [][]tuple.Tuple
+	arity  []int
+	base   []int64
+	domain int64
+	window int
+	rel    int
+}
+
+// simpleRNG is a splitmix64 step — deterministic across runs and cheap
+// enough to vanish against the measured engine work.
+type simpleRNG struct{ s uint64 }
+
+func (r *simpleRNG) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func newFilterSource(missHeavy bool, window int, seed uint64) *filterSource {
+	s := &filterSource{
+		rng:    &simpleRNG{s: seed},
+		wins:   make([][]tuple.Tuple, 3),
+		arity:  []int{1, 2, 1},
+		base:   []int64{0, 0, 0},
+		window: window,
+	}
+	if missHeavy {
+		// Disjoint per-relation value ranges: no probe ever matches.
+		s.base = []int64{0, 1 << 40, 1 << 41}
+		s.domain = 1 << 20
+	} else {
+		// A tiny shared domain: even composite (A,B) probes draw from just
+		// domain² = 16 combinations against a window of 50, so nearly every
+		// probe matches and the filters are pure overhead.
+		s.domain = 4
+	}
+	return s
+}
+
+func (s *filterSource) next() stream.Update {
+	rel := s.rel
+	s.rel = (s.rel + 1) % 3
+	if w := s.wins[rel]; len(w) >= s.window {
+		s.wins[rel] = w[1:]
+		return stream.Update{Op: stream.Delete, Rel: rel, Tuple: w[0]}
+	}
+	t := make(tuple.Tuple, s.arity[rel])
+	for c := range t {
+		t[c] = tuple.Value(s.base[rel] + int64(s.rng.next()%uint64(s.domain)))
+	}
+	s.wins[rel] = append(s.wins[rel], t)
+	return stream.Update{Op: stream.Insert, Rel: rel, Tuple: t}
+}
+
+// RunFilter measures both regimes with filters on and off and derives the
+// headline speedup and regression ratios.
+func RunFilter(cfg RunConfig) *FilterReport {
+	rep := &FilterReport{
+		Warmup:     cfg.Warmup,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+	}
+	var ns [2][2]float64 // [missHeavy][filters]
+	for _, missHeavy := range []bool{true, false} {
+		for _, filters := range []bool{true, false} {
+			pt := runFilterPoint(missHeavy, filters, cfg)
+			rep.Points = append(rep.Points, pt)
+			i, j := 0, 0
+			if missHeavy {
+				i = 1
+			}
+			if filters {
+				j = 1
+			}
+			ns[i][j] = pt.NsPerOp
+		}
+	}
+	rep.SpeedupMissHeavy = ns[1][0] / ns[1][1]
+	rep.RegressionHitHeavy = ns[0][1]/ns[0][0] - 1
+	return rep
+}
+
+func runFilterPoint(missHeavy, filters bool, cfg RunConfig) FilterPoint {
+	w := filterQueryWorkload()
+	// Plain MJoin: with no caches in the pipelines every probe hits the
+	// store indexes, the configuration the filters accelerate most.
+	c := core.Config{Seed: cfg.Seed, DisableCaching: true, DisableFilters: !filters}
+	en, err := core.NewEngine(w.q, nil, c)
+	if err != nil {
+		panic(err)
+	}
+	name := "hit-heavy"
+	if missHeavy {
+		name = "miss-heavy"
+	}
+	src := newFilterSource(missHeavy, 50, uint64(cfg.Seed)+1)
+	for i := 0; i < cfg.Warmup; i++ {
+		en.Process(src.next())
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			en.Process(src.next())
+		}
+	})
+	fs := en.Exec().StoreFilterStats()
+	missProb := 0.0
+	if fs.Probes > 0 {
+		missProb = float64(fs.Misses) / float64(fs.Probes)
+	}
+	return FilterPoint{
+		Workload:       name,
+		Filters:        filters,
+		NsPerOp:        float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp:    r.AllocsPerOp(),
+		BytesPerOp:     r.AllocedBytesPerOp(),
+		Iterations:     r.N,
+		MissProb:       missProb,
+		ShortCircuits:  fs.ShortCircuits,
+		FalsePositives: fs.FalsePositives,
+		FilterBytes:    en.FilterMemoryBytes(),
+	}
+}
+
+// filterQueryWorkload is Section 7.1's R(A) ⋈ S(A,B) ⋈ T(B) chain, the same
+// shape the other micro-experiments use.
+func filterQueryWorkload() *workload {
+	return &workload{q: threeWayQuery()}
+}
+
+// JSON renders the report for BENCH_filter.json.
+func (r *FilterReport) JSON() []byte {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	return append(b, '\n')
+}
+
+// Experiment renders the report in the package's common table/chart form.
+func (r *FilterReport) Experiment() *Experiment {
+	var x, filtered, unfiltered []float64
+	for i, pt := range r.Points {
+		if pt.Filters {
+			x = append(x, float64(i/2)) // 0 = miss-heavy, 1 = hit-heavy
+			filtered = append(filtered, pt.NsPerOp)
+		} else {
+			unfiltered = append(unfiltered, pt.NsPerOp)
+		}
+	}
+	return &Experiment{
+		ID:     "filter",
+		Title:  "Fingerprint-filtered probes (wall clock)",
+		XLabel: "workload (0 = miss-heavy, 1 = hit-heavy)",
+		YLabel: "ns/update",
+		Series: []Series{
+			{Label: "Filters on (ns/op)", X: x, Y: filtered},
+			{Label: "Filters off (ns/op)", X: x, Y: unfiltered},
+		},
+		Notes: []string{
+			fmt.Sprintf("miss-heavy speedup %.2f× (target ≥ 1.3), hit-heavy regression %.1f%% (target ≤ 5%%)",
+				r.SpeedupMissHeavy, 100*r.RegressionHitHeavy),
+			fmt.Sprintf("GOMAXPROCS=%d, NumCPU=%d, %s (wall-clock measurement)",
+				r.GOMAXPROCS, r.NumCPU, r.GoVersion),
+		},
+	}
+}

@@ -8,8 +8,9 @@
 package bloom
 
 import (
-	"encoding/binary"
 	"math"
+
+	"acache/internal/tuple"
 )
 
 // Filter is a fixed-size Bloom filter with k hash functions derived by
@@ -43,68 +44,24 @@ func New(nbits int, k int) *Filter {
 const (
 	seed1 uint64 = 0x9ae16a3b2f90404f
 	seed2 uint64 = 0xc949d7c7509e6557
-
-	hashMul1 = 0xff51afd7ed558ccd
-	hashMul2 = 0xc4ceb9fe1a85ec53
 )
 
-func mixWord(h, v uint64) uint64 {
-	h ^= v
-	h *= hashMul1
-	h ^= h >> 33
-	h *= hashMul2
-	h ^= h >> 29
-	return h
-}
-
-// hashString and hashBytes produce identical values for identical bytes:
-// 8-byte little-endian words, a zero-padded tail, and a length finalizer.
-func hashString(s string, seed uint64) uint64 {
-	h := seed
-	i := 0
-	for ; i+8 <= len(s); i += 8 {
-		v := uint64(s[i]) | uint64(s[i+1])<<8 | uint64(s[i+2])<<16 | uint64(s[i+3])<<24 |
-			uint64(s[i+4])<<32 | uint64(s[i+5])<<40 | uint64(s[i+6])<<48 | uint64(s[i+7])<<56
-		h = mixWord(h, v)
-	}
-	if i < len(s) {
-		var v uint64
-		for j := 0; i+j < len(s); j++ {
-			v |= uint64(s[i+j]) << (8 * j)
-		}
-		h = mixWord(h, v)
-	}
-	return h // length folded in by callers via hash2*
-}
-
-func hashBytes(b []byte, seed uint64) uint64 {
-	h := seed
-	for len(b) >= 8 {
-		h = mixWord(h, binary.LittleEndian.Uint64(b))
-		b = b[8:]
-	}
-	n := len(b)
-	if n > 0 {
-		var v uint64
-		for j := 0; j < n; j++ {
-			v |= uint64(b[j]) << (8 * j)
-		}
-		h = mixWord(h, v)
-	}
-	return h // length folded in by callers via hash2*
-}
+// The byte hashing lives in the shared kernel (tuple.HashRawBytes and
+// friends): the raw variants there are bit-identical to the implementation
+// this package carried before deduplication, so profiler estimates — and
+// every cached figure derived from them — are unchanged.
 
 func (f *Filter) hash2(key string) (uint64, uint64) {
-	h1 := mixWord(hashString(key, seed1), uint64(len(key)))
-	h2 := mixWord(hashString(key, seed2), uint64(len(key)))
+	h1 := tuple.MixWord(tuple.HashRawString(key, seed1), uint64(len(key)))
+	h2 := tuple.MixWord(tuple.HashRawString(key, seed2), uint64(len(key)))
 	// Guarantee h2 is odd so all k probes differ even when nbits is a
 	// power of two.
 	return h1, h2 | 1
 }
 
 func (f *Filter) hash2Bytes(key []byte) (uint64, uint64) {
-	h1 := mixWord(hashBytes(key, seed1), uint64(len(key)))
-	h2 := mixWord(hashBytes(key, seed2), uint64(len(key)))
+	h1 := tuple.MixWord(tuple.HashRawBytes(key, seed1), uint64(len(key)))
+	h2 := tuple.MixWord(tuple.HashRawBytes(key, seed2), uint64(len(key)))
 	return h1, h2 | 1
 }
 

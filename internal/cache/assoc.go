@@ -53,6 +53,14 @@ func (c *Cache) waysBytes(k []byte) (*slot, *slot, int) {
 func (c *Cache) probeAssoc(u tuple.Key) ([]tuple.Tuple, bool) {
 	c.meter.Charge(cost.HashProbe)
 	c.stats.Probes++
+	if c.filterAbsent(hashOf(u)) {
+		// The unfiltered miss walks both ways, paying the extra way
+		// comparison; charge it here too so the meter cannot tell the
+		// paths apart. The LRU state is untouched on a miss either way.
+		c.meter.Charge(cost.CacheInsertTuple)
+		c.stats.Misses++
+		return nil, false
+	}
 	s0, s1, set := c.ways(u)
 	if s0.occupied && s0.key == u {
 		c.stats.Hits++
@@ -65,7 +73,7 @@ func (c *Cache) probeAssoc(u tuple.Key) ([]tuple.Tuple, bool) {
 		c.lru[set] = 0
 		return s1.val, true
 	}
-	c.stats.Misses++
+	c.noteMiss()
 	return nil, false
 }
 
@@ -74,6 +82,11 @@ func (c *Cache) probeAssoc(u tuple.Key) ([]tuple.Tuple, bool) {
 func (c *Cache) probeAssocBytes(k []byte) ([]tuple.Tuple, bool) {
 	c.meter.Charge(cost.HashProbe)
 	c.stats.Probes++
+	if c.filterAbsent(tuple.HashBytes(k, cacheSeed)) {
+		c.meter.Charge(cost.CacheInsertTuple) // matches the unfiltered miss
+		c.stats.Misses++
+		return nil, false
+	}
 	s0, s1, set := c.waysBytes(k)
 	if s0.occupied && keyEq(s0.key, k) {
 		c.stats.Hits++
@@ -86,7 +99,7 @@ func (c *Cache) probeAssocBytes(k []byte) ([]tuple.Tuple, bool) {
 		c.lru[set] = 0
 		return s1.val, true
 	}
-	c.stats.Misses++
+	c.noteMiss()
 	return nil, false
 }
 
@@ -125,6 +138,7 @@ func (c *Cache) createAssoc(u tuple.Key, v []tuple.Tuple) {
 		if target.key != u {
 			c.stats.Evictions++
 		}
+		c.filDel(target.key)
 		c.usedBytes -= freed
 		c.numEntries--
 	}
@@ -136,6 +150,7 @@ func (c *Cache) createAssoc(u tuple.Key, v []tuple.Tuple) {
 	c.usedBytes += size
 	c.numEntries++
 	c.stats.Creates++
+	c.filAdd(u)
 	if target == s0 {
 		c.lru[set] = 1
 	} else {

@@ -7,6 +7,7 @@ package cache
 
 import (
 	"acache/internal/cost"
+	"acache/internal/filter"
 	"acache/internal/tuple"
 )
 
@@ -28,6 +29,13 @@ type Stats struct {
 	Deletes     int64
 	Evictions   int64 // direct-mapped collisions that replaced a resident entry
 	MemoryDrops int64 // creates or inserts abandoned for lack of memory
+
+	// FilterShortCircuits counts residency checks (probes and maintenance
+	// lookups) answered "guaranteed absent" by the fingerprint filter without
+	// touching the slots; FilterFalsePositives counts filter-passed checks
+	// that then missed anyway.
+	FilterShortCircuits  int64
+	FilterFalsePositives int64
 }
 
 // Cache is a direct-mapped associative store satisfying the consistency
@@ -54,6 +62,15 @@ type Cache struct {
 
 	version uint64 // bumped on every entry mutation; validates probe memos
 
+	// fil, when non-nil, fronts every residency check with a fingerprint
+	// filter holding one fingerprint per resident entry, keyed by the same
+	// cacheSeed hash as slot placement. A filter-negative check is a
+	// guaranteed miss answered without touching the slot arrays; charges and
+	// results are identical either way. Its bytes are reported by
+	// FilterBytes, deliberately outside usedBytes, so eviction behavior and
+	// cached cost figures are unchanged by the filter's presence.
+	fil *filter.Filter
+
 	stats Stats
 }
 
@@ -79,8 +96,14 @@ func New(nbuckets, keyBytes, budget int, meter *cost.Meter) *Cache {
 		meter:    meter,
 		keyBytes: keyBytes,
 		budget:   budget,
+		fil:      filter.New(initialFilterCapacity),
 	}
 }
+
+// initialFilterCapacity sizes a fresh cache filter; filAdd rebuilds at
+// doubled capacity on overflow, so footprint tracks resident entries rather
+// than the (possibly much larger) bucket count.
+const initialFilterCapacity = 64
 
 // cacheSeed is a fixed hash seed: slot placement — and therefore eviction
 // patterns and every cached-mode cost figure — is identical across runs for
@@ -102,9 +125,78 @@ func (c *Cache) slotOfBytes(k []byte) *slot {
 	return &c.slots[tuple.HashBytes(k, cacheSeed)%uint64(c.nbuckets)]
 }
 
+// filAdd records a newly resident key in the filter. An overflowed cuckoo
+// insert invalidates the filter, so it is rebuilt larger from the slots —
+// which at this point already hold the new key.
+func (c *Cache) filAdd(u tuple.Key) {
+	if c.fil == nil || c.fil.Insert(hashOf(u)) {
+		return
+	}
+	c.rebuildFilter(c.fil.Capacity() * 2)
+}
+
+// filDel removes a no-longer-resident key's fingerprint.
+func (c *Cache) filDel(u tuple.Key) {
+	if c.fil != nil {
+		c.fil.Delete(hashOf(u))
+	}
+}
+
+// rebuildFilter builds a fresh filter of at least the given capacity holding
+// one fingerprint per resident entry, doubling until everything fits.
+func (c *Cache) rebuildFilter(capacity int) {
+	if capacity < initialFilterCapacity {
+		capacity = initialFilterCapacity
+	}
+	for {
+		nf := filter.New(capacity)
+		ok := true
+		for _, ss := range [][]slot{c.slots, c.slots2} {
+			for i := range ss {
+				if ss[i].occupied && !nf.Insert(hashOf(ss[i].key)) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				break
+			}
+		}
+		if ok {
+			c.fil = nf
+			return
+		}
+		capacity *= 2
+	}
+}
+
+// filterAbsent reports a guaranteed miss for key hash h, counting the
+// short-circuit. A false return means the caller must check the slots.
+func (c *Cache) filterAbsent(h uint64) bool {
+	if c.fil != nil && !c.fil.MayContainHash(h) {
+		c.stats.FilterShortCircuits++
+		return true
+	}
+	return false
+}
+
+// noteMiss records a probe that reached the slots and missed — a false
+// positive when the filter vouched for the key first.
+func (c *Cache) noteMiss() {
+	c.stats.Misses++
+	if c.fil != nil {
+		c.stats.FilterFalsePositives++
+	}
+}
+
 // residentSlot returns the slot currently holding key u, or nil — the
-// mode-independent lookup for Insert/Delete/Drop.
+// mode-independent lookup for Insert/Delete/Drop. The filter answers the
+// absent case first; the unfiltered lookup returns the same nil, so callers
+// behave identically either way.
 func (c *Cache) residentSlot(u tuple.Key) *slot {
+	if c.filterAbsent(hashOf(u)) {
+		return nil
+	}
 	if c.assoc == 2 {
 		return c.slotForAssoc(u)
 	}
@@ -117,6 +209,9 @@ func (c *Cache) residentSlot(u tuple.Key) *slot {
 
 // residentSlotBytes is residentSlot for packed key bytes.
 func (c *Cache) residentSlotBytes(k []byte) *slot {
+	if c.filterAbsent(tuple.HashBytes(k, cacheSeed)) {
+		return nil
+	}
 	if c.assoc == 2 {
 		return c.slotForAssocBytes(k)
 	}
@@ -140,12 +235,17 @@ func (c *Cache) Probe(u tuple.Key) ([]tuple.Tuple, bool) {
 	}
 	c.meter.Charge(cost.HashProbe)
 	c.stats.Probes++
-	s := c.slotOf(u)
+	h := hashOf(u)
+	if c.filterAbsent(h) {
+		c.stats.Misses++
+		return nil, false
+	}
+	s := &c.slots[h%uint64(c.nbuckets)]
 	if s.occupied && s.key == u {
 		c.stats.Hits++
 		return s.val, true
 	}
-	c.stats.Misses++
+	c.noteMiss()
 	return nil, false
 }
 
@@ -158,12 +258,17 @@ func (c *Cache) ProbeBytes(k []byte) ([]tuple.Tuple, bool) {
 	}
 	c.meter.Charge(cost.HashProbe)
 	c.stats.Probes++
-	s := c.slotOfBytes(k)
+	h := tuple.HashBytes(k, cacheSeed)
+	if c.filterAbsent(h) {
+		c.stats.Misses++
+		return nil, false
+	}
+	s := &c.slots[h%uint64(c.nbuckets)]
 	if s.occupied && keyEq(s.key, k) {
 		c.stats.Hits++
 		return s.val, true
 	}
-	c.stats.Misses++
+	c.noteMiss()
 	return nil, false
 }
 
@@ -194,6 +299,7 @@ func (c *Cache) Create(u tuple.Key, v []tuple.Tuple) {
 		if s.key != u {
 			c.stats.Evictions++
 		}
+		c.filDel(s.key)
 		c.usedBytes -= freed
 		c.numEntries--
 	}
@@ -205,6 +311,7 @@ func (c *Cache) Create(u tuple.Key, v []tuple.Tuple) {
 	c.usedBytes += size
 	c.numEntries++
 	c.stats.Creates++
+	c.filAdd(u)
 }
 
 // Insert adds tuple r to the entry for key u, if present; otherwise it is
@@ -317,6 +424,7 @@ func (c *Cache) dropSlot(s *slot) {
 	if !s.occupied {
 		return
 	}
+	c.filDel(s.key)
 	c.version++
 	c.usedBytes -= c.slotBytes(s)
 	c.numEntries--
@@ -396,6 +504,33 @@ func (c *Cache) Buckets() int { return c.nbuckets }
 
 // KeyBytes returns the packed key size.
 func (c *Cache) KeyBytes() int { return c.keyBytes }
+
+// SetFilterEnabled toggles the residency filter. Enabling rebuilds it from
+// the resident entries; disabling frees it. Consistency never depends on the
+// filter, so the re-optimizer toggles this as a cheap plan knob at any point.
+func (c *Cache) SetFilterEnabled(on bool) {
+	if on == (c.fil != nil) {
+		return
+	}
+	if !on {
+		c.fil = nil
+		return
+	}
+	c.rebuildFilter(c.numEntries)
+}
+
+// FilterEnabled reports whether the residency filter is on.
+func (c *Cache) FilterEnabled() bool { return c.fil != nil }
+
+// FilterBytes returns the filter's resident footprint. It is charged against
+// the server memory budget but kept out of UsedBytes so eviction behavior is
+// independent of the filter.
+func (c *Cache) FilterBytes() int {
+	if c.fil == nil {
+		return 0
+	}
+	return c.fil.MemoryBytes()
+}
 
 // Stats returns a snapshot of the cumulative counters.
 func (c *Cache) Stats() Stats { return c.stats }

@@ -62,6 +62,7 @@ func (c *Cache) CreateCounted(u tuple.Key, tuples []tuple.Tuple, mults, supports
 		if s.key != u {
 			c.stats.Evictions++
 		}
+		c.filDel(s.key)
 		c.usedBytes -= freed
 		c.numEntries--
 	}
@@ -73,6 +74,7 @@ func (c *Cache) CreateCounted(u tuple.Key, tuples []tuple.Tuple, mults, supports
 	c.usedBytes += size
 	c.numEntries++
 	c.stats.Creates++
+	c.filAdd(u)
 }
 
 // ProbeCounted looks up key u on a counted cache, returning the distinct
@@ -80,12 +82,17 @@ func (c *Cache) CreateCounted(u tuple.Key, tuples []tuple.Tuple, mults, supports
 func (c *Cache) ProbeCounted(u tuple.Key) (tuples []tuple.Tuple, mults []int, ok bool) {
 	c.meter.Charge(cost.HashProbe)
 	c.stats.Probes++
-	s := c.slotOf(u)
+	h := hashOf(u)
+	if c.filterAbsent(h) {
+		c.stats.Misses++
+		return nil, nil, false
+	}
+	s := &c.slots[h%uint64(c.nbuckets)]
 	if s.occupied && s.key == u {
 		c.stats.Hits++
 		return s.val, s.mult, true
 	}
-	c.stats.Misses++
+	c.noteMiss()
 	return nil, nil, false
 }
 
@@ -93,12 +100,17 @@ func (c *Cache) ProbeCounted(u tuple.Key) (tuples []tuple.Tuple, mults []int, ok
 func (c *Cache) ProbeCountedBytes(k []byte) (tuples []tuple.Tuple, mults []int, ok bool) {
 	c.meter.Charge(cost.HashProbe)
 	c.stats.Probes++
-	s := c.slotOfBytes(k)
+	h := tuple.HashBytes(k, cacheSeed)
+	if c.filterAbsent(h) {
+		c.stats.Misses++
+		return nil, nil, false
+	}
+	s := &c.slots[h%uint64(c.nbuckets)]
 	if s.occupied && keyEq(s.key, k) {
 		c.stats.Hits++
 		return s.val, s.mult, true
 	}
-	c.stats.Misses++
+	c.noteMiss()
 	return nil, nil, false
 }
 
@@ -111,7 +123,11 @@ func (c *Cache) ProbeCountedBytes(k []byte) (tuples []tuple.Tuple, mults []int, 
 // and removed when its support reaches zero.
 func (c *Cache) ApplyCountedDelta(u tuple.Key, r tuple.Tuple, n int, recomputeMult func() int) {
 	c.meter.Charge(cost.HashProbe)
-	s := c.slotOf(u)
+	h := hashOf(u)
+	if c.filterAbsent(h) {
+		return // absent entry: the unfiltered path would return just below
+	}
+	s := &c.slots[h%uint64(c.nbuckets)]
 	if !s.occupied || s.key != u {
 		return
 	}

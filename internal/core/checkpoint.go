@@ -80,7 +80,7 @@ const ckptMagic = uint32(0xacac_0001)
 
 // MarshalBinary serializes the checkpoint.
 func (ck *Checkpoint) MarshalBinary() ([]byte, error) {
-	size := 4 + 6*8 + 4
+	size := 4 + 9*8 + 4
 	for _, ts := range ck.Rels {
 		size += 8
 		for _, t := range ts {
@@ -97,6 +97,9 @@ func (ck *Checkpoint) MarshalBinary() ([]byte, error) {
 	u64(uint64(ck.Snap.Reopts))
 	u64(uint64(ck.Snap.SkippedReopts))
 	u64(uint64(ck.Snap.CacheMemoryBytes))
+	u64(uint64(ck.Snap.FilterBytes))
+	u64(ck.Snap.FilteredProbes)
+	u64(ck.Snap.FilterFalsePositives)
 	u32(uint32(len(ck.Rels)))
 	for _, ts := range ck.Rels {
 		u32(uint32(len(ts)))
@@ -143,19 +146,22 @@ func (ck *Checkpoint) UnmarshalBinary(data []byte) error {
 	if magic != ckptMagic {
 		return fmt.Errorf("core: bad checkpoint magic %#x", magic)
 	}
-	var fields [6]uint64
+	var fields [9]uint64
 	for i := range fields {
 		if fields[i], err = u64(); err != nil {
 			return err
 		}
 	}
 	ck.Snap = Snapshot{
-		Updates:          int(fields[0]),
-		Outputs:          fields[1],
-		Work:             cost.Units(fields[2]),
-		Reopts:           int(fields[3]),
-		SkippedReopts:    int(fields[4]),
-		CacheMemoryBytes: int(fields[5]),
+		Updates:              int(fields[0]),
+		Outputs:              fields[1],
+		Work:                 cost.Units(fields[2]),
+		Reopts:               int(fields[3]),
+		SkippedReopts:        int(fields[4]),
+		CacheMemoryBytes:     int(fields[5]),
+		FilterBytes:          int(fields[6]),
+		FilteredProbes:       fields[7],
+		FilterFalsePositives: fields[8],
 	}
 	nrels, err := u32()
 	if err != nil {
@@ -196,14 +202,16 @@ func (ck *Checkpoint) UnmarshalBinary(data []byte) error {
 
 // AddSnapshot accumulates another snapshot's cumulative counters into s —
 // the supervisor-side merge when totals span engine rebuilds.
-// CacheMemoryBytes is a point-in-time gauge, not a cumulative counter, so it
-// is not summed.
+// CacheMemoryBytes and FilterBytes are point-in-time gauges, not cumulative
+// counters, so they are not summed.
 func (s *Snapshot) AddSnapshot(o Snapshot) {
 	s.Updates += o.Updates
 	s.Outputs += o.Outputs
 	s.Work += o.Work
 	s.Reopts += o.Reopts
 	s.SkippedReopts += o.SkippedReopts
+	s.FilteredProbes += o.FilteredProbes
+	s.FilterFalsePositives += o.FilterFalsePositives
 }
 
 // DropCaches detaches every used (or suspended) cache immediately — the

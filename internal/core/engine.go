@@ -117,6 +117,17 @@ type Config struct {
 	// miss-population — trading a one-time bulk computation for the
 	// cold-start miss period (extension).
 	PrimeCaches bool
+	// DisableFilters turns off the fingerprint filters fronting store
+	// indexes and cache slots, and the adaptive knob that manages them.
+	// Results and simulated cost are identical either way (the filters
+	// short-circuit only real CPU work); this exists for differential
+	// testing and ablation.
+	DisableFilters bool
+	// FilterAwareCostModel makes the profiler's estimates use the
+	// filtered probe-cost split (cost.FilterProbe / observed FP rate)
+	// instead of the paper's probe_cost. Off by default so the paper's
+	// figures are unchanged by the filters' presence.
+	FilterAwareCostModel bool
 	// MaxProfilingUpdates bounds the profiling phase before selection runs
 	// with whatever statistics are available (default 4 × ReoptInterval).
 	MaxProfilingUpdates int
@@ -207,6 +218,19 @@ type Engine struct {
 	sinceMonitor int
 	profiling    bool
 	profilingFor int
+	// sinceFilterAdapt drives the filter on/off knob's cadence. It runs on
+	// its own counter, before the forced/disabled-caching early return in
+	// processUpdate, because filters are orthogonal to cache selection —
+	// a plain MJoin benefits from them the most.
+	sinceFilterAdapt int
+	filterSnaps      []filterSnap
+	filterObsPrev    filterObsSnap
+	// allocateMemory's and MemoryDemand's scratch, reused so a host
+	// server's periodic rebalance allocates nothing at steady state.
+	allocInfos  map[string]allocInfo
+	allocReqs   []memory.Request
+	allocGrants map[string]int
+	demandSeen  map[string]bool
 	// pausedCaching suspends all adaptivity (profiling, monitoring,
 	// re-optimization) with caches dropped — the overload degradation
 	// ladder's first rung (see SetCachingPaused).
@@ -251,7 +275,11 @@ func NewEngine(q *query.Query, ord planner.Ordering, cfg Config) (*Engine, error
 	if err != nil {
 		return nil, err
 	}
+	if cfg.DisableFilters {
+		exec.SetStoreFilters(false)
+	}
 	cfg.Profiler.Seed = cfg.Seed + 1
+	cfg.Profiler.FilterAware = cfg.FilterAwareCostModel
 	pf := profiler.New(q, exec, meter, cfg.Profiler)
 	en := &Engine{
 		q:         q,
@@ -370,6 +398,9 @@ func (en *Engine) instanceFor(spec *planner.Spec, buckets int) *join.Instance {
 		buckets = (buckets + 1) / 2 // same total capacity: sets × 2 ways
 	}
 	inst := join.NewInstanceAssoc(en.q, spec, buckets, en.mem.Budget(), assoc, en.meter)
+	if en.cfg.DisableFilters {
+		inst.Cache().SetFilterEnabled(false)
+	}
 	en.instances[id] = inst
 	return inst
 }
@@ -399,6 +430,14 @@ func (en *Engine) processUpdate(u stream.Update, profiled bool) int {
 	en.pf.Tick(u.Rel)
 	en.updates++
 	en.outputs += uint64(outputs)
+
+	if !en.cfg.DisableFilters {
+		en.sinceFilterAdapt++
+		if en.sinceFilterAdapt >= en.cfg.MonitorInterval {
+			en.sinceFilterAdapt = 0
+			en.adaptFilters()
+		}
+	}
 
 	if len(en.cfg.ForcedCaches) > 0 || en.cfg.DisableCaching || en.pausedCaching {
 		return outputs
@@ -439,6 +478,14 @@ type Snapshot struct {
 	Reopts, SkippedReopts int
 	// CacheMemoryBytes is the bytes held by cache instances.
 	CacheMemoryBytes int
+	// FilterBytes is the resident footprint of the fingerprint filters
+	// (store indexes + cache instances).
+	FilterBytes int
+	// FilteredProbes counts residency checks answered "guaranteed miss"
+	// by a filter without touching the backing structure;
+	// FilterFalsePositives counts filter-passed checks that then missed.
+	FilteredProbes       uint64
+	FilterFalsePositives uint64
 }
 
 // Snapshot returns the engine's current counters. The method takes no locks:
@@ -450,13 +497,17 @@ type Snapshot struct {
 // processing. Callers holding a raw *Engine from Shard() must arrange the
 // same quiescence themselves.
 func (en *Engine) Snapshot() Snapshot {
+	sc, fp := en.FilterTelemetry()
 	return Snapshot{
-		Updates:          en.updates,
-		Outputs:          en.outputs,
-		Work:             en.meter.Total(),
-		Reopts:           en.reopts,
-		SkippedReopts:    en.skippedReopts,
-		CacheMemoryBytes: en.CacheMemoryBytes(),
+		Updates:              en.updates,
+		Outputs:              en.outputs,
+		Work:                 en.meter.Total(),
+		Reopts:               en.reopts,
+		SkippedReopts:        en.skippedReopts,
+		CacheMemoryBytes:     en.CacheMemoryBytes(),
+		FilterBytes:          en.FilterMemoryBytes(),
+		FilteredProbes:       sc,
+		FilterFalsePositives: fp,
 	}
 }
 
@@ -598,6 +649,31 @@ func (en *Engine) CacheMemoryBytes() int {
 	return total
 }
 
+// FilterMemoryBytes returns the resident footprint of every fingerprint
+// filter — store indexes plus cache instances. Reported separately from
+// CacheMemoryBytes (filters are not cache contents) but charged against the
+// same server budget through MemoryDemand.
+func (en *Engine) FilterMemoryBytes() int {
+	total := en.exec.StoreFilterBytes()
+	for _, inst := range en.instances {
+		total += inst.Cache().FilterBytes()
+	}
+	return total
+}
+
+// FilterTelemetry sums the filter short-circuit and false-positive counters
+// across store indexes and cache instances.
+func (en *Engine) FilterTelemetry() (shortCircuits, falsePositives uint64) {
+	fs := en.exec.StoreFilterStats()
+	shortCircuits, falsePositives = fs.ShortCircuits, fs.FalsePositives
+	for _, inst := range en.instances {
+		cs := inst.Cache().Stats()
+		shortCircuits += uint64(cs.FilterShortCircuits)
+		falsePositives += uint64(cs.FilterFalsePositives)
+	}
+	return shortCircuits, falsePositives
+}
+
 // MemoryBudgetBytes returns the engine's current cache-memory budget
 // (<0 = unlimited).
 func (en *Engine) MemoryBudgetBytes() int { return en.mem.Budget() }
@@ -608,7 +684,11 @@ func (en *Engine) MemoryBudgetBytes() int { return en.mem.Budget() }
 // many continuous queries uses these to divide a global budget across
 // queries by priority — the cross-query generalization of Section 5.
 func (en *Engine) MemoryDemand() (bytes int, netBenefit float64) {
-	seen := make(map[string]bool)
+	if en.demandSeen == nil {
+		en.demandSeen = make(map[string]bool)
+	}
+	clear(en.demandSeen)
+	seen := en.demandSeen
 	for _, c := range en.cands {
 		if c.state != Used {
 			continue
@@ -625,5 +705,8 @@ func (en *Engine) MemoryDemand() (bytes int, netBenefit float64) {
 			bytes += b
 		}
 	}
+	// Filters are server-budgeted memory too: small, but a host dividing a
+	// global budget across queries must see them.
+	bytes += en.FilterMemoryBytes()
 	return bytes, netBenefit
 }

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"acache/internal/cost"
+)
+
+// The filter on/off knob: fingerprint filters in front of the store indexes
+// are pure wall-clock accelerators — results and simulated cost are identical
+// either way — so the re-optimizer treats them like the caches of Section 3.2:
+// consistent without being required, droppable and rebuildable (empty of
+// obligations) at near-zero cost. The decision per store weighs what the
+// filter saves (the slot search each miss avoids) against what it costs
+// (a membership check on every probe plus maintenance mirrored on every
+// chain creation and clear), using the advisory FilterProbe / FilterMaint
+// constants — never the meter, which charges the unfiltered tariff always.
+//
+// The knob runs on observed counter deltas over its own MonitorInterval
+// cadence, before the forced/disabled-caching early return: a plain MJoin
+// (DisableCaching) is exactly the configuration filters help most. Probes
+// and Misses are counted by the stores whether filters are on or off, so the
+// decision has its inputs in both states. Hysteresis (enable above 1.25×,
+// disable below 0.8×) keeps a borderline store from flapping, since each
+// enable pays a rebuild walk over the index tables.
+
+// filterSnap is the previous counter snapshot of one store, so the knob
+// works on interval deltas.
+type filterSnap struct {
+	probes, misses, chainOps uint64
+}
+
+// filterObsSnap is the previous engine-wide telemetry snapshot, so the
+// profiler sees interval deltas rather than cumulative ratios.
+type filterObsSnap struct {
+	shortCircuits, falsePositives, misses uint64
+}
+
+// filterEnableNum/Den and filterDisableNum/Den encode the hysteresis
+// thresholds as integer ratios (gain : overhead).
+const (
+	filterEnableNum  = 5 // enable when gain > 1.25 × overhead
+	filterEnableDen  = 4
+	filterDisableNum = 4 // disable when gain < 0.8 × overhead
+	filterDisableDen = 5
+)
+
+// adaptFilters re-decides the per-store filter knob from the last interval's
+// counters and feeds the profiler's filter-effectiveness observations.
+func (en *Engine) adaptFilters() {
+	n := en.q.N()
+	if en.filterSnaps == nil {
+		en.filterSnaps = make([]filterSnap, n)
+	}
+	var aggShort, aggFP, aggMisses uint64
+	for rel := 0; rel < n; rel++ {
+		s := en.exec.Store(rel)
+		fs := s.FilterStats()
+		ops := s.ChainOps()
+		snap := &en.filterSnaps[rel]
+		dProbes := fs.Probes - snap.probes
+		dMisses := fs.Misses - snap.misses
+		dOps := ops - snap.chainOps
+		*snap = filterSnap{probes: fs.Probes, misses: fs.Misses, chainOps: ops}
+
+		aggShort += fs.ShortCircuits
+		aggFP += fs.FalsePositives
+		aggMisses += fs.Misses
+
+		if dProbes == 0 && dOps == 0 {
+			continue // idle store: no evidence either way
+		}
+		// gain: each miss would skip the slot search (≈ the cheap-probe
+		// tariff) at the price of the filter check it pays anyway.
+		gain := dMisses * uint64(cost.HashProbe-cost.FilterProbe)
+		overhead := dProbes*uint64(cost.FilterProbe) + dOps*uint64(cost.FilterMaint)
+		if s.FiltersEnabled() {
+			if gain*filterDisableDen < overhead*filterDisableNum {
+				s.SetFiltersEnabled(false)
+			}
+		} else {
+			if gain*filterEnableDen > overhead*filterEnableNum {
+				s.SetFiltersEnabled(true)
+			}
+		}
+	}
+	// Cache-side counters join the profiler observation (the caches keep
+	// their filters unless DisableFilters; their residency checks are
+	// hit-or-miss evidence for the filter-aware cost split).
+	for _, inst := range en.instances {
+		cs := inst.Cache().Stats()
+		aggShort += uint64(cs.FilterShortCircuits)
+		aggFP += uint64(cs.FilterFalsePositives)
+		aggMisses += uint64(cs.Misses)
+	}
+	prev := en.filterObsPrev
+	en.filterObsPrev = filterObsSnap{shortCircuits: aggShort, falsePositives: aggFP, misses: aggMisses}
+	en.pf.ObserveFilter(aggShort-prev.shortCircuits, aggFP-prev.falsePositives, aggMisses-prev.misses)
+}

@@ -512,24 +512,31 @@ func (en *Engine) detach(c *cand) {
 	c.state = Unused
 }
 
+// allocInfo aggregates one shared instance's net benefit and byte appetite
+// while allocateMemory groups candidates by sharing identity.
+type allocInfo struct {
+	net   float64
+	bytes float64
+}
+
 // allocateMemory divides the budget among used caches by priority
-// (Section 5) and applies the grants as per-instance byte budgets.
+// (Section 5) and applies the grants as per-instance byte budgets. Its
+// grouping map, request slice, and grant map live on the engine and are
+// reused, so the periodic rebalance path allocates nothing at steady state.
 func (en *Engine) allocateMemory() {
-	type instInfo struct {
-		net   float64
-		bytes float64
+	if en.allocInfos == nil {
+		en.allocInfos = make(map[string]allocInfo)
+		en.allocGrants = make(map[string]int)
 	}
-	infos := make(map[string]*instInfo)
+	clear(en.allocInfos)
 	for _, c := range en.cands {
 		if c.state != Used {
 			continue
 		}
 		id := c.spec.SharingID()
-		info := infos[id]
-		if info == nil {
-			info = &instInfo{}
-			infos[id] = info
-			info.net -= c.est.Cost // group cost once
+		info, seen := en.allocInfos[id]
+		if !seen {
+			info.net = -c.est.Cost // group cost once
 		}
 		info.net += c.est.Benefit
 		b := c.est.ExpectedBytes
@@ -539,21 +546,22 @@ func (en *Engine) allocateMemory() {
 		if b > info.bytes {
 			info.bytes = b
 		}
+		en.allocInfos[id] = info
 	}
-	var reqs []memory.Request
-	for id, info := range infos {
+	en.allocReqs = en.allocReqs[:0]
+	for id, info := range en.allocInfos {
 		bytes := int(info.bytes)
 		if bytes < memory.PageBytes {
 			bytes = memory.PageBytes
 		}
-		reqs = append(reqs, memory.Request{
+		en.allocReqs = append(en.allocReqs, memory.Request{
 			ID:       id,
 			Priority: info.net / float64(bytes),
 			Bytes:    bytes,
 		})
 	}
-	grants := en.mem.Allocate(reqs)
-	for id, grant := range grants {
+	en.mem.AllocateInto(en.allocGrants, en.allocReqs)
+	for id, grant := range en.allocGrants {
 		if inst, ok := en.instances[id]; ok {
 			inst.Cache().SetBudget(grant)
 		}

@@ -5,7 +5,10 @@
 // query changes.
 package memory
 
-import "sort"
+import (
+	"cmp"
+	"slices"
+)
 
 // PageBytes is the allocation granularity. Grants are rounded up to whole
 // pages, matching the paper's dynamically-allocated memory pages
@@ -24,7 +27,8 @@ type Request struct {
 
 // Manager owns a byte budget and divides it among caches.
 type Manager struct {
-	budget int // <0 = unlimited
+	budget  int       // <0 = unlimited
+	scratch []Request // AllocateInto's priority-sort buffer, reused per call
 }
 
 // NewManager creates a manager with the given budget; budget < 0 means
@@ -53,18 +57,28 @@ func pages(bytes int) int {
 // The returned map holds granted bytes per request ID.
 func (m *Manager) Allocate(reqs []Request) map[string]int {
 	out := make(map[string]int, len(reqs))
+	m.AllocateInto(out, reqs)
+	return out
+}
+
+// AllocateInto is Allocate with caller-owned result storage: dst is cleared
+// and refilled with the grants, and the priority-sort buffer lives on the
+// Manager, so a steady-state rebalance loop allocates nothing.
+func (m *Manager) AllocateInto(dst map[string]int, reqs []Request) {
+	clear(dst)
 	if m.budget < 0 {
 		for _, r := range reqs {
-			out[r.ID] = -1 // unlimited
+			dst[r.ID] = -1 // unlimited
 		}
-		return out
+		return
 	}
-	sorted := append([]Request(nil), reqs...)
-	sort.SliceStable(sorted, func(a, b int) bool {
-		if sorted[a].Priority != sorted[b].Priority {
-			return sorted[a].Priority > sorted[b].Priority
+	sorted := append(m.scratch[:0], reqs...)
+	m.scratch = sorted
+	slices.SortStableFunc(sorted, func(a, b Request) int {
+		if a.Priority != b.Priority {
+			return cmp.Compare(b.Priority, a.Priority) // descending
 		}
-		return sorted[a].ID < sorted[b].ID
+		return cmp.Compare(a.ID, b.ID)
 	})
 	remaining := m.budget
 	for _, r := range sorted {
@@ -72,8 +86,7 @@ func (m *Manager) Allocate(reqs []Request) map[string]int {
 		if ask > remaining {
 			ask = remaining / PageBytes * PageBytes
 		}
-		out[r.ID] = ask
+		dst[r.ID] = ask
 		remaining -= ask
 	}
-	return out
 }

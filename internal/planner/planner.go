@@ -82,8 +82,10 @@ type Spec struct {
 	// hole is analyzed in DESIGN.md.
 	SelfMaint bool
 
-	// key memoizes Key; Spec fields are never mutated after planning.
-	key string
+	// key and sharingID memoize Key and SharingID; Spec fields are never
+	// mutated after planning.
+	key       string
+	sharingID string
 }
 
 // Key identifies one candidate placement: pipeline, span, and mode. The
@@ -103,6 +105,9 @@ func (s *Spec) Key() string {
 // Globally-consistent caches additionally require the same reduction set,
 // since their contents depend on Y.
 func (s *Spec) SharingID() string {
+	if s.sharingID != "" {
+		return s.sharingID
+	}
 	var b strings.Builder
 	b.WriteString("seg=")
 	for _, r := range s.Segment {
@@ -121,7 +126,8 @@ func (s *Spec) SharingID() string {
 			b.WriteString("inv")
 		}
 	}
-	return b.String()
+	s.sharingID = b.String()
+	return s.sharingID
 }
 
 // String renders the spec in the paper's style, e.g. "C[ΔR1: R2⋈R3]".

@@ -39,6 +39,11 @@ type Config struct {
 	// Appendix-A per-window estimate instead of the retention-aware
 	// refinement — an ablation switch (see DESIGN.md deviation 2).
 	PaperMissEstimator bool
+	// FilterAware makes Estimate use the filtered probe-cost split
+	// (FilteredProbeCostPerTuple with the observed false-positive rate)
+	// instead of the paper's probe_cost. Off by default so the cost figures
+	// of the paper's experiments are byte-identical with filters present.
+	FilterAware bool
 	// Seed makes sampling reproducible.
 	Seed int64
 }
@@ -84,6 +89,13 @@ type Profiler struct {
 	shadows    map[string]*shadow
 	totalTicks int64
 	relTicks   []int64
+
+	// Observed fingerprint-filter effectiveness, fed by the engine's
+	// monitor from structure counter deltas (ObserveFilter): what fraction
+	// of misses the filters answered without a bucket walk, and how often a
+	// filter-passed check missed anyway.
+	filterEff *stats.Window // short-circuited fraction of misses
+	filterFP  *stats.Window // false-positive rate among true misses
 }
 
 // New creates a profiler over the executor.
@@ -102,6 +114,8 @@ func New(q *query.Query, e *join.Exec, meter *cost.Meter, cfg Config) *Profiler 
 		pf.pipes[i] = newPipeStats(q.N(), cfg)
 	}
 	pf.relTicks = make([]int64, q.N())
+	pf.filterEff = stats.NewWindow(cfg.W)
+	pf.filterFP = stats.NewWindow(cfg.W)
 	return pf
 }
 
@@ -176,6 +190,30 @@ func (pf *Profiler) Observe(rel int, prof join.Profile) {
 	for j, u := range prof.StepUnits {
 		ps.tau[j].Observe(cost.Seconds(u))
 	}
+}
+
+// ObserveFilter feeds one monitoring interval's filter counter deltas:
+// shortCircuits misses answered by a filter alone, falsePositives
+// filter-passed checks that then missed, and misses total misses (short-
+// circuited included). Intervals with no misses carry no signal and are
+// skipped.
+func (pf *Profiler) ObserveFilter(shortCircuits, falsePositives, misses uint64) {
+	if misses == 0 {
+		return
+	}
+	// Maintenance-path short-circuits are not probe misses, so the ratio
+	// can exceed one; clamp — it is "fraction of miss work avoided".
+	pf.filterEff.Observe(minF(1, float64(shortCircuits)/float64(misses)))
+	if trueAbsent := shortCircuits + falsePositives; trueAbsent > 0 {
+		pf.filterFP.Observe(float64(falsePositives) / float64(trueAbsent))
+	}
+}
+
+// FilterEffectiveness returns the windowed filter observations: the fraction
+// of misses short-circuited, the false-positive rate among true-absent
+// checks, and whether a full window backs them.
+func (pf *Profiler) FilterEffectiveness() (shortCircuitFrac, fpRate float64, ok bool) {
+	return pf.filterEff.Mean(), pf.filterFP.Mean(), pf.filterEff.Full()
 }
 
 // Rate returns the estimated updates/second of ΔR_rel.

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"acache/internal/cost"
+	"acache/internal/filter"
 	"acache/internal/tuple"
 )
 
@@ -28,6 +29,10 @@ const TupleBytes = 32
 // hashSeed is the fixed seed for the store's inline hashing. Deterministic
 // across runs so fixed-seed workloads reproduce bit-identically.
 const hashSeed uint64 = 0x9e3779b97f4a7c15
+
+// initialFilterCapacity sizes a fresh index filter; filterAdd rebuilds at
+// doubled capacity whenever an insert overflows, so this is only a floor.
+const initialFilterCapacity = 64
 
 // Chain-link sentinel: end of a bucket chain.
 const nilID int32 = -1
@@ -187,16 +192,45 @@ type Store struct {
 	epoch   uint64       // bumped on index create/drop so compiled steps revalidate
 
 	mutations uint64 // bumped on every Insert/Delete; validates probe memos
+
+	// filtersOn enables the per-index fingerprint filters that answer
+	// guaranteed-miss probes without a bucket walk. Results and meter
+	// charges are identical either way — the filter short-circuits only
+	// real CPU work — so the re-optimizer can toggle it like any other
+	// cheap plan knob.
+	filtersOn bool
+	fstats    FilterStats
+	chainOps  uint64 // index chain creations + clears (filter-maintenance proxy)
+}
+
+// FilterStats are the cumulative filtered-probe counters of one store, for
+// telemetry and for the re-optimizer's filter on/off decision. Probes and
+// Misses are counted whether or not filters are enabled (the knob needs the
+// observed miss rate in both states); ShortCircuits and FalsePositives move
+// only while filters are on.
+type FilterStats struct {
+	// Probes counts index probes (Probe/ProbeEach/ProbeEachMemo calls).
+	Probes uint64
+	// Misses counts probes that found no matching chain (including
+	// short-circuited ones).
+	Misses uint64
+	// ShortCircuits counts probes answered "guaranteed miss" by a filter
+	// without touching the index table.
+	ShortCircuits uint64
+	// FalsePositives counts probes the filter passed through that then
+	// missed in the index.
+	FalsePositives uint64
 }
 
 // NewStore creates an empty store for relation rel with the given schema.
 // meter may be shared across stores; it must not be nil.
 func NewStore(rel int, schema *tuple.Schema, meter *cost.Meter) *Store {
 	return &Store{
-		rel:     rel,
-		schema:  schema,
-		meter:   meter,
-		indexes: make(map[string]*HashIndex),
+		rel:       rel,
+		schema:    schema,
+		meter:     meter,
+		indexes:   make(map[string]*HashIndex),
+		filtersOn: true,
 	}
 }
 
@@ -247,6 +281,9 @@ func (s *Store) CreateIndex(names ...string) *HashIndex {
 	idx := &HashIndex{store: s, cols: cols}
 	idx.table = newOATable()
 	idx.next = make([]int32, len(s.tuples))
+	if s.filtersOn {
+		idx.fil = filter.New(initialFilterCapacity)
+	}
 	for _, tid := range s.order {
 		idx.insert(s.tuples[tid], tid)
 	}
@@ -419,10 +456,17 @@ func (s *Store) All() []tuple.Tuple {
 func (s *Store) Probe(idx *HashIndex, key tuple.Key) []tuple.Tuple {
 	s.meter.Charge(cost.IndexProbe)
 	vals := key.Values()
+	h := tuple.HashValues(vals, hashSeed)
+	s.fstats.Probes++
+	if idx.fil != nil && !idx.fil.MayContainHash(h) {
+		s.fstats.ShortCircuits++
+		s.fstats.Misses++
+		return nil
+	}
 	var out []tuple.Tuple
-	idx.each(tuple.HashValues(vals, hashSeed), vals, func(t tuple.Tuple) {
-		out = append(out, t)
-	})
+	if !idx.each(h, vals, func(t tuple.Tuple) { out = append(out, t) }) {
+		s.noteProbeMiss(idx)
+	}
 	return out
 }
 
@@ -430,9 +474,33 @@ func (s *Store) Probe(idx *HashIndex, key tuple.Key) []tuple.Tuple {
 // insertion order, charging one join probe. Visited tuples must not be
 // retained or mutated. It is the zero-allocation probe path: no key is
 // materialized and no result slice is built.
+//
+// When the index carries a fingerprint filter, a filter-negative probe
+// returns immediately: a guaranteed miss, visiting nothing — exactly what
+// the unfiltered walk would have produced. The meter charge is one
+// IndexProbe in every case, so the simulated cost model cannot tell a
+// short-circuited miss from a walked one; only wall-clock time differs.
 func (s *Store) ProbeEach(idx *HashIndex, vals []tuple.Value, f func(t tuple.Tuple)) {
 	s.meter.Charge(cost.IndexProbe)
-	idx.each(tuple.HashValues(vals, hashSeed), vals, f)
+	h := tuple.HashValues(vals, hashSeed)
+	s.fstats.Probes++
+	if idx.fil != nil && !idx.fil.MayContainHash(h) {
+		s.fstats.ShortCircuits++
+		s.fstats.Misses++
+		return
+	}
+	if !idx.each(h, vals, f) {
+		s.noteProbeMiss(idx)
+	}
+}
+
+// noteProbeMiss records a probe that reached the index table and missed —
+// a false positive when a filter vouched for the key first.
+func (s *Store) noteProbeMiss(idx *HashIndex) {
+	s.fstats.Misses++
+	if idx.fil != nil {
+		s.fstats.FalsePositives++
+	}
 }
 
 // probeMemoSlots sizes a ProbeMemo's open-addressing table. Runs are capped
@@ -501,6 +569,15 @@ func (s *Store) ProbeEachMemo(idx *HashIndex, vals []tuple.Value, memo *ProbeMem
 	}
 	s.meter.Charge(cost.IndexProbe)
 	h := tuple.HashValues(vals, hashSeed)
+	s.fstats.Probes++
+	// Filter first: a guaranteed miss skips the memo machinery entirely
+	// (recording an empty chain would replay to the same nothing). The
+	// IndexProbe charge above is identical to the unfiltered miss.
+	if idx.fil != nil && !idx.fil.MayContainHash(h) {
+		s.fstats.ShortCircuits++
+		s.fstats.Misses++
+		return
+	}
 	memo.keyBuf = tuple.AppendKeyValues(memo.keyBuf[:0], vals)
 	var free *memoEntry
 	for i := h & (probeMemoSlots - 1); ; i = (i + 1) & (probeMemoSlots - 1) {
@@ -513,6 +590,9 @@ func (s *Store) ProbeEachMemo(idx *HashIndex, vals []tuple.Value, memo *ProbeMem
 		}
 		if e.hash == h && int(e.klen) == len(memo.keyBuf) &&
 			bytes.Equal(memo.keys[e.koff:e.koff+e.klen], memo.keyBuf) {
+			if e.n == 0 {
+				s.noteProbeMiss(idx)
+			}
 			for _, id := range memo.ids[e.off : e.off+e.n] {
 				f(s.tuples[id])
 			}
@@ -520,7 +600,9 @@ func (s *Store) ProbeEachMemo(idx *HashIndex, vals []tuple.Value, memo *ProbeMem
 		}
 	}
 	if free == nil { // table at the fill bound: probe directly, don't record
-		idx.each(h, vals, f)
+		if !idx.each(h, vals, f) {
+			s.noteProbeMiss(idx)
+		}
 		return
 	}
 	off := int32(len(memo.ids))
@@ -547,6 +629,47 @@ func (s *Store) ProbeEachMemo(idx *HashIndex, vals []tuple.Value, memo *ProbeMem
 // paper's memory experiments budget join subresults, not base windows).
 func (s *Store) MemoryBytes() int { return len(s.order) * TupleBytes }
 
+// SetFiltersEnabled toggles the per-index fingerprint filters. Enabling
+// rebuilds each index's filter from its table; disabling frees them. Like
+// the caches of Section 3.2, filters are consistent without being required,
+// so the re-optimizer toggles this as a cheap plan knob at any point.
+func (s *Store) SetFiltersEnabled(on bool) {
+	if on == s.filtersOn {
+		return
+	}
+	s.filtersOn = on
+	for _, idx := range s.idxList {
+		if on {
+			idx.rebuildFilter(idx.table.live)
+		} else {
+			idx.fil = nil
+		}
+	}
+}
+
+// FiltersEnabled reports whether index filters are currently on.
+func (s *Store) FiltersEnabled() bool { return s.filtersOn }
+
+// FilterBytes returns the resident footprint of every index filter, charged
+// against the server memory budget alongside cache bytes.
+func (s *Store) FilterBytes() int {
+	n := 0
+	for _, idx := range s.idxList {
+		if idx.fil != nil {
+			n += idx.fil.MemoryBytes()
+		}
+	}
+	return n
+}
+
+// FilterStats returns the store's cumulative filtered-probe counters.
+func (s *Store) FilterStats() FilterStats { return s.fstats }
+
+// ChainOps returns the cumulative count of index chain creations and clears —
+// the maintenance events a filter must mirror, which the re-optimizer weighs
+// against short-circuit savings when deciding the filter knob.
+func (s *Store) ChainOps() uint64 { return s.chainOps }
+
 func (s *Store) String() string {
 	return fmt.Sprintf("R%d[%d tuples]", s.rel+1, s.Len())
 }
@@ -559,6 +682,11 @@ type HashIndex struct {
 	cols  []int
 	table oaTable
 	next  []int32 // id -> next id in its bucket chain
+
+	// fil, when non-nil, holds one fingerprint per distinct key chain so
+	// probes can answer guaranteed misses without a table walk. Membership
+	// is maintained at chain creation (claimed insert) and chain clear.
+	fil *filter.Filter
 }
 
 // Cols returns the schema columns (sorted by attribute name) the index keys
@@ -600,6 +728,8 @@ func (ix *HashIndex) insert(t tuple.Tuple, id int32) {
 		if ix.table.occupy(slot, h, id, id) {
 			ix.rehash()
 		}
+		s.chainOps++
+		ix.filterAdd(h)
 		return
 	}
 	sl := &ix.table.slots[slot]
@@ -618,6 +748,10 @@ func (ix *HashIndex) remove(t tuple.Tuple, id int32) {
 	if sl.head == id {
 		if ix.next[id] == nilID {
 			ix.table.clearSlot(slot)
+			s.chainOps++
+			if ix.fil != nil {
+				ix.fil.Delete(h)
+			}
 		} else {
 			sl.head = ix.next[id]
 		}
@@ -646,14 +780,50 @@ func (ix *HashIndex) rehash() {
 	}
 }
 
-// each visits the chain for the probe values in insertion order.
-func (ix *HashIndex) each(hash uint64, vals []tuple.Value, f func(t tuple.Tuple)) {
+// each visits the chain for the probe values in insertion order, reporting
+// whether a chain was found.
+func (ix *HashIndex) each(hash uint64, vals []tuple.Value, f func(t tuple.Tuple)) bool {
 	s := ix.store
 	slot := ix.table.find(hash, func(o int32) bool { return ix.valsEqual(s.tuples[o], vals) })
 	if slot < 0 {
-		return
+		return false
 	}
 	for id := ix.table.slots[slot].head; id != nilID; id = ix.next[id] {
 		f(s.tuples[id])
+	}
+	return true
+}
+
+// filterAdd records a newly created chain's hash in the filter. When the
+// bounded cuckoo insert overflows the filter's contents are invalid (a
+// displaced fingerprint was dropped), so it is rebuilt larger from the index
+// table — which retains every chain's full 64-bit hash, h included by now.
+func (ix *HashIndex) filterAdd(h uint64) {
+	if ix.fil == nil || ix.fil.Insert(h) {
+		return
+	}
+	ix.rebuildFilter(ix.fil.Capacity() * 2)
+}
+
+// rebuildFilter builds a fresh filter of at least the given capacity holding
+// one fingerprint per live chain, doubling until everything fits.
+func (ix *HashIndex) rebuildFilter(capacity int) {
+	if capacity < initialFilterCapacity {
+		capacity = initialFilterCapacity
+	}
+	for {
+		nf := filter.New(capacity)
+		ok := true
+		for i := range ix.table.slots {
+			if ix.table.slots[i].head >= 0 && !nf.Insert(ix.table.slots[i].hash) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			ix.fil = nf
+			return
+		}
+		capacity *= 2
 	}
 }

@@ -724,6 +724,7 @@ func (e *Engine) rebuild(i int, ws *shardState) error {
 	if ws.ckpt != nil {
 		base := ws.ckpt.Snap
 		base.CacheMemoryBytes = 0 // a dead engine's gauge must not linger
+		base.FilterBytes = 0      // likewise
 		ws.snapBase = base
 	} else {
 		ws.snapBase = core.Snapshot{}

@@ -473,6 +473,9 @@ func (e *Engine) Snapshot() core.Snapshot {
 		total.Reopts += s.Reopts
 		total.SkippedReopts += s.SkippedReopts
 		total.CacheMemoryBytes += s.CacheMemoryBytes
+		total.FilterBytes += s.FilterBytes
+		total.FilteredProbes += s.FilteredProbes
+		total.FilterFalsePositives += s.FilterFalsePositives
 	}
 	return total
 }

@@ -155,14 +155,7 @@ const (
 	hashMul2 = 0xc4ceb9fe1a85ec53
 )
 
-func hashWord(h, v uint64) uint64 {
-	h ^= v
-	h *= hashMul1
-	h ^= h >> 33
-	h *= hashMul2
-	h ^= h >> 29
-	return h
-}
+func hashWord(h, v uint64) uint64 { return MixWord(h, v) }
 
 // HashOf returns a 64-bit hash of t's values at cols. The same values in the
 // same order produce the same hash regardless of how they are supplied

@@ -28,6 +28,10 @@ type Server struct {
 	// directly). Default 10 000.
 	RebalanceEvery int
 	sinceRebalance int
+	// Rebalance's request and grant buffers, reused per call so the
+	// periodic rebalance path does not churn a slice and map every time.
+	reqs   []memory.Request
+	grants map[string]int
 }
 
 // NewServer creates a server with the given global cache-memory budget in
@@ -127,7 +131,11 @@ func (s *Server) Engine(name string) *Engine { return s.engines[name] }
 func (s *Server) Sharded(name string) *ShardedEngine { return s.sharded[name] }
 
 // Queries returns the registered query names in registration order.
-func (s *Server) Queries() []string { return append([]string(nil), s.order...) }
+func (s *Server) Queries() []string {
+	out := make([]string, len(s.order))
+	copy(out, s.order)
+	return out
+}
 
 // Rebalance re-divides the global budget across the registered queries by
 // the Section 5 priority rule: each query asks for its used caches' memory
@@ -145,17 +153,20 @@ func (s *Server) Rebalance() {
 		}
 		return
 	}
-	var reqs []memory.Request
+	s.reqs = s.reqs[:0]
 	for _, name := range s.order {
 		bytes, net := s.demandOf(name)
-		reqs = append(reqs, memory.Request{
+		s.reqs = append(s.reqs, memory.Request{
 			ID:       name,
 			Priority: net / float64(bytes),
 			Bytes:    bytes,
 		})
 	}
-	grants := s.mgr.Allocate(reqs)
-	for name, grant := range grants {
+	if s.grants == nil {
+		s.grants = make(map[string]int, len(s.order))
+	}
+	s.mgr.AllocateInto(s.grants, s.reqs)
+	for name, grant := range s.grants {
 		if eng, ok := s.engines[name]; ok {
 			eng.core.SetMemoryBudget(grant)
 			continue
@@ -199,11 +210,13 @@ func (s *Server) SetBudget(bytes int) {
 // bytes (−1 = unlimited), keyed by query name. A sharded query reports the
 // sum of its shards' budgets.
 func (s *Server) Budgets() map[string]int {
-	out := make(map[string]int, len(s.engines)+len(s.sharded))
-	for name, eng := range s.engines {
-		out[name] = eng.core.MemoryBudgetBytes()
-	}
-	for name, eng := range s.sharded {
+	out := make(map[string]int, len(s.order))
+	for _, name := range s.order {
+		if eng, ok := s.engines[name]; ok {
+			out[name] = eng.core.MemoryBudgetBytes()
+			continue
+		}
+		eng := s.sharded[name]
 		eng.Flush()
 		total := 0
 		for i := 0; i < eng.NumShards(); i++ {
@@ -221,12 +234,13 @@ func (s *Server) Budgets() map[string]int {
 
 // Stats aggregates per-query statistics, keyed by query name.
 func (s *Server) Stats() map[string]Stats {
-	out := make(map[string]Stats, len(s.engines)+len(s.sharded))
-	for name, eng := range s.engines {
-		out[name] = eng.Stats()
-	}
-	for name, eng := range s.sharded {
-		out[name] = eng.Stats()
+	out := make(map[string]Stats, len(s.order))
+	for _, name := range s.order {
+		if eng, ok := s.engines[name]; ok {
+			out[name] = eng.Stats()
+		} else {
+			out[name] = s.sharded[name].Stats()
+		}
 	}
 	return out
 }

@@ -169,3 +169,69 @@ func TestServerHostsShardedQuery(t *testing.T) {
 		t.Fatal("sharded Deregister incomplete")
 	}
 }
+
+// TestServerRebalanceAllocBudget pins the steady-state allocation count of
+// the periodic rebalance path (the Server.tick → Rebalance loop every
+// RebalanceEvery updates). The request slice, grant maps, and the memory
+// manager's sort scratch are all reused, so a warm rebalance should allocate
+// nothing; the budget leaves slack for map-growth noise but a regression
+// back to per-call slice+map churn fails loudly — the same contract
+// TestEngineInsertAllocBudget pins for the insert hot path.
+func TestServerRebalanceAllocBudget(t *testing.T) {
+	const budget = 4 // actual is 0 at steady state
+	s := NewServer(32 * 1024)
+	a, err := s.Register("a", threeWayDecl("a"), Options{ReoptInterval: 500, Seed: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Register("b", threeWayDecl("b"), Options{ReoptInterval: 500, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(22))
+	for i := 0; i < 4_000; i++ {
+		a.Append("aR", rng.Int63n(20))
+		a.Append("aS", rng.Int63n(20), rng.Int63n(20))
+		b.Append("bT", rng.Int63n(20))
+	}
+	s.Rebalance() // warm the reused buffers
+	if got := testing.AllocsPerRun(200, s.Rebalance); got > budget {
+		t.Fatalf("warm Rebalance: %.1f allocs/op, budget %d", got, budget)
+	}
+}
+
+// TestServerStatsFilterTelemetry drives a miss-heavy workload and asserts
+// the fingerprint-filter counters surface through Server.Stats(): probes
+// short-circuited by the filters, the false-positive tail, and the filter
+// bytes resident (which MemoryDemand charges against the server budget).
+func TestServerStatsFilterTelemetry(t *testing.T) {
+	s := NewServer(32 * 1024)
+	eng, err := s.Register("q", threeWayDecl("q"), Options{Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(24))
+	// Disjoint key ranges per relation: nearly every probe misses, the
+	// regime the filters short-circuit.
+	for i := 0; i < 3_000; i++ {
+		eng.Append("qR", rng.Int63n(1000))
+		eng.Append("qS", 10_000+rng.Int63n(1000), 20_000+rng.Int63n(1000))
+		eng.Append("qT", 30_000+rng.Int63n(1000))
+	}
+	st := s.Stats()["q"]
+	if st.FilteredProbes == 0 {
+		t.Fatal("miss-heavy workload produced no filter short-circuits")
+	}
+	if st.FilterBytes == 0 {
+		t.Fatal("resident filters report zero bytes")
+	}
+	if st.FilterFalsePositives > st.FilteredProbes {
+		t.Fatalf("false positives (%d) exceed short-circuits (%d): counters miswired",
+			st.FilterFalsePositives, st.FilteredProbes)
+	}
+	// The filters' memory is part of the query's demand, so the server's
+	// grant (page-rounded) must cover at least the filter bytes.
+	if g := s.Budgets()["q"]; g >= 0 && g < st.FilterBytes {
+		t.Fatalf("grant %d bytes does not cover %d filter bytes", g, st.FilterBytes)
+	}
+}

@@ -303,6 +303,10 @@ func (e *ShardedEngine) Stats() Stats {
 		Reopts:           snap.Reopts,
 		SkippedReopts:    snap.SkippedReopts,
 		CacheMemoryBytes: snap.CacheMemoryBytes,
+
+		FilterBytes:          snap.FilterBytes,
+		FilteredProbes:       snap.FilteredProbes,
+		FilterFalsePositives: snap.FilterFalsePositives,
 	}
 	counts := make(map[string]int)
 	for i := 0; i < e.sh.NumShards(); i++ {
@@ -373,6 +377,10 @@ func (e *ShardedEngine) ShardStats() []Stats {
 			Reopts:           snap.Reopts,
 			SkippedReopts:    snap.SkippedReopts,
 			CacheMemoryBytes: snap.CacheMemoryBytes,
+
+			FilterBytes:          snap.FilterBytes,
+			FilteredProbes:       snap.FilteredProbes,
+			FilterFalsePositives: snap.FilterFalsePositives,
 		}
 		if health != nil {
 			s.Shedded = health[i].Shed
