@@ -39,6 +39,7 @@ import (
 	"acache/internal/core"
 	"acache/internal/cost"
 	"acache/internal/cql"
+	"acache/internal/join"
 	"acache/internal/planner"
 	"acache/internal/query"
 	"acache/internal/stream"
@@ -280,6 +281,25 @@ type Options struct {
 	// split) instead of the unfiltered tariff. Off by default so published
 	// cost figures stay byte-identical with and without filters.
 	FilterAwareCostModel bool
+	// Pipeline enables staged pipeline-parallel execution inside the
+	// engine (inside each shard, for sharded engines): join pipelines are
+	// split into bounded-buffer stages overlapping probe work, cache
+	// maintenance, and result emission across Workers goroutines. Results,
+	// window and cache contents, and simulated cost totals are bit-identical
+	// to serial execution; only wall-clock time changes. The zero value
+	// keeps the serial path. Engines built with workers should be Closed
+	// when no longer needed.
+	Pipeline PipelineOptions
+}
+
+// PipelineOptions configure staged pipeline-parallel execution.
+type PipelineOptions struct {
+	// Workers is the number of stage workers per engine (0 = serial).
+	Workers int
+	// StageBuffer is the capacity, in chunks, of the bounded buffers
+	// connecting stages (0 = default). Smaller buffers apply backpressure
+	// sooner; Stats.StageStalls counts blocked hand-offs.
+	StageBuffer int
 }
 
 // Engine executes a built query. It is not safe for concurrent use: updates
@@ -313,6 +333,10 @@ func (opts Options) coreConfig(q *Query) (core.Config, error) {
 		DisableFilters: opts.DisableFilters,
 
 		FilterAwareCostModel: opts.FilterAwareCostModel,
+		Pipeline: join.PipelineOptions{
+			Workers:     opts.Pipeline.Workers,
+			StageBuffer: opts.Pipeline.StageBuffer,
+		},
 	}
 	if cfg.MemoryBudget <= 0 {
 		cfg.MemoryBudget = -1
@@ -553,6 +577,16 @@ type Stats struct {
 	// missed anyway (the cuckoo false-positive tail).
 	FilterFalsePositives uint64
 
+	// PipelineWorkers is the staged-pipeline worker count in effect
+	// (per shard, for sharded engines); 0 means serial execution.
+	PipelineWorkers int
+	// StageStalls counts blocked hand-offs between pipeline stages —
+	// backpressure events where a stage's bounded buffer was full.
+	StageStalls uint64
+	// StageOverlapRatio is the fraction of updates whose join pass executed
+	// with stage overlap (ineligible pipelines fall back to serial).
+	StageOverlapRatio float64
+
 	// Resilience telemetry, populated by sharded engines (ShardedEngine
 	// with ShardOptions.Resilience set); zero elsewhere.
 
@@ -591,6 +625,9 @@ func (e *Engine) Stats() Stats {
 		FilterBytes:          snap.FilterBytes,
 		FilteredProbes:       snap.FilteredProbes,
 		FilterFalsePositives: snap.FilterFalsePositives,
+		PipelineWorkers:      snap.PipelineWorkers,
+		StageStalls:          snap.StageStalls,
+		StageOverlapRatio:    snap.StageOverlapRatio,
 	}
 	for _, spec := range e.core.UsedCaches() {
 		s.UsedCaches = append(s.UsedCaches, e.describe(spec))
@@ -623,6 +660,14 @@ func (q *Query) describeSpec(spec *planner.Spec) string {
 	}
 	b.WriteString(")")
 	return b.String()
+}
+
+// Close releases the engine's staged-pipeline workers, if any. Engines built
+// with Options.Pipeline zero-valued need no Close; calling it is a harmless
+// no-op. Idempotent. Updates processed after Close fall back to the serial
+// path (same results, no overlap).
+func (e *Engine) Close() {
+	e.core.Close()
 }
 
 // SetMemoryBudget changes the cache memory budget at run time; the engine

@@ -1,0 +1,175 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"time"
+
+	"acache/internal/core"
+	"acache/internal/join"
+	"acache/internal/stream"
+)
+
+// The pipeline experiment measures the wall-clock effect of staged
+// pipeline-parallel execution inside a single engine: the same bursty n-way
+// workload RunBatch uses, digested through ProcessBatch, with the join
+// pipelines either run serially (the workers=0 baseline) or split into
+// bounded-buffer stage groups. Staged execution is charge-identical to
+// serial by construction — results, windows, caches, and cost-meter totals
+// are bit-identical (see internal/join/staged_test.go) — so, like sharding,
+// only the clock can show the overlap. On a single-core host the stage
+// groups time-slice one CPU and every point collapses to ≈1× (the numbers
+// then measure staging overhead, not overlap); the per-point GOMAXPROCS
+// and the report's NumCPU make that visible in the JSON.
+
+// PipelinePoint is one measured worker count. Workers=0 is the serial
+// baseline the speedups are relative to.
+type PipelinePoint struct {
+	Workers      int     `json:"workers"`
+	GOMAXPROCS   int     `json:"gomaxprocs"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	TuplesPerSec float64 `json:"tuples_per_sec"`
+	// SpeedupVsSerial is this point's throughput over the workers=0 point's.
+	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+	// Outputs cross-checks that staging did not change result cardinality.
+	Outputs uint64 `json:"outputs"`
+	// StagedShare is the fraction of measured updates that actually took the
+	// staged path (pipelines with self-maintained or counted caches fall
+	// back to serial execution); a low share caps the achievable speedup.
+	StagedShare float64 `json:"staged_share"`
+	// StageStalls counts producer stalls on full inter-stage rings —
+	// backpressure from slower downstream groups.
+	StageStalls uint64 `json:"stage_stalls"`
+}
+
+// PipelineReport is the full run, JSON-ready for BENCH_pipeline.json.
+type PipelineReport struct {
+	Relations  int             `json:"relations"`
+	Window     int             `json:"window"`
+	Burst      int             `json:"burst"`
+	Domain     int64           `json:"domain"`
+	Batch      int             `json:"batch"`
+	Warmup    int             `json:"warmup_appends"`
+	Measure   int             `json:"measure_appends"`
+	NumCPU    int             `json:"num_cpu"`
+	GoVersion string          `json:"go_version"`
+	Points    []PipelinePoint `json:"points"`
+}
+
+// RunPipeline measures wall-clock throughput of a single engine at each
+// staged worker count (plus the workers=0 serial baseline as the first
+// point), replaying the identical stream on a fresh engine per point.
+// Worker counts above runtime.NumCPU are still measured — unlike extra
+// GOMAXPROCS they change the stage partitioning, so their overhead on a
+// smaller host is worth recording — but cannot speed anything up there.
+func RunPipeline(n int, workerCounts []int, cfg RunConfig) *PipelineReport {
+	// Same workload shape as RunBatch: fan-out ≈4 per probe so the stage
+	// groups have real join work to overlap, batches large enough that a
+	// pass is split into several chunks in flight at once.
+	rep := &PipelineReport{
+		Relations: n,
+		Window:    64,
+		Burst:     64,
+		Domain:    16,
+		Batch:     256,
+		Warmup:    cfg.Warmup,
+		Measure:   cfg.Measure,
+		NumCPU:    runtime.NumCPU(),
+		GoVersion: runtime.Version(),
+	}
+	rep.Points = append(rep.Points, runPipelinePoint(rep, 0, cfg))
+	for _, w := range workerCounts {
+		rep.Points = append(rep.Points, runPipelinePoint(rep, w, cfg))
+	}
+	if base := rep.Points[0].TuplesPerSec; base > 0 {
+		for i := range rep.Points {
+			rep.Points[i].SpeedupVsSerial = rep.Points[i].TuplesPerSec / base
+		}
+	}
+	return rep
+}
+
+func runPipelinePoint(rep *PipelineReport, workers int, cfg RunConfig) PipelinePoint {
+	q := nWayQuery(rep.Relations)
+	// Steady-state configuration, as in RunBatch: the initial selection
+	// installs its caches, the huge re-optimization interval keeps later
+	// reopts (whose profiling phases force serial processing in both modes)
+	// out of the measured window.
+	cc := core.Config{
+		ReoptInterval: 10_000_000,
+		Seed:          cfg.Seed,
+	}
+	if workers > 0 {
+		cc.Pipeline = join.PipelineOptions{Workers: workers}
+	}
+	en, err := core.NewEngine(q, nil, cc)
+	if err != nil {
+		panic(err)
+	}
+	defer en.Close()
+	src := newBurstSource(rep.Relations, rep.Window, rep.Burst, rep.Domain, cfg.Seed)
+	var ups = make([]stream.Update, 0, rep.Batch)
+	for done := 0; done < rep.Warmup; done += rep.Batch {
+		ups = src.NextBatch(rep.Batch, ups)
+		en.ProcessBatch(ups)
+	}
+	preStaged := en.Snapshot().StagedUpdates
+	start := time.Now()
+	for done := 0; done < rep.Measure; done += rep.Batch {
+		ups = src.NextBatch(rep.Batch, ups)
+		en.ProcessBatch(ups)
+	}
+	wall := time.Since(start).Seconds()
+	snap := en.Snapshot()
+	pt := PipelinePoint{
+		Workers:     workers,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		WallSeconds: wall,
+		Outputs:     snap.Outputs,
+		StageStalls: snap.StageStalls,
+	}
+	if wall > 0 {
+		pt.TuplesPerSec = float64(rep.Measure) / wall
+	}
+	if staged := snap.StagedUpdates - preStaged; rep.Measure > 0 {
+		pt.StagedShare = float64(staged) / float64(rep.Measure)
+	}
+	return pt
+}
+
+// JSON renders the report for BENCH_pipeline.json.
+func (r *PipelineReport) JSON() []byte {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	return append(b, '\n')
+}
+
+// Experiment renders the report in the package's common table/chart form.
+func (r *PipelineReport) Experiment() *Experiment {
+	var x, tput, speedup, share []float64
+	for _, pt := range r.Points {
+		x = append(x, float64(pt.Workers))
+		tput = append(tput, pt.TuplesPerSec)
+		speedup = append(speedup, pt.SpeedupVsSerial)
+		share = append(share, pt.StagedShare)
+	}
+	return &Experiment{
+		ID:     "pipeline",
+		Title:  "Staged pipeline parallelism (wall clock)",
+		XLabel: "stage workers (0 = serial path)",
+		YLabel: "appends/sec (wall)",
+		Series: []Series{
+			{Label: "tuples/sec", X: x, Y: tput},
+			{Label: "speedup vs serial", X: x, Y: speedup},
+			{Label: "staged share", X: x, Y: share},
+		},
+		Notes: []string{
+			fmt.Sprintf("n=%d relations, window=%d, burst=%d, domain=%d, batch=%d, GOMAXPROCS=%d, NumCPU=%d, %s (wall-clock measurement)",
+				r.Relations, r.Window, r.Burst, r.Domain, r.Batch,
+				runtime.GOMAXPROCS(0), r.NumCPU, r.GoVersion),
+		},
+	}
+}

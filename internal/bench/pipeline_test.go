@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestRunPipelineShape(t *testing.T) {
+	cfg := RunConfig{Warmup: 500, Measure: 1500, Seed: 42}
+	rep := RunPipeline(4, []int{1, 2}, cfg)
+	if len(rep.Points) != 3 {
+		t.Fatalf("points = %d, want 3 (serial + 2 worker counts)", len(rep.Points))
+	}
+	if rep.Points[0].Workers != 0 || rep.Points[1].Workers != 1 || rep.Points[2].Workers != 2 {
+		t.Fatalf("worker counts = %d, %d, %d", rep.Points[0].Workers, rep.Points[1].Workers, rep.Points[2].Workers)
+	}
+	if rep.Points[0].SpeedupVsSerial != 1 {
+		t.Fatalf("serial speedup = %v, want 1", rep.Points[0].SpeedupVsSerial)
+	}
+	for i, pt := range rep.Points {
+		if pt.TuplesPerSec <= 0 || pt.WallSeconds <= 0 {
+			t.Fatalf("point %d not measured: %+v", i, pt)
+		}
+		// Staging must not change result cardinality: same stream, same
+		// outputs at every worker count.
+		if pt.Outputs != rep.Points[0].Outputs {
+			t.Fatalf("outputs diverge at workers=%d: %d vs %d",
+				pt.Workers, pt.Outputs, rep.Points[0].Outputs)
+		}
+		if pt.Workers > 0 && pt.StagedShare <= 0 {
+			t.Fatalf("workers=%d never took the staged path", pt.Workers)
+		}
+	}
+
+	var back PipelineReport
+	if err := json.Unmarshal(rep.JSON(), &back); err != nil {
+		t.Fatalf("JSON round-trip: %v", err)
+	}
+	if back.NumCPU != rep.NumCPU || len(back.Points) != 3 {
+		t.Fatalf("JSON lost fields: %+v", back)
+	}
+
+	e := rep.Experiment()
+	if e.ID != "pipeline" || len(e.Series) != 3 {
+		t.Fatalf("experiment shape: %+v", e)
+	}
+	for _, s := range e.Series {
+		finitePositive(t, s)
+	}
+}

@@ -17,20 +17,29 @@ import (
 // slices of the same stream). Meter units therefore cannot show a speedup —
 // only the clock can.
 
-// ShardingPoint is one measured shard count of the scaling run.
+// ShardingPoint is one measured (GOMAXPROCS, shard count) pair of the
+// scaling run.
 type ShardingPoint struct {
+	// GOMAXPROCS is the scheduler parallelism this point ran under; the
+	// sweep re-measures every shard count at each value so the JSON
+	// separates sharding overhead (visible at GOMAXPROCS=1) from actual
+	// multi-core scaling.
+	GOMAXPROCS   int     `json:"gomaxprocs"`
 	Shards       int     `json:"shards"`
 	Partitioning string  `json:"partitioning"`
 	WallSeconds  float64 `json:"wall_seconds"`
 	TuplesPerSec float64 `json:"tuples_per_sec"`
-	// SpeedupVsSerial is this point's throughput over the P=1 point's.
+	// SpeedupVsSerial is this point's throughput over the P=1 point's at
+	// the same GOMAXPROCS.
 	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
 	Outputs         uint64  `json:"outputs"`
 }
 
 // ShardingReport is the full scaling run, JSON-ready for BENCH_sharding.json.
-// GOMAXPROCS and NumCPU record the host parallelism the run had available:
-// on a single-core host every point collapses to ≈1× and the numbers measure
+// GOMAXPROCS records the process default before the sweep (each point carries
+// the value it actually ran under); NumCPU records the host parallelism the
+// run had available: on a single-core host the sweep collapses to the
+// GOMAXPROCS=1 group, every point sits at ≈1×, and the numbers measure
 // sharding overhead, not scaling.
 type ShardingReport struct {
 	Relations int `json:"relations"`
@@ -47,29 +56,46 @@ type ShardingReport struct {
 }
 
 // RunSharding measures wall-clock throughput of the sharded engine on the
-// Fig9 n-way workload at each shard count, with the given mailbox batching
-// options. Every run replays the identical update stream; the Outputs column
-// cross-checks that partitioning did not change the result cardinality.
-func RunSharding(n int, shardCounts []int, sopts shard.Options, cfg RunConfig) *ShardingReport {
+// Fig9 n-way workload at each (GOMAXPROCS, shard count) pair, with the given
+// mailbox batching options. procs lists the GOMAXPROCS values to sweep
+// (values above runtime.NumCPU cannot exercise parallelism the host lacks
+// and are skipped; nil means the current setting only). Every run replays
+// the identical update stream; the Outputs column cross-checks that
+// partitioning did not change the result cardinality.
+func RunSharding(n int, shardCounts, procs []int, sopts shard.Options, cfg RunConfig) *ShardingReport {
 	batchSize := sopts.BatchSize
 	if batchSize <= 0 {
 		batchSize = shard.DefaultBatchSize
 	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
 	rep := &ShardingReport{
 		Relations:  n,
 		Warmup:     cfg.Warmup,
 		Measure:    cfg.Measure,
 		BatchSize:  batchSize,
 		MaxBatch:   sopts.MaxBatch,
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GOMAXPROCS: prev,
 		NumCPU:     runtime.NumCPU(),
 	}
-	for _, p := range shardCounts {
-		rep.Points = append(rep.Points, runShardingPoint(n, p, sopts, cfg))
+	if len(procs) == 0 {
+		procs = []int{prev}
 	}
-	for i := range rep.Points {
-		if base := rep.Points[0].TuplesPerSec; base > 0 {
-			rep.Points[i].SpeedupVsSerial = rep.Points[i].TuplesPerSec / base
+	for _, gmp := range procs {
+		if gmp > runtime.NumCPU() {
+			continue
+		}
+		runtime.GOMAXPROCS(gmp)
+		base := len(rep.Points)
+		for _, p := range shardCounts {
+			pt := runShardingPoint(n, p, sopts, cfg)
+			pt.GOMAXPROCS = gmp
+			rep.Points = append(rep.Points, pt)
+		}
+		for i := base; i < len(rep.Points); i++ {
+			if b := rep.Points[base].TuplesPerSec; b > 0 {
+				rep.Points[i].SpeedupVsSerial = rep.Points[i].TuplesPerSec / b
+			}
 		}
 	}
 	return rep
@@ -123,17 +149,25 @@ func (r *ShardingReport) JSON() []byte {
 	return append(b, '\n')
 }
 
-// Experiment renders the report in the package's common table/chart form.
+// Experiment renders the report in the package's common table/chart form:
+// one tuples/sec + speedup series pair per GOMAXPROCS group.
 func (r *ShardingReport) Experiment() *Experiment {
-	var x, tput, speedup []float64
 	notes := []string{
-		fmt.Sprintf("n=%d relations, GOMAXPROCS=%d, NumCPU=%d (wall-clock measurement)",
-			r.Relations, r.GOMAXPROCS, r.NumCPU),
+		fmt.Sprintf("n=%d relations, NumCPU=%d (wall-clock measurement)",
+			r.Relations, r.NumCPU),
 	}
-	for _, pt := range r.Points {
-		x = append(x, float64(pt.Shards))
-		tput = append(tput, pt.TuplesPerSec)
-		speedup = append(speedup, pt.SpeedupVsSerial)
+	var series []Series
+	for i := 0; i < len(r.Points); {
+		gmp := r.Points[i].GOMAXPROCS
+		var x, tput, speedup []float64
+		for ; i < len(r.Points) && r.Points[i].GOMAXPROCS == gmp; i++ {
+			x = append(x, float64(r.Points[i].Shards))
+			tput = append(tput, r.Points[i].TuplesPerSec)
+			speedup = append(speedup, r.Points[i].SpeedupVsSerial)
+		}
+		series = append(series,
+			Series{Label: fmt.Sprintf("tuples/sec @GOMAXPROCS=%d", gmp), X: x, Y: tput},
+			Series{Label: fmt.Sprintf("speedup vs P=1 @GOMAXPROCS=%d", gmp), X: x, Y: speedup})
 	}
 	if len(r.Points) > 0 {
 		notes = append(notes, "partitioning: "+r.Points[len(r.Points)-1].Partitioning)
@@ -143,10 +177,7 @@ func (r *ShardingReport) Experiment() *Experiment {
 		Title:  "Hash-partitioned scaling (wall clock)",
 		XLabel: "shards",
 		YLabel: "appends/sec (wall)",
-		Series: []Series{
-			{Label: "tuples/sec", X: x, Y: tput},
-			{Label: "speedup vs P=1", X: x, Y: speedup},
-		},
-		Notes: notes,
+		Series: series,
+		Notes:  notes,
 	}
 }

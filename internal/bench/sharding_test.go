@@ -9,12 +9,17 @@ import (
 
 func TestRunShardingShape(t *testing.T) {
 	cfg := RunConfig{Warmup: 500, Measure: 1500, Seed: 42}
-	rep := RunSharding(4, []int{1, 2}, shard.Options{}, cfg)
+	rep := RunSharding(4, []int{1, 2}, []int{1}, shard.Options{}, cfg)
 	if len(rep.Points) != 2 {
 		t.Fatalf("points = %d, want 2", len(rep.Points))
 	}
 	if rep.Points[0].Shards != 1 || rep.Points[1].Shards != 2 {
 		t.Fatalf("shard counts = %d, %d", rep.Points[0].Shards, rep.Points[1].Shards)
+	}
+	for i, pt := range rep.Points {
+		if pt.GOMAXPROCS != 1 {
+			t.Fatalf("point %d gomaxprocs = %d, want 1", i, pt.GOMAXPROCS)
+		}
 	}
 	// Partitioning must not change result cardinality: same stream, same
 	// outputs at every shard count.

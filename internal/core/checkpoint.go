@@ -212,6 +212,14 @@ func (s *Snapshot) AddSnapshot(o Snapshot) {
 	s.SkippedReopts += o.SkippedReopts
 	s.FilteredProbes += o.FilteredProbes
 	s.FilterFalsePositives += o.FilterFalsePositives
+	s.StagedUpdates += o.StagedUpdates
+	s.StageStalls += o.StageStalls
+	if o.PipelineWorkers > s.PipelineWorkers {
+		s.PipelineWorkers = o.PipelineWorkers // config gauge, not a counter
+	}
+	if s.Updates > 0 {
+		s.StageOverlapRatio = float64(s.StagedUpdates) / float64(s.Updates)
+	}
 }
 
 // DropCaches detaches every used (or suspended) cache immediately — the

@@ -135,6 +135,10 @@ type Config struct {
 	Seed int64
 	// ScanOnly forwards index-free attributes to the executor (Figure 10).
 	ScanOnly []tuple.Attr
+	// Pipeline enables staged pipeline-parallel execution inside the
+	// executor (join.PipelineOptions); the zero value keeps the serial path
+	// byte-identical. Engines built with workers must be Closed.
+	Pipeline join.PipelineOptions
 }
 
 func (c Config) withDefaults() Config {
@@ -271,7 +275,7 @@ func NewEngine(q *query.Query, ord planner.Ordering, cfg Config) (*Engine, error
 		ord = ordering.InitialOrdering(q.N())
 	}
 	meter := &cost.Meter{}
-	exec, err := join.NewExec(q, ord, meter, join.Options{ScanOnly: cfg.ScanOnly})
+	exec, err := join.NewExec(q, ord, meter, join.Options{ScanOnly: cfg.ScanOnly, Pipeline: cfg.Pipeline})
 	if err != nil {
 		return nil, err
 	}
@@ -486,6 +490,17 @@ type Snapshot struct {
 	// FilterFalsePositives counts filter-passed checks that then missed.
 	FilteredProbes       uint64
 	FilterFalsePositives uint64
+	// PipelineWorkers is the configured staged-pipeline worker count
+	// (0 = serial execution).
+	PipelineWorkers int
+	// StagedUpdates counts updates whose join pass ran on the staged
+	// pipeline; StageStalls counts blocked inter-stage hand-offs
+	// (backpressure events between stage groups).
+	StagedUpdates uint64
+	StageStalls   uint64
+	// StageOverlapRatio is StagedUpdates / Updates: the fraction of the
+	// stream that executed with stage overlap.
+	StageOverlapRatio float64
 }
 
 // Snapshot returns the engine's current counters. The method takes no locks:
@@ -498,7 +513,8 @@ type Snapshot struct {
 // same quiescence themselves.
 func (en *Engine) Snapshot() Snapshot {
 	sc, fp := en.FilterTelemetry()
-	return Snapshot{
+	workers, stalls, _, stagedUpd := en.exec.PipelineStats()
+	s := Snapshot{
 		Updates:              en.updates,
 		Outputs:              en.outputs,
 		Work:                 en.meter.Total(),
@@ -508,7 +524,21 @@ func (en *Engine) Snapshot() Snapshot {
 		FilterBytes:          en.FilterMemoryBytes(),
 		FilteredProbes:       sc,
 		FilterFalsePositives: fp,
+		PipelineWorkers:      workers,
+		StagedUpdates:        stagedUpd,
+		StageStalls:          stalls,
 	}
+	if s.Updates > 0 {
+		s.StageOverlapRatio = float64(s.StagedUpdates) / float64(s.Updates)
+	}
+	return s
+}
+
+// Close releases the executor's staged-pipeline workers, if any. Engines
+// built with Config.Pipeline.Workers == 0 need no Close; calling it is a
+// no-op. Idempotent.
+func (en *Engine) Close() {
+	en.exec.Close()
 }
 
 // SetMemoryBudget changes the cache memory budget at run time (Figure 13)

@@ -15,6 +15,9 @@ type Options struct {
 	// a hash index on that attribute: joins touching them use nested-loop
 	// scans. This reproduces Figure 10, which drops the hash index on S.B.
 	ScanOnly []tuple.Attr
+	// Pipeline configures staged pipeline-parallel execution (see staged.go).
+	// The zero value keeps the serial path, byte-identical to before.
+	Pipeline PipelineOptions
 }
 
 // Result summarizes the processing of one update.
@@ -65,6 +68,12 @@ type Exec struct {
 	dupEpoch uint32
 	// dupReplays counts replayed duplicate-update step segments (telemetry).
 	dupReplays uint64
+
+	// pool holds the staged-execution workers when Options.Pipeline enabled
+	// them (nil otherwise); oneUp adapts a single update to the run-shaped
+	// staged pass without allocating.
+	pool  *stagePool
+	oneUp [1]stream.Update
 }
 
 // DupReplays reports how many step segments ProcessRun replayed for
@@ -84,6 +93,9 @@ func NewExec(q *query.Query, ord planner.Ordering, meter *cost.Meter, opts Optio
 	}
 	for _, a := range opts.ScanOnly {
 		e.scanOnly[a] = true
+	}
+	if opts.Pipeline.Workers > 0 {
+		e.pool = newStagePool(opts.Pipeline)
 	}
 	e.stores = make([]*relation.Store, q.N())
 	for i := 0; i < q.N(); i++ {
@@ -187,7 +199,13 @@ func (e *Exec) RemoveTap(id int) {
 // relation-store update) with caches active, and returns the result.
 func (e *Exec) Process(u stream.Update) Result {
 	sw := cost.NewStopwatch(e.meter)
-	outputs := e.run(u, false, nil)
+	var outputs int
+	if e.stagedActive(u.Rel) {
+		e.oneUp[0] = u
+		outputs = e.stagedPass(u.Rel, u.Op, e.oneUp[:])
+	} else {
+		outputs = e.run(u, false, nil)
+	}
 	e.applyStoreUpdate(u)
 	return Result{Outputs: outputs, Units: sw.Elapsed()}
 }

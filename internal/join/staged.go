@@ -1,0 +1,597 @@
+package join
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"acache/internal/cost"
+	"acache/internal/stream"
+	"acache/internal/tuple"
+)
+
+// Staged (pipeline-parallel) execution. With PipelineOptions.Workers > 0 the
+// executor splits a pipeline's visited positions — the chain the serial run
+// walks: join steps, with cache-lookup segments collapsed to their start —
+// into up to Workers contiguous stage groups connected by small bounded
+// channels (the "pace car" realization: a downstream group drains a segment's
+// output buffer while the producer is still filling it). Each group runs on
+// the executor's persistent worker pool and owns, for the duration of one
+// pass, the relation stores and cache instances its positions touch, so
+// probes of later lookup steps overlap with earlier steps' processing.
+//
+// The caller's goroutine becomes the observer: it drains a single MPSC
+// channel on which groups publish every batch arriving at a position with
+// maintenance operators or taps, and fires those operators itself, in each
+// position's arrival order. Maintenance (lazy cache inserts, filter
+// bookkeeping, eviction) and result emission (output-position taps feeding
+// result sinks) therefore overlap with probe work without any operator ever
+// running concurrently with another.
+//
+// Charge identity (the PR 3/5 discipline) is preserved exactly:
+//
+//   - Every simulated-cost charge lands on exactly one meter: stage groups
+//     charge per-group journal meters (the stores and caches a group owns
+//     have their internal meters swapped to its journal for the pass), and
+//     observer-fired operators charge the executor meter directly.
+//   - Journals are folded into the executor meter at the pass barrier,
+//     before any stopwatch or profiler span can observe it. Units are an
+//     integer type and addition is commutative, so the fold is exact: the
+//     total equals the serial order's total bit for bit.
+//   - Store updates for the processed run are applied after the barrier,
+//     exactly where the serial paths apply them.
+//
+// Eligibility mirrors the batch path and adds two exclusions (stageable):
+// self-maintained maintenance and counted (GC) lookups both probe relation
+// stores from maintenance or miss-population context, which would race with
+// the groups that own those stores. Ineligible pipelines (and all profiled
+// updates) fall back to the serial path; with Workers == 0 the executor is
+// byte-identical to one built without pipeline options.
+
+// PipelineOptions configure staged pipeline-parallel execution inside one
+// executor. The zero value keeps the serial path, byte-identical to an
+// executor built before this option existed.
+type PipelineOptions struct {
+	// Workers is the number of stage workers (and the maximum number of
+	// concurrent stage groups per pass). 0 disables staging.
+	Workers int
+	// StageBuffer is the capacity, in chunks, of the bounded ring buffers
+	// connecting consecutive stage groups (≤ 0 uses defaultStageBuffer).
+	// Smaller buffers apply backpressure sooner; StageStalls counts blocked
+	// hand-offs.
+	StageBuffer int
+}
+
+// defaultStageBuffer is the inter-group ring capacity in chunks when the
+// caller leaves StageBuffer unset.
+const defaultStageBuffer = 4
+
+// obsFlushTuples bounds how many tuples a group accumulates for one observed
+// position before publishing the merged batch to the observer.
+const obsFlushTuples = 256
+
+// maxChunkBatches caps how many update sub-batches ride in one inter-group
+// chunk, so downstream groups start before the producer finishes a long run.
+const maxChunkBatches = 32
+
+// stageChunk is one hand-off between consecutive stage groups: the
+// sub-batches of updates base, base+1, ... in run order. last marks the
+// producer's final chunk of the pass.
+type stageChunk struct {
+	base    int
+	batches [][]tuple.Tuple
+	last    bool
+}
+
+// obsMsg is one observer-channel message: a merged batch arriving at a
+// pipeline position (fire maintenance and taps there), or a group's
+// end-of-pass marker carrying any recovered panic.
+type obsMsg struct {
+	pos      int
+	batch    []tuple.Tuple
+	done     bool
+	panicked any
+}
+
+// stageState is one group's per-pass working state, owned by that group's
+// goroutine for the duration of a pass and reused across passes. Buffers only
+// ever grow by append, so windows handed downstream (or to the observer)
+// stay valid after later sub-batches extend them.
+type stageState struct {
+	journal cost.Meter
+	arena   valueArena
+	keyBuf  []byte
+	missBuf []tuple.Tuple
+	// outBufs[si] accumulates the tuples produced at the group's si-th
+	// position across the whole pass; each sub-batch's output is a window.
+	outBufs [][]tuple.Tuple
+	// sbuf accumulates the sub-batch windows handed downstream.
+	sbuf [][]tuple.Tuple
+	// obsAcc[si] merges the batches arriving at the group's si-th observed
+	// position (index len(positions) is the virtual output position, used by
+	// the last group only); obsMark[si] is the published watermark.
+	obsAcc  [][]tuple.Tuple
+	obsMark []int
+	// rootBuf holds group 0's synthesized root sub-batches.
+	rootBuf []tuple.Tuple
+	stalls  uint64
+}
+
+func (s *stageState) reset(npos int) {
+	s.journal.Reset()
+	s.arena.reset()
+	s.missBuf = s.missBuf[:0]
+	s.sbuf = s.sbuf[:0]
+	s.rootBuf = s.rootBuf[:0]
+	s.stalls = 0
+	for len(s.outBufs) < npos {
+		s.outBufs = append(s.outBufs, nil)
+	}
+	for i := 0; i < npos; i++ {
+		s.outBufs[i] = s.outBufs[i][:0]
+	}
+	for len(s.obsAcc) < npos+1 {
+		s.obsAcc = append(s.obsAcc, nil)
+		s.obsMark = append(s.obsMark, 0)
+	}
+	for i := 0; i <= npos; i++ {
+		s.obsAcc[i] = s.obsAcc[i][:0]
+		s.obsMark[i] = 0
+	}
+}
+
+// stagePool is an executor's persistent stage-worker pool plus the reusable
+// channel and scratch plumbing of staged passes. Channels are reused across
+// passes: every pass drains them completely (chunk streams end with a last
+// marker, the observer stream with one done per group), so they are empty at
+// every barrier.
+type stagePool struct {
+	opts   PipelineOptions
+	tasks  chan func()
+	wg     sync.WaitGroup
+	obs    chan obsMsg
+	rings  []chan stageChunk
+	states []*stageState
+	visit  []int
+	closed sync.Once
+	done   atomic.Bool
+
+	stalls        atomic.Uint64
+	stagedRuns    uint64 // caller-goroutine only
+	stagedUpdates uint64 // caller-goroutine only
+}
+
+func newStagePool(opts PipelineOptions) *stagePool {
+	if opts.StageBuffer <= 0 {
+		opts.StageBuffer = defaultStageBuffer
+	}
+	pl := &stagePool{
+		opts:  opts,
+		tasks: make(chan func(), opts.Workers),
+		obs:   make(chan obsMsg, 4*opts.Workers+8),
+		rings: make([]chan stageChunk, opts.Workers-1),
+	}
+	for i := range pl.rings {
+		pl.rings[i] = make(chan stageChunk, opts.StageBuffer)
+	}
+	for i := 0; i < opts.Workers; i++ {
+		pl.wg.Add(1)
+		go func() {
+			defer pl.wg.Done()
+			for t := range pl.tasks {
+				t()
+			}
+		}()
+	}
+	return pl
+}
+
+func (pl *stagePool) close() {
+	pl.closed.Do(func() {
+		pl.done.Store(true) // later passes take the serial path
+		close(pl.tasks)
+	})
+	pl.wg.Wait()
+}
+
+func (pl *stagePool) state(g int) *stageState {
+	for len(pl.states) <= g {
+		pl.states = append(pl.states, &stageState{})
+	}
+	return pl.states[g]
+}
+
+// Close releases the executor's stage workers, if any. Idempotent; every
+// caller returns only after the workers have exited. The executor remains
+// usable afterwards on the serial path.
+func (e *Exec) Close() {
+	if e.pool != nil {
+		e.pool.close()
+	}
+}
+
+// PipelineStats reports the staged-execution telemetry: the configured
+// worker count, blocked inter-stage hand-offs (backpressure stalls), and how
+// many passes / updates took the staged path.
+func (e *Exec) PipelineStats() (workers int, stalls, stagedRuns, stagedUpdates uint64) {
+	if e.pool == nil {
+		return 0, 0, 0, 0
+	}
+	return e.pool.opts.Workers, e.pool.stalls.Load(), e.pool.stagedRuns, e.pool.stagedUpdates
+}
+
+// stagedActive reports whether the next pass through rel's pipeline takes
+// the staged path.
+func (e *Exec) stagedActive(rel int) bool {
+	return e.pool != nil && !e.pool.done.Load() && e.pipes[rel].stageable
+}
+
+// computeStageable adds the staged path's exclusions on top of batchable:
+// self-maintained maintenance operators join relation stores from the
+// observer's context, and counted (GC) lookups probe reduction-relation
+// stores during miss population (countY) — both would touch stores owned by
+// concurrent stage groups.
+func (p *pipeline) computeStageable() bool {
+	for _, ops := range p.maint {
+		for _, op := range ops {
+			if op.smSteps != nil {
+				return false
+			}
+		}
+	}
+	for _, att := range p.lookups {
+		if att != nil && att.inst.counted() {
+			return false
+		}
+	}
+	return true
+}
+
+// stagedPass executes the join computation of one run (k ≥ 1 updates, same
+// relation and operation) through rel's pipeline in overlapped stages and
+// returns the output count. Store updates are NOT applied; the caller applies
+// them after this returns, exactly like the serial paths.
+func (e *Exec) stagedPass(rel int, op stream.Op, ups []stream.Update) int {
+	p := e.pipes[rel]
+	nsteps := len(p.steps)
+	pl := e.pool
+
+	// The visited-position chain: the serial run only ever delivers batches
+	// to these positions (step outputs land at pos+1, cache hits at the
+	// segment end + 1; interior segment positions are handled inside the
+	// lookup's stage).
+	visit := pl.visit[:0]
+	for pos := 0; pos < nsteps; {
+		visit = append(visit, pos)
+		if att := p.lookups[pos]; att != nil {
+			pos = att.end + 1
+		} else {
+			pos++
+		}
+	}
+	pl.visit = visit
+	m := len(visit)
+	if m == 0 {
+		return e.serialFallback(p, rel, op, ups)
+	}
+	g := pl.opts.Workers
+	if g > m {
+		g = m
+	}
+
+	k := len(ups)
+	chunkTarget := k / (2 * g)
+	if chunkTarget < 1 {
+		chunkTarget = 1
+	}
+	if chunkTarget > maxChunkBatches {
+		chunkTarget = maxChunkBatches
+	}
+
+	// Contiguous balanced partition of the visited chain into g groups, and
+	// per-pass ownership: each group's journal becomes the meter of every
+	// store and cache instance its positions touch. Ownership is exclusive —
+	// pipeline positions join distinct relations, cache spans are disjoint,
+	// and stageable pipelines never probe a store from maintenance context.
+	base, extra := m/g, m%g
+	lo := 0
+	for gi := 0; gi < g; gi++ {
+		hi := lo + base
+		if gi < extra {
+			hi++
+		}
+		st8 := pl.state(gi)
+		st8.reset(hi - lo)
+		for _, pos := range visit[lo:hi] {
+			if att := p.lookups[pos]; att != nil {
+				att.inst.store.SetMeter(&st8.journal)
+				for q := att.start; q <= att.end; q++ {
+					e.stores[p.steps[q].rel].SetMeter(&st8.journal)
+				}
+			} else {
+				e.stores[p.steps[pos].rel].SetMeter(&st8.journal)
+			}
+		}
+
+		positions := visit[lo:hi]
+		var in <-chan stageChunk
+		if gi > 0 {
+			in = pl.rings[gi-1]
+		}
+		var out chan<- stageChunk
+		if gi < g-1 {
+			out = pl.rings[gi]
+		}
+		isLast := gi == g-1
+		pl.tasks <- func() {
+			e.stageWorker(p, positions, st8, ups, in, out, op, chunkTarget, isLast, nsteps)
+		}
+		lo = hi
+	}
+
+	// Observer: fire maintenance and taps in each position's arrival order,
+	// count outputs, and collect the groups' end-of-pass markers.
+	outputs, panicked := e.observePass(p, rel, op, g, nsteps)
+
+	// Barrier: restore ownership, fold the journals, account telemetry. The
+	// executor meter reaches its serial total before any caller stopwatch or
+	// profiler span can read it.
+	var stalls uint64
+	for gi := 0; gi < g; gi++ {
+		st8 := pl.states[gi]
+		e.meter.Charge(st8.journal.Total())
+		stalls += st8.stalls
+	}
+	for _, pos := range visit {
+		if att := p.lookups[pos]; att != nil {
+			att.inst.store.SetMeter(e.meter)
+			for q := att.start; q <= att.end; q++ {
+				e.stores[p.steps[q].rel].SetMeter(e.meter)
+			}
+		} else {
+			e.stores[p.steps[pos].rel].SetMeter(e.meter)
+		}
+	}
+	if stalls > 0 {
+		pl.stalls.Add(stalls)
+	}
+	pl.stagedRuns++
+	pl.stagedUpdates += uint64(k)
+	if panicked != nil {
+		panic(panicked)
+	}
+	return outputs
+}
+
+// observePass drains the observer channel until every group has reported its
+// end-of-pass marker, firing maintenance operators and taps on each published
+// batch (in the position's arrival order — groups publish per-position
+// batches in update order, and each position has a single publisher) and
+// counting output-position tuples. A panicking operator or tap is recovered,
+// the remaining stream is drained so the groups can finish, and the panic is
+// returned for the caller to re-raise after the barrier — exactly like a
+// group-side panic, so swapped meters never leak.
+func (e *Exec) observePass(p *pipeline, rel int, op stream.Op, g, nsteps int) (outputs int, panicked any) {
+	pl := e.pool
+	done := 0
+	defer func() {
+		if r := recover(); r != nil {
+			for done < g {
+				if msg := <-pl.obs; msg.done {
+					done++
+				}
+			}
+			panicked = r
+		}
+	}()
+	for done < g {
+		msg := <-pl.obs
+		if msg.done {
+			done++
+			if msg.panicked != nil && panicked == nil {
+				panicked = msg.panicked
+			}
+			continue
+		}
+		if len(msg.batch) == 0 {
+			continue
+		}
+		for _, mo := range p.maint[msg.pos] {
+			mo.apply(e, rel, msg.batch, op)
+		}
+		for _, t := range p.taps[msg.pos] {
+			t.f(msg.batch, op)
+		}
+		if msg.pos == nsteps {
+			outputs += len(msg.batch)
+		}
+	}
+	return outputs, panicked
+}
+
+// serialFallback runs a degenerate pass (no join steps) serially.
+func (e *Exec) serialFallback(p *pipeline, rel int, op stream.Op, ups []stream.Update) int {
+	outputs := 0
+	for _, u := range ups {
+		outputs += e.run(u, false, nil)
+	}
+	return outputs
+}
+
+// stageWorker is one group's pass: consume input sub-batches (synthesized
+// from ups for the first group, received in chunks otherwise), process them
+// through the group's positions in update order, publish observed batches,
+// and hand results downstream (or to the observer's output position, for the
+// last group). On panic the group keeps its neighbours live — it drains its
+// input, terminates its output stream, and reports the panic on its done
+// marker so the caller can re-raise it after the barrier.
+func (e *Exec) stageWorker(p *pipeline, positions []int, st8 *stageState, ups []stream.Update,
+	in <-chan stageChunk, out chan<- stageChunk, op stream.Op, chunkTarget int, last bool, outPos int) {
+	pool := e.pool
+	npos := len(positions)
+	chunkBase := 0
+	chunkFrom := 0 // window start in st8.sbuf
+
+	flushObs := func(si, pos int, all bool) {
+		acc := st8.obsAcc[si]
+		if n := len(acc) - st8.obsMark[si]; n > 0 && (all || n >= obsFlushTuples) {
+			pool.obs <- obsMsg{pos: pos, batch: acc[st8.obsMark[si]:]}
+			st8.obsMark[si] = len(acc)
+		}
+	}
+	flushChunk := func(lastChunk bool) {
+		batches := st8.sbuf[chunkFrom:]
+		if !lastChunk && len(batches) < chunkTarget {
+			return
+		}
+		c := stageChunk{base: chunkBase, batches: batches, last: lastChunk}
+		select {
+		case out <- c:
+		default:
+			st8.stalls++
+			out <- c
+		}
+		chunkBase += len(batches)
+		chunkFrom = len(st8.sbuf)
+	}
+
+	handle := func(b []tuple.Tuple) {
+		for si, pos := range positions {
+			if len(b) == 0 {
+				break
+			}
+			if len(p.maint[pos]) > 0 || len(p.taps[pos]) > 0 {
+				st8.obsAcc[si] = append(st8.obsAcc[si], b...)
+				flushObs(si, pos, false)
+			}
+			if att := p.lookups[pos]; att != nil {
+				b = e.stagedLookup(p, att, b, st8, si, op)
+			} else {
+				stp := p.steps[pos]
+				start := len(st8.outBufs[si])
+				st8.outBufs[si] = stp.runMemo(b, e.stores[stp.rel], &st8.journal, &st8.arena, st8.outBufs[si])
+				b = st8.outBufs[si][start:]
+			}
+		}
+		if last {
+			if len(b) > 0 {
+					st8.obsAcc[npos] = append(st8.obsAcc[npos], b...)
+				flushObs(npos, outPos, false)
+			}
+			return
+		}
+		st8.sbuf = append(st8.sbuf, b)
+		flushChunk(false)
+	}
+
+	defer func() {
+		r := recover()
+		if r != nil {
+			// Keep the pass's channel protocol intact so neighbours and the
+			// observer still terminate: drain the rest of the input, end the
+			// output stream, and carry the panic on the done marker.
+			if in != nil {
+				for c := range in {
+					_ = c
+					if c.last {
+						break
+					}
+				}
+			}
+			if out != nil {
+				out <- stageChunk{base: chunkBase, last: true}
+			}
+		}
+		pool.obs <- obsMsg{done: true, panicked: r}
+	}()
+
+	if in == nil {
+		for j := range ups {
+			st8.rootBuf = append(st8.rootBuf, ups[j].Tuple)
+			handle(st8.rootBuf[len(st8.rootBuf)-1:])
+		}
+	} else {
+		for c := range in {
+			for _, b := range c.batches {
+				handle(b)
+			}
+			if c.last {
+				break
+			}
+		}
+	}
+	for si, pos := range positions {
+		flushObs(si, pos, true)
+	}
+	if last {
+		flushObs(npos, outPos, true)
+	} else {
+		flushChunk(true)
+	}
+}
+
+// stagedLookup is applyLookup inside a stage group: probe the cache for each
+// tuple of one update's sub-batch, emit hits, and resolve misses through the
+// cached segment (creating entries) before returning — so the next update's
+// probes see them, reproducing the serial probe/create interleaving. All
+// charges go to the group's journal (the cache's internal meter is swapped to
+// it for the pass). Counted caches never reach here (stageable excludes
+// them), so only the plain create path exists.
+func (e *Exec) stagedLookup(p *pipeline, att *attachment, batch []tuple.Tuple, st8 *stageState, si int, op stream.Op) []tuple.Tuple {
+	out := st8.outBufs[si]
+	start := len(out)
+	misses := st8.missBuf[:0]
+	for _, r := range batch {
+		st8.journal.ChargeN(cost.KeyExtract, len(att.keyCols))
+		st8.keyBuf = tuple.AppendKey(st8.keyBuf[:0], r, att.keyCols)
+		v, hit := att.inst.store.ProbeBytes(st8.keyBuf)
+		if !hit {
+			misses = append(misses, r)
+			continue
+		}
+		for _, s := range v {
+			st8.journal.Charge(cost.OutputTuple)
+			o := st8.arena.alloc(len(r) + len(att.permCols))
+			copy(o, r)
+			for i, c := range att.permCols {
+				o[len(r)+i] = s[c]
+			}
+			out = append(out, o)
+		}
+	}
+	if len(misses) > 0 {
+		out = e.stagedMissSegment(p, att, misses, op, st8, out)
+	}
+	st8.missBuf = misses[:0]
+	st8.outBufs[si] = out
+	return out[start:]
+}
+
+// stagedMissSegment is runMissSegment's staged twin (plain caches only): each
+// miss tuple runs through the cached segment's operators with the group's
+// journal and arena, interior taps are published to the observer, and the
+// computed value multiset is installed in the cache.
+func (e *Exec) stagedMissSegment(p *pipeline, att *attachment, misses []tuple.Tuple, op stream.Op, st8 *stageState, out []tuple.Tuple) []tuple.Tuple {
+	created := make(map[tuple.Key]bool)
+	for _, r := range misses {
+		u := tuple.KeyOf(r, att.keyCols)
+		batch := []tuple.Tuple{r}
+		for pos := att.start; pos <= att.end; pos++ {
+			if pos > att.start && len(batch) > 0 && len(p.taps[pos]) > 0 {
+				e.pool.obs <- obsMsg{pos: pos, batch: batch}
+			}
+			stp := p.steps[pos]
+			batch = stp.runMemo(batch, e.stores[stp.rel], &st8.journal, &st8.arena, nil)
+		}
+		out = append(out, batch...)
+		if created[u] {
+			continue
+		}
+		created[u] = true
+		vals := make([]tuple.Tuple, len(batch))
+		for i, o := range batch {
+			vals[i] = extract(o, att.segCols)
+		}
+		att.inst.store.Create(u, vals)
+	}
+	return out
+}

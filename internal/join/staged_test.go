@@ -1,0 +1,275 @@
+package join
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"acache/internal/cost"
+	"acache/internal/planner"
+	"acache/internal/query"
+	"acache/internal/stream"
+	"acache/internal/tuple"
+)
+
+// checkGoroutines waits for the goroutine count to return to the baseline,
+// failing the test if stage workers (or anything else started since the
+// baseline was taken) leak.
+func checkGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d goroutines, baseline %d", runtime.NumGoroutine(), base)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// cacheDump captures a cache's full table: key -> value multiset.
+func cacheDump(inst *Instance) map[tuple.Key]map[tuple.Key]int {
+	d := make(map[tuple.Key]map[tuple.Key]int)
+	inst.Cache().Each(func(u tuple.Key, v []tuple.Tuple) {
+		d[u] = multiset(v)
+	})
+	return d
+}
+
+// stagedPair builds two identical executors over q — one serial, one staged
+// with the given worker count — attaching a fresh instance of each spec to
+// both. It returns the executors, their meters, and their per-executor cache
+// instances (index-aligned).
+func stagedPair(t *testing.T, q *query.Query, ord planner.Ordering, workers int, specs []*planner.Spec) (ser, stg *Exec, mS, mP *cost.Meter, instS, instP []*Instance) {
+	t.Helper()
+	mS, mP = &cost.Meter{}, &cost.Meter{}
+	var err error
+	ser, err = NewExec(q, ord, mS, Options{})
+	if err != nil {
+		t.Fatalf("NewExec(serial): %v", err)
+	}
+	stg, err = NewExec(q, ord, mP, Options{Pipeline: PipelineOptions{Workers: workers, StageBuffer: 2}})
+	if err != nil {
+		t.Fatalf("NewExec(staged): %v", err)
+	}
+	for _, spec := range specs {
+		is := NewInstance(q, spec, 64, -1, mS)
+		if err := ser.AttachCache(spec, is); err != nil {
+			continue // overlaps an already-attached span; skip on both sides
+		}
+		ip := NewInstance(q, spec, 64, -1, mP)
+		if err := stg.AttachCache(spec, ip); err != nil {
+			t.Fatalf("AttachCache(staged, %v): %v", spec, err)
+		}
+		instS = append(instS, is)
+		instP = append(instP, ip)
+	}
+	return ser, stg, mS, mP, instS, instP
+}
+
+// runDiff drives the same update stream through both executors — per-update
+// Process when batch is false, maximal same-relation same-operation runs
+// through ProcessRun when true — and asserts bit-identical behaviour at every
+// step: outputs, stopwatch units, result multisets, and meter totals. At the
+// end it compares window contents and full cache tables.
+func runDiff(t *testing.T, q *query.Query, ser, stg *Exec, mS, mP *cost.Meter, instS, instP []*Instance, ups []stream.Update, batch bool) {
+	t.Helper()
+	outS := collectOutputs(ser)
+	outP := collectOutputs(stg)
+	step := func(run []stream.Update, seq int) {
+		*outS = (*outS)[:0]
+		*outP = (*outP)[:0]
+		var rs, rp Result
+		if len(run) > 1 {
+			rs = ser.ProcessRun(run)
+			rp = stg.ProcessRun(run)
+		} else {
+			rs = ser.Process(run[0])
+			rp = stg.Process(run[0])
+		}
+		if rs.Outputs != rp.Outputs {
+			t.Fatalf("seq %d: outputs diverge: serial %d, staged %d", seq, rs.Outputs, rp.Outputs)
+		}
+		if rs.Units != rp.Units {
+			t.Fatalf("seq %d: units diverge: serial %d, staged %d", seq, rs.Units, rp.Units)
+		}
+		if !multisetEqual(multiset(*outS), multiset(*outP)) {
+			t.Fatalf("seq %d: result multiset diverges\nserial %v\nstaged %v", seq, *outS, *outP)
+		}
+		if mS.Total() != mP.Total() {
+			t.Fatalf("seq %d: meter totals diverge: serial %d, staged %d", seq, mS.Total(), mP.Total())
+		}
+	}
+	if !batch {
+		for seq, u := range ups {
+			step([]stream.Update{u}, seq)
+		}
+	} else {
+		for i := 0; i < len(ups); {
+			j := i + 1
+			for j < len(ups) && ups[j].Rel == ups[i].Rel && ups[j].Op == ups[i].Op &&
+				ser.Batchable(ups[i].Rel) && stg.Batchable(ups[i].Rel) {
+				j++
+			}
+			step(ups[i:j], i)
+			i = j
+		}
+	}
+	for i := 0; i < q.N(); i++ {
+		ws := multiset(ser.Store(i).All())
+		wp := multiset(stg.Store(i).All())
+		if !multisetEqual(ws, wp) {
+			t.Fatalf("relation %d window contents diverge", i)
+		}
+	}
+	for i := range instS {
+		cs, cp := instS[i].Cache(), instP[i].Cache()
+		if cs.Entries() != cp.Entries() || cs.UsedBytes() != cp.UsedBytes() {
+			t.Fatalf("cache %d shape diverges: serial %d entries/%d bytes, staged %d entries/%d bytes",
+				i, cs.Entries(), cs.UsedBytes(), cp.Entries(), cp.UsedBytes())
+		}
+		ds, dp := cacheDump(instS[i]), cacheDump(instP[i])
+		if len(ds) != len(dp) {
+			t.Fatalf("cache %d table size diverges: %d vs %d", i, len(ds), len(dp))
+		}
+		for u, vs := range ds {
+			if !multisetEqual(vs, dp[u]) {
+				t.Fatalf("cache %d entry %v diverges", i, u.Values())
+			}
+		}
+	}
+}
+
+// TestStagedMatchesSerial is the differential property test of the staged
+// pipeline: randomized update streams (inserts, deletes, duplicates) through
+// serial vs staged executors with a prefix cache attached, asserting
+// bit-identical results, stopwatch units, meter totals, windows, and cache
+// tables at workers 1, 2, and 4, for both the per-update and the batch-run
+// entry points.
+func TestStagedMatchesSerial(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		for _, batch := range []bool{false, true} {
+			t.Run(fmt.Sprintf("workers=%d/batch=%v", workers, batch), func(t *testing.T) {
+				base := runtime.NumGoroutine()
+				q, ord := threeWay(t)
+				specs := planner.Candidates(q, ord)
+				ser, stg, mS, mP, instS, instP := stagedPair(t, q, ord, workers, specs)
+				rng := rand.New(rand.NewSource(61))
+				runDiff(t, q, ser, stg, mS, mP, instS, instP, randomUpdates(rng, q, 900, 5), batch)
+				if _, _, runs, upd := stg.PipelineStats(); runs == 0 || upd == 0 {
+					t.Fatalf("staged path never ran (runs=%d updates=%d)", runs, upd)
+				}
+				stg.Close()
+				ser.Close() // no-op: serial executor has no pool
+				checkGoroutines(t, base)
+			})
+		}
+	}
+}
+
+// FuzzStagedMatchesSerial lets the fuzzer pick the workload shape and stage
+// configuration; any divergence between the serial and staged executors —
+// outputs, units, windows, caches, or meter totals — is a correctness bug.
+// The seeds cover the worker counts and both entry points of
+// TestStagedMatchesSerial.
+func FuzzStagedMatchesSerial(f *testing.F) {
+	f.Add(int64(61), uint16(300), uint8(1), uint8(5), false)
+	f.Add(int64(61), uint16(300), uint8(2), uint8(5), true)
+	f.Add(int64(61), uint16(300), uint8(4), uint8(5), true)
+	f.Add(int64(62), uint16(500), uint8(3), uint8(3), false)
+	f.Fuzz(func(t *testing.T, seed int64, n uint16, workers, domain uint8, batch bool) {
+		w := int(workers)%8 + 1
+		steps := int(n)%1_000 + 50
+		dom := int64(domain)%12 + 2
+		q, ord := threeWay(t)
+		specs := planner.Candidates(q, ord)
+		ser, stg, mS, mP, instS, instP := stagedPair(t, q, ord, w, specs)
+		defer stg.Close()
+		rng := rand.New(rand.NewSource(seed))
+		runDiff(t, q, ser, stg, mS, mP, instS, instP, randomUpdates(rng, q, steps, dom), batch)
+	})
+}
+
+// TestStagedFourWaySharedCaches exercises multi-group passes (three join
+// steps) with shared caches attached in several pipelines.
+func TestStagedFourWaySharedCaches(t *testing.T) {
+	base := runtime.NumGoroutine()
+	q, _ := fourWayClique(t)
+	ord := planner.Ordering{{1, 2, 3}, {0, 2, 3}, {3, 0, 1}, {2, 0, 1}}
+	specs := planner.Candidates(q, ord)
+	ser, stg, mS, mP, instS, instP := stagedPair(t, q, ord, 3, specs)
+	rng := rand.New(rand.NewSource(62))
+	runDiff(t, q, ser, stg, mS, mP, instS, instP, randomUpdates(rng, q, 700, 4), true)
+	stg.Close()
+	checkGoroutines(t, base)
+}
+
+// TestStagedTheta covers residual theta predicates (scan checks in the
+// steps) under staged execution, without caches.
+func TestStagedTheta(t *testing.T) {
+	base := runtime.NumGoroutine()
+	q := thetaQuery(t)
+	ord := planner.Ordering{{1, 2}, {0, 2}, {0, 1}}
+	ser, stg, mS, mP, instS, instP := stagedPair(t, q, ord, 2, nil)
+	rng := rand.New(rand.NewSource(63))
+	runDiff(t, q, ser, stg, mS, mP, instS, instP, randomUpdates(rng, q, 700, 4), true)
+	stg.Close()
+	checkGoroutines(t, base)
+}
+
+// TestStagedCloseIdempotent: Close can be called repeatedly, concurrently
+// with nothing, and the executor keeps working on the serial path afterwards.
+func TestStagedCloseIdempotent(t *testing.T) {
+	base := runtime.NumGoroutine()
+	q, ord := threeWay(t)
+	meter := &cost.Meter{}
+	e, err := NewExec(q, ord, meter, Options{Pipeline: PipelineOptions{Workers: 2}})
+	if err != nil {
+		t.Fatalf("NewExec: %v", err)
+	}
+	e.Process(stream.Update{Op: stream.Insert, Rel: 0, Tuple: tuple.Tuple{1}})
+	e.Close()
+	e.Close()
+	// Processing after Close falls back to the serial path.
+	e.Process(stream.Update{Op: stream.Insert, Rel: 0, Tuple: tuple.Tuple{2}})
+	checkGoroutines(t, base)
+}
+
+// TestStagedTapPanicPropagates: a panic inside an observer-fired tap must
+// surface to the caller (as in serial execution) without leaking workers,
+// deadlocking the pass, or leaving the stores' meters swapped.
+func TestStagedTapPanicPropagates(t *testing.T) {
+	base := runtime.NumGoroutine()
+	q, ord := threeWay(t)
+	meter := &cost.Meter{}
+	e, err := NewExec(q, ord, meter, Options{Pipeline: PipelineOptions{Workers: 2, StageBuffer: 1}})
+	if err != nil {
+		t.Fatalf("NewExec: %v", err)
+	}
+	// Join partners so an update to R1 produces output-position deliveries.
+	e.Process(stream.Update{Op: stream.Insert, Rel: 1, Tuple: tuple.Tuple{7, 8}})
+	e.Process(stream.Update{Op: stream.Insert, Rel: 2, Tuple: tuple.Tuple{8}})
+	p := e.pipes[0]
+	e.Tap(0, len(p.steps), func(batch []tuple.Tuple, op stream.Op) { panic("tap boom") })
+	func() {
+		defer func() {
+			if r := recover(); r == nil {
+				t.Fatal("expected tap panic to propagate")
+			}
+		}()
+		e.Process(stream.Update{Op: stream.Insert, Rel: 0, Tuple: tuple.Tuple{7}})
+	}()
+	// The pass's meter swaps must have been undone: a serial-path store
+	// mutation after the panic still charges the executor meter.
+	before := meter.Total()
+	e.stores[1].Insert(tuple.Tuple{9, 10})
+	if meter.Total() == before {
+		t.Fatal("store meter left swapped after panic")
+	}
+	e.Close()
+	checkGoroutines(t, base)
+}

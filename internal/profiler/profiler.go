@@ -139,7 +139,11 @@ func (pf *Profiler) ShouldProfile(rel int) bool {
 }
 
 // Tick records one update to rel for rate estimation. Call it for every
-// update, profiled or not, after processing.
+// update, profiled or not, after processing. Span boundaries read the shared
+// cost meter, so "after processing" includes staged pipeline execution's
+// barrier: the executor folds every stage journal into the meter before
+// Process/ProcessRun return, which keeps the simulated seconds a boundary
+// observes identical to serial execution at any worker count.
 func (pf *Profiler) Tick(rel int) {
 	pf.totalTicks++
 	pf.relTicks[rel]++
@@ -181,7 +185,11 @@ func (pf *Profiler) TicksToSpan(rel int) int {
 	return pf.cfg.RateSpan - pf.pipes[rel].spanN
 }
 
-// Observe feeds one profiled update's per-operator measurements.
+// Observe feeds one profiled update's per-operator measurements. Profiled
+// updates always execute on the serial path — ProcessProfiled never stages —
+// so the per-operator span splits (StepInputs, StepUnits) remain exactly
+// attributable even when the engine runs staged pipelines for the unprofiled
+// stream.
 func (pf *Profiler) Observe(rel int, prof join.Profile) {
 	ps := pf.pipes[rel]
 	for j, d := range prof.StepInputs {

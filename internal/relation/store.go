@@ -234,6 +234,13 @@ func NewStore(rel int, schema *tuple.Schema, meter *cost.Meter) *Store {
 	}
 }
 
+// SetMeter redirects the store's cost charges to m. The staged executor uses
+// this to route one pass's charges into a stage group's journal meter and
+// back; callers must guarantee the store is quiescent across the swap (the
+// staged pass swaps before launching its groups and restores at the barrier,
+// with the channel hand-offs providing the happens-before edges).
+func (s *Store) SetMeter(m *cost.Meter) { s.meter = m }
+
 // Rel returns the relation index this store holds.
 func (s *Store) Rel() int { return s.rel }
 

@@ -532,6 +532,9 @@ func (e *Engine) QueueDepth() int {
 // quarantined shard keeps consuming (shedding) so flushes never wedge.
 func (e *Engine) resilientWorker(i int) {
 	defer e.wg.Done()
+	// Close whatever engine holds the slot when the mailbox drains — rebuilds
+	// replace e.shards[i], so resolve it at exit, not entry.
+	defer func() { e.shards[i].Close() }()
 	ws := e.states[i]
 	for {
 		select {
@@ -719,6 +722,7 @@ func (e *Engine) rebuild(i int, ws *shardState) error {
 		return err
 	}
 	if err := en.RestoreWindows(ws.ckpt); err != nil {
+		en.Close()
 		return err
 	}
 	if ws.ckpt != nil {
@@ -732,6 +736,7 @@ func (e *Engine) rebuild(i int, ws *shardState) error {
 	if e.userCB != nil {
 		e.attachSink(i, en)
 	}
+	e.shards[i].Close() // the panicked engine's stage workers must not leak
 	e.shards[i] = en
 	if len(ws.wal) > 0 {
 		ws.mute = true

@@ -311,6 +311,9 @@ func New(plan Plan, opts Options, mk func(shard int) (*core.Engine, error)) (*En
 	for i := 0; i < plan.Shards; i++ {
 		en, err := mk(i)
 		if err != nil {
+			for _, built := range e.shards {
+				built.Close()
+			}
 			return nil, fmt.Errorf("shard %d: %w", i, err)
 		}
 		e.shards = append(e.shards, en)
@@ -353,6 +356,7 @@ func New(plan Plan, opts Options, mk func(shard int) (*core.Engine, error)) (*En
 func (e *Engine) worker(i int) {
 	defer e.wg.Done()
 	en := e.shards[i]
+	defer en.Close() // release staged-pipeline workers when the mailbox drains
 	for m := range e.mail[i] {
 		ups := m.ups
 		for len(ups) > 0 {
@@ -476,6 +480,14 @@ func (e *Engine) Snapshot() core.Snapshot {
 		total.FilterBytes += s.FilterBytes
 		total.FilteredProbes += s.FilteredProbes
 		total.FilterFalsePositives += s.FilterFalsePositives
+		total.StagedUpdates += s.StagedUpdates
+		total.StageStalls += s.StageStalls
+		if s.PipelineWorkers > total.PipelineWorkers {
+			total.PipelineWorkers = s.PipelineWorkers
+		}
+	}
+	if total.Updates > 0 {
+		total.StageOverlapRatio = float64(total.StagedUpdates) / float64(total.Updates)
 	}
 	return total
 }

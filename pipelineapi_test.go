@@ -1,0 +1,139 @@
+package acache
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Public-layer pipeline tests: Options.Pipeline must change nothing but
+// wall-clock behaviour — results, windows, stats, and simulated work are
+// those of the serial engine — and Close must release the stage workers.
+
+func windowedThreeWayStaged(t *testing.T, window, workers int) *Engine {
+	t.Helper()
+	eng, err := NewQuery().
+		WindowedRelation("R", window, "A").
+		WindowedRelation("S", window, "A", "B").
+		WindowedRelation("T", window, "B").
+		Join("R.A", "S.A").
+		Join("S.B", "T.B").
+		Build(Options{ReoptInterval: 400, Seed: 21, Pipeline: PipelineOptions{Workers: workers}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d goroutines, baseline %d", runtime.NumGoroutine(), base)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestPipelineMatchesSerialPublicAPI(t *testing.T) {
+	base := runtime.NumGoroutine()
+	names := []string{"R", "S", "T"}
+	arities := []int{1, 2, 1}
+	rounds := burstRows(120, 12, arities, 31)
+
+	serial := windowedThreeWay(t, 16)
+	serialRes := make(map[string]int)
+	serial.OnResult(resultCounter(serialRes))
+	staged := windowedThreeWayStaged(t, 16, 3)
+	stagedRes := make(map[string]int)
+	staged.OnResult(resultCounter(stagedRes))
+
+	for r, rows := range rounds {
+		name := names[r%3]
+		if r%2 == 0 {
+			if s, p := serial.AppendBatch(name, rows), staged.AppendBatch(name, rows); s != p {
+				t.Fatalf("round %d deltas: serial %d, staged %d", r, s, p)
+			}
+			continue
+		}
+		for _, row := range rows {
+			if s, p := serial.Append(name, row...), staged.Append(name, row...); s != p {
+				t.Fatalf("round %d deltas: serial %d, staged %d", r, s, p)
+			}
+		}
+	}
+
+	ss, sp := serial.Stats(), staged.Stats()
+	if ss.Outputs != sp.Outputs || ss.Updates != sp.Updates {
+		t.Fatalf("stats diverge: serial %+v, staged %+v", ss, sp)
+	}
+	// Charge identity surfaces at the public layer as identical simulated work.
+	if ss.WorkSeconds != sp.WorkSeconds {
+		t.Fatalf("simulated work diverges: serial %v, staged %v", ss.WorkSeconds, sp.WorkSeconds)
+	}
+	if sp.PipelineWorkers != 3 {
+		t.Fatalf("PipelineWorkers = %d, want 3", sp.PipelineWorkers)
+	}
+	if sp.StageOverlapRatio <= 0 {
+		t.Fatal("staged engine never took the staged path")
+	}
+	if ss.PipelineWorkers != 0 || ss.StageOverlapRatio != 0 {
+		t.Fatalf("serial engine reports pipeline telemetry: %+v", ss)
+	}
+	for _, n := range names {
+		if serial.WindowLen(n) != staged.WindowLen(n) {
+			t.Fatalf("window %s: serial %d, staged %d", n, serial.WindowLen(n), staged.WindowLen(n))
+		}
+	}
+	diffCounts(t, "staged three-way", serialRes, stagedRes)
+
+	staged.Close()
+	staged.Close() // idempotent
+	waitGoroutines(t, base)
+}
+
+func TestShardedPipelineMatchesSerial(t *testing.T) {
+	base := runtime.NumGoroutine()
+	names := []string{"R", "S", "T"}
+	arities := []int{1, 2, 1}
+	rounds := burstRows(100, 10, arities, 33)
+
+	serial := windowedThreeWay(t, 16)
+	serialRes := make(map[string]int)
+	serial.OnResult(resultCounter(serialRes))
+
+	q := NewQuery().
+		WindowedRelation("R", 16, "A").
+		WindowedRelation("S", 16, "A", "B").
+		WindowedRelation("T", 16, "B").
+		Join("R.A", "S.A").
+		Join("S.B", "T.B")
+	sharded, err := q.BuildSharded(
+		Options{ReoptInterval: 400, Seed: 21},
+		ShardOptions{Shards: 2, Pipeline: PipelineOptions{Workers: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardedRes := make(map[string]int)
+	sharded.OnResult(resultCounter(shardedRes))
+
+	for r, rows := range rounds {
+		name := names[r%3]
+		for _, row := range rows {
+			serial.Append(name, row...)
+			sharded.Append(name, row...)
+		}
+	}
+	sharded.Flush()
+	if s, p := serial.Stats().Outputs, sharded.Stats().Outputs; s != p {
+		t.Fatalf("outputs diverge: serial %d, sharded+staged %d", s, p)
+	}
+	if st := sharded.Stats(); st.PipelineWorkers != 2 {
+		t.Fatalf("PipelineWorkers = %d, want 2", st.PipelineWorkers)
+	}
+	diffCounts(t, "sharded staged three-way", serialRes, shardedRes)
+
+	sharded.Close()
+	waitGoroutines(t, base)
+}

@@ -7,6 +7,7 @@ import (
 
 	"acache/internal/core"
 	"acache/internal/cost"
+	"acache/internal/join"
 	"acache/internal/query"
 	"acache/internal/shard"
 	"acache/internal/stream"
@@ -31,6 +32,11 @@ type ShardOptions struct {
 	// the degradation ladder, checkpoint/replay panic recovery, and the
 	// watchdog. The zero value keeps the exact plain execution path.
 	Resilience ResilienceOptions
+	// Pipeline, when non-zero, overrides Options.Pipeline for every shard
+	// engine: each shard runs staged pipeline-parallel execution with this
+	// worker count, multiplying the two parallelism axes (P shards ×
+	// Workers stages). Results and cost totals are unchanged either way.
+	Pipeline PipelineOptions
 }
 
 // ShardedEngine executes a built query hash-partitioned across P worker
@@ -91,6 +97,12 @@ func (q *Query) BuildSharded(opts Options, sopts ShardOptions) (*ShardedEngine, 
 		cfg.MemoryBudget /= plan.Shards
 		if cfg.MemoryBudget < 1 {
 			cfg.MemoryBudget = 1
+		}
+	}
+	if sopts.Pipeline != (PipelineOptions{}) {
+		cfg.Pipeline = join.PipelineOptions{
+			Workers:     sopts.Pipeline.Workers,
+			StageBuffer: sopts.Pipeline.StageBuffer,
 		}
 	}
 	r := sopts.Resilience
@@ -307,6 +319,9 @@ func (e *ShardedEngine) Stats() Stats {
 		FilterBytes:          snap.FilterBytes,
 		FilteredProbes:       snap.FilteredProbes,
 		FilterFalsePositives: snap.FilterFalsePositives,
+		PipelineWorkers:      snap.PipelineWorkers,
+		StageStalls:          snap.StageStalls,
+		StageOverlapRatio:    snap.StageOverlapRatio,
 	}
 	counts := make(map[string]int)
 	for i := 0; i < e.sh.NumShards(); i++ {
