@@ -281,6 +281,13 @@ type Options struct {
 	// split) instead of the unfiltered tariff. Off by default so published
 	// cost figures stay byte-identical with and without filters.
 	FilterAwareCostModel bool
+	// storeProvider and relTokens are injected by Server.Register before it
+	// builds a hosted engine: the provider lets equivalent relations attach
+	// to the server's shared window stores, and the tokens give cache specs
+	// their cross-query identity for pooled demand accounting. Never set by
+	// callers — sharing is meaningless without the server's registry.
+	storeProvider join.StoreProvider
+	relTokens     []string
 	// Pipeline enables staged pipeline-parallel execution inside the
 	// engine (inside each shard, for sharded engines): join pipelines are
 	// split into bounded-buffer stages overlapping probe work, cache
@@ -331,6 +338,8 @@ func (opts Options) coreConfig(q *Query) (core.Config, error) {
 		PrimeCaches:    opts.PrimeCaches,
 		Seed:           opts.Seed,
 		DisableFilters: opts.DisableFilters,
+		StoreProvider:  opts.storeProvider,
+		RelTokens:      opts.relTokens,
 
 		FilterAwareCostModel: opts.FilterAwareCostModel,
 		Pipeline: join.PipelineOptions{
@@ -352,6 +361,53 @@ func (opts Options) coreConfig(q *Query) (core.Config, error) {
 		cfg.ScanOnly = append(cfg.ScanOnly, a)
 	}
 	return cfg, nil
+}
+
+// winSig renders relation i's window declaration canonically — part of every
+// cross-query sharing identity, because two queries share state over a stream
+// only when their windows retain exactly the same tuples.
+func (q *Query) winSig(i int) string {
+	switch {
+	case q.spans[i] > 0:
+		return fmt.Sprintf("t%d", q.spans[i])
+	case q.partBy[i] != "":
+		return fmt.Sprintf("p%d:%s", q.windows[i], q.partBy[i])
+	default:
+		return fmt.Sprintf("s%d", q.windows[i])
+	}
+}
+
+// storeToken identifies relation i for physical window-store sharing: stream
+// name, full attribute list, and window. Two queries may attach to one store
+// only when all three agree — the store's schema and slab layout are shared
+// verbatim, so attribute renaming is NOT allowed here (unlike relToken).
+func (q *Query) storeToken(i int) string {
+	var b strings.Builder
+	b.WriteString(q.names[i])
+	b.WriteByte('|')
+	for _, a := range q.schemas[i].Cols() {
+		b.WriteString(a.Name)
+		b.WriteByte(',')
+	}
+	b.WriteByte('|')
+	b.WriteString(q.winSig(i))
+	return b.String()
+}
+
+// relToken identifies relation i for cross-query cache accounting: stream
+// name, arity, and window — no attribute names, because cache contents are
+// positional and survive renaming (see planner.CrossID).
+func (q *Query) relToken(i int) string {
+	return fmt.Sprintf("%s|%d|%s", q.names[i], q.schemas[i].Len(), q.winSig(i))
+}
+
+// relTokens renders every relation's relToken, for Options.relTokens.
+func (q *Query) allRelTokens() []string {
+	out := make([]string, len(q.names))
+	for i := range q.names {
+		out[i] = q.relToken(i)
+	}
+	return out
 }
 
 // buildWindows constructs the per-relation ingress window operators shared
@@ -451,8 +507,29 @@ func (e *Engine) processOne(u stream.Update) int {
 // Append pushes one tuple of a count-windowed relation's append-only
 // stream, processing the expiry delete (if the window was full) and then
 // the insert. It returns the total join-result updates emitted.
+//
+// When the engine is hosted by a Server and shares this relation's window
+// store with other queries, drive the stream through Server.Append instead:
+// it interleaves the expiry delete and the insert across all sharers in the
+// lockstep order the shared store requires.
 func (e *Engine) Append(rel string, values ...int64) int {
 	idx := e.relIndex(rel)
+	ups := e.windowUpdates(idx, values)
+	total := 0
+	for _, u := range ups {
+		e.seq++
+		u.Seq = e.seq
+		total += e.processOne(u)
+	}
+	return total
+}
+
+// windowUpdates runs relation idx's count-window operator for one appended
+// tuple and returns the updates to process — the expiry delete (if the
+// window was full) followed by the insert, Rel already stamped. The returned
+// slice aliases the engine's reusable scratch; it is valid until the next
+// windowUpdates or AppendBatch call.
+func (e *Engine) windowUpdates(idx int, values []int64) []stream.Update {
 	e.checkArity(idx, values)
 	var ups []stream.Update
 	switch {
@@ -461,17 +538,13 @@ func (e *Engine) Append(rel string, values ...int64) int {
 	case e.windows[idx] != nil:
 		ups = e.windows[idx].AppendInto(tuple.Tuple(values).Clone(), e.upsBuf[:0])
 	default:
-		panic(fmt.Sprintf("acache: relation %q is time-windowed; use AppendAt", rel))
+		panic(fmt.Sprintf("acache: relation %q is time-windowed; use AppendAt", e.q.names[idx]))
 	}
 	e.upsBuf = ups[:0]
-	total := 0
-	for _, u := range ups {
-		u.Rel = idx
-		e.seq++
-		u.Seq = e.seq
-		total += e.processOne(u)
+	for i := range ups {
+		ups[i].Rel = idx
 	}
-	return total
+	return ups
 }
 
 // AppendBatch pushes a batch of tuples of a count-windowed relation's
@@ -587,6 +660,29 @@ type Stats struct {
 	// with stage overlap (ineligible pipelines fall back to serial).
 	StageOverlapRatio float64
 
+	// WindowBytes is the tuple footprint of the relation window stores
+	// (shared stores counted at full size in every sharer's Stats; see
+	// SharedBytesSaved for the server-scope discount).
+	WindowBytes int
+
+	// Cross-query sharing telemetry, populated for engines hosted by a
+	// Server (see Server.Register); zero elsewhere.
+
+	// SharedStores is the number of this engine's relations attached to a
+	// server-scope shared window store.
+	SharedStores int
+	// SharedCaches is the number of cache sharing groups whose memory
+	// demand the server pools across ≥ 2 registered queries.
+	SharedCaches int
+	// SharerCount is the largest number of queries (this one included)
+	// attached to any one of this engine's shared window stores.
+	SharerCount int
+	// SharedBytesSaved is the window-store and filter memory this engine
+	// avoids duplicating by attaching to stores another registered query
+	// already carries (the first registrant's Stats report the bytes;
+	// later sharers report the saving).
+	SharedBytesSaved int
+
 	// Resilience telemetry, populated by sharded engines (ShardedEngine
 	// with ShardOptions.Resilience set); zero elsewhere.
 
@@ -628,6 +724,8 @@ func (e *Engine) Stats() Stats {
 		PipelineWorkers:      snap.PipelineWorkers,
 		StageStalls:          snap.StageStalls,
 		StageOverlapRatio:    snap.StageOverlapRatio,
+		WindowBytes:          snap.WindowBytes,
+		SharedStores:         snap.SharedStores,
 	}
 	for _, spec := range e.core.UsedCaches() {
 		s.UsedCaches = append(s.UsedCaches, e.describe(spec))

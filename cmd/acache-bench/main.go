@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	acache-bench [-experiment all|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|sharding|hotpath|batch|filter|overload|pipeline]
+//	acache-bench [-experiment all|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|sharding|hotpath|batch|filter|overload|pipeline|multiquery]
 //	             [-scale quick|medium|full] [-seed N] [-shards 1,2,4,8] [-batch N]
 //	             [-procs 1,2,4] [-workers 1,2,4]
 //	             [-cpuprofile FILE] [-memprofile FILE]
@@ -46,6 +46,7 @@ import (
 	"sync"
 
 	"acache/internal/bench"
+	"acache/internal/bench/multiquery"
 	"acache/internal/bench/overload"
 	"acache/internal/plot"
 	"acache/internal/shard"
@@ -239,6 +240,14 @@ func main() {
 		}
 		fmt.Println(render(rep.Experiment()))
 		fmt.Println("wrote BENCH_overload.json")
+	case "multiquery":
+		rep := multiquery.Run(4, cfg)
+		if err := os.WriteFile("BENCH_multiquery.json", rep.JSON(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "BENCH_multiquery.json:", err)
+			os.Exit(1)
+		}
+		fmt.Println(render(rep.Experiment()))
+		fmt.Println("wrote BENCH_multiquery.json")
 	case "ablations":
 		for _, e := range bench.Ablations(cfg) {
 			fmt.Println(render(e))
@@ -250,7 +259,7 @@ func main() {
 	default:
 		run, ok := runners[*experiment]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (want %s, ablations, extensions, sharding, pipeline, hotpath, batch, filter, overload, or all)\n",
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (want %s, ablations, extensions, sharding, pipeline, hotpath, batch, filter, overload, multiquery, or all)\n",
 				*experiment, strings.Join(order, "|"))
 			os.Exit(2)
 		}

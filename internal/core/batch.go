@@ -110,6 +110,12 @@ func (en *Engine) BatchStats() (runs, runUpdates, serial, dupReplays uint64) {
 // intervals cap it too, and profiling phases force fully serial processing so
 // every update's statsReady check happens at its per-update position.
 func (en *Engine) runLimit(rel int) int {
+	if en.exec.SharedStores() > 0 {
+		// Cross-query shared stores require sharers to interleave per
+		// update (join.Exec's lockstep contract); a vectorized run would
+		// apply a whole stretch before co-sharers observed any of it.
+		return 1
+	}
 	if !en.exec.Batchable(rel) {
 		return 1
 	}

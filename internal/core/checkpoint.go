@@ -76,11 +76,11 @@ func (en *Engine) RestoreWindows(ck *Checkpoint) error {
 // Binary checkpoint format: a magic+version header, the six counters, then
 // per relation a tuple count, arity, and the row values, all little-endian
 // fixed-width — trivially portable and versionable.
-const ckptMagic = uint32(0xacac_0001)
+const ckptMagic = uint32(0xacac_0002)
 
 // MarshalBinary serializes the checkpoint.
 func (ck *Checkpoint) MarshalBinary() ([]byte, error) {
-	size := 4 + 9*8 + 4
+	size := 4 + 11*8 + 4
 	for _, ts := range ck.Rels {
 		size += 8
 		for _, t := range ts {
@@ -100,6 +100,8 @@ func (ck *Checkpoint) MarshalBinary() ([]byte, error) {
 	u64(uint64(ck.Snap.FilterBytes))
 	u64(ck.Snap.FilteredProbes)
 	u64(ck.Snap.FilterFalsePositives)
+	u64(uint64(ck.Snap.WindowBytes))
+	u64(uint64(ck.Snap.SharedStores))
 	u32(uint32(len(ck.Rels)))
 	for _, ts := range ck.Rels {
 		u32(uint32(len(ts)))
@@ -146,7 +148,7 @@ func (ck *Checkpoint) UnmarshalBinary(data []byte) error {
 	if magic != ckptMagic {
 		return fmt.Errorf("core: bad checkpoint magic %#x", magic)
 	}
-	var fields [9]uint64
+	var fields [11]uint64
 	for i := range fields {
 		if fields[i], err = u64(); err != nil {
 			return err
@@ -162,6 +164,8 @@ func (ck *Checkpoint) UnmarshalBinary(data []byte) error {
 		FilterBytes:          int(fields[6]),
 		FilteredProbes:       fields[7],
 		FilterFalsePositives: fields[8],
+		WindowBytes:          int(fields[9]),
+		SharedStores:         int(fields[10]),
 	}
 	nrels, err := u32()
 	if err != nil {

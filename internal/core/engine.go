@@ -139,6 +139,16 @@ type Config struct {
 	// executor (join.PipelineOptions); the zero value keeps the serial path
 	// byte-identical. Engines built with workers must be Closed.
 	Pipeline join.PipelineOptions
+	// StoreProvider, when non-nil, lets a host (the Server) substitute
+	// cross-query shared window stores for this engine's relations at build
+	// time. See join.Options.StoreProvider.
+	StoreProvider join.StoreProvider
+	// RelTokens, when non-nil, gives each relation a host-scope identity
+	// token (stream name, arity, window shape). They anchor the cross-query
+	// canonical cache identities (planner.CrossID) that a hosting server
+	// pools benefit accounting over; without them, cache groups are private
+	// to this engine.
+	RelTokens []string
 }
 
 func (c Config) withDefaults() Config {
@@ -235,6 +245,13 @@ type Engine struct {
 	allocReqs   []memory.Request
 	allocGrants map[string]int
 	demandSeen  map[string]bool
+	// MemoryDemandDetail's scratch plus the CrossID memo (keyed by the
+	// engine-local SharingID, which pins the cross-query identity for a
+	// fixed Config.RelTokens).
+	demandDetail    []GroupDemand
+	demandDetailIdx map[string]int
+	candKeys        []string
+	crossIDs        map[string]string
 	// pausedCaching suspends all adaptivity (profiling, monitoring,
 	// re-optimization) with caches dropped — the overload degradation
 	// ladder's first rung (see SetCachingPaused).
@@ -275,7 +292,7 @@ func NewEngine(q *query.Query, ord planner.Ordering, cfg Config) (*Engine, error
 		ord = ordering.InitialOrdering(q.N())
 	}
 	meter := &cost.Meter{}
-	exec, err := join.NewExec(q, ord, meter, join.Options{ScanOnly: cfg.ScanOnly, Pipeline: cfg.Pipeline})
+	exec, err := join.NewExec(q, ord, meter, join.Options{ScanOnly: cfg.ScanOnly, Pipeline: cfg.Pipeline, StoreProvider: cfg.StoreProvider})
 	if err != nil {
 		return nil, err
 	}
@@ -501,6 +518,11 @@ type Snapshot struct {
 	// StageOverlapRatio is StagedUpdates / Updates: the fraction of the
 	// stream that executed with stage overlap.
 	StageOverlapRatio float64
+	// WindowBytes is the tuple footprint of the relation window stores.
+	WindowBytes int
+	// SharedStores is the number of relations whose window store is
+	// cross-query shared (attached through a hosting server's registry).
+	SharedStores int
 }
 
 // Snapshot returns the engine's current counters. The method takes no locks:
@@ -527,6 +549,8 @@ func (en *Engine) Snapshot() Snapshot {
 		PipelineWorkers:      workers,
 		StagedUpdates:        stagedUpd,
 		StageStalls:          stalls,
+		WindowBytes:          en.WindowBytes(),
+		SharedStores:         en.exec.SharedStores(),
 	}
 	if s.Updates > 0 {
 		s.StageOverlapRatio = float64(s.StagedUpdates) / float64(s.Updates)
@@ -739,4 +763,99 @@ func (en *Engine) MemoryDemand() (bytes int, netBenefit float64) {
 	// global budget across queries must see them.
 	bytes += en.FilterMemoryBytes()
 	return bytes, netBenefit
+}
+
+// WindowBytes returns the tuple footprint of the relation window stores
+// (shared stores included at full size; a host discounts duplicates through
+// its sharing registry).
+func (en *Engine) WindowBytes() int {
+	n := 0
+	for r := 0; r < en.q.N(); r++ {
+		n += en.exec.Store(r).MemoryBytes()
+	}
+	return n
+}
+
+// SharedStores returns the number of relations on cross-query shared stores.
+func (en *Engine) SharedStores() int { return en.exec.SharedStores() }
+
+// GroupDemand is one used cache sharing group's memory appetite, identified
+// by its cross-query canonical identity so a hosting server can pool demand
+// across queries: equivalent groups from different engines charge their bytes
+// once while every sharer's net benefit keeps flowing into its own request.
+type GroupDemand struct {
+	// CrossID is the planner.CrossID of the group ("" when the engine was
+	// built without Config.RelTokens — such groups are never pooled).
+	CrossID string
+	// Bytes is the group's memory appetite: max(expected, actual) bytes of
+	// the shared instance.
+	Bytes int
+	// Net is the group's net benefit: the members' benefits minus the
+	// maintenance cost charged once per engine-local sharing group.
+	Net float64
+}
+
+// MemoryDemandDetail is MemoryDemand broken down per sharing group, plus the
+// engine's filter footprint (store-index and cache filters), for hosts that
+// pool demand across queries. The returned slice is reused across calls.
+func (en *Engine) MemoryDemandDetail() (groups []GroupDemand, filterBytes int) {
+	if en.demandDetailIdx == nil {
+		en.demandDetailIdx = make(map[string]int)
+	}
+	clear(en.demandDetailIdx)
+	en.demandDetail = en.demandDetail[:0]
+	for _, key := range en.sortedCandKeys() {
+		c := en.cands[key]
+		if c.state != Used {
+			continue
+		}
+		id := c.spec.SharingID()
+		gi, ok := en.demandDetailIdx[id]
+		if !ok {
+			gi = len(en.demandDetail)
+			en.demandDetailIdx[id] = gi
+			b := int(c.est.ExpectedBytes)
+			if actual := c.inst.Cache().UsedBytes(); actual > b {
+				b = actual
+			}
+			en.demandDetail = append(en.demandDetail, GroupDemand{
+				CrossID: en.crossIDOf(c.spec),
+				Bytes:   b,
+				Net:     -c.est.Cost,
+			})
+		}
+		en.demandDetail[gi].Net += c.est.Benefit
+	}
+	return en.demandDetail, en.FilterMemoryBytes()
+}
+
+// crossIDOf memoizes planner.CrossID per spec (keyed by the engine-local
+// sharing id, which determines it given fixed RelTokens).
+func (en *Engine) crossIDOf(spec *planner.Spec) string {
+	if len(en.cfg.RelTokens) == 0 {
+		return ""
+	}
+	if en.crossIDs == nil {
+		en.crossIDs = make(map[string]string)
+	}
+	id := spec.SharingID()
+	if cid, ok := en.crossIDs[id]; ok {
+		return cid
+	}
+	cid := planner.CrossID(en.q, spec, en.cfg.RelTokens)
+	en.crossIDs[id] = cid
+	return cid
+}
+
+// sortedCandKeys returns the candidate placement keys in sorted order (the
+// iteration order of every externally visible walk over candidates, so
+// telemetry and pooled demand are reproducible across runs). The slice is
+// reused across calls.
+func (en *Engine) sortedCandKeys() []string {
+	en.candKeys = en.candKeys[:0]
+	for k := range en.cands {
+		en.candKeys = append(en.candKeys, k)
+	}
+	sort.Strings(en.candKeys)
+	return en.candKeys
 }

@@ -83,12 +83,14 @@ func NewInstanceAssoc(q *query.Query, spec *planner.Spec, nbuckets, budget int, 
 // once the in-flight update (to relation updRel with operation op) is
 // applied: the product of each segment relation's value count for x's
 // projection, adjusted by ±1 for updRel because relation stores are updated
-// after join processing completes.
+// after join processing completes. When updRel's store is cross-query shared
+// and a peer executor already applied the update physically (e.preApplied),
+// CountOf already reflects it and the adjustment must not be repeated.
 func (inst *Instance) multOf(e *Exec, x tuple.Tuple, updRel int, op stream.Op) int {
 	m := 1
 	for i, r := range inst.segment {
 		c := e.stores[r].CountOf(extract(x, inst.segParts[i]))
-		if r == updRel {
+		if r == updRel && !e.preApplied {
 			if op == stream.Insert {
 				c++
 			} else {

@@ -1,6 +1,10 @@
 package join
 
 import (
+	"fmt"
+	"sort"
+	"strings"
+
 	"acache/internal/cost"
 	"acache/internal/planner"
 	"acache/internal/query"
@@ -18,7 +22,19 @@ type Options struct {
 	// Pipeline configures staged pipeline-parallel execution (see staged.go).
 	// The zero value keeps the serial path, byte-identical to before.
 	Pipeline PipelineOptions
+	// StoreProvider, when non-nil, is consulted for each relation before a
+	// private store is created: returning a store adopts it as a shared
+	// window (the executor registers itself as a sharer and routes window
+	// updates through Store.ApplyShared); returning nil keeps the private
+	// path. indexSig is the canonical signature of the indexes this
+	// executor will create on the store, so the provider can refuse stores
+	// whose tariff structure would differ. A hosting Server uses this to
+	// share one window store across equivalent registered queries.
+	StoreProvider StoreProvider
 }
+
+// StoreProvider resolves a relation to a pre-existing shared store, or nil.
+type StoreProvider func(rel int, schema *tuple.Schema, meter *cost.Meter, indexSig string) *relation.Store
 
 // Result summarizes the processing of one update.
 type Result struct {
@@ -74,6 +90,16 @@ type Exec struct {
 	// staged pass without allocating.
 	pool  *stagePool
 	oneUp [1]stream.Update
+
+	// sharerIDs[r] is this executor's sharer id on relation r's store when
+	// that store is cross-query shared (−1 otherwise); sharedCount is the
+	// number of shared relations. preApplied marks the in-flight update as
+	// already physically applied by another sharer, so operators that read
+	// the updated relation's own store (Instance.multOf) must not re-adjust
+	// for the pending application.
+	sharerIDs   []int
+	sharedCount int
+	preApplied  bool
 }
 
 // DupReplays reports how many step segments ProcessRun replayed for
@@ -98,12 +124,119 @@ func NewExec(q *query.Query, ord planner.Ordering, meter *cost.Meter, opts Optio
 		e.pool = newStagePool(opts.Pipeline)
 	}
 	e.stores = make([]*relation.Store, q.N())
+	e.sharerIDs = make([]int, q.N())
 	for i := 0; i < q.N(); i++ {
+		e.sharerIDs[i] = -1
+		if opts.StoreProvider != nil {
+			if st := opts.StoreProvider(i, q.Schema(i), meter, IndexSignature(q, ord, e.scanOnly, i)); st != nil {
+				e.stores[i] = st
+				e.sharerIDs[i] = st.Share()
+				e.sharedCount++
+				continue
+			}
+		}
 		e.stores[i] = relation.NewStore(i, q.Schema(i), meter)
 	}
 	e.buildPipelines()
 	e.refreshBatchable()
 	return e, nil
+}
+
+// IndexSignature computes, without building anything, the canonical signature
+// of the hash indexes pipeline compilation will create on relation rel's
+// store under the given ordering — the per-step index of buildStep, collected
+// across every pipeline position that joins rel. Equality of signatures is
+// the precondition for cross-query store sharing: a store's insert/delete
+// tariff charges one HashInsert per index, so sharers with differing index
+// needs would observe different charges than their isolated baselines.
+func IndexSignature(q *query.Query, ord planner.Ordering, scanOnly map[tuple.Attr]bool, rel int) string {
+	seen := map[string]bool{}
+	var ids []string
+	for i := 0; i < q.N(); i++ {
+		prefix := []int{i}
+		for _, r := range ord[i] {
+			if r != rel {
+				prefix = append(prefix, r)
+				continue
+			}
+			classes := q.SharedClasses(prefix, []int{r})
+			useIndex := len(classes) > 0
+			var attrNames []string
+			for _, c := range classes {
+				for _, name := range q.ClassAttrsOf(r, c) {
+					attrNames = append(attrNames, name)
+					if scanOnly[tuple.Attr{Rel: r, Name: name}] {
+						useIndex = false
+					}
+				}
+			}
+			if useIndex {
+				if id := relation.IndexNameOf(attrNames); !seen[id] {
+					seen[id] = true
+					ids = append(ids, id)
+				}
+			}
+			prefix = append(prefix, r)
+		}
+	}
+	sort.Strings(ids)
+	return strings.Join(ids, ";")
+}
+
+// SharedStores returns the number of relations whose window store is
+// cross-query shared.
+func (e *Exec) SharedStores() int { return e.sharedCount }
+
+// SharedStoreBytes sums the tuple and filter footprint of the shared stores.
+func (e *Exec) SharedStoreBytes() int {
+	if e.sharedCount == 0 {
+		return 0
+	}
+	n := 0
+	for r, id := range e.sharerIDs {
+		if id >= 0 {
+			n += e.stores[r].MemoryBytes() + e.stores[r].FilterBytes()
+		}
+	}
+	return n
+}
+
+// ReleaseSharedStores detaches this executor from every shared store. The
+// stores (and their contents) survive for the remaining sharers. Idempotent.
+func (e *Exec) ReleaseSharedStores() {
+	for r, id := range e.sharerIDs {
+		if id >= 0 {
+			e.stores[r].Unshare(id)
+			e.sharerIDs[r] = -1
+		}
+	}
+	e.sharedCount = 0
+}
+
+// beginSharedPass prepares a pass over shared stores: rebinds each shared
+// store's meter to this executor (sharers charge their own tariffs against
+// the common structure), verifies the lockstep contract — every store except
+// the updated relation's must be fully consumed by this sharer, the updated
+// relation's at most one ahead — and records whether the in-flight update
+// was already applied by a peer.
+func (e *Exec) beginSharedPass(u stream.Update) {
+	e.preApplied = false
+	for r, id := range e.sharerIDs {
+		if id < 0 {
+			continue
+		}
+		st := e.stores[r]
+		st.SetMeter(e.meter)
+		lag := st.SharedLag(id)
+		if r == u.Rel {
+			if lag > 1 {
+				panic(fmt.Sprintf("join: shared store %v fed out of order (lag %d); sharers must process each update before any processes the next (drive shared streams through Server.Append)", st, lag))
+			}
+			e.preApplied = lag == 1
+		} else if lag != 0 {
+			panic(fmt.Sprintf("join: shared store %v has %d unconsumed updates at the start of a pass over R%d; sharers must process each update before any processes the next (drive shared streams through Server.Append)", st, lag, u.Rel+1))
+		}
+	}
 }
 
 func (e *Exec) buildPipelines() {
@@ -198,6 +331,9 @@ func (e *Exec) RemoveTap(id int) {
 // Process runs one update through its pipeline (join computation plus the
 // relation-store update) with caches active, and returns the result.
 func (e *Exec) Process(u stream.Update) Result {
+	if e.sharedCount > 0 {
+		e.beginSharedPass(u)
+	}
 	sw := cost.NewStopwatch(e.meter)
 	var outputs int
 	if e.stagedActive(u.Rel) {
@@ -216,6 +352,9 @@ func (e *Exec) Process(u stream.Update) Result {
 // returns per-operator measurements. Maintenance of caches hosted in other
 // pipelines still runs — consistency is unconditional.
 func (e *Exec) ProcessProfiled(u stream.Update) (Result, Profile) {
+	if e.sharedCount > 0 {
+		e.beginSharedPass(u)
+	}
 	sw := cost.NewStopwatch(e.meter)
 	nsteps := len(e.pipes[u.Rel].steps)
 	prof := Profile{
@@ -228,6 +367,14 @@ func (e *Exec) ProcessProfiled(u stream.Update) (Result, Profile) {
 }
 
 func (e *Exec) applyStoreUpdate(u stream.Update) {
+	if id := e.sharerIDs[u.Rel]; id >= 0 {
+		op := relation.SharedInsert
+		if u.Op != stream.Insert {
+			op = relation.SharedDelete
+		}
+		e.stores[u.Rel].ApplyShared(id, op, u.Tuple)
+		return
+	}
 	if u.Op == stream.Insert {
 		e.stores[u.Rel].Insert(u.Tuple)
 	} else {

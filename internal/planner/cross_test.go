@@ -1,0 +1,99 @@
+package planner
+
+import (
+	"testing"
+
+	"acache/internal/query"
+	"acache/internal/tuple"
+)
+
+// crossQuery builds a 3-way chain query R(a)-S(a,b)-T(b) with the given
+// attribute names, so tests can rename attributes without changing structure.
+func crossQuery(t *testing.T, ra, sa, sb, tb string) *query.Query {
+	t.Helper()
+	q, err := query.New(
+		[]*tuple.Schema{
+			tuple.RelationSchema(0, ra),
+			tuple.RelationSchema(1, sa, sb),
+			tuple.RelationSchema(2, tb),
+		},
+		[]query.Pred{
+			{Left: tuple.Attr{Rel: 0, Name: ra}, Right: tuple.Attr{Rel: 1, Name: sa}},
+			{Left: tuple.Attr{Rel: 1, Name: sb}, Right: tuple.Attr{Rel: 2, Name: tb}},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func findSpec(t *testing.T, specs []*Spec, pipeline int, segLen int) *Spec {
+	t.Helper()
+	for _, s := range specs {
+		if s.Pipeline == pipeline && len(s.Segment) == segLen {
+			return s
+		}
+	}
+	t.Fatalf("no candidate with pipeline %d and segment size %d", pipeline, segLen)
+	return nil
+}
+
+func TestCrossIDStableUnderAttributeRenaming(t *testing.T) {
+	tokens := []string{"R|1|s100", "S|2|s100", "T|1|s100"}
+	q1 := crossQuery(t, "A", "A", "B", "B")
+	q2 := crossQuery(t, "x", "x", "y", "y") // same structure, renamed columns
+
+	ord := Ordering{{1, 2}, {2, 0}, {1, 0}}
+	c1 := Candidates(q1, ord)
+	c2 := Candidates(q2, ord)
+
+	s1 := findSpec(t, c1, 0, 2) // ΔR: cache(S⋈T)
+	s2 := findSpec(t, c2, 0, 2)
+	id1 := CrossID(q1, s1, tokens)
+	id2 := CrossID(q2, s2, tokens)
+	if id1 == "" || id1 != id2 {
+		t.Fatalf("renamed query's CrossID diverged:\n%q\nvs\n%q", id1, id2)
+	}
+}
+
+func TestCrossIDDistinguishesWindowsAndStreams(t *testing.T) {
+	q := crossQuery(t, "A", "A", "B", "B")
+	ord := Ordering{{1, 2}, {2, 0}, {1, 0}}
+	s := findSpec(t, Candidates(q, ord), 0, 2)
+
+	base := CrossID(q, s, []string{"R|1|s100", "S|2|s100", "T|1|s100"})
+	otherWin := CrossID(q, s, []string{"R|1|s100", "S|2|s200", "T|1|s100"})
+	otherStream := CrossID(q, s, []string{"R|1|s100", "S2|2|s100", "T|1|s100"})
+	if base == otherWin {
+		t.Fatal("CrossID ignored a window change on a segment relation")
+	}
+	if base == otherStream {
+		t.Fatal("CrossID ignored a stream change on a segment relation")
+	}
+	// A token change outside the segment (and outside Y, for non-GC specs)
+	// must not perturb the ID: the cache contents depend only on the
+	// covered relations.
+	otherPrefix := CrossID(q, s, []string{"R9|1|s777", "S|2|s100", "T|1|s100"})
+	if base != otherPrefix {
+		t.Fatalf("CrossID depends on a relation outside the segment:\n%q\nvs\n%q", base, otherPrefix)
+	}
+}
+
+func TestCrossIDSeparatesKeyAndMode(t *testing.T) {
+	q := crossQuery(t, "A", "A", "B", "B")
+	tokens := []string{"R|1|s100", "S|2|s100", "T|1|s100"}
+
+	// ΔR's S⋈T segment vs ΔT's R⋈S segment (under the orderings that admit
+	// each): different relation sets must never collide.
+	sST := findSpec(t, Candidates(q, Ordering{{1, 2}, {2, 0}, {1, 0}}), 0, 2)
+	sRS := findSpec(t, Candidates(q, Ordering{{1, 2}, {0, 2}, {1, 0}}), 2, 2)
+	if CrossID(q, sST, tokens) == CrossID(q, sRS, tokens) {
+		t.Fatal("CrossID collided for different segment relation sets")
+	}
+
+	// Wrong token arity → no cross-query identity.
+	if got := CrossID(q, sST, tokens[:2]); got != "" {
+		t.Fatalf("CrossID with mismatched tokens = %q, want empty", got)
+	}
+}

@@ -1,0 +1,167 @@
+package planner
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"acache/internal/query"
+)
+
+// CrossID generalizes Spec.SharingID across queries: it renders the cache's
+// identity in terms that survive attribute renaming and relation renumbering,
+// so equivalent segments from *different* Query objects map to one ID. A
+// hosting server uses it to pool cache demand across registered queries.
+//
+// relTokens[r] must identify relation r's extensional identity to the host —
+// typically "stream-name|arity|window-signature". Attribute names are
+// deliberately absent: two queries joining the same streams through the same
+// column positions share contents even if they named the columns differently.
+//
+// The rendering canonicalizes:
+//
+//   - the segment (and, for globally-consistent caches, the reduction set Y)
+//     as relation tokens sorted lexicographically — canonical positions;
+//   - every equivalence class touching ≥ 2 of those relations, as the sorted
+//     (canonical position, column index) pairs it equates — the join graph;
+//   - the cache key classes, as their column positions within the segment;
+//   - theta predicates internal to the covered relation set, direction-
+//     normalized;
+//   - the GC / self-maintained mode flags.
+//
+// Self-joins of one stream make canonical positions ambiguous (identical
+// tokens tie-break by relation index, which renaming does not preserve); a
+// missed match there costs only a pooling opportunity, never correctness —
+// CrossID feeds accounting and telemetry, not physical sharing.
+func CrossID(q *query.Query, s *Spec, relTokens []string) string {
+	if len(relTokens) != q.N() {
+		return ""
+	}
+	// Canonical positions: segment first, then Y, each sorted by token.
+	rels := append([]int(nil), s.Segment...)
+	sortByToken(rels, relTokens)
+	segLen := len(rels)
+	if s.GC {
+		y := append([]int(nil), s.Y...)
+		sortByToken(y, relTokens)
+		rels = append(rels, y...)
+	}
+	pos := make(map[int]int, len(rels))
+	for p, r := range rels {
+		pos[r] = p
+	}
+
+	var b strings.Builder
+	b.WriteString("seg=")
+	for p, r := range rels {
+		if p == segLen {
+			b.WriteString("|y=")
+		}
+		b.WriteString(relTokens[r])
+		b.WriteByte(';')
+	}
+
+	// Join graph: classes equating columns of ≥ 2 covered relations.
+	var classes []string
+	for c := 0; c < q.NumClasses(); c++ {
+		cols := classCols(q, c, pos)
+		if len(cols) >= 2 {
+			classes = append(classes, strings.Join(cols, ","))
+		}
+	}
+	sort.Strings(classes)
+	b.WriteString("|join=")
+	for _, cl := range classes {
+		b.WriteString(cl)
+		b.WriteByte(';')
+	}
+
+	// Cache key: the key classes' column positions within the segment.
+	segPos := make(map[int]int, segLen)
+	for _, r := range s.Segment {
+		segPos[r] = pos[r]
+	}
+	b.WriteString("|key=")
+	for _, c := range s.KeyClasses {
+		b.WriteString(strings.Join(classCols(q, c, segPos), ","))
+		b.WriteByte(';')
+	}
+
+	// Residual theta predicates internal to the covered relations,
+	// direction-normalized (the lexicographically smaller orientation).
+	var thetas []string
+	for _, t := range q.Thetas() {
+		pl, okL := pos[t.Left.Rel]
+		pr, okR := pos[t.Right.Rel]
+		if !okL || !okR {
+			continue
+		}
+		cl, _ := q.Schema(t.Left.Rel).ColOf(t.Left)
+		cr, _ := q.Schema(t.Right.Rel).ColOf(t.Right)
+		fwd := fmt.Sprintf("%d.%d%v%d.%d", pl, cl, t.Op, pr, cr)
+		rev := fmt.Sprintf("%d.%d%v%d.%d", pr, cr, flipCmp(t.Op), pl, cl)
+		if rev < fwd {
+			fwd = rev
+		}
+		thetas = append(thetas, fwd)
+	}
+	sort.Strings(thetas)
+	b.WriteString("|theta=")
+	for _, t := range thetas {
+		b.WriteString(t)
+		b.WriteByte(';')
+	}
+
+	if s.GC {
+		b.WriteString("|gc")
+		if s.SelfMaint {
+			b.WriteString("|inv")
+		}
+	}
+	return b.String()
+}
+
+// classCols renders class c's member columns over the relations in pos as
+// sorted "position.column" strings.
+func classCols(q *query.Query, c int, pos map[int]int) []string {
+	var cols []string
+	for _, a := range q.ClassAttrs(c) {
+		p, ok := pos[a.Rel]
+		if !ok {
+			continue
+		}
+		col, _ := q.Schema(a.Rel).ColOf(a)
+		cols = append(cols, fmt.Sprintf("%d.%d", p, col))
+	}
+	sort.Strings(cols)
+	return cols
+}
+
+// sortByToken orders rels by their host-scope tokens, tie-breaking on the
+// relation index for determinism within one query.
+func sortByToken(rels []int, relTokens []string) {
+	sort.Slice(rels, func(i, j int) bool {
+		ti, tj := relTokens[rels[i]], relTokens[rels[j]]
+		if ti != tj {
+			return ti < tj
+		}
+		return rels[i] < rels[j]
+	})
+}
+
+// flipCmp mirrors a comparison operator so a theta predicate can be rendered
+// from either side.
+func flipCmp(op query.CmpOp) query.CmpOp {
+	switch op {
+	case query.Lt:
+		return query.Gt
+	case query.Gt:
+		return query.Lt
+	case query.Le:
+		return query.Ge
+	case query.Ge:
+		return query.Le
+	default:
+		return op
+	}
+}

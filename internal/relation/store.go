@@ -201,6 +201,176 @@ type Store struct {
 	filtersOn bool
 	fstats    FilterStats
 	chainOps  uint64 // index chain creations + clears (filter-maintenance proxy)
+
+	// shared, when non-nil, marks a store attached to more than one executor
+	// (cross-query window sharing). See ApplyShared for the protocol.
+	shared *sharedState
+}
+
+// sharedState is the bookkeeping of a cross-query shared store: every sharer
+// feeds the same per-relation update sequence, the first arrival of each
+// update mutates the store, and later arrivals replay only the cost charges.
+// Outcomes are logged so replays charge exactly what the physical application
+// charged (a delete's tariff depends on whether the tuple was found).
+type sharedState struct {
+	baseSeq uint64       // log[0] records the outcome of op baseSeq+1
+	lastSeq uint64       // highest physically applied op sequence
+	log     []sharedOp   // outcomes of ops baseSeq+1 .. lastSeq
+	cursors map[int]uint64 // sharer id -> last consumed op sequence
+	nextID  int
+}
+
+type sharedOp struct {
+	del   bool
+	found bool // delete outcome (an absent tuple charges nothing)
+	width int  // inserted tuple width (drives the KeyExtract replay charge)
+}
+
+// Share registers a new sharer and returns its id. The sharer's cursor starts
+// at the store's current sequence, so sharing must be established before any
+// shared updates flow (the server enforces this by only adopting empty
+// stores).
+func (s *Store) Share() int {
+	if s.shared == nil {
+		s.shared = &sharedState{cursors: make(map[int]uint64)}
+	}
+	id := s.shared.nextID
+	s.shared.nextID++
+	s.shared.cursors[id] = s.shared.lastSeq
+	return id
+}
+
+// Unshare removes a sharer. The store and its contents survive for the
+// remaining sharers; the last departure leaves the store intact for its
+// owner to drop.
+func (s *Store) Unshare(id int) {
+	if s.shared == nil {
+		return
+	}
+	delete(s.shared.cursors, id)
+	s.trimSharedLog()
+}
+
+// Sharers returns the number of executors currently attached.
+func (s *Store) Sharers() int {
+	if s.shared == nil {
+		return 0
+	}
+	return len(s.shared.cursors)
+}
+
+// SharedSeq returns the number of shared updates physically applied so far.
+func (s *Store) SharedSeq() uint64 {
+	if s.shared == nil {
+		return 0
+	}
+	return s.shared.lastSeq
+}
+
+// SharedLag returns how many applied updates the given sharer has not yet
+// consumed. Executors use it to enforce the lockstep contract: every sharer
+// must process update k of a shared relation before any sharer processes
+// update k+1, so the lag is 0 for every store except the one being updated,
+// where it is at most 1.
+func (s *Store) SharedLag(id int) uint64 {
+	if s.shared == nil {
+		return 0
+	}
+	return s.shared.lastSeq - s.shared.cursors[id]
+}
+
+// ApplyShared applies one window update on behalf of sharer id. The first
+// sharer to present update k mutates the store and logs the outcome; every
+// later sharer replays only the cost charges of that outcome against its own
+// meter (the caller rebinds the store meter per pass), so each sharer's
+// cost totals are bit-identical to an unshared store fed the same sequence.
+// A sharer presenting an update more than one ahead of the log panics: it
+// means the sharers were not fed in per-update lockstep, and earlier join
+// passes already probed windows from the wrong instant.
+func (s *Store) ApplyShared(id int, op sharedOpKind, t tuple.Tuple) {
+	sh := s.shared
+	n := sh.cursors[id] + 1
+	switch {
+	case n == sh.lastSeq+1:
+		oc := sharedOp{del: op == SharedDelete, width: len(t)}
+		if oc.del {
+			oc.found = s.Delete(t)
+		} else {
+			s.Insert(t)
+		}
+		sh.log = append(sh.log, oc)
+		sh.lastSeq = n
+	case n <= sh.lastSeq:
+		s.replayCharges(sh.log[n-sh.baseSeq-1])
+	default:
+		panic(fmt.Sprintf("relation: shared store %v fed out of order (sharer %d at seq %d, store at %d); sharers must interleave per update", s, id, n, sh.lastSeq))
+	}
+	sh.cursors[id] = n
+	s.trimSharedLog()
+}
+
+// sharedOpKind tags ApplyShared operations.
+type sharedOpKind uint8
+
+const (
+	SharedInsert sharedOpKind = iota
+	SharedDelete
+)
+
+// replayCharges charges the meter exactly what the physical application of
+// the logged op charged, without touching the store.
+func (s *Store) replayCharges(oc sharedOp) {
+	if oc.del {
+		if !oc.found {
+			return // Delete of an absent tuple returns before any charge.
+		}
+		s.meter.Charge(cost.HashInsert)
+		s.meter.ChargeN(cost.HashInsert, len(s.idxList))
+		return
+	}
+	s.meter.Charge(cost.HashInsert)
+	s.meter.ChargeN(cost.KeyExtract, oc.width)
+	s.meter.ChargeN(cost.HashInsert, len(s.idxList))
+}
+
+// trimSharedLog drops log entries every sharer has consumed. Under the
+// lockstep contract the log holds at most one entry, so the fast path resets
+// it in place.
+func (s *Store) trimSharedLog() {
+	sh := s.shared
+	if sh == nil || len(sh.log) == 0 {
+		return
+	}
+	min := sh.lastSeq
+	for _, c := range sh.cursors {
+		if c < min {
+			min = c
+		}
+	}
+	if min >= sh.lastSeq {
+		sh.log = sh.log[:0]
+		sh.baseSeq = sh.lastSeq
+	} else if min > sh.baseSeq {
+		sh.log = append(sh.log[:0], sh.log[min-sh.baseSeq:]...)
+		sh.baseSeq = min
+	}
+}
+
+// IndexSignature canonicalizes the store's current index set — the identity
+// under which insert/delete tariffs are determined (each index charges one
+// HashInsert per mutation). Stores are shareable across queries only when
+// their signatures agree, otherwise sharers' charges would diverge from
+// their isolated baselines.
+func (s *Store) IndexSignature() string {
+	if len(s.idxList) == 0 {
+		return ""
+	}
+	ids := make([]string, 0, len(s.indexes))
+	for id := range s.indexes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return strings.Join(ids, ";")
 }
 
 // FilterStats are the cumulative filtered-probe counters of one store, for

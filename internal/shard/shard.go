@@ -244,6 +244,8 @@ type Engine struct {
 	resMu     sync.Mutex // serializes merged result callbacks
 	userCB    func(insert bool, result []tuple.Value)
 	closeOnce sync.Once
+	// MemoryDemandDetail's concatenation buffer, reused per call.
+	demandDetail []core.GroupDemand
 
 	// Resilience state (resilience.go). res gates every non-default branch
 	// so the zero-Options engine runs the exact plain code path.
@@ -482,6 +484,7 @@ func (e *Engine) Snapshot() core.Snapshot {
 		total.FilterFalsePositives += s.FilterFalsePositives
 		total.StagedUpdates += s.StagedUpdates
 		total.StageStalls += s.StageStalls
+		total.WindowBytes += s.WindowBytes
 		if s.PipelineWorkers > total.PipelineWorkers {
 			total.PipelineWorkers = s.PipelineWorkers
 		}
@@ -533,6 +536,24 @@ func (e *Engine) safeCall(ins bool, vals []tuple.Value) {
 		}
 	}()
 	e.userCB(ins, vals)
+}
+
+// MemoryDemandDetail flushes and concatenates the shards' per-group demand
+// detail — shard-scoped group identities never collide across shards, so the
+// concatenation is itself a valid detail. The returned slice is reused
+// across calls. Quarantined shards are skipped.
+func (e *Engine) MemoryDemandDetail() (groups []core.GroupDemand, filterBytes int) {
+	e.Flush()
+	e.demandDetail = e.demandDetail[:0]
+	for i, en := range e.shards {
+		if e.res && e.states[i].getHealth() == Quarantined {
+			continue
+		}
+		g, fb := en.MemoryDemandDetail()
+		e.demandDetail = append(e.demandDetail, g...)
+		filterBytes += fb
+	}
+	return e.demandDetail, filterBytes
 }
 
 // MemoryDemand flushes and sums the shards' cache-memory demand — the

@@ -4,7 +4,13 @@ import (
 	"fmt"
 	"sort"
 
+	"acache/internal/core"
+	"acache/internal/cost"
+	"acache/internal/join"
 	"acache/internal/memory"
+	"acache/internal/relation"
+	"acache/internal/stream"
+	"acache/internal/tuple"
 )
 
 // Server hosts multiple continuous queries and divides a global cache-memory
@@ -32,6 +38,44 @@ type Server struct {
 	// periodic rebalance path does not churn a slice and map every time.
 	reqs   []memory.Request
 	grants map[string]int
+
+	// Cross-query sharing registry (see DESIGN.md §12). shares holds one
+	// entry per physically shared window store, keyed by the full sharing
+	// identity (stream + attributes + window + index signature + filter
+	// mode); attached lists, per registered query, the entries its engine
+	// is a sharer of. Both are maintained by Register/Deregister only.
+	shares   map[string]*sharedStoreEntry
+	attached map[string][]*sharedStoreEntry
+	// Pooled-rebalance scratch, reused per call: cross-query cache groups
+	// keyed by planner.CrossID, and the per-query free top-up for pooled
+	// bytes another query's request already carries.
+	crossGroups map[string]pooledGroup
+	topUps      map[string]int
+	// Append's fan-out scratch, reused per call.
+	feedEngines []*Engine
+	feedUps     [][]stream.Update
+}
+
+// sharedStoreEntry is one refcounted shared window store: the queries in
+// sharers feed it in lockstep through the replay protocol (relation.Store's
+// shared mode), each charging its own tariffs. sharers is attach order; the
+// first live sharer "carries" the store's bytes in telemetry, later sharers
+// report them as saved.
+type sharedStoreEntry struct {
+	key     string
+	store   *relation.Store
+	sharers []string
+}
+
+// pooledGroup aggregates one cross-query cache sharing group during a
+// rebalance: the carrier (first registrant using it) asks for the group's
+// bytes once with the sharers' summed net benefit; other sharers get the
+// bytes as a free top-up on their grant.
+type pooledGroup struct {
+	carrier string
+	bytes   int
+	net     float64
+	users   int
 }
 
 // NewServer creates a server with the given global cache-memory budget in
@@ -44,6 +88,8 @@ func NewServer(memoryBudget int) *Server {
 		mgr:            memory.NewManager(memoryBudget),
 		engines:        make(map[string]*Engine),
 		sharded:        make(map[string]*ShardedEngine),
+		shares:         make(map[string]*sharedStoreEntry),
+		attached:       make(map[string][]*sharedStoreEntry),
 		RebalanceEvery: 10_000,
 	}
 }
@@ -51,6 +97,18 @@ func NewServer(memoryBudget int) *Server {
 // Register builds the query and adds its engine under the given name. The
 // engine starts with no cache memory until the first rebalance (or with
 // unlimited memory when the server's budget is unlimited).
+//
+// Registration is where cross-query sharing happens: relations declaring the
+// same stream, attributes, and window as an already registered query attach
+// to that query's window store instead of duplicating it (when the index
+// needs and filter mode match too, and the store hasn't ingested anything
+// yet), and cache sharing groups equivalent across queries pool their memory
+// demand in Rebalance. Results, window contents, and cost totals stay
+// bit-identical to unshared engines; sharers must then be fed in lockstep —
+// every sharer processes update k of a shared stream before any processes
+// k+1, which is the natural order when one caller fans an update out to all
+// registered queries. Engines with AdaptOrdering never share stores (a
+// reordering could change a store's index set mid-stream, changing tariffs).
 func (s *Server) Register(name string, q *Query, opts Options) (*Engine, error) {
 	if s.registered(name) {
 		return nil, fmt.Errorf("acache: query %q already registered", name)
@@ -59,15 +117,66 @@ func (s *Server) Register(name string, q *Query, opts Options) (*Engine, error) 
 		// Start minimal; Rebalance grants real budgets by priority.
 		opts.MemoryBudget = memory.PageBytes
 	}
+	opts.relTokens = q.allRelTokens()
+	var handed []providerGrant
+	if !opts.AdaptOrdering {
+		opts.storeProvider = s.shareProvider(q, opts, &handed)
+	}
 	eng, err := q.Build(opts)
 	if err != nil {
+		// Build cannot fail after the store provider has been consulted
+		// (every error fires during validation, before the executor is
+		// built); entries created for this registration are still unwound
+		// defensively.
+		for _, g := range handed {
+			if g.created {
+				delete(s.shares, g.ent.key)
+			}
+		}
 		return nil, err
 	}
 	eng.server = s
 	s.engines[name] = eng
+	for _, g := range handed {
+		g.ent.sharers = append(g.ent.sharers, name)
+		s.attached[name] = append(s.attached[name], g.ent)
+	}
 	s.order = append(s.order, name)
 	s.Rebalance()
 	return eng, nil
+}
+
+// providerGrant records one store the share provider handed to a building
+// engine, so Register can finish (or unwind) the registry bookkeeping once
+// the build's outcome is known.
+type providerGrant struct {
+	ent     *sharedStoreEntry
+	created bool
+}
+
+// shareProvider returns the join.StoreProvider consulted for each of q's
+// relations while its engine is built. It hands out a registry store when
+// the full sharing identity matches — stream name, attribute names, window,
+// index signature, and filter mode — and the store is still empty (a warm
+// store's ring order cannot be reconstructed for a late joiner, so late
+// registrations fall back to private stores). The first query with a given
+// identity creates the entry; it shares through the same replay protocol as
+// every later sharer.
+func (s *Server) shareProvider(q *Query, opts Options, handed *[]providerGrant) join.StoreProvider {
+	return func(rel int, schema *tuple.Schema, meter *cost.Meter, indexSig string) *relation.Store {
+		key := fmt.Sprintf("%s|idx=%s|nofil=%v", q.storeToken(rel), indexSig, opts.DisableFilters)
+		ent, ok := s.shares[key]
+		created := false
+		if !ok {
+			ent = &sharedStoreEntry{key: key, store: relation.NewStore(rel, schema, meter)}
+			s.shares[key] = ent
+			created = true
+		} else if ent.store.Len() != 0 || ent.store.SharedSeq() != 0 {
+			return nil
+		}
+		*handed = append(*handed, providerGrant{ent: ent, created: created})
+		return ent.store
+	}
 }
 
 func (s *Server) registered(name string) bool {
@@ -92,6 +201,11 @@ func (s *Server) RegisterSharded(name string, q *Query, opts Options, sopts Shar
 		}
 		opts.MemoryBudget = memory.PageBytes * shards
 	}
+	// Sharded engines never share stores physically (shards run on worker
+	// goroutines; lockstep across engines is impossible), but their caches
+	// participate in pooled demand accounting per shard — BuildSharded
+	// suffixes each shard's tokens with its slice of the partition plan.
+	opts.relTokens = q.allRelTokens()
 	eng, err := q.BuildSharded(opts, sopts)
 	if err != nil {
 		return nil, err
@@ -104,7 +218,11 @@ func (s *Server) RegisterSharded(name string, q *Query, opts Options, sopts Shar
 }
 
 // Deregister removes a query's engine, returning its memory to the pool. A
-// sharded engine is closed (its shard goroutines stop).
+// sharded engine is closed (its shard goroutines stop). A query attached to
+// shared window stores detaches without disturbing the other sharers — its
+// replay cursor is dropped and the store's pending log trimmed; the last
+// sharer's departure removes the store from the registry entirely, releasing
+// its memory.
 func (s *Server) Deregister(name string) {
 	if !s.registered(name) {
 		return
@@ -112,6 +230,21 @@ func (s *Server) Deregister(name string) {
 	if eng, ok := s.sharded[name]; ok {
 		eng.Close()
 	}
+	if eng, ok := s.engines[name]; ok {
+		eng.core.Exec().ReleaseSharedStores()
+	}
+	for _, ent := range s.attached[name] {
+		for i, n := range ent.sharers {
+			if n == name {
+				ent.sharers = append(ent.sharers[:i:i], ent.sharers[i+1:]...)
+				break
+			}
+		}
+		if len(ent.sharers) == 0 {
+			delete(s.shares, ent.key)
+		}
+	}
+	delete(s.attached, name)
 	delete(s.engines, name)
 	delete(s.sharded, name)
 	for i, n := range s.order {
@@ -140,22 +273,60 @@ func (s *Server) Queries() []string {
 // Rebalance re-divides the global budget across the registered queries by
 // the Section 5 priority rule: each query asks for its used caches' memory
 // demand and is ranked by aggregate net benefit per byte; grants are made
-// greedily in priority order. With an unlimited budget every query gets
-// unlimited memory.
+// greedily in priority order, iterating registered names in registration
+// order so grant order is reproducible across runs. With an unlimited budget
+// every query gets unlimited memory.
+//
+// Cache sharing groups equivalent across queries (same planner.CrossID) are
+// pooled: the first registrant using a group carries its bytes in one
+// request, with every sharer's net benefit folded in — the greedy selector
+// sees the aggregate benefit and charges the budget once — and the other
+// sharers receive the group's bytes as a free top-up on their grant, so a
+// pooled group never starves a later sharer's copy. Shared window stores'
+// filter bytes are likewise charged only to the store's first sharer.
 func (s *Server) Rebalance() {
 	s.sinceRebalance = 0
 	if s.mgr.Budget() < 0 {
-		for _, eng := range s.engines {
-			eng.core.SetMemoryBudget(-1)
-		}
-		for _, eng := range s.sharded {
-			eng.applyGrant(-1)
+		for _, name := range s.order {
+			if eng, ok := s.engines[name]; ok {
+				eng.core.SetMemoryBudget(-1)
+				continue
+			}
+			s.sharded[name].applyGrant(-1)
 		}
 		return
 	}
+	s.poolGroups()
+	if s.topUps == nil {
+		s.topUps = make(map[string]int, len(s.order))
+	}
+	clear(s.topUps)
 	s.reqs = s.reqs[:0]
 	for _, name := range s.order {
-		bytes, net := s.demandOf(name)
+		groups, filterBytes := s.demandDetailOf(name)
+		bytes := filterBytes - s.dupSharedFilterBytes(name)
+		net := 0.0
+		for _, g := range groups {
+			if g.CrossID == "" {
+				bytes += g.Bytes
+				net += g.Net
+				continue
+			}
+			pool := s.crossGroups[g.CrossID]
+			if pool.carrier == name {
+				bytes += pool.bytes
+				net += pool.net
+			} else {
+				s.topUps[name] += g.Bytes
+			}
+		}
+		floor := memory.PageBytes
+		if eng, ok := s.sharded[name]; ok {
+			floor *= eng.NumShards()
+		}
+		if bytes < floor {
+			bytes = floor
+		}
 		s.reqs = append(s.reqs, memory.Request{
 			ID:       name,
 			Priority: net / float64(bytes),
@@ -166,7 +337,11 @@ func (s *Server) Rebalance() {
 		s.grants = make(map[string]int, len(s.order))
 	}
 	s.mgr.AllocateInto(s.grants, s.reqs)
-	for name, grant := range s.grants {
+	for _, name := range s.order {
+		grant := s.grants[name]
+		if grant >= 0 {
+			grant += s.topUps[name]
+		}
 		if eng, ok := s.engines[name]; ok {
 			eng.core.SetMemoryBudget(grant)
 			continue
@@ -178,6 +353,58 @@ func (s *Server) Rebalance() {
 		// ladder steps back down (see ShardedEngine.applyGrant).
 		s.sharded[name].applyGrant(grant)
 	}
+}
+
+// poolGroups rebuilds the cross-query cache-group aggregation from every
+// registered query's current demand detail, in registration order (the first
+// registrant using a group becomes its carrier).
+func (s *Server) poolGroups() {
+	if s.crossGroups == nil {
+		s.crossGroups = make(map[string]pooledGroup)
+	}
+	clear(s.crossGroups)
+	for _, name := range s.order {
+		groups, _ := s.demandDetailOf(name)
+		for _, g := range groups {
+			if g.CrossID == "" {
+				continue
+			}
+			pool, ok := s.crossGroups[g.CrossID]
+			if !ok {
+				s.crossGroups[g.CrossID] = pooledGroup{carrier: name, bytes: g.Bytes, net: g.Net, users: 1}
+				continue
+			}
+			pool.users++
+			pool.net += g.Net
+			if g.Bytes > pool.bytes {
+				pool.bytes = g.Bytes
+			}
+			s.crossGroups[g.CrossID] = pool
+		}
+	}
+}
+
+// demandDetailOf returns the named query's per-group demand detail and
+// filter footprint. The returned slice aliases engine scratch: it is valid
+// until the engine's next MemoryDemandDetail call.
+func (s *Server) demandDetailOf(name string) ([]core.GroupDemand, int) {
+	if eng, ok := s.engines[name]; ok {
+		return eng.core.MemoryDemandDetail()
+	}
+	return s.sharded[name].memoryDemandDetail() // quiesces the shards
+}
+
+// dupSharedFilterBytes is the filter memory resident in shared window stores
+// this query is attached to but does not carry (another live sharer
+// registered first); those bytes are already in the carrier's request.
+func (s *Server) dupSharedFilterBytes(name string) int {
+	n := 0
+	for _, ent := range s.attached[name] {
+		if len(ent.sharers) > 1 && ent.sharers[0] != name {
+			n += ent.store.FilterBytes()
+		}
+	}
+	return n
 }
 
 // demandOf returns the named query's cache-memory demand and aggregate net
@@ -232,28 +459,140 @@ func (s *Server) Budgets() map[string]int {
 	return out
 }
 
-// Stats aggregates per-query statistics, keyed by query name.
+// Stats aggregates per-query statistics, keyed by query name and decorated
+// with the server's cross-query sharing view: SharerCount and
+// SharedBytesSaved from the window-store registry, SharedCaches from the
+// pooled demand groups. Iteration follows registration order, so repeated
+// calls observe engines in a reproducible sequence.
 func (s *Server) Stats() map[string]Stats {
+	s.poolGroups()
 	out := make(map[string]Stats, len(s.order))
 	for _, name := range s.order {
+		var st Stats
 		if eng, ok := s.engines[name]; ok {
-			out[name] = eng.Stats()
+			st = eng.Stats()
 		} else {
-			out[name] = s.sharded[name].Stats()
+			st = s.sharded[name].Stats()
 		}
+		for _, ent := range s.attached[name] {
+			if n := len(ent.sharers); n > st.SharerCount {
+				st.SharerCount = n
+			}
+			if len(ent.sharers) > 1 && ent.sharers[0] != name {
+				st.SharedBytesSaved += ent.store.MemoryBytes() + ent.store.FilterBytes()
+			}
+		}
+		groups, _ := s.demandDetailOf(name)
+		for _, g := range groups {
+			if g.CrossID != "" && s.crossGroups[g.CrossID].users >= 2 {
+				st.SharedCaches++
+			}
+		}
+		out[name] = st
 	}
 	return out
 }
 
 // Health reports per-shard health for every registered sharded query, keyed
-// by query name (serial engines have no shards and are omitted). Safe to
-// call while engines are running.
+// by query name (serial engines have no shards and are omitted), iterating
+// queries in registration order. Safe to call while engines are running.
 func (s *Server) Health() map[string][]ShardHealth {
 	out := make(map[string][]ShardHealth, len(s.sharded))
-	for name, eng := range s.sharded {
-		out[name] = eng.Health()
+	for _, name := range s.order {
+		if eng, ok := s.sharded[name]; ok {
+			out[name] = eng.Health()
+		}
 	}
 	return out
+}
+
+// Append pushes one tuple of the named count-windowed stream into every
+// registered query that declares a relation by that name, and returns the
+// total join-result updates emitted across them. The resulting window
+// updates are interleaved per update index — every engine processes the
+// expiry delete before any engine processes the insert — which is the
+// lockstep order queries sharing the stream's window store require (driving
+// the engines' own Append methods one after the other would let the first
+// sharer run a full delete+insert ahead, which the shared store rejects).
+// Queries not sharing anything are fed identically; for them the order is
+// merely deterministic. Sharded engines route their updates asynchronously,
+// as their own Append does.
+func (s *Server) Append(stream string, values ...int64) int {
+	s.feedEngines = s.feedEngines[:0]
+	s.feedUps = s.feedUps[:0]
+	maxUps := 0
+	for _, name := range s.order {
+		if sh, ok := s.sharded[name]; ok {
+			if _, declared := sh.q.indexOf[stream]; declared {
+				sh.Append(stream, values...)
+			}
+			continue
+		}
+		eng := s.engines[name]
+		idx, declared := eng.q.indexOf[stream]
+		if !declared {
+			continue
+		}
+		ups := eng.windowUpdates(idx, values)
+		s.feedEngines = append(s.feedEngines, eng)
+		s.feedUps = append(s.feedUps, ups)
+		if len(ups) > maxUps {
+			maxUps = len(ups)
+		}
+	}
+	total := 0
+	for k := 0; k < maxUps; k++ {
+		for i, eng := range s.feedEngines {
+			if ups := s.feedUps[i]; k < len(ups) {
+				u := ups[k]
+				eng.seq++
+				u.Seq = eng.seq
+				total += eng.processOne(u)
+			}
+		}
+	}
+	return total
+}
+
+// Insert processes an insertion into the named stream in every registered
+// query declaring it, in registration order, and returns the total
+// join-result updates emitted. One call is one update, so sharers stay in
+// lockstep by construction.
+func (s *Server) Insert(stream string, values ...int64) int {
+	return s.applyAll(true, stream, values)
+}
+
+// Delete processes a deletion from the named stream in every registered
+// query declaring it, in registration order, and returns the total
+// join-result updates emitted.
+func (s *Server) Delete(stream string, values ...int64) int {
+	return s.applyAll(false, stream, values)
+}
+
+func (s *Server) applyAll(insert bool, stream string, values []int64) int {
+	total := 0
+	for _, name := range s.order {
+		if sh, ok := s.sharded[name]; ok {
+			if _, declared := sh.q.indexOf[stream]; declared {
+				if insert {
+					sh.Insert(stream, values...)
+				} else {
+					sh.Delete(stream, values...)
+				}
+			}
+			continue
+		}
+		eng := s.engines[name]
+		if _, declared := eng.q.indexOf[stream]; !declared {
+			continue
+		}
+		if insert {
+			total += eng.Insert(stream, values...)
+		} else {
+			total += eng.Delete(stream, values...)
+		}
+	}
+	return total
 }
 
 // tick is called by hosted engines after each processed update to drive

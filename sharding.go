@@ -123,6 +123,18 @@ func (q *Query) BuildSharded(opts Options, sopts ShardOptions) (*ShardedEngine, 
 		// Decorrelate per-shard sampling and randomized selection; shard 0
 		// keeps the caller's seed so P=1 reproduces the serial engine.
 		c.Seed = cfg.Seed + int64(i)*1_000_003
+		// Scope cross-query cache identities to the shard's slice of the
+		// partition plan: shard i of one sharded query pools only with
+		// shard i of another partitioned the same way — different slices
+		// hold different contents and must never aggregate.
+		if len(cfg.RelTokens) > 0 {
+			suffix := fmt.Sprintf("#%d/%d:%v", i, plan.Shards, plan.KeyCols)
+			toks := make([]string, len(cfg.RelTokens))
+			for r, t := range cfg.RelTokens {
+				toks[r] = t + suffix
+			}
+			c.RelTokens = toks
+		}
 		return core.NewEngine(iq, nil, c)
 	})
 	if err != nil {
@@ -322,6 +334,7 @@ func (e *ShardedEngine) Stats() Stats {
 		PipelineWorkers:      snap.PipelineWorkers,
 		StageStalls:          snap.StageStalls,
 		StageOverlapRatio:    snap.StageOverlapRatio,
+		WindowBytes:          snap.WindowBytes,
 	}
 	counts := make(map[string]int)
 	for i := 0; i < e.sh.NumShards(); i++ {
@@ -494,6 +507,13 @@ func (e *ShardedEngine) SetMemoryBudget(bytes int) {
 // hosting server's cross-query rebalance.
 func (e *ShardedEngine) memoryDemand() (bytes int, net float64) {
 	return e.sh.MemoryDemand()
+}
+
+// memoryDemandDetail flushes and concatenates the shards' per-group demand
+// detail (group identities are already shard-scoped, see BuildSharded), for
+// the hosting server's pooled rebalance.
+func (e *ShardedEngine) memoryDemandDetail() ([]core.GroupDemand, int) {
+	return e.sh.MemoryDemandDetail()
 }
 
 // applyGrant receives a budget grant from the hosting server. While the
