@@ -43,6 +43,7 @@ import (
 	"acache/internal/planner"
 	"acache/internal/query"
 	"acache/internal/stream"
+	"acache/internal/tier"
 	"acache/internal/tuple"
 )
 
@@ -297,6 +298,27 @@ type Options struct {
 	// keeps the serial path. Engines built with workers should be Closed
 	// when no longer needed.
 	Pipeline PipelineOptions
+	// Tier enables tiered slab storage: relation-window pages and cache-entry
+	// payloads past a hot-bytes watermark spill to memory-mapped files under
+	// Tier.Dir, with access-tracked promotion back to the hot tier. Results,
+	// window contents, and simulated cost totals are bit-identical with
+	// tiering on or off — the cost meter always charges the in-memory tariff
+	// — while the resident footprint reported to the memory allocator shrinks
+	// to the hot tier. Sharded engines give each shard a subdirectory. The
+	// zero value keeps everything in memory.
+	Tier TierOptions
+}
+
+// TierOptions configure tiered (mmap-backed cold tier) storage.
+type TierOptions struct {
+	// Dir is the spill directory; empty disables tiering.
+	Dir string
+	// HotBytes is the hot-tier watermark per store and per engine's cache
+	// pool, in bytes (≤ 0 uses a default).
+	HotBytes int
+	// PageBytes is the spill page size (≤ 0 uses a default; rounded up to
+	// the OS page granularity).
+	PageBytes int
 }
 
 // PipelineOptions configure staged pipeline-parallel execution.
@@ -321,6 +343,7 @@ type Engine struct {
 	seq      uint64
 	server   *Server         // non-nil when hosted by a Server
 	upsBuf   []stream.Update // Append's window-update scratch, reused per call
+	dur      *durable        // non-nil for durable engines (BuildDurable)
 }
 
 // coreConfig translates the public Options into the core engine's
@@ -345,6 +368,11 @@ func (opts Options) coreConfig(q *Query) (core.Config, error) {
 		Pipeline: join.PipelineOptions{
 			Workers:     opts.Pipeline.Workers,
 			StageBuffer: opts.Pipeline.StageBuffer,
+		},
+		Tier: tier.Options{
+			Dir:       opts.Tier.Dir,
+			HotBytes:  opts.Tier.HotBytes,
+			PageBytes: opts.Tier.PageBytes,
 		},
 	}
 	if cfg.MemoryBudget <= 0 {
@@ -486,12 +514,16 @@ func (e *Engine) Delete(rel string, values ...int64) int {
 func (e *Engine) apply(op stream.Op, rel int, values []int64) int {
 	e.checkArity(rel, values)
 	e.seq++
-	return e.processOne(stream.Update{
+	n := e.processOne(stream.Update{
 		Op:    op,
 		Rel:   rel,
 		Tuple: tuple.Tuple(values),
 		Seq:   e.seq,
 	})
+	if e.dur != nil {
+		e.durLogApply(op, rel, values)
+	}
+	return n
 }
 
 // processOne pushes one update through the core engine and drives the
@@ -520,6 +552,9 @@ func (e *Engine) Append(rel string, values ...int64) int {
 		e.seq++
 		u.Seq = e.seq
 		total += e.processOne(u)
+	}
+	if e.dur != nil {
+		e.logOp(walAppend, idx, 0, values)
 	}
 	return total
 }
@@ -582,6 +617,9 @@ func (e *Engine) AppendBatch(rel string, rows [][]int64) int {
 		}
 	}
 	e.upsBuf = ups[:0]
+	if e.dur != nil {
+		e.logBatch(idx, rows)
+	}
 	return total
 }
 
@@ -597,12 +635,15 @@ func (e *Engine) AppendAt(rel string, ts int64, values ...int64) int {
 		panic(fmt.Sprintf("acache: relation %q is not time-windowed; use Append or Insert", rel))
 	}
 	e.checkArity(idx, values)
-	total := e.AdvanceTime(ts)
+	total := e.advanceTime(ts)
 	for _, u := range e.timeWins[idx].Append(tuple.Tuple(values).Clone(), ts) {
 		u.Rel = idx
 		e.seq++
 		u.Seq = e.seq
 		total += e.processOne(u)
+	}
+	if e.dur != nil {
+		e.logOp(walAppendAt, idx, ts, values)
 	}
 	return total
 }
@@ -611,6 +652,16 @@ func (e *Engine) AppendAt(rel string, ts int64, values ...int64) int {
 // expiring every time window's old tuples and processing their deletes. It
 // returns the join-result updates emitted by the retractions.
 func (e *Engine) AdvanceTime(ts int64) int {
+	total := e.advanceTime(ts)
+	if e.dur != nil {
+		e.logOp(walAdvance, 0, ts, nil)
+	}
+	return total
+}
+
+// advanceTime is AdvanceTime without the WAL record — AppendAt advances the
+// clock as part of its own (single) logged call.
+func (e *Engine) advanceTime(ts int64) int {
 	total := 0
 	for idx, w := range e.timeWins {
 		if w == nil {
@@ -664,6 +715,15 @@ type Stats struct {
 	// (shared stores counted at full size in every sharer's Stats; see
 	// SharedBytesSaved for the server-scope discount).
 	WindowBytes int
+
+	// Tiered-storage telemetry (zero with tiering off): TierHotBytes /
+	// TierColdBytes split the window and cache footprint into the resident
+	// hot tier and the spilled cold tier; TierPromotions / TierDemotions
+	// count moves between them.
+	TierHotBytes   int
+	TierColdBytes  int
+	TierPromotions uint64
+	TierDemotions  uint64
 
 	// Cross-query sharing telemetry, populated for engines hosted by a
 	// Server (see Server.Register); zero elsewhere.
@@ -726,6 +786,10 @@ func (e *Engine) Stats() Stats {
 		StageOverlapRatio:    snap.StageOverlapRatio,
 		WindowBytes:          snap.WindowBytes,
 		SharedStores:         snap.SharedStores,
+		TierHotBytes:         snap.TierHotBytes,
+		TierColdBytes:        snap.TierColdBytes,
+		TierPromotions:       snap.TierPromotions,
+		TierDemotions:        snap.TierDemotions,
 	}
 	for _, spec := range e.core.UsedCaches() {
 		s.UsedCaches = append(s.UsedCaches, e.describe(spec))
@@ -760,12 +824,19 @@ func (q *Query) describeSpec(spec *planner.Spec) string {
 	return b.String()
 }
 
-// Close releases the engine's staged-pipeline workers, if any. Engines built
-// with Options.Pipeline zero-valued need no Close; calling it is a harmless
-// no-op. Idempotent. Updates processed after Close fall back to the serial
-// path (same results, no overlap).
+// Close releases the engine's staged-pipeline workers and tiered-storage
+// spill files, if any. Engines built with Options.Pipeline and Options.Tier
+// zero-valued need no Close; calling it is a harmless no-op. Idempotent.
+// Updates processed after Close fall back to the serial path (same results,
+// no overlap). For durable engines Close discards the on-disk state
+// (checkpoint, WAL, spills) — use CloseKeep to preserve it for a warm
+// restart.
 func (e *Engine) Close() {
 	e.core.Close()
+	if e.dur != nil {
+		e.dur.discard()
+		e.dur = nil
+	}
 }
 
 // SetMemoryBudget changes the cache memory budget at run time; the engine

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	acache-bench [-experiment all|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|sharding|hotpath|batch|filter|overload|pipeline|multiquery]
+//	acache-bench [-experiment all|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|sharding|hotpath|batch|filter|overload|pipeline|tiering|multiquery]
 //	             [-scale quick|medium|full] [-seed N] [-shards 1,2,4,8] [-batch N]
 //	             [-procs 1,2,4] [-workers 1,2,4]
 //	             [-cpuprofile FILE] [-memprofile FILE]
@@ -27,7 +27,9 @@
 // against unfiltered execution on miss-heavy and hit-heavy workloads and
 // writes BENCH_filter.json; overload measures throughput and shed rate under
 // injected worker slowdowns, with and without the cache-first degradation
-// ladder, and writes BENCH_overload.json. The JSON files record
+// ladder, and writes BENCH_overload.json; tiering measures the mmap-backed
+// cold tier's resident-footprint reduction and hot-path overhead against the
+// in-memory engine and writes BENCH_tiering.json. The JSON files record
 // GOMAXPROCS/NumCPU, since wall-clock numbers do not transfer across hosts.
 //
 // -cpuprofile and -memprofile write pprof profiles of whatever experiments
@@ -240,6 +242,14 @@ func main() {
 		}
 		fmt.Println(render(rep.Experiment()))
 		fmt.Println("wrote BENCH_overload.json")
+	case "tiering":
+		rep := bench.RunTiering(3, cfg)
+		if err := os.WriteFile("BENCH_tiering.json", rep.JSON(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "BENCH_tiering.json:", err)
+			os.Exit(1)
+		}
+		fmt.Println(render(rep.Experiment()))
+		fmt.Println("wrote BENCH_tiering.json")
 	case "multiquery":
 		rep := multiquery.Run(4, cfg)
 		if err := os.WriteFile("BENCH_multiquery.json", rep.JSON(), 0o644); err != nil {
@@ -259,7 +269,7 @@ func main() {
 	default:
 		run, ok := runners[*experiment]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (want %s, ablations, extensions, sharding, pipeline, hotpath, batch, filter, overload, multiquery, or all)\n",
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (want %s, ablations, extensions, sharding, pipeline, hotpath, batch, filter, overload, tiering, multiquery, or all)\n",
 				*experiment, strings.Join(order, "|"))
 			os.Exit(2)
 		}

@@ -1,0 +1,668 @@
+package acache
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"acache/internal/core"
+	"acache/internal/relation"
+	"acache/internal/stream"
+	"acache/internal/tier"
+	"acache/internal/tuple"
+)
+
+// Durable engine state generalizes the shard-recovery checkpoint/WAL pair to
+// whole-daemon restarts: with tiering enabled, the spill files plus a
+// checkpoint file plus a write-ahead log of ingress calls form the engine's
+// durable state on disk, and BuildDurable reconstructs the engine from them
+// — remapping the spill files (header codec verification included), bulk
+// loading the windows, and replaying the WAL tail — instead of re-streaming
+// the source.
+//
+// Two checkpoint flavors share one format:
+//
+//   - SaveCheckpoint (callable any time) inlines every tuple's values, so the
+//     checkpoint alone is sufficient even if the engine keeps mutating the
+//     spill files afterwards.
+//   - CloseKeep (clean shutdown) records cold tuples as (page slot, index)
+//     references into the spill files — nothing mutates them after shutdown,
+//     so the mmap files carry the cold bytes and the checkpoint stays small.
+//
+// Caches are deliberately absent from both: the paper's
+// consistency-without-completeness property (Section 3.2) makes a cache-cold
+// restart exact, just temporarily slower.
+const (
+	durMagic   = uint32(0xacac_d001)
+	durVersion = uint32(1)
+
+	ckptName = "engine.ckpt"
+	walName  = "wal.log"
+)
+
+// Relation kinds in the checkpoint, mirroring the window declaration.
+const (
+	durUnbounded byte = iota
+	durSliding
+	durPartitioned
+	durTime
+)
+
+// Entry tags: values inline, or a (slot, idx) reference into the relation's
+// spill file.
+const (
+	durInline  byte = 0
+	durColdRef byte = 1
+)
+
+// WAL record kinds — one per ingress entry point, so replay re-drives the
+// exact public calls (window operators included) rather than raw updates.
+const (
+	walInsert byte = iota + 1
+	walDelete
+	walAppend
+	walAppendAt
+	walAdvance
+	walBatch
+)
+
+// durable is the engine's durability sidecar: the WAL writer plus the paths
+// that make up the on-disk state.
+type durable struct {
+	dir      string
+	ckPath   string
+	walPath  string
+	walF     *os.File
+	walW     *bufio.Writer
+	replay   bool  // suppress logging while the WAL tail re-drives the engine
+	walErr   error // sticky write error, surfaced by SyncWAL and friends
+	pageSize int   // spill page geometry, for restore-time ref resolution
+}
+
+// BuildDurable builds the query with durable engine state rooted at
+// opts.Tier.Dir (tiering is required — the spill files are part of the
+// state). If the directory holds a checkpoint or a WAL from a previous run,
+// the engine restarts warm: windows are restored from the checkpoint (cold
+// tuples read through the remapped, codec-verified spill files) and the WAL
+// tail is replayed through the normal ingress paths with result delivery
+// unattached (those results were delivered before the shutdown). It returns
+// the engine and whether the start was warm.
+//
+// After a warm or cold start the engine logs every ingress call to the WAL;
+// call SaveCheckpoint periodically to bound replay, SyncWAL to bound loss,
+// and CloseKeep (not Close, which discards the durable state) to shut down
+// for a future warm restart. Counters (Stats) restart from zero on every
+// restart — results, windows, and future cost accounting are what is exact.
+func (q *Query) BuildDurable(opts Options) (*Engine, bool, error) {
+	if q.err != nil {
+		return nil, false, q.err
+	}
+	if opts.Tier.Dir == "" {
+		return nil, false, fmt.Errorf("acache: BuildDurable requires Options.Tier.Dir")
+	}
+	to := tier.Options{Dir: opts.Tier.Dir, HotBytes: opts.Tier.HotBytes, PageBytes: opts.Tier.PageBytes}.WithDefaults()
+	dir := opts.Tier.Dir
+	ckPath := filepath.Join(dir, ckptName)
+	walPath := filepath.Join(dir, walName)
+
+	// Read (and for cold refs, resolve) the prior state before Build: the
+	// fresh engine re-creates the spill files, truncating them.
+	var ck *durCheckpoint
+	ckData, err := os.ReadFile(ckPath)
+	switch {
+	case err == nil:
+		if ck, err = parseDurCheckpoint(ckData, q, dir, to.PageBytes); err != nil {
+			return nil, false, err
+		}
+	case !os.IsNotExist(err):
+		return nil, false, err
+	}
+	walData, err := os.ReadFile(walPath)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, false, err
+	}
+
+	e, err := q.Build(opts)
+	if err != nil {
+		return nil, false, err
+	}
+	warm := false
+	if ck != nil {
+		if err := e.restoreDur(ck); err != nil {
+			e.Close()
+			return nil, false, err
+		}
+		warm = true
+	}
+	e.dur = &durable{dir: dir, ckPath: ckPath, walPath: walPath, pageSize: to.PageBytes}
+	if len(walData) > 0 {
+		e.dur.replay = true
+		n := e.replayWAL(walData)
+		e.dur.replay = false
+		if n > 0 {
+			warm = true
+		}
+	}
+	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		e.Close()
+		return nil, false, err
+	}
+	e.dur.walF = f
+	e.dur.walW = bufio.NewWriter(f)
+	return e, warm, nil
+}
+
+// SaveCheckpoint writes a self-contained checkpoint (every tuple inlined)
+// and truncates the WAL — the periodic call that bounds crash-replay work.
+// Only durable engines (BuildDurable) support it.
+func (e *Engine) SaveCheckpoint() error {
+	if e.dur == nil {
+		return fmt.Errorf("acache: SaveCheckpoint on a non-durable engine (use BuildDurable)")
+	}
+	if err := e.writeCheckpoint(false); err != nil {
+		return err
+	}
+	return e.dur.resetWAL()
+}
+
+// SyncWAL flushes buffered WAL records to stable storage, bounding how many
+// ingress calls a crash can lose. Surfaces any earlier buffered write error.
+func (e *Engine) SyncWAL() error {
+	if e.dur == nil {
+		return fmt.Errorf("acache: SyncWAL on a non-durable engine")
+	}
+	return e.dur.sync()
+}
+
+// CloseKeep shuts a durable engine down for a warm restart: it writes a
+// shutdown checkpoint whose cold tuples are (page, index) references into
+// the spill files, flushes and keeps those files on disk, truncates the WAL,
+// and releases workers and file handles. The engine must not be used
+// afterwards. Use Close instead to discard the durable state.
+func (e *Engine) CloseKeep() error {
+	if e.dur == nil {
+		return fmt.Errorf("acache: CloseKeep on a non-durable engine (use BuildDurable)")
+	}
+	// Checkpoint first (cold refs need the live page table), then flush and
+	// unmap the spills, then retire the WAL the checkpoint just subsumed.
+	err := e.writeCheckpoint(true)
+	e.core.CloseKeep()
+	if rerr := e.dur.resetWAL(); err == nil {
+		err = rerr
+	}
+	if cerr := e.dur.closeWAL(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// discard removes the durable state files — Close()'s transient teardown.
+func (d *durable) discard() {
+	d.closeWAL()
+	os.Remove(d.walPath)
+	os.Remove(d.ckPath)
+}
+
+func (d *durable) closeWAL() error {
+	if d.walF == nil {
+		return d.walErr
+	}
+	err := d.walErr
+	if ferr := d.walW.Flush(); err == nil {
+		err = ferr
+	}
+	if cerr := d.walF.Close(); err == nil {
+		err = cerr
+	}
+	d.walF, d.walW = nil, nil
+	return err
+}
+
+func (d *durable) sync() error {
+	if d.walErr != nil {
+		return d.walErr
+	}
+	if d.walF == nil {
+		return nil
+	}
+	if err := d.walW.Flush(); err != nil {
+		d.walErr = err
+		return err
+	}
+	return d.walF.Sync()
+}
+
+// resetWAL empties the log after a checkpoint made its records redundant.
+func (d *durable) resetWAL() error {
+	if d.walF == nil {
+		return nil
+	}
+	d.walW.Reset(d.walF)
+	if err := d.walF.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := d.walF.Seek(0, 0); err != nil {
+		return err
+	}
+	return d.walF.Sync()
+}
+
+// ── WAL append side ──────────────────────────────────────────────────────────
+
+// logOp appends one single-tuple ingress call to the WAL. ts is meaningful
+// for walAppendAt and walAdvance only.
+func (e *Engine) logOp(kind byte, rel int, ts int64, values []int64) {
+	d := e.dur
+	if d == nil || d.replay || d.walErr != nil || d.walW == nil {
+		return
+	}
+	var hdr [17]byte
+	hdr[0] = kind
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(rel))
+	binary.LittleEndian.PutUint64(hdr[5:], uint64(ts))
+	binary.LittleEndian.PutUint32(hdr[13:], uint32(len(values)))
+	if _, err := d.walW.Write(hdr[:]); err != nil {
+		d.walErr = err
+		return
+	}
+	var vb [8]byte
+	for _, v := range values {
+		binary.LittleEndian.PutUint64(vb[:], uint64(v))
+		if _, err := d.walW.Write(vb[:]); err != nil {
+			d.walErr = err
+			return
+		}
+	}
+}
+
+// logBatch appends an AppendBatch call: the batch must replay as one call
+// because its grouped expiry schedule differs from per-row appends.
+func (e *Engine) logBatch(rel int, rows [][]int64) {
+	d := e.dur
+	if d == nil || d.replay || d.walErr != nil || d.walW == nil {
+		return
+	}
+	var hdr [9]byte
+	hdr[0] = walBatch
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(rel))
+	binary.LittleEndian.PutUint32(hdr[5:], uint32(len(rows)))
+	if _, err := d.walW.Write(hdr[:]); err != nil {
+		d.walErr = err
+		return
+	}
+	var vb [8]byte
+	for _, row := range rows {
+		for _, v := range row {
+			binary.LittleEndian.PutUint64(vb[:], uint64(v))
+			if _, err := d.walW.Write(vb[:]); err != nil {
+				d.walErr = err
+				return
+			}
+		}
+	}
+}
+
+// replayWAL re-drives the logged ingress calls through the engine's public
+// paths and returns how many records were applied. A truncated trailing
+// record (a write cut off by the crash) ends replay cleanly: every record
+// before it was written whole.
+func (e *Engine) replayWAL(data []byte) int {
+	pos, applied := 0, 0
+	names := e.q.names
+	for pos < len(data) {
+		kind := data[pos]
+		if kind == walBatch {
+			if pos+9 > len(data) {
+				break
+			}
+			rel := int(binary.LittleEndian.Uint32(data[pos+1:]))
+			rows := int(binary.LittleEndian.Uint32(data[pos+5:]))
+			if rel >= len(names) {
+				break
+			}
+			arity := e.q.schemas[rel].Len()
+			need := 9 + rows*arity*8
+			if pos+need > len(data) {
+				break
+			}
+			body := data[pos+9:]
+			rs := make([][]int64, rows)
+			for r := 0; r < rows; r++ {
+				row := make([]int64, arity)
+				for c := 0; c < arity; c++ {
+					row[c] = int64(binary.LittleEndian.Uint64(body[(r*arity+c)*8:]))
+				}
+				rs[r] = row
+			}
+			e.AppendBatch(names[rel], rs)
+			pos += need
+			applied++
+			continue
+		}
+		if kind < walInsert || kind > walAdvance || pos+17 > len(data) {
+			break
+		}
+		rel := int(binary.LittleEndian.Uint32(data[pos+1:]))
+		ts := int64(binary.LittleEndian.Uint64(data[pos+5:]))
+		n := int(binary.LittleEndian.Uint32(data[pos+13:]))
+		if kind != walAdvance && rel >= len(names) {
+			break
+		}
+		if pos+17+n*8 > len(data) {
+			break
+		}
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = int64(binary.LittleEndian.Uint64(data[pos+17+i*8:]))
+		}
+		switch kind {
+		case walInsert:
+			e.Insert(names[rel], vals...)
+		case walDelete:
+			e.Delete(names[rel], vals...)
+		case walAppend:
+			e.Append(names[rel], vals...)
+		case walAppendAt:
+			e.AppendAt(names[rel], ts, vals...)
+		case walAdvance:
+			e.AdvanceTime(ts)
+		}
+		pos += 17 + n*8
+		applied++
+	}
+	return applied
+}
+
+// ── Checkpoint writer ────────────────────────────────────────────────────────
+
+// writeCheckpoint serializes the engine's window state. With byRef set
+// (shutdown path) cold tuples are written as spill page references; the
+// caller guarantees the spill files stop mutating afterwards.
+func (e *Engine) writeCheckpoint(byRef bool) error {
+	var buf []byte
+	u32 := func(v uint32) { buf = binary.LittleEndian.AppendUint32(buf, v) }
+	u64 := func(v uint64) { buf = binary.LittleEndian.AppendUint64(buf, v) }
+	u32(durMagic)
+	u32(durVersion)
+	u64(e.seq)
+	u32(uint32(len(e.q.names)))
+	for i := range e.q.names {
+		kind, clock, ts, stamps := e.relState(i)
+		buf = append(buf, kind)
+		if kind == durTime {
+			u64(uint64(clock))
+		}
+		u32(uint32(e.q.schemas[i].Len()))
+		u32(uint32(len(ts)))
+		refs := map[string][][2]uint32{}
+		if byRef {
+			refs = e.coldRefs(i)
+		}
+		for j, t := range ts {
+			var entryTS int64
+			if kind == durTime {
+				entryTS = stamps[j]
+			}
+			if rs := refs[string(tuple.AppendKeyTuple(nil, t))]; len(rs) > 0 {
+				r := rs[len(rs)-1]
+				refs[string(tuple.AppendKeyTuple(nil, t))] = rs[:len(rs)-1]
+				buf = append(buf, durColdRef)
+				if kind == durTime {
+					u64(uint64(entryTS))
+				}
+				u32(r[0])
+				u32(r[1])
+				continue
+			}
+			buf = append(buf, durInline)
+			if kind == durTime {
+				u64(uint64(entryTS))
+			}
+			for _, v := range t {
+				u64(uint64(v))
+			}
+		}
+	}
+	tmp := e.dur.ckPath + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, e.dur.ckPath)
+}
+
+// relState returns relation i's checkpointable window state: its kind, the
+// time-window clock (durTime only), the live tuples in the order the window
+// operator will expire them, and their timestamps (durTime only).
+func (e *Engine) relState(i int) (kind byte, clock int64, ts []tuple.Tuple, stamps []int64) {
+	switch {
+	case e.timeWins[i] != nil:
+		ts, stamps = e.timeWins[i].ContentsTimed()
+		return durTime, e.timeWins[i].Clock(), ts, stamps
+	case e.partWins[i] != nil:
+		return durPartitioned, 0, e.partWins[i].Contents(), nil
+	case e.windows[i] != nil && e.windows[i].Size() > 0:
+		return durSliding, 0, e.windows[i].Contents(), nil
+	default:
+		// Unbounded: no operator state; the store is the window.
+		return durUnbounded, 0, e.core.Exec().Store(i).All(), nil
+	}
+}
+
+// coldRefs maps tuple key → available (slot, idx) spill references for
+// relation i's cold tuples. Multiset matching: equal-valued instances are
+// interchangeable, so any assignment of refs to checkpoint entries is exact.
+func (e *Engine) coldRefs(i int) map[string][][2]uint32 {
+	st := e.core.Exec().Store(i)
+	if !st.TierEnabled() {
+		return map[string][][2]uint32{}
+	}
+	refs := make(map[string][][2]uint32)
+	st.EachDurable(func(t tuple.Tuple, slot int32, idx int) {
+		if slot < 0 {
+			return
+		}
+		k := string(tuple.AppendKeyTuple(nil, t))
+		refs[k] = append(refs[k], [2]uint32{uint32(slot), uint32(idx)})
+	})
+	return refs
+}
+
+// ── Checkpoint reader ────────────────────────────────────────────────────────
+
+// durCheckpoint is a parsed checkpoint with every cold reference already
+// resolved to values (the spills are remapped, read, and released during
+// parsing, before the new engine re-creates them).
+type durCheckpoint struct {
+	seq    uint64
+	kinds  []byte
+	clocks []int64
+	rels   [][]tuple.Tuple
+	stamps [][]int64
+}
+
+// parseDurCheckpoint decodes and validates a checkpoint against the query,
+// resolving cold references by reopening the relation spill files (header
+// magic, codec version, page geometry, and tuple width all verified by
+// tier.Open) and copying the referenced tuples out before release.
+func parseDurCheckpoint(data []byte, q *Query, dir string, pageBytes int) (*durCheckpoint, error) {
+	pos := 0
+	fail := func(f string, args ...any) (*durCheckpoint, error) {
+		return nil, fmt.Errorf("acache: checkpoint %s: %s", filepath.Join(dir, ckptName), fmt.Sprintf(f, args...))
+	}
+	u32 := func() (uint32, bool) {
+		if pos+4 > len(data) {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint32(data[pos:])
+		pos += 4
+		return v, true
+	}
+	u64 := func() (uint64, bool) {
+		if pos+8 > len(data) {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint64(data[pos:])
+		pos += 8
+		return v, true
+	}
+	if m, ok := u32(); !ok || m != durMagic {
+		return fail("bad magic")
+	}
+	if v, ok := u32(); !ok || v != durVersion {
+		return fail("codec version mismatch")
+	}
+	seq, ok := u64()
+	if !ok {
+		return fail("truncated header")
+	}
+	nrels, ok := u32()
+	if !ok || int(nrels) != len(q.names) {
+		return fail("relation count %d, query has %d", nrels, len(q.names))
+	}
+	ck := &durCheckpoint{
+		seq:    seq,
+		kinds:  make([]byte, nrels),
+		clocks: make([]int64, nrels),
+		rels:   make([][]tuple.Tuple, nrels),
+		stamps: make([][]int64, nrels),
+	}
+	// Spill files are opened lazily per relation and closed (kept on disk)
+	// once their refs are resolved.
+	for i := 0; i < int(nrels); i++ {
+		if pos >= len(data) {
+			return fail("truncated at relation %d", i)
+		}
+		kind := data[pos]
+		pos++
+		if kind > durTime {
+			return fail("relation %d: unknown kind %d", i, kind)
+		}
+		ck.kinds[i] = kind
+		if kind == durTime {
+			c, ok := u64()
+			if !ok {
+				return fail("relation %d: truncated clock", i)
+			}
+			ck.clocks[i] = int64(c)
+		}
+		arity, ok := u32()
+		if !ok || int(arity) != q.schemas[i].Len() {
+			return fail("relation %d: arity %d, schema has %d", i, arity, q.schemas[i].Len())
+		}
+		count, ok := u32()
+		if !ok {
+			return fail("relation %d: truncated count", i)
+		}
+		var sp *tier.Spill
+		ts := make([]tuple.Tuple, 0, count)
+		var stamps []int64
+		for j := 0; j < int(count); j++ {
+			if pos >= len(data) {
+				return fail("relation %d: truncated entry %d", i, j)
+			}
+			tag := data[pos]
+			pos++
+			var entryTS int64
+			if kind == durTime {
+				v, ok := u64()
+				if !ok {
+					return fail("relation %d: truncated timestamp", i)
+				}
+				entryTS = int64(v)
+			}
+			switch tag {
+			case durInline:
+				t := make(tuple.Tuple, arity)
+				for c := range t {
+					v, ok := u64()
+					if !ok {
+						return fail("relation %d: truncated tuple", i)
+					}
+					t[c] = tuple.Value(v)
+				}
+				ts = append(ts, t)
+			case durColdRef:
+				slot, ok1 := u32()
+				idx, ok2 := u32()
+				if !ok1 || !ok2 {
+					return fail("relation %d: truncated ref", i)
+				}
+				if sp == nil {
+					var err error
+					sp, err = tier.Open(filepath.Join(dir, fmt.Sprintf("rel%d.spill", i)), pageBytes, uint64(arity))
+					if err != nil {
+						return nil, err
+					}
+					defer sp.CloseKeep()
+				}
+				perPage := pageBytes / (8 * int(arity))
+				if int(slot) >= sp.Pages() || int(idx) >= perPage {
+					return fail("relation %d: ref (%d,%d) out of range", i, slot, idx)
+				}
+				ts = append(ts, relation.ColdTuple(sp, int32(slot), int(idx), int(arity)))
+			default:
+				return fail("relation %d: unknown entry tag %d", i, tag)
+			}
+			if kind == durTime {
+				stamps = append(stamps, entryTS)
+			}
+		}
+		ck.rels[i] = ts
+		ck.stamps[i] = stamps
+	}
+	if pos != len(data) {
+		return fail("%d trailing bytes", len(data)-pos)
+	}
+	return ck, nil
+}
+
+// restoreDur bulk-loads a parsed checkpoint into a freshly built engine:
+// tuples go into the relation stores (RestoreWindows, which re-demotes past
+// the watermark as it fills) and into the ingress window operators, and the
+// update sequence resumes where it left off.
+func (e *Engine) restoreDur(ck *durCheckpoint) error {
+	for i, kind := range ck.kinds {
+		var want byte
+		switch {
+		case e.timeWins[i] != nil:
+			want = durTime
+		case e.partWins[i] != nil:
+			want = durPartitioned
+		case e.windows[i] != nil && e.windows[i].Size() > 0:
+			want = durSliding
+		default:
+			want = durUnbounded
+		}
+		if kind != want {
+			return fmt.Errorf("acache: checkpoint relation %q window kind %d, query declares %d",
+				e.q.names[i], kind, want)
+		}
+	}
+	if err := e.core.RestoreWindows(&core.Checkpoint{Rels: ck.rels}); err != nil {
+		return err
+	}
+	for i, kind := range ck.kinds {
+		switch kind {
+		case durSliding:
+			e.windows[i].Load(ck.rels[i])
+		case durPartitioned:
+			e.partWins[i].Load(ck.rels[i])
+		case durTime:
+			e.timeWins[i].Load(ck.rels[i], ck.stamps[i], ck.clocks[i])
+		}
+	}
+	e.seq = ck.seq
+	return nil
+}
+
+// durLogApply logs a processed Insert/Delete call (stream.Op granularity).
+func (e *Engine) durLogApply(op stream.Op, rel int, values []int64) {
+	kind := walInsert
+	if op == stream.Delete {
+		kind = walDelete
+	}
+	e.logOp(kind, rel, 0, values)
+}

@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestRunTieringShape(t *testing.T) {
+	cfg := RunConfig{Warmup: 2000, Measure: 4000, Seed: 42}
+	rep := RunTiering(3, cfg)
+	if len(rep.Points) != 3 {
+		t.Fatalf("points = %d, want 3", len(rep.Points))
+	}
+	base, uncon, con := rep.Points[0], rep.Points[1], rep.Points[2]
+	if base.Label != "in-memory" || uncon.Label != "tiered-unconstrained" || con.Label != "tiered-constrained" {
+		t.Fatalf("labels = %q, %q, %q", base.Label, uncon.Label, con.Label)
+	}
+	for i, pt := range rep.Points {
+		if pt.TuplesPerSec <= 0 || pt.WallSeconds <= 0 || pt.ResidentBytes <= 0 {
+			t.Fatalf("point %d not measured: %+v", i, pt)
+		}
+	}
+	// Charge identity on the bench workload: same outputs and cost totals
+	// at every configuration.
+	if !rep.Identical {
+		t.Fatalf("points diverge: %+v", rep.Points)
+	}
+	// The unconstrained watermark never demotes; the constrained one must
+	// spill most of the footprint and keep its resident set several times
+	// smaller than the in-memory baseline's.
+	if uncon.Demotions != 0 || uncon.ColdBytes != 0 {
+		t.Fatalf("unconstrained point spilled: %+v", uncon)
+	}
+	if con.Demotions == 0 || con.ColdBytes == 0 {
+		t.Fatalf("constrained point never spilled: %+v", con)
+	}
+	if con.ResidentRatio < 4 {
+		t.Fatalf("constrained resident ratio = %v, want >= 4 (resident %d vs baseline %d)",
+			con.ResidentRatio, con.ResidentBytes, base.ResidentBytes)
+	}
+
+	var back TieringReport
+	if err := json.Unmarshal(rep.JSON(), &back); err != nil {
+		t.Fatalf("JSON round-trip: %v", err)
+	}
+	if back.NumCPU != rep.NumCPU || len(back.Points) != 3 || !back.Identical {
+		t.Fatalf("JSON lost fields: %+v", back)
+	}
+
+	e := rep.Experiment()
+	if e.ID != "tiering" || len(e.Series) != 3 {
+		t.Fatalf("experiment shape: %+v", e)
+	}
+}

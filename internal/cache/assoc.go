@@ -65,12 +65,14 @@ func (c *Cache) probeAssoc(u tuple.Key) ([]tuple.Tuple, bool) {
 	if s0.occupied && s0.key == u {
 		c.stats.Hits++
 		c.lru[set] = 1 // way 0 just used → way 1 is LRU
+		c.touchSlot(s0)
 		return s0.val, true
 	}
 	c.meter.Charge(cost.CacheInsertTuple) // the extra way comparison
 	if s1.occupied && s1.key == u {
 		c.stats.Hits++
 		c.lru[set] = 0
+		c.touchSlot(s1)
 		return s1.val, true
 	}
 	c.noteMiss()
@@ -91,12 +93,14 @@ func (c *Cache) probeAssocBytes(k []byte) ([]tuple.Tuple, bool) {
 	if s0.occupied && keyEq(s0.key, k) {
 		c.stats.Hits++
 		c.lru[set] = 1
+		c.touchSlot(s0)
 		return s0.val, true
 	}
 	c.meter.Charge(cost.CacheInsertTuple) // the extra way comparison
 	if s1.occupied && keyEq(s1.key, k) {
 		c.stats.Hits++
 		c.lru[set] = 0
+		c.touchSlot(s1)
 		return s1.val, true
 	}
 	c.noteMiss()
@@ -139,6 +143,7 @@ func (c *Cache) createAssoc(u tuple.Key, v []tuple.Tuple) {
 			c.stats.Evictions++
 		}
 		c.filDel(target.key)
+		c.freeCold(target)
 		c.usedBytes -= freed
 		c.numEntries--
 	}
@@ -147,6 +152,7 @@ func (c *Cache) createAssoc(u tuple.Key, v []tuple.Tuple) {
 	target.val = append([]tuple.Tuple(nil), v...)
 	target.cnt = nil
 	target.mult = nil
+	target.ref = true
 	c.usedBytes += size
 	c.numEntries++
 	c.stats.Creates++
@@ -156,6 +162,7 @@ func (c *Cache) createAssoc(u tuple.Key, v []tuple.Tuple) {
 	} else {
 		c.lru[set] = 0
 	}
+	c.maybeMaintain()
 }
 
 // slotFor finds the resident slot holding key u in two-way mode, or nil.

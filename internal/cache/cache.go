@@ -62,6 +62,13 @@ type Cache struct {
 
 	version uint64 // bumped on every entry mutation; validates probe memos
 
+	// tr, when non-nil, is the engine's shared cold tier (see tier.go):
+	// entry payloads past the hot watermark spill to a mapped file while
+	// keys, filters, and all logical byte accounting stay resident.
+	// coldBytes is the spilled portion of usedBytes.
+	tr        *Tier
+	coldBytes int
+
 	// fil, when non-nil, fronts every residency check with a fingerprint
 	// filter holding one fingerprint per resident entry, keyed by the same
 	// cacheSeed hash as slot placement. A filter-negative check is a
@@ -82,6 +89,14 @@ type slot struct {
 	// distinct tuple's X-join multiplicity, cnt its total Y-support.
 	mult []int
 	cnt  []int
+
+	// Tier state (see tier.go): a cold entry's payload lives in spill page
+	// cslot and accounts for cbytes of the logical entry size; ref is the
+	// demotion clock's reference bit.
+	cold   bool
+	ref    bool
+	cslot  int32
+	cbytes int
 }
 
 // New creates a cache with nbuckets direct-mapped buckets for keys of
@@ -206,10 +221,15 @@ func (c *Cache) residentSlot(u tuple.Key) *slot {
 		return nil
 	}
 	if c.assoc == 2 {
-		return c.slotForAssoc(u)
+		if s := c.slotForAssoc(u); s != nil {
+			c.touchSlot(s)
+			return s
+		}
+		return nil
 	}
 	s := c.slotOf(u)
 	if s.occupied && s.key == u {
+		c.touchSlot(s)
 		return s
 	}
 	return nil
@@ -221,10 +241,15 @@ func (c *Cache) residentSlotBytes(k []byte) *slot {
 		return nil
 	}
 	if c.assoc == 2 {
-		return c.slotForAssocBytes(k)
+		if s := c.slotForAssocBytes(k); s != nil {
+			c.touchSlot(s)
+			return s
+		}
+		return nil
 	}
 	s := c.slotOfBytes(k)
 	if s.occupied && keyEq(s.key, k) {
+		c.touchSlot(s)
 		return s
 	}
 	return nil
@@ -251,6 +276,7 @@ func (c *Cache) Probe(u tuple.Key) ([]tuple.Tuple, bool) {
 	s := &c.slots[h%uint64(c.nbuckets)]
 	if s.occupied && s.key == u {
 		c.stats.Hits++
+		c.touchSlot(s)
 		return s.val, true
 	}
 	c.noteMiss()
@@ -274,6 +300,7 @@ func (c *Cache) ProbeBytes(k []byte) ([]tuple.Tuple, bool) {
 	s := &c.slots[h%uint64(c.nbuckets)]
 	if s.occupied && keyEq(s.key, k) {
 		c.stats.Hits++
+		c.touchSlot(s)
 		return s.val, true
 	}
 	c.noteMiss()
@@ -308,6 +335,7 @@ func (c *Cache) Create(u tuple.Key, v []tuple.Tuple) {
 			c.stats.Evictions++
 		}
 		c.filDel(s.key)
+		c.freeCold(s)
 		c.usedBytes -= freed
 		c.numEntries--
 	}
@@ -316,10 +344,12 @@ func (c *Cache) Create(u tuple.Key, v []tuple.Tuple) {
 	s.val = append([]tuple.Tuple(nil), v...)
 	s.cnt = nil
 	s.mult = nil
+	s.ref = true
 	c.usedBytes += size
 	c.numEntries++
 	c.stats.Creates++
 	c.filAdd(u)
+	c.maybeMaintain()
 }
 
 // Insert adds tuple r to the entry for key u, if present; otherwise it is
@@ -342,6 +372,7 @@ func (c *Cache) Insert(u tuple.Key, r tuple.Tuple) {
 	s.val = append(s.val, r)
 	c.usedBytes += RefBytes
 	c.stats.Inserts++
+	c.maybeMaintain()
 }
 
 // InsertBytes is Insert for a packed key supplied as bytes. The tuple r is
@@ -363,6 +394,7 @@ func (c *Cache) InsertBytes(k []byte, r tuple.Tuple) {
 	s.val = append(s.val, r)
 	c.usedBytes += RefBytes
 	c.stats.Inserts++
+	c.maybeMaintain()
 }
 
 // Delete removes one tuple equal to r from the entry for key u, if the entry
@@ -406,6 +438,7 @@ func (c *Cache) InsertBytesLazy(k []byte, mk func() tuple.Tuple) {
 	s.val = append(s.val, mk())
 	c.usedBytes += RefBytes
 	c.stats.Inserts++
+	c.maybeMaintain()
 }
 
 // DeleteBytes is Delete for a packed key supplied as bytes.
@@ -435,12 +468,14 @@ func (c *Cache) dropSlot(s *slot) {
 	c.filDel(s.key)
 	c.version++
 	c.usedBytes -= c.slotBytes(s)
+	c.freeCold(s)
 	c.numEntries--
 	s.occupied = false
 	s.key = ""
 	s.val = nil
 	s.cnt = nil
 	s.mult = nil
+	s.ref = false
 }
 
 // Drop removes the entry for key u, if resident. Invalidation-mode caches
@@ -556,16 +591,18 @@ func (c *Cache) HitRate() float64 {
 	return float64(c.stats.Hits) / float64(c.stats.Probes)
 }
 
-// Each visits every resident entry; for tests and invariant checks.
+// Each visits every resident entry; for tests and invariant checks. Cold
+// entries are promoted so the callback sees materialized values.
 func (c *Cache) Each(f func(u tuple.Key, v []tuple.Tuple)) {
-	for i := range c.slots {
-		if c.slots[i].occupied {
-			f(c.slots[i].key, c.slots[i].val)
-		}
-	}
-	for i := range c.slots2 {
-		if c.slots2[i].occupied {
-			f(c.slots2[i].key, c.slots2[i].val)
+	for _, ss := range [][]slot{c.slots, c.slots2} {
+		for i := range ss {
+			if !ss[i].occupied {
+				continue
+			}
+			if ss[i].cold {
+				c.promoteSlot(&ss[i])
+			}
+			f(ss[i].key, ss[i].val)
 		}
 	}
 }

@@ -63,6 +63,7 @@ func (c *Cache) CreateCounted(u tuple.Key, tuples []tuple.Tuple, mults, supports
 			c.stats.Evictions++
 		}
 		c.filDel(s.key)
+		c.freeCold(s)
 		c.usedBytes -= freed
 		c.numEntries--
 	}
@@ -71,10 +72,12 @@ func (c *Cache) CreateCounted(u tuple.Key, tuples []tuple.Tuple, mults, supports
 	s.val = append([]tuple.Tuple(nil), tuples...)
 	s.mult = append([]int(nil), mults...)
 	s.cnt = append([]int(nil), supports...)
+	s.ref = true
 	c.usedBytes += size
 	c.numEntries++
 	c.stats.Creates++
 	c.filAdd(u)
+	c.maybeMaintain()
 }
 
 // ProbeCounted looks up key u on a counted cache, returning the distinct
@@ -90,6 +93,7 @@ func (c *Cache) ProbeCounted(u tuple.Key) (tuples []tuple.Tuple, mults []int, ok
 	s := &c.slots[h%uint64(c.nbuckets)]
 	if s.occupied && s.key == u {
 		c.stats.Hits++
+		c.touchSlot(s)
 		return s.val, s.mult, true
 	}
 	c.noteMiss()
@@ -108,6 +112,7 @@ func (c *Cache) ProbeCountedBytes(k []byte) (tuples []tuple.Tuple, mults []int, 
 	s := &c.slots[h%uint64(c.nbuckets)]
 	if s.occupied && keyEq(s.key, k) {
 		c.stats.Hits++
+		c.touchSlot(s)
 		return s.val, s.mult, true
 	}
 	c.noteMiss()
@@ -131,6 +136,7 @@ func (c *Cache) ApplyCountedDelta(u tuple.Key, r tuple.Tuple, n int, recomputeMu
 	if !s.occupied || s.key != u {
 		return
 	}
+	c.touchSlot(s)
 	c.meter.Charge(cost.CacheInsertTuple)
 	c.version++
 	if n > 0 {
@@ -166,20 +172,30 @@ func (c *Cache) ApplyCountedDelta(u tuple.Key, r tuple.Tuple, n int, recomputeMu
 	s.cnt = append(s.cnt, n)
 	s.mult = append(s.mult, m)
 	c.usedBytes += countedElemBytes
+	c.maybeMaintain()
 }
 
 // EachCounted visits every resident counted entry with its multiplicities
 // and supports.
 func (c *Cache) EachCounted(f func(u tuple.Key, v []tuple.Tuple, mults, supports []int)) {
 	for i := range c.slots {
-		if c.slots[i].occupied {
-			f(c.slots[i].key, c.slots[i].val, c.slots[i].mult, c.slots[i].cnt)
+		if !c.slots[i].occupied {
+			continue
 		}
+		if c.slots[i].cold {
+			c.promoteSlot(&c.slots[i])
+		}
+		f(c.slots[i].key, c.slots[i].val, c.slots[i].mult, c.slots[i].cnt)
 	}
 }
 
 // slotBytes returns the accounted size of a slot's entry, counted or plain.
+// Cold entries report the size frozen at demotion (content is immutable
+// while cold).
 func (c *Cache) slotBytes(s *slot) int {
+	if s.cold {
+		return c.keyBytes + s.cbytes
+	}
 	if s.cnt != nil {
 		return c.keyBytes + countedElemBytes*len(s.val)
 	}

@@ -1,0 +1,308 @@
+package cache
+
+import (
+	"encoding/binary"
+
+	"acache/internal/tier"
+	"acache/internal/tuple"
+)
+
+// Tiered cache storage: cache tables share one engine-level spill file. A
+// demoted entry keeps its key, filter fingerprint, and logical byte
+// accounting resident — so placement, eviction, budget drops, and every
+// meter charge are bit-identical with tiering on or off — while its payload
+// (the value set, and for counted entries the mult/support arrays) is
+// serialized into one spill page. Any touch of a cold entry promotes it
+// first; the fingerprint filters in front of every residency check keep
+// guaranteed misses from ever faulting a cold page. A clock hand across the
+// attached caches demotes cold-eligible entries while the resident payload
+// footprint exceeds the watermark.
+//
+// Unlike relation pages, entries mutate while hot, so a demoted blob does
+// not keep its spill slot: the slot is freed at promotion and a fresh one is
+// allocated at the next demotion. A cold entry is immutable by construction
+// — every mutation path resolves the slot through a residency check that
+// promotes first.
+
+// cacheSpillMeta marks a spill file as holding cache entry blobs (the
+// relation spills record their tuple width here instead).
+const cacheSpillMeta = 0xcace
+
+// Tier is the shared cold tier of one engine's cache tables.
+type Tier struct {
+	sp       *tier.Spill
+	hotBytes int
+	caches   []*Cache
+	ci, si   int // clock hand: cache index, slot index (slots then slots2)
+	promos   uint64
+	demos    uint64
+	disabled bool // spill I/O failed: stop demoting, degrade fully hot
+}
+
+// NewTier creates the shared cache spill at path. hotBytes is the watermark
+// on the total resident payload of all attached caches.
+func NewTier(path string, pageBytes, hotBytes int) (*Tier, error) {
+	sp, err := tier.Create(path, pageBytes, cacheSpillMeta)
+	if err != nil {
+		return nil, err
+	}
+	return &Tier{sp: sp, hotBytes: hotBytes}, nil
+}
+
+// Close detaches every cache (promoting nothing — callers close caches
+// first or accept the loss) and removes the spill file. Attached caches are
+// left untired with their cold payloads dropped, so Close is only for
+// engine teardown where the caches die too.
+func (t *Tier) Close() error {
+	for _, c := range t.caches {
+		for _, ss := range [][]slot{c.slots, c.slots2} {
+			for i := range ss {
+				if ss[i].cold {
+					c.dropSlot(&ss[i])
+				}
+			}
+		}
+		c.tr = nil
+	}
+	t.caches = nil
+	return t.sp.Close()
+}
+
+// Counters returns cumulative entry promotions and demotions.
+func (t *Tier) Counters() (promotions, demotions uint64) { return t.promos, t.demos }
+
+// ColdBytes returns the logical bytes currently spilled across all attached
+// caches.
+func (t *Tier) ColdBytes() int {
+	n := 0
+	for _, c := range t.caches {
+		n += c.coldBytes
+	}
+	return n
+}
+
+// AttachTier registers the cache with the shared cold tier. Call once,
+// before the cache holds entries worth spilling (attaching later is safe —
+// existing entries simply become demotion candidates).
+func (c *Cache) AttachTier(t *Tier) {
+	if c.tr != nil || t == nil {
+		return
+	}
+	c.tr = t
+	t.caches = append(t.caches, c)
+}
+
+// DetachTier promotes every cold entry back to the heap and unregisters the
+// cache, leaving it fully functional untired. Used when a cache outlives
+// the tier (plan changes that recycle cache instances).
+func (c *Cache) DetachTier() {
+	t := c.tr
+	if t == nil {
+		return
+	}
+	for _, ss := range [][]slot{c.slots, c.slots2} {
+		for i := range ss {
+			if ss[i].cold {
+				c.promoteSlot(&ss[i])
+			}
+		}
+	}
+	for i, o := range t.caches {
+		if o == c {
+			t.caches = append(t.caches[:i], t.caches[i+1:]...)
+			break
+		}
+	}
+	c.tr = nil
+	if len(t.caches) > 0 {
+		t.ci %= len(t.caches)
+	} else {
+		t.ci = 0
+	}
+	t.si = 0
+}
+
+// HotUsedBytes is the resident portion of UsedBytes — what the engine
+// reports to the memory allocator. Equal to UsedBytes on an untired cache.
+func (c *Cache) HotUsedBytes() int { return c.usedBytes - c.coldBytes }
+
+// ColdUsedBytes is the logical bytes of this cache's spilled payloads.
+func (c *Cache) ColdUsedBytes() int { return c.coldBytes }
+
+// touchSlot records a hit on a resident slot, promoting it first if cold.
+// Advisory only: no charges, no version bump.
+func (c *Cache) touchSlot(s *slot) {
+	if s.cold {
+		c.promoteSlot(s)
+	}
+	s.ref = true
+}
+
+// freeCold releases a slot's spill page without promoting, for eviction and
+// drop paths where the payload dies anyway.
+func (c *Cache) freeCold(s *slot) {
+	if !s.cold {
+		return
+	}
+	c.tr.sp.Free(s.cslot)
+	c.coldBytes -= s.cbytes
+	s.cold = false
+	s.cbytes = 0
+}
+
+// Blob layout (8-byte words): word 0 is len(val)<<1 | countedBit, word 1 is
+// the tuple width, then the n×w values, then for counted entries the n mult
+// words and n support words. Everything a promotion needs to rebuild the
+// entry exactly; the key never leaves the heap.
+
+// demoteSlot serializes a hot slot's payload into a fresh spill page and
+// drops the heap copies. Returns the logical bytes moved cold, or 0 if the
+// entry is not demotable (empty payload, oversized blob, ragged widths).
+func (c *Cache) demoteSlot(s *slot) int {
+	payload := c.slotBytes(s) - c.keyBytes
+	if payload <= 0 {
+		return 0
+	}
+	n := len(s.val)
+	w := 0
+	for i, u := range s.val {
+		if i == 0 {
+			w = len(u)
+		} else if len(u) != w {
+			return 0
+		}
+	}
+	counted := s.cnt != nil
+	words := 2 + n*w
+	if counted {
+		words += 2 * n
+	}
+	if words*8 > c.tr.sp.PageBytes() {
+		return 0
+	}
+	slot, err := c.tr.sp.Alloc()
+	if err != nil {
+		c.tr.disabled = true
+		return 0
+	}
+	b := c.tr.sp.Bytes(slot)
+	head := uint64(n) << 1
+	if counted {
+		head |= 1
+	}
+	binary.LittleEndian.PutUint64(b, head)
+	binary.LittleEndian.PutUint64(b[8:], uint64(w))
+	off := 16
+	for _, u := range s.val {
+		for _, v := range u {
+			binary.LittleEndian.PutUint64(b[off:], uint64(v))
+			off += 8
+		}
+	}
+	if counted {
+		for _, m := range s.mult {
+			binary.LittleEndian.PutUint64(b[off:], uint64(m))
+			off += 8
+		}
+		for _, n := range s.cnt {
+			binary.LittleEndian.PutUint64(b[off:], uint64(n))
+			off += 8
+		}
+	}
+	s.cold = true
+	s.cslot = slot
+	s.cbytes = payload
+	s.val = nil
+	s.mult = nil
+	s.cnt = nil
+	c.coldBytes += payload
+	c.tr.demos++
+	return payload
+}
+
+// promoteSlot rebuilds a cold slot's payload from its spill page and frees
+// the page.
+func (c *Cache) promoteSlot(s *slot) {
+	b := c.tr.sp.Bytes(s.cslot)
+	head := binary.LittleEndian.Uint64(b)
+	n := int(head >> 1)
+	counted := head&1 == 1
+	w := int(binary.LittleEndian.Uint64(b[8:]))
+	back := make([]tuple.Value, n*w)
+	off := 16
+	for i := range back {
+		back[i] = tuple.Value(binary.LittleEndian.Uint64(b[off:]))
+		off += 8
+	}
+	val := make([]tuple.Tuple, n)
+	for i := range val {
+		val[i] = tuple.Tuple(back[i*w : (i+1)*w : (i+1)*w])
+	}
+	s.val = val
+	if counted {
+		s.mult = make([]int, n)
+		s.cnt = make([]int, n)
+		for i := range s.mult {
+			s.mult[i] = int(binary.LittleEndian.Uint64(b[off:]))
+			off += 8
+		}
+		for i := range s.cnt {
+			s.cnt[i] = int(binary.LittleEndian.Uint64(b[off:]))
+			off += 8
+		}
+	}
+	c.tr.sp.Free(s.cslot)
+	c.coldBytes -= s.cbytes
+	s.cold = false
+	s.cbytes = 0
+	c.tr.promos++
+}
+
+// maybeMaintain runs the demotion clock if the cache is tiered. Call after
+// any operation that can grow resident payload bytes.
+func (c *Cache) maybeMaintain() {
+	if c.tr != nil {
+		c.tr.maintain()
+	}
+}
+
+// maintain advances a clock hand over every attached cache's slots,
+// demoting entries whose reference bit is clear, until the resident payload
+// footprint fits the watermark or the hand has swept twice without finding
+// enough to demote.
+func (t *Tier) maintain() {
+	if t.disabled || len(t.caches) == 0 {
+		return
+	}
+	hot := 0
+	total := 0
+	for _, c := range t.caches {
+		hot += c.usedBytes - c.coldBytes
+		total += len(c.slots) + len(c.slots2)
+	}
+	for steps := 0; hot > t.hotBytes && steps < 2*total; steps++ {
+		c := t.caches[t.ci]
+		var s *slot
+		if t.si < len(c.slots) {
+			s = &c.slots[t.si]
+		} else {
+			s = &c.slots2[t.si-len(c.slots)]
+		}
+		t.si++
+		if t.si >= len(c.slots)+len(c.slots2) {
+			t.si = 0
+			t.ci = (t.ci + 1) % len(t.caches)
+		}
+		if !s.occupied || s.cold {
+			continue
+		}
+		if s.ref {
+			s.ref = false
+			continue
+		}
+		hot -= c.demoteSlot(s)
+		if t.disabled {
+			return
+		}
+	}
+}

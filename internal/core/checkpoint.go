@@ -218,6 +218,8 @@ func (s *Snapshot) AddSnapshot(o Snapshot) {
 	s.FilterFalsePositives += o.FilterFalsePositives
 	s.StagedUpdates += o.StagedUpdates
 	s.StageStalls += o.StageStalls
+	s.TierPromotions += o.TierPromotions
+	s.TierDemotions += o.TierDemotions
 	if o.PipelineWorkers > s.PipelineWorkers {
 		s.PipelineWorkers = o.PipelineWorkers // config gauge, not a counter
 	}

@@ -11,6 +11,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"path/filepath"
 	"sort"
 
 	"acache/internal/cache"
@@ -22,6 +23,7 @@ import (
 	"acache/internal/profiler"
 	"acache/internal/query"
 	"acache/internal/stream"
+	"acache/internal/tier"
 	"acache/internal/tuple"
 )
 
@@ -143,6 +145,13 @@ type Config struct {
 	// cross-query shared window stores for this engine's relations at build
 	// time. See join.Options.StoreProvider.
 	StoreProvider join.StoreProvider
+	// Tier enables tiered slab storage: relation-store pages and cache-entry
+	// payloads past the hot watermark spill to memory-mapped files under
+	// Tier.Dir. Results, window contents, and meter totals are bit-identical
+	// with tiering on or off (the meter always charges the in-memory tariff);
+	// only the resident footprint reported to the memory allocator and
+	// wall-clock time change. The zero value disables tiering.
+	Tier tier.Options
 	// RelTokens, when non-nil, gives each relation a host-scope identity
 	// token (stream name, arity, window shape). They anchor the cross-query
 	// canonical cache identities (planner.CrossID) that a hosting server
@@ -227,6 +236,10 @@ type Engine struct {
 	cands     map[string]*cand          // by placementKey
 	instances map[string]*join.Instance // by SharingID, for Used caches
 
+	// cacheTier is the shared cold tier of this engine's cache instances,
+	// created lazily at the first instance when Config.Tier is enabled.
+	cacheTier *cache.Tier
+
 	updates      int
 	sinceReopt   int
 	sinceMonitor int
@@ -292,7 +305,7 @@ func NewEngine(q *query.Query, ord planner.Ordering, cfg Config) (*Engine, error
 		ord = ordering.InitialOrdering(q.N())
 	}
 	meter := &cost.Meter{}
-	exec, err := join.NewExec(q, ord, meter, join.Options{ScanOnly: cfg.ScanOnly, Pipeline: cfg.Pipeline, StoreProvider: cfg.StoreProvider})
+	exec, err := join.NewExec(q, ord, meter, join.Options{ScanOnly: cfg.ScanOnly, Pipeline: cfg.Pipeline, StoreProvider: cfg.StoreProvider, Tier: cfg.Tier})
 	if err != nil {
 		return nil, err
 	}
@@ -422,8 +435,41 @@ func (en *Engine) instanceFor(spec *planner.Spec, buckets int) *join.Instance {
 	if en.cfg.DisableFilters {
 		inst.Cache().SetFilterEnabled(false)
 	}
+	if t := en.ensureCacheTier(); t != nil {
+		inst.Cache().AttachTier(t)
+	}
 	en.instances[id] = inst
 	return inst
+}
+
+// ensureCacheTier lazily creates the engine's shared cache spill. A creation
+// failure disables cache tiering for the engine's lifetime (caches simply
+// stay fully resident, which is always correct).
+func (en *Engine) ensureCacheTier() *cache.Tier {
+	if en.cacheTier != nil || !en.cfg.Tier.Enabled() {
+		return en.cacheTier
+	}
+	o := en.cfg.Tier.WithDefaults()
+	t, err := cache.NewTier(filepath.Join(o.Dir, "cache.spill"), o.PageBytes, o.HotBytes)
+	if err != nil {
+		en.cfg.Tier = tier.Options{}
+		return nil
+	}
+	en.cacheTier = t
+	return t
+}
+
+// releaseInstance forgets an instance; under tiering its entries are cleared
+// first so the shared spill's slots come back, and the cache unregisters
+// from the tier's demotion clock.
+func (en *Engine) releaseInstance(id string) {
+	if inst, ok := en.instances[id]; ok {
+		if en.cacheTier != nil {
+			inst.Cache().Clear()
+			inst.Cache().DetachTier()
+		}
+		delete(en.instances, id)
+	}
 }
 
 // Process runs one update through the engine: profiling decision, join
@@ -523,6 +569,15 @@ type Snapshot struct {
 	// SharedStores is the number of relations whose window store is
 	// cross-query shared (attached through a hosting server's registry).
 	SharedStores int
+	// TierHotBytes / TierColdBytes split the engine's tuple and cache-entry
+	// footprint into the resident hot tier and the spilled cold tier;
+	// TierPromotions / TierDemotions count page and entry moves between the
+	// tiers. All four are zero with tiering off (they are not persisted in
+	// binary checkpoints — a restored engine re-measures them).
+	TierHotBytes   int
+	TierColdBytes  int
+	TierPromotions uint64
+	TierDemotions  uint64
 }
 
 // Snapshot returns the engine's current counters. The method takes no locks:
@@ -552,17 +607,64 @@ func (en *Engine) Snapshot() Snapshot {
 		WindowBytes:          en.WindowBytes(),
 		SharedStores:         en.exec.SharedStores(),
 	}
+	s.TierHotBytes, s.TierColdBytes, s.TierPromotions, s.TierDemotions = en.TierStats()
 	if s.Updates > 0 {
 		s.StageOverlapRatio = float64(s.StagedUpdates) / float64(s.Updates)
 	}
 	return s
 }
 
-// Close releases the executor's staged-pipeline workers, if any. Engines
-// built with Config.Pipeline.Workers == 0 need no Close; calling it is a
-// no-op. Idempotent.
+// TierStats reports the hot/cold byte split and cumulative tier traffic
+// across the relation stores and cache instances. With tiering off all four
+// are zero, so snapshots of untiered engines are unchanged by the tier
+// fields (and survive binary checkpoint round trips, which do not carry
+// them).
+func (en *Engine) TierStats() (hotBytes, coldBytes int, promotions, demotions uint64) {
+	if !en.cfg.Tier.Enabled() {
+		return 0, 0, 0, 0
+	}
+	for r := 0; r < en.q.N(); r++ {
+		st := en.exec.Store(r)
+		hotBytes += st.HotMemoryBytes()
+		coldBytes += st.ColdMemoryBytes()
+		p, d := st.TierCounters()
+		promotions += p
+		demotions += d
+	}
+	for _, inst := range en.instances {
+		hotBytes += inst.Cache().HotUsedBytes()
+		coldBytes += inst.Cache().ColdUsedBytes()
+	}
+	if en.cacheTier != nil {
+		p, d := en.cacheTier.Counters()
+		promotions += p
+		demotions += d
+	}
+	return hotBytes, coldBytes, promotions, demotions
+}
+
+// Close releases the executor's staged-pipeline workers, if any, and — when
+// tiering is enabled — unmaps and removes every spill file (relation stores
+// and the shared cache spill). Engines built with the zero Config need no
+// Close; calling it is a no-op. Idempotent.
 func (en *Engine) Close() {
 	en.exec.Close()
+	en.exec.CloseTiers()
+	if en.cacheTier != nil {
+		en.cacheTier.Close()
+	}
+}
+
+// CloseKeep is Close for a durable shutdown: the relation-store spill files
+// stay on disk (their cold pages back a checkpoint's page references) while
+// the cache spill is still removed — caches restart cold by design
+// (consistency without completeness keeps results exact).
+func (en *Engine) CloseKeep() {
+	en.exec.Close()
+	en.exec.CloseTiersKeep()
+	if en.cacheTier != nil {
+		en.cacheTier.Close()
+	}
 }
 
 // SetMemoryBudget changes the cache memory budget at run time (Figure 13)
@@ -753,7 +855,10 @@ func (en *Engine) MemoryDemand() (bytes int, netBenefit float64) {
 			seen[id] = true
 			netBenefit -= c.est.Cost
 			b := int(c.est.ExpectedBytes)
-			if actual := c.inst.Cache().UsedBytes(); actual > b {
+			// Hot bytes only: spilled entries are not resident, and the
+			// allocator divides resident memory. Identical to UsedBytes when
+			// tiering is off.
+			if actual := c.inst.Cache().HotUsedBytes(); actual > b {
 				b = actual
 			}
 			bytes += b

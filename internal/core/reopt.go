@@ -462,7 +462,7 @@ func (en *Engine) applySelection(chosen []*cand) {
 					}
 				}
 				if orphan {
-					delete(en.instances, id)
+					en.releaseInstance(id)
 				}
 			}
 			c.state = Unused
@@ -505,7 +505,7 @@ func (en *Engine) detach(c *cand) {
 		}
 	}
 	if !inUse {
-		delete(en.instances, id)
+		en.releaseInstance(id)
 	}
 	c.inst = nil
 	c.suspended = false

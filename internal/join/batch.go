@@ -54,7 +54,10 @@ func (e *Exec) Batchable(rel int) bool { return e.pipes[rel].batchable }
 func (e *Exec) refreshBatchable() {
 	for _, p := range e.pipes {
 		p.batchable = p.computeBatchable()
-		p.stageable = p.batchable && p.computeStageable()
+		// The staged path has no exclusions of its own: self-maintained
+		// maintenance is barrier-deferred and counted (GC) lookups pin
+		// their reduction-set steps into their own stage group (staged.go).
+		p.stageable = p.batchable
 	}
 }
 

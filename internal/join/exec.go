@@ -2,6 +2,7 @@ package join
 
 import (
 	"fmt"
+	"path/filepath"
 	"sort"
 	"strings"
 
@@ -10,6 +11,7 @@ import (
 	"acache/internal/query"
 	"acache/internal/relation"
 	"acache/internal/stream"
+	"acache/internal/tier"
 	"acache/internal/tuple"
 )
 
@@ -31,6 +33,12 @@ type Options struct {
 	// whose tariff structure would differ. A hosting Server uses this to
 	// share one window store across equivalent registered queries.
 	StoreProvider StoreProvider
+	// Tier enables tiered slab storage for the private relation stores:
+	// pages past the hot watermark spill to memory-mapped files under
+	// Tier.Dir (one per relation). Shared provider stores are never tiered —
+	// their lifetime belongs to the host. Results and meter charges are
+	// bit-identical with tiering on or off.
+	Tier tier.Options
 }
 
 // StoreProvider resolves a relation to a pre-existing shared store, or nil.
@@ -135,11 +143,50 @@ func NewExec(q *query.Query, ord planner.Ordering, meter *cost.Meter, opts Optio
 				continue
 			}
 		}
-		e.stores[i] = relation.NewStore(i, q.Schema(i), meter)
+		st := relation.NewStore(i, q.Schema(i), meter)
+		if opts.Tier.Enabled() {
+			if err := st.EnableTier(opts.Tier, filepath.Join(opts.Tier.Dir, fmt.Sprintf("rel%d.spill", i))); err != nil {
+				e.CloseTiers()
+				return nil, err
+			}
+		}
+		e.stores[i] = st
 	}
 	e.buildPipelines()
 	e.refreshBatchable()
 	return e, nil
+}
+
+// CloseTiers unmaps and removes every private store's spill file (transient
+// teardown). Idempotent; a no-op for untired executors. Shared provider
+// stores are untouched.
+func (e *Exec) CloseTiers() error {
+	var err error
+	for r, st := range e.stores {
+		if st == nil || e.sharerIDs[r] >= 0 {
+			continue
+		}
+		if cerr := st.CloseTier(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// CloseTiersKeep unmaps every private store's spill but keeps the files on
+// disk — the durable-shutdown path, where a checkpoint references cold pages
+// by slot and a warm restart remaps them.
+func (e *Exec) CloseTiersKeep() error {
+	var err error
+	for r, st := range e.stores {
+		if st == nil || e.sharerIDs[r] >= 0 {
+			continue
+		}
+		if cerr := st.CloseTierKeep(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // IndexSignature computes, without building anything, the canonical signature
@@ -544,7 +591,7 @@ func (e *Exec) runMissSegment(p *pipeline, att *attachment, misses []tuple.Tuple
 			at[tuple.Encode(t)] = len(tuples)
 			tuples = append(tuples, t)
 			mults = append(mults, 1)
-			supports = append(supports, att.inst.countY(e, t))
+			supports = append(supports, att.inst.countY(e, t, e.meter, &e.arena))
 		}
 		kept := tuples[:0]
 		var km, ks []int

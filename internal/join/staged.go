@@ -40,12 +40,23 @@ import (
 //   - Store updates for the processed run are applied after the barrier,
 //     exactly where the serial paths apply them.
 //
-// Eligibility mirrors the batch path and adds two exclusions (stageable):
-// self-maintained maintenance and counted (GC) lookups both probe relation
-// stores from maintenance or miss-population context, which would race with
-// the groups that own those stores. Ineligible pipelines (and all profiled
-// updates) fall back to the serial path; with Workers == 0 the executor is
-// byte-identical to one built without pipeline options.
+// Eligibility mirrors the batch path (stageable == batchable). Two
+// constructs probe relation stores outside a stage group's own positions and
+// get special handling instead of an exclusion:
+//
+//   - Self-maintained maintenance computes its segment-join delta by joining
+//     relation stores that stage groups own mid-pass; the observer defers
+//     those operators (in arrival order) to the pass barrier, where the
+//     groups have released ownership and the stores still hold exactly the
+//     state the pass saw (the run's own store updates apply later).
+//   - Counted (GC) lookups probe their reduction set's stores during miss
+//     population (countY); the pass partition forbids group boundaries
+//     between such a lookup and the join steps of its reduction set, so the
+//     group resolving the miss owns every store countY touches.
+//
+// Ineligible pipelines (and all profiled updates) fall back to the serial
+// path; with Workers == 0 the executor is byte-identical to one built
+// without pipeline options.
 
 // PipelineOptions configure staged pipeline-parallel execution inside one
 // executor. The zero value keeps the serial path, byte-identical to an
@@ -155,6 +166,14 @@ type stagePool struct {
 	closed sync.Once
 	done   atomic.Bool
 
+	// Per-pass partition and deferral scratch (caller goroutine only).
+	// deferred holds the observer-deferred self-maintenance applications;
+	// allowed/relAt/ends back the boundary computation of stagedPass.
+	deferred []deferredMaint
+	allowed  []bool
+	relAt    []int
+	ends     []int
+
 	stalls        atomic.Uint64
 	stagedRuns    uint64 // caller-goroutine only
 	stagedUpdates uint64 // caller-goroutine only
@@ -225,25 +244,14 @@ func (e *Exec) stagedActive(rel int) bool {
 	return e.pool != nil && !e.pool.done.Load() && e.pipes[rel].stageable
 }
 
-// computeStageable adds the staged path's exclusions on top of batchable:
-// self-maintained maintenance operators join relation stores from the
-// observer's context, and counted (GC) lookups probe reduction-relation
-// stores during miss population (countY) — both would touch stores owned by
-// concurrent stage groups.
-func (p *pipeline) computeStageable() bool {
-	for _, ops := range p.maint {
-		for _, op := range ops {
-			if op.smSteps != nil {
-				return false
-			}
-		}
-	}
-	for _, att := range p.lookups {
-		if att != nil && att.inst.counted() {
-			return false
-		}
-	}
-	return true
+// deferredMaint is one observer-deferred maintenance application: a
+// self-maintained operator and the batch that arrived at its position. The
+// mini-join probes segment-relation stores, so the application waits until
+// the pass barrier releases store ownership; batches are windows into group
+// obsAcc buffers, which stay valid until the next pass resets them.
+type deferredMaint struct {
+	op    *maintOp
+	batch []tuple.Tuple
 }
 
 // stagedPass executes the join computation of one run (k ≥ 1 updates, same
@@ -254,6 +262,12 @@ func (e *Exec) stagedPass(rel int, op stream.Op, ups []stream.Update) int {
 	p := e.pipes[rel]
 	nsteps := len(p.steps)
 	pl := e.pool
+	// Deferred self-maintenance runs on the caller goroutine after the
+	// barrier and allocates its mini-join composites from the executor
+	// arena (groups have their own); reset both like the serial paths do at
+	// the start of each update or run.
+	e.arena.reset()
+	pl.deferred = pl.deferred[:0]
 
 	// The visited-position chain: the serial run only ever delivers batches
 	// to these positions (step outputs land at pos+1, cache hits at the
@@ -278,6 +292,73 @@ func (e *Exec) stagedPass(rel int, op stream.Op, ups []stream.Update) int {
 		g = m
 	}
 
+	// Group boundaries must not separate a counted (GC) lookup from the
+	// join steps of its reduction set Y: miss population (countY) probes
+	// those stores, so they have to belong to the lookup's own group.
+	// allowed[i] reports whether a boundary may fall before visit[i].
+	allowed := pl.allowed[:0]
+	for i := 0; i < m; i++ {
+		allowed = append(allowed, true)
+	}
+	pl.allowed = allowed
+	hasCounted := false
+	for _, pos := range visit {
+		if att := p.lookups[pos]; att != nil && att.inst.counted() {
+			hasCounted = true
+			break
+		}
+	}
+	if hasCounted && g > 1 {
+		// relAt[r] = visit index owning relation r's store this pass. Every
+		// reduction relation is a step of this pipeline (a counted cache
+		// whose scope included rel would make the pipeline unbatchable), so
+		// each lookup's Y entries are freshly written below.
+		relAt := pl.relAt
+		for len(relAt) < len(e.stores) {
+			relAt = append(relAt, 0)
+		}
+		pl.relAt = relAt
+		for vi, pos := range visit {
+			if att := p.lookups[pos]; att != nil {
+				for q := att.start; q <= att.end; q++ {
+					relAt[p.steps[q].rel] = vi
+				}
+			} else {
+				relAt[p.steps[pos].rel] = vi
+			}
+		}
+		for vi, pos := range visit {
+			att := p.lookups[pos]
+			if att == nil || !att.inst.counted() {
+				continue
+			}
+			lo, hi := vi, vi
+			for _, y := range att.inst.y {
+				if w := relAt[y]; w < lo {
+					lo = w
+				} else if w > hi {
+					hi = w
+				}
+			}
+			for i := lo + 1; i <= hi; i++ {
+				allowed[i] = false
+			}
+		}
+	}
+	// ends lists the permissible group end points (exclusive, ascending,
+	// final entry m); the partition below only cuts there.
+	ends := pl.ends[:0]
+	for i := 1; i < m; i++ {
+		if allowed[i] {
+			ends = append(ends, i)
+		}
+	}
+	ends = append(ends, m)
+	pl.ends = ends
+	if g > len(ends) {
+		g = len(ends)
+	}
+
 	k := len(ups)
 	chunkTarget := k / (2 * g)
 	if chunkTarget < 1 {
@@ -287,18 +368,27 @@ func (e *Exec) stagedPass(rel int, op stream.Op, ups []stream.Update) int {
 		chunkTarget = maxChunkBatches
 	}
 
-	// Contiguous balanced partition of the visited chain into g groups, and
-	// per-pass ownership: each group's journal becomes the meter of every
-	// store and cache instance its positions touch. Ownership is exclusive —
-	// pipeline positions join distinct relations, cache spans are disjoint,
-	// and stageable pipelines never probe a store from maintenance context.
-	base, extra := m/g, m%g
+	// Contiguous balanced partition of the visited chain into g groups
+	// (cutting only at permitted boundaries), and per-pass ownership: each
+	// group's journal becomes the meter of every store and cache instance
+	// its positions touch. Ownership is exclusive — pipeline positions join
+	// distinct relations, cache spans are disjoint, stageable pipelines
+	// never probe a store from maintenance context (self-maintenance is
+	// barrier-deferred), and counted miss population only probes stores
+	// pinned into the lookup's own group.
 	lo := 0
+	prevE := -1
 	for gi := 0; gi < g; gi++ {
-		hi := lo + base
-		if gi < extra {
-			hi++
+		// Walk ends toward the balanced cumulative target, leaving one end
+		// point for each remaining group.
+		maxE := len(ends) - 1 - (g - 1 - gi)
+		eI := prevE + 1
+		cum := m * (gi + 1) / g
+		for eI < maxE && ends[eI] < cum {
+			eI++
 		}
+		hi := ends[eI]
+		prevE = eI
 		st8 := pl.state(gi)
 		st8.reset(hi - lo)
 		for _, pos := range visit[lo:hi] {
@@ -359,6 +449,18 @@ func (e *Exec) stagedPass(rel int, op stream.Op, ups []stream.Update) int {
 	if panicked != nil {
 		panic(panicked)
 	}
+	// Deferred self-maintenance: the mini-joins probe segment-relation
+	// stores, so they run here, after the groups released ownership — on
+	// exactly the store state the pass saw (the run's own store updates
+	// apply after this returns, and the mini-join excludes the updated
+	// relation anyway), charging the executor meter directly, in the
+	// batches' arrival order. The folded total therefore still equals the
+	// serial order's total bit for bit.
+	for i := range pl.deferred {
+		d := pl.deferred[i]
+		d.op.apply(e, rel, d.batch, op)
+	}
+	pl.deferred = pl.deferred[:0]
 	return outputs
 }
 
@@ -396,6 +498,13 @@ func (e *Exec) observePass(p *pipeline, rel int, op stream.Op, g, nsteps int) (o
 			continue
 		}
 		for _, mo := range p.maint[msg.pos] {
+			if mo.smSteps != nil {
+				// Self-maintenance joins segment-relation stores that stage
+				// groups still own mid-pass; apply at the barrier instead,
+				// preserving arrival order.
+				pl.deferred = append(pl.deferred, deferredMaint{op: mo, batch: msg.batch})
+				continue
+			}
 			mo.apply(e, rel, msg.batch, op)
 		}
 		for _, t := range p.taps[msg.pos] {
@@ -534,28 +643,45 @@ func (e *Exec) stageWorker(p *pipeline, positions []int, st8 *stageState, ups []
 // cached segment (creating entries) before returning — so the next update's
 // probes see them, reproducing the serial probe/create interleaving. All
 // charges go to the group's journal (the cache's internal meter is swapped to
-// it for the pass). Counted caches never reach here (stageable excludes
-// them), so only the plain create path exists.
+// it for the pass). Counted (GC) caches probe with multiplicities, exactly
+// like the serial path.
 func (e *Exec) stagedLookup(p *pipeline, att *attachment, batch []tuple.Tuple, st8 *stageState, si int, op stream.Op) []tuple.Tuple {
 	out := st8.outBufs[si]
 	start := len(out)
 	misses := st8.missBuf[:0]
+	counted := att.inst.counted()
+	emit := func(r, s tuple.Tuple) {
+		st8.journal.Charge(cost.OutputTuple)
+		o := st8.arena.alloc(len(r) + len(att.permCols))
+		copy(o, r)
+		for i, c := range att.permCols {
+			o[len(r)+i] = s[c]
+		}
+		out = append(out, o)
+	}
 	for _, r := range batch {
 		st8.journal.ChargeN(cost.KeyExtract, len(att.keyCols))
 		st8.keyBuf = tuple.AppendKey(st8.keyBuf[:0], r, att.keyCols)
+		if counted {
+			tuples, mults, hit := att.inst.store.ProbeCountedBytes(st8.keyBuf)
+			if !hit {
+				misses = append(misses, r)
+				continue
+			}
+			for i, s := range tuples {
+				for n := 0; n < mults[i]; n++ {
+					emit(r, s)
+				}
+			}
+			continue
+		}
 		v, hit := att.inst.store.ProbeBytes(st8.keyBuf)
 		if !hit {
 			misses = append(misses, r)
 			continue
 		}
 		for _, s := range v {
-			st8.journal.Charge(cost.OutputTuple)
-			o := st8.arena.alloc(len(r) + len(att.permCols))
-			copy(o, r)
-			for i, c := range att.permCols {
-				o[len(r)+i] = s[c]
-			}
-			out = append(out, o)
+			emit(r, s)
 		}
 	}
 	if len(misses) > 0 {
@@ -566,10 +692,12 @@ func (e *Exec) stagedLookup(p *pipeline, att *attachment, batch []tuple.Tuple, s
 	return out[start:]
 }
 
-// stagedMissSegment is runMissSegment's staged twin (plain caches only): each
-// miss tuple runs through the cached segment's operators with the group's
-// journal and arena, interior taps are published to the observer, and the
-// computed value multiset is installed in the cache.
+// stagedMissSegment is runMissSegment's staged twin: each miss tuple runs
+// through the cached segment's operators with the group's journal and arena,
+// interior taps are published to the observer, and the computed value
+// multiset is installed in the cache. For counted (GC) caches the Y-support
+// probes (countY) also charge the group's journal; the reduction stores they
+// touch belong to this group by the pass partition's boundary rule.
 func (e *Exec) stagedMissSegment(p *pipeline, att *attachment, misses []tuple.Tuple, op stream.Op, st8 *stageState, out []tuple.Tuple) []tuple.Tuple {
 	created := make(map[tuple.Key]bool)
 	for _, r := range misses {
@@ -591,7 +719,36 @@ func (e *Exec) stagedMissSegment(p *pipeline, att *attachment, misses []tuple.Tu
 		for i, o := range batch {
 			vals[i] = extract(o, att.segCols)
 		}
-		att.inst.store.Create(u, vals)
+		if !att.inst.counted() {
+			att.inst.store.Create(u, vals)
+			continue
+		}
+		// GC cache: collapse to distinct tuples with multiplicities, keep
+		// only Y-supported ones, and record exact total support — the same
+		// create path as runMissSegment, charged to the journal.
+		var tuples []tuple.Tuple
+		var mults, supports []int
+		at := make(map[tuple.Key]int)
+		for _, t := range vals {
+			if i, ok := at[tuple.Encode(t)]; ok {
+				mults[i]++
+				continue
+			}
+			at[tuple.Encode(t)] = len(tuples)
+			tuples = append(tuples, t)
+			mults = append(mults, 1)
+			supports = append(supports, att.inst.countY(e, t, &st8.journal, &st8.arena))
+		}
+		kept := tuples[:0]
+		var km, ks []int
+		for i, t := range tuples {
+			if supports[i] > 0 {
+				kept = append(kept, t)
+				km = append(km, mults[i])
+				ks = append(ks, mults[i]*supports[i])
+			}
+		}
+		att.inst.store.CreateCounted(u, kept, km, ks)
 	}
 	return out
 }

@@ -194,6 +194,86 @@ func FuzzStagedMatchesSerial(f *testing.F) {
 	})
 }
 
+// TestStagedSelfMaintMatchesSerial: pipelines hosting self-maintained
+// maintenance operators are stage-eligible — the observer defers the
+// mini-join application to the pass barrier, where the stage groups have
+// released store ownership — and stay bit-identical to the serial path in
+// outputs, units, meter totals, windows, and cache tables.
+func TestStagedSelfMaintMatchesSerial(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		for _, batch := range []bool{false, true} {
+			t.Run(fmt.Sprintf("workers=%d/batch=%v", workers, batch), func(t *testing.T) {
+				base := runtime.NumGoroutine()
+				q, _ := threeWay(t)
+				spec, ord := findSelfMaintSpec(t)
+				ser, stg, mS, mP, instS, instP := stagedPair(t, q, ord, workers, []*planner.Spec{spec})
+				if len(instP) == 0 || !instP[0].SelfMaintained() {
+					t.Fatal("expected a self-maintained instance")
+				}
+				for _, l := range instP[0].Segment() {
+					if !stg.pipes[l].stageable {
+						t.Fatalf("pipeline %d hosting self-maintenance is not stageable", l)
+					}
+				}
+				rng := rand.New(rand.NewSource(71))
+				runDiff(t, q, ser, stg, mS, mP, instS, instP, randomUpdates(rng, q, 900, 5), batch)
+				if _, _, runs, _ := stg.PipelineStats(); runs == 0 {
+					t.Fatal("staged path never ran")
+				}
+				stg.Close()
+				checkGoroutines(t, base)
+			})
+		}
+	}
+}
+
+// findCountedSpec returns a counted (incrementally maintained) GC candidate
+// in the four-way clique — a reduced X ⋉ Y cache whose miss population must
+// probe the reduction relations — with the ordering that admits it.
+func findCountedSpec(t *testing.T) (*query.Query, *planner.Spec, planner.Ordering) {
+	t.Helper()
+	q, ord := fourWayClique(t)
+	prefix := planner.Candidates(q, ord)
+	for _, c := range planner.GCCandidates(q, ord, prefix, len(prefix)+20) {
+		if !c.SelfMaint && c.GC && len(c.Y) > 0 {
+			return q, c, ord
+		}
+	}
+	t.Fatal("no counted GC candidate under this ordering")
+	return nil, nil, nil
+}
+
+// TestStagedCountedGCMatchesSerial: pipelines with counted (GC) cache
+// lookups are stage-eligible — the pass partition pins the lookup and its
+// reduction-set steps into one group so countY's probes stay owned — and
+// bit-identical to serial. The pipelines hosting the counted maintenance
+// operators stay on the serial path (they are not batchable), exercising the
+// mixed staged/serial flow.
+func TestStagedCountedGCMatchesSerial(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		for _, batch := range []bool{false, true} {
+			t.Run(fmt.Sprintf("workers=%d/batch=%v", workers, batch), func(t *testing.T) {
+				base := runtime.NumGoroutine()
+				q, spec, ord := findCountedSpec(t)
+				ser, stg, mS, mP, instS, instP := stagedPair(t, q, ord, workers, []*planner.Spec{spec})
+				if len(instP) == 0 || !instP[0].GC() || instP[0].SelfMaintained() {
+					t.Fatal("expected a counted GC instance")
+				}
+				if !stg.pipes[spec.Pipeline].stageable {
+					t.Fatalf("pipeline %d with a counted lookup is not stageable", spec.Pipeline)
+				}
+				rng := rand.New(rand.NewSource(73))
+				runDiff(t, q, ser, stg, mS, mP, instS, instP, randomUpdates(rng, q, 900, 4), batch)
+				if _, _, runs, _ := stg.PipelineStats(); runs == 0 {
+					t.Fatal("staged path never ran")
+				}
+				stg.Close()
+				checkGoroutines(t, base)
+			})
+		}
+	}
+}
+
 // TestStagedFourWaySharedCaches exercises multi-group passes (three join
 // steps) with shared caches attached in several pipelines.
 func TestStagedFourWaySharedCaches(t *testing.T) {

@@ -205,6 +205,11 @@ type Store struct {
 	// shared, when non-nil, marks a store attached to more than one executor
 	// (cross-query window sharing). See ApplyShared for the protocol.
 	shared *sharedState
+
+	// tier, when non-nil, runs the slab on tiered pages: hot pages on the
+	// heap, pages past the hot watermark demoted to a memory-mapped spill
+	// file (see tier.go). Never charged; results are identical either way.
+	tier *storeTier
 }
 
 // sharedState is the bookkeeping of a cross-query shared store: every sharer
@@ -494,19 +499,26 @@ func (s *Store) Index(names ...string) *HashIndex { return s.indexes[indexName(n
 func (s *Store) IndexNamed(id string) *HashIndex { return s.indexes[id] }
 
 // allocID claims a slab id for t, growing every per-id side array in step.
+// Untired stores alias the caller's tuple; tiered stores copy it into the
+// id's page slot so the bytes live in pageable storage.
 func (s *Store) allocID(t tuple.Tuple) int32 {
+	var id int32
 	if n := len(s.freeIDs); n > 0 {
-		id := s.freeIDs[n-1]
+		id = s.freeIDs[n-1]
 		s.freeIDs = s.freeIDs[:n-1]
-		s.tuples[id] = t
-		return id
+	} else {
+		id = int32(len(s.tuples))
+		s.tuples = append(s.tuples, nil)
+		s.orderPos = append(s.orderPos, 0)
+		s.valNext = append(s.valNext, nilID)
+		for _, idx := range s.idxList {
+			idx.next = append(idx.next, nilID)
+		}
 	}
-	id := int32(len(s.tuples))
-	s.tuples = append(s.tuples, t)
-	s.orderPos = append(s.orderPos, 0)
-	s.valNext = append(s.valNext, nilID)
-	for _, idx := range s.idxList {
-		idx.next = append(idx.next, nilID)
+	if s.tier != nil {
+		s.tuples[id] = s.tier.place(s, id, t)
+	} else {
+		s.tuples[id] = t
 	}
 	return id
 }
@@ -547,6 +559,9 @@ func (s *Store) Insert(t tuple.Tuple) {
 		idx.insert(t, id)
 		s.meter.Charge(cost.HashInsert)
 	}
+	if s.tier != nil {
+		s.tier.maintain(s) // demote LRU pages past the hot watermark
+	}
 }
 
 // Delete removes one tuple equal to t. It reports whether a tuple was found;
@@ -584,6 +599,9 @@ func (s *Store) Delete(t tuple.Tuple) bool {
 		idx.remove(full, id)
 		s.meter.Charge(cost.HashInsert)
 	}
+	if s.tier != nil {
+		s.tier.unplace(id)
+	}
 	s.tuples[id] = nil
 	s.freeIDs = append(s.freeIDs, id)
 	return true
@@ -595,6 +613,9 @@ func (s *Store) Delete(t tuple.Tuple) bool {
 func (s *Store) Scan(f func(tuple.Tuple) bool) {
 	for _, id := range s.order {
 		s.meter.Charge(cost.ScanStep)
+		if s.tier != nil {
+			s.tier.touch(s, id)
+		}
 		if !f(s.tuples[id]) {
 			return
 		}
@@ -617,12 +638,17 @@ func (s *Store) CountOf(t tuple.Tuple) int {
 	return n
 }
 
-// All returns the current tuples (copy of the slice headers, shared values);
-// for tests and oracles.
+// All returns the current tuples (copy of the slice headers, shared values;
+// tiered stores clone the values so the result survives page moves); for
+// tests and oracles.
 func (s *Store) All() []tuple.Tuple {
 	out := make([]tuple.Tuple, len(s.order))
 	for i, id := range s.order {
-		out[i] = s.tuples[id]
+		if s.tier != nil {
+			out[i] = s.tuples[id].Clone()
+		} else {
+			out[i] = s.tuples[id]
+		}
 	}
 	return out
 }
@@ -771,6 +797,9 @@ func (s *Store) ProbeEachMemo(idx *HashIndex, vals []tuple.Value, memo *ProbeMem
 				s.noteProbeMiss(idx)
 			}
 			for _, id := range memo.ids[e.off : e.off+e.n] {
+				if s.tier != nil {
+					s.tier.touch(s, id)
+				}
 				f(s.tuples[id])
 			}
 			return
@@ -789,6 +818,9 @@ func (s *Store) ProbeEachMemo(idx *HashIndex, vals []tuple.Value, memo *ProbeMem
 	if slot >= 0 {
 		for id := idx.table.slots[slot].head; id != nilID; id = idx.next[id] {
 			memo.ids = append(memo.ids, id)
+			if s.tier != nil {
+				s.tier.touch(s, id)
+			}
 			f(s.tuples[id])
 		}
 	}
@@ -966,6 +998,9 @@ func (ix *HashIndex) each(hash uint64, vals []tuple.Value, f func(t tuple.Tuple)
 		return false
 	}
 	for id := ix.table.slots[slot].head; id != nilID; id = ix.next[id] {
+		if s.tier != nil {
+			s.tier.touch(s, id)
+		}
 		f(s.tuples[id])
 	}
 	return true

@@ -717,6 +717,12 @@ func (e *Engine) takeCheckpoint(i int, ws *shardState) {
 // paper's consistency-without-completeness property makes that exact, just
 // temporarily slower.
 func (e *Engine) rebuild(i int, ws *shardState) error {
+	// Close the panicked engine before building its replacement: with tiering
+	// enabled both own the same spill paths, and the old engine's Close would
+	// otherwise delete the files the new engine just created. Close is
+	// idempotent, so the worker's deferred Close stays safe even when the
+	// rebuild fails below and the slot keeps the closed engine.
+	e.shards[i].Close()
 	en, err := e.mk(i)
 	if err != nil {
 		return err
@@ -729,6 +735,8 @@ func (e *Engine) rebuild(i int, ws *shardState) error {
 		base := ws.ckpt.Snap
 		base.CacheMemoryBytes = 0 // a dead engine's gauge must not linger
 		base.FilterBytes = 0      // likewise
+		base.TierHotBytes = 0
+		base.TierColdBytes = 0
 		ws.snapBase = base
 	} else {
 		ws.snapBase = core.Snapshot{}
@@ -736,7 +744,6 @@ func (e *Engine) rebuild(i int, ws *shardState) error {
 	if e.userCB != nil {
 		e.attachSink(i, en)
 	}
-	e.shards[i].Close() // the panicked engine's stage workers must not leak
 	e.shards[i] = en
 	if len(ws.wal) > 0 {
 		ws.mute = true

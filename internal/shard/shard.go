@@ -485,6 +485,10 @@ func (e *Engine) Snapshot() core.Snapshot {
 		total.StagedUpdates += s.StagedUpdates
 		total.StageStalls += s.StageStalls
 		total.WindowBytes += s.WindowBytes
+		total.TierHotBytes += s.TierHotBytes
+		total.TierColdBytes += s.TierColdBytes
+		total.TierPromotions += s.TierPromotions
+		total.TierDemotions += s.TierDemotions
 		if s.PipelineWorkers > total.PipelineWorkers {
 			total.PipelineWorkers = s.PipelineWorkers
 		}

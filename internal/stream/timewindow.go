@@ -75,6 +75,48 @@ func (w *TimeWindow) AdvanceTo(ts int64) []Update {
 	return out
 }
 
+// Clock returns the last timestamp observed (appends and advances).
+func (w *TimeWindow) Clock() int64 { return w.last }
+
+// ContentsTimed returns the window's current tuples and their timestamps,
+// oldest first — the checkpointable operator state (future expiries depend
+// on each tuple's own timestamp).
+func (w *TimeWindow) ContentsTimed() ([]tuple.Tuple, []int64) {
+	ts := make([]tuple.Tuple, 0, w.n)
+	stamps := make([]int64, 0, w.n)
+	for i := 0; i < w.n; i++ {
+		tt := w.buf[(w.head+i)%len(w.buf)]
+		ts = append(ts, tt.t)
+		stamps = append(stamps, tt.ts)
+	}
+	return ts, stamps
+}
+
+// Load replaces the window's contents (oldest first, with per-tuple
+// timestamps) and sets the clock, without emitting updates — the
+// warm-restart bulk load. Panics on a timestamp regression within the load.
+func (w *TimeWindow) Load(ts []tuple.Tuple, stamps []int64, clock int64) {
+	if len(ts) != len(stamps) {
+		panic("stream: Load tuple/timestamp length mismatch")
+	}
+	n := len(w.buf)
+	for n < len(ts) {
+		n *= 2
+	}
+	w.buf = make([]timedTuple, n)
+	w.head = 0
+	w.n = len(ts)
+	prev := int64(-1 << 62)
+	for i, t := range ts {
+		if stamps[i] < prev {
+			panic("stream: Load timestamps must be non-decreasing")
+		}
+		prev = stamps[i]
+		w.buf[i] = timedTuple{t: t, ts: stamps[i]}
+	}
+	w.last = clock
+}
+
 // Contents returns the window's current tuples, oldest first (tests).
 func (w *TimeWindow) Contents() []tuple.Tuple {
 	out := make([]tuple.Tuple, 0, w.n)

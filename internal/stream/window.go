@@ -1,6 +1,10 @@
 package stream
 
-import "acache/internal/tuple"
+import (
+	"sort"
+
+	"acache/internal/tuple"
+)
 
 // SlidingWindow converts an append-only stream into an update stream over a
 // count-based sliding window of the most recent Size tuples, mirroring the
@@ -104,13 +108,30 @@ func (w *SlidingWindow) AppendBatchInto(ts []tuple.Tuple, out []Update) []Update
 }
 
 // Contents returns the window's current tuples, oldest first. It is intended
-// for tests and invariant checks.
+// for tests, invariant checks, and checkpointing.
 func (w *SlidingWindow) Contents() []tuple.Tuple {
 	out := make([]tuple.Tuple, 0, w.n)
 	for i := 0; i < w.n; i++ {
 		out = append(out, w.buf[(w.head+i)%w.size])
 	}
 	return out
+}
+
+// Load replaces the window's contents with ts, oldest first, without
+// emitting any updates — the warm-restart bulk load. Unbounded windows hold
+// no operator state, so Load is a no-op for them. Panics if ts exceeds a
+// bounded window's size (a checkpoint can never legally hold more).
+func (w *SlidingWindow) Load(ts []tuple.Tuple) {
+	if w.size <= 0 {
+		return
+	}
+	if len(ts) > w.size {
+		panic("stream: Load exceeds window size")
+	}
+	clear(w.buf)
+	w.head = 0
+	w.n = len(ts)
+	copy(w.buf, ts)
 }
 
 // PartitionedWindow is CQL's `[PARTITION BY attr ROWS n]`: the stream is
@@ -195,6 +216,42 @@ func (w *PartitionedWindow) AppendBatchInto(ts []tuple.Tuple, out []Update) []Up
 		out = w.rows[t[w.col]].AppendInto(t, out)
 	}
 	return out
+}
+
+// Contents returns every partition's current tuples for checkpointing:
+// partitions in ascending key order, each partition's tuples oldest first.
+// Only the per-partition relative order matters for future expiries, so this
+// deterministic flattening round-trips exactly through Load.
+func (w *PartitionedWindow) Contents() []tuple.Tuple {
+	keys := make([]tuple.Value, 0, len(w.rows))
+	for k := range w.rows {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	var out []tuple.Tuple
+	for _, k := range keys {
+		out = append(out, w.rows[k].Contents()...)
+	}
+	return out
+}
+
+// Load replaces the window's contents with ts without emitting updates,
+// routing each tuple to its partition in slice order (so per-partition
+// arrival order is preserved). Panics if a partition would overflow.
+func (w *PartitionedWindow) Load(ts []tuple.Tuple) {
+	for _, t := range ts {
+		key := t[w.col]
+		win, ok := w.rows[key]
+		if !ok {
+			win = NewSlidingWindow(w.size)
+			w.rows[key] = win
+		}
+		if win.n == win.size {
+			panic("stream: Load exceeds partition window size")
+		}
+		win.buf[(win.head+win.n)%win.size] = t
+		win.n++
+	}
 }
 
 // Len returns the total tuples across all partitions.

@@ -1,0 +1,54 @@
+//go:build !unix
+
+package tier
+
+import (
+	"io"
+	"unsafe"
+)
+
+// No-mmap fallback: segments live on the heap and are written back to the
+// file explicitly, so the package builds everywhere the engine does. The
+// resident-memory win of true mapping is lost, but behavior — including
+// durable warm restart — is identical.
+
+// mapSegment materializes segment seg on the heap, reading any existing file
+// contents (a reopened spill) into it. A short read past EOF is fine: the
+// tail is a fresh segment.
+func (sp *Spill) mapSegment(seg int) error {
+	segBytes := segPages * sp.pageBytes
+	// Back the segment with a word slice so page windows are 8-byte aligned,
+	// matching the mmap path (callers reinterpret pages as value arrays).
+	words := make([]uint64, segBytes/8)
+	b := unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), segBytes)
+	off := int64(headerBytes) + int64(seg)*int64(segBytes)
+	if _, err := sp.f.ReadAt(b, off); err != nil && err != io.EOF {
+		return err
+	}
+	sp.segs = append(sp.segs, b)
+	sp.dirty = append(sp.dirty, false)
+	return nil
+}
+
+func (sp *Spill) dirtySeg(seg int) { sp.dirty[seg] = true }
+
+// flushAll writes dirty segments back to the file (durable shutdown).
+func (sp *Spill) flushAll() error {
+	segBytes := segPages * sp.pageBytes
+	for i, b := range sp.segs {
+		if !sp.dirty[i] {
+			continue
+		}
+		off := int64(headerBytes) + int64(i)*int64(segBytes)
+		if _, err := sp.f.WriteAt(b, off); err != nil {
+			return err
+		}
+		sp.dirty[i] = false
+	}
+	return nil
+}
+
+func (sp *Spill) unmapAll() {
+	sp.segs = nil
+	sp.dirty = nil
+}

@@ -1,0 +1,38 @@
+//go:build unix
+
+package tier
+
+import "syscall"
+
+// mapSegment maps segment seg of the spill file read-write. Segments are
+// mapped once at a fixed file offset and never remapped, so page windows
+// handed to callers stay valid until Close.
+func (sp *Spill) mapSegment(seg int) error {
+	segBytes := segPages * sp.pageBytes
+	off := int64(headerBytes) + int64(seg)*int64(segBytes)
+	b, err := syscall.Mmap(int(sp.f.Fd()), off, segBytes,
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		return err
+	}
+	sp.segs = append(sp.segs, b)
+	sp.dirty = append(sp.dirty, false)
+	return nil
+}
+
+// dirtySeg is a no-op under mmap: stores through the mapping reach the file
+// via the page cache without explicit write-back.
+func (sp *Spill) dirtySeg(int) {}
+
+// flushAll is a no-op under mmap; the kernel owns write-back (durable
+// shutdown needs the bytes visible to a reopening process, which the shared
+// mapping guarantees).
+func (sp *Spill) flushAll() error { return nil }
+
+func (sp *Spill) unmapAll() {
+	for _, b := range sp.segs {
+		syscall.Munmap(b)
+	}
+	sp.segs = nil
+	sp.dirty = nil
+}

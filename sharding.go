@@ -2,6 +2,7 @@ package acache
 
 import (
 	"fmt"
+	"path/filepath"
 	"sort"
 	"strings"
 
@@ -123,6 +124,12 @@ func (q *Query) BuildSharded(opts Options, sopts ShardOptions) (*ShardedEngine, 
 		// Decorrelate per-shard sampling and randomized selection; shard 0
 		// keeps the caller's seed so P=1 reproduces the serial engine.
 		c.Seed = cfg.Seed + int64(i)*1_000_003
+		// Each shard spills into its own subdirectory: shards are rebuilt
+		// independently on panic recovery, and a rebuild must be able to
+		// remove and recreate its spill files without touching its siblings'.
+		if cfg.Tier.Enabled() {
+			c.Tier.Dir = filepath.Join(cfg.Tier.Dir, fmt.Sprintf("shard%d", i))
+		}
 		// Scope cross-query cache identities to the shard's slice of the
 		// partition plan: shard i of one sharded query pools only with
 		// shard i of another partitioned the same way — different slices
@@ -335,6 +342,10 @@ func (e *ShardedEngine) Stats() Stats {
 		StageStalls:          snap.StageStalls,
 		StageOverlapRatio:    snap.StageOverlapRatio,
 		WindowBytes:          snap.WindowBytes,
+		TierHotBytes:         snap.TierHotBytes,
+		TierColdBytes:        snap.TierColdBytes,
+		TierPromotions:       snap.TierPromotions,
+		TierDemotions:        snap.TierDemotions,
 	}
 	counts := make(map[string]int)
 	for i := 0; i < e.sh.NumShards(); i++ {
