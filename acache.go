@@ -39,6 +39,7 @@ import (
 	"acache/internal/core"
 	"acache/internal/cost"
 	"acache/internal/cql"
+	"acache/internal/fault"
 	"acache/internal/join"
 	"acache/internal/planner"
 	"acache/internal/query"
@@ -289,6 +290,11 @@ type Options struct {
 	// callers — sharing is meaningless without the server's registry.
 	storeProvider join.StoreProvider
 	relTokens     []string
+	// fs is the filesystem seam durability I/O (WAL, checkpoint, spill
+	// files) goes through; nil uses the real filesystem. Set only by tests,
+	// which inject a fault.DiskInjector to exercise disk-failure paths
+	// deterministically.
+	fs fault.FS
 	// Pipeline enables staged pipeline-parallel execution inside the
 	// engine (inside each shard, for sharded engines): join pipelines are
 	// split into bounded-buffer stages overlapping probe work, cache
@@ -373,6 +379,7 @@ func (opts Options) coreConfig(q *Query) (core.Config, error) {
 			Dir:       opts.Tier.Dir,
 			HotBytes:  opts.Tier.HotBytes,
 			PageBytes: opts.Tier.PageBytes,
+			FS:        opts.fs,
 		},
 	}
 	if cfg.MemoryBudget <= 0 {
@@ -725,6 +732,25 @@ type Stats struct {
 	TierPromotions uint64
 	TierDemotions  uint64
 
+	// Durability telemetry (zero for non-durable, untiered engines).
+
+	// WALErrors counts durability I/O failures (failed WAL writes, flushes,
+	// and syncs); the first one poisons the WAL — see SyncWAL.
+	WALErrors uint64
+	// WALRecordsReplayed is how many WAL records BuildDurable applied at
+	// startup; WALBytesIgnored is how many WAL bytes it did not apply (a
+	// torn tail, or a whole stale-epoch log); WALReplayReason says how
+	// replay ended: "" (not durable), "empty", "clean", "torn-tail",
+	// "torn-header", or "stale-epoch".
+	WALRecordsReplayed uint64
+	WALBytesIgnored    uint64
+	WALReplayReason    string
+	// TierWriteErrors counts failed spill writes; DurabilityDegraded is
+	// true once a store or the cache tier has dropped to hot-only operation
+	// (results stay exact, the cold-tier memory win is lost).
+	TierWriteErrors    uint64
+	DurabilityDegraded bool
+
 	// Cross-query sharing telemetry, populated for engines hosted by a
 	// Server (see Server.Register); zero elsewhere.
 
@@ -790,6 +816,14 @@ func (e *Engine) Stats() Stats {
 		TierColdBytes:        snap.TierColdBytes,
 		TierPromotions:       snap.TierPromotions,
 		TierDemotions:        snap.TierDemotions,
+		TierWriteErrors:      snap.TierWriteErrors,
+		DurabilityDegraded:   snap.DurDegraded,
+	}
+	if d := e.dur; d != nil {
+		s.WALErrors = d.walErrs
+		s.WALRecordsReplayed = d.recsReplayed
+		s.WALBytesIgnored = d.bytesIgnored
+		s.WALReplayReason = d.replayReason
 	}
 	for _, spec := range e.core.UsedCaches() {
 		s.UsedCaches = append(s.UsedCaches, e.describe(spec))

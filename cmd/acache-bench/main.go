@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	acache-bench [-experiment all|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|sharding|hotpath|batch|filter|overload|pipeline|tiering|multiquery]
+//	acache-bench [-experiment all|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|sharding|hotpath|batch|filter|overload|pipeline|tiering|recovery|multiquery]
 //	             [-scale quick|medium|full] [-seed N] [-shards 1,2,4,8] [-batch N]
 //	             [-procs 1,2,4] [-workers 1,2,4]
 //	             [-cpuprofile FILE] [-memprofile FILE]
@@ -29,8 +29,11 @@
 // injected worker slowdowns, with and without the cache-first degradation
 // ladder, and writes BENCH_overload.json; tiering measures the mmap-backed
 // cold tier's resident-footprint reduction and hot-path overhead against the
-// in-memory engine and writes BENCH_tiering.json. The JSON files record
-// GOMAXPROCS/NumCPU, since wall-clock numbers do not transfer across hosts.
+// in-memory engine and writes BENCH_tiering.json; recovery measures the
+// durability lifecycle — WAL overhead on ingest, checkpoint save time, and
+// the wall clock of replay and warm restarts — and writes
+// BENCH_recovery.json. The JSON files record GOMAXPROCS/NumCPU, since
+// wall-clock numbers do not transfer across hosts.
 //
 // -cpuprofile and -memprofile write pprof profiles of whatever experiments
 // run, for digging into the hot path itself.
@@ -50,6 +53,7 @@ import (
 	"acache/internal/bench"
 	"acache/internal/bench/multiquery"
 	"acache/internal/bench/overload"
+	"acache/internal/bench/recovery"
 	"acache/internal/plot"
 	"acache/internal/shard"
 )
@@ -250,6 +254,14 @@ func main() {
 		}
 		fmt.Println(render(rep.Experiment()))
 		fmt.Println("wrote BENCH_tiering.json")
+	case "recovery":
+		rep := recovery.Run(cfg)
+		if err := os.WriteFile("BENCH_recovery.json", rep.JSON(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "BENCH_recovery.json:", err)
+			os.Exit(1)
+		}
+		fmt.Println(render(rep.Experiment()))
+		fmt.Println("wrote BENCH_recovery.json")
 	case "multiquery":
 		rep := multiquery.Run(4, cfg)
 		if err := os.WriteFile("BENCH_multiquery.json", rep.JSON(), 0o644); err != nil {
@@ -269,7 +281,7 @@ func main() {
 	default:
 		run, ok := runners[*experiment]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (want %s, ablations, extensions, sharding, pipeline, hotpath, batch, filter, overload, tiering, multiquery, or all)\n",
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (want %s, ablations, extensions, sharding, pipeline, hotpath, batch, filter, overload, tiering, recovery, multiquery, or all)\n",
 				*experiment, strings.Join(order, "|"))
 			os.Exit(2)
 		}

@@ -4,10 +4,12 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 
 	"acache/internal/core"
+	"acache/internal/fault"
 	"acache/internal/relation"
 	"acache/internal/stream"
 	"acache/internal/tier"
@@ -21,6 +23,25 @@ import (
 // — remapping the spill files (header codec verification included), bulk
 // loading the windows, and replaying the WAL tail — instead of re-streaming
 // the source.
+//
+// Crash consistency rests on three mechanisms:
+//
+//   - Every WAL record is framed with a header CRC32-C, a body CRC32-C, and a
+//     sequence number, and the WAL file opens with an epoch header. Replay
+//     applies exactly the valid checksummed frame prefix: a torn tail (the
+//     crash cut off the last append) ends replay cleanly, while corruption in
+//     front of a later valid frame — which no single crash can produce — is a
+//     clean error, never a silent truncation and never a panic.
+//   - The checkpoint carries the same epoch, bumped on every save, plus a
+//     whole-file CRC32-C and a per-cold-ref tuple CRC, and is published
+//     atomically (write temp, fsync, rename, fsync directory). A crash
+//     between the checkpoint publish and the WAL truncate leaves a WAL whose
+//     epoch is behind the checkpoint's; replay detects that and ignores the
+//     stale records instead of double-applying them.
+//   - Durability I/O failures are sticky and loud: the first failed WAL write
+//     or sync poisons the log (logging stops, SyncWAL / SaveCheckpoint /
+//     CloseKeep return the sticky error), so a fault can never silently widen
+//     the loss window. Restart recovers the durable prefix.
 //
 // Two checkpoint flavors share one format:
 //
@@ -36,11 +57,23 @@ import (
 // restart exact, just temporarily slower.
 const (
 	durMagic   = uint32(0xacac_d001)
-	durVersion = uint32(1)
+	durVersion = uint32(2)
+
+	walMagic      = uint32(0xacac_1a06)
+	walHdrBytes   = 16 // magic u32, version u32, epoch u64
+	frameHdrBytes = 20 // hcrc u32, bcrc u32, len u32, seq u64
+
+	// walMaxRecord bounds a frame's payload so a corrupted length field
+	// cannot drive a giant allocation before the body checksum runs.
+	walMaxRecord = 1 << 28
 
 	ckptName = "engine.ckpt"
 	walName  = "wal.log"
 )
+
+// crcTable is the Castagnoli (CRC32-C) polynomial, hardware-accelerated on
+// the platforms the engine targets.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // Relation kinds in the checkpoint, mirroring the window declaration.
 const (
@@ -74,21 +107,48 @@ type durable struct {
 	dir      string
 	ckPath   string
 	walPath  string
-	walF     *os.File
+	fs       fault.FS
+	walF     fault.File
 	walW     *bufio.Writer
-	replay   bool  // suppress logging while the WAL tail re-drives the engine
-	walErr   error // sticky write error, surfaced by SyncWAL and friends
-	pageSize int   // spill page geometry, for restore-time ref resolution
+	replay   bool   // suppress logging while the WAL tail re-drives the engine
+	walErr   error  // sticky durability failure; poisons the WAL (see fail)
+	walErrs  uint64 // durability I/O failures observed (Stats.WALErrors)
+	epoch    uint64 // generation of the checkpoint this WAL extends
+	seq      uint64 // sequence of the last frame appended to the current WAL
+	rec      []byte // frame payload scratch, reused per record
+	pageSize int    // spill page geometry, for restore-time ref resolution
+
+	// Replay report, set once by BuildDurable (Stats.WALRecordsReplayed,
+	// WALBytesIgnored, WALReplayReason).
+	recsReplayed uint64
+	bytesIgnored uint64
+	replayReason string
+}
+
+// fail records a durability I/O failure. The first one sticks: the WAL is
+// poisoned, logging becomes a no-op, and every durability entry point
+// (SyncWAL, SaveCheckpoint, CloseKeep) surfaces the sticky error until the
+// process restarts — there is no self-heal, because records skipped while
+// poisoned can never be recovered into the log.
+func (d *durable) fail(err error) error {
+	d.walErrs++
+	if d.walErr == nil {
+		d.walErr = err
+	}
+	return d.walErr
 }
 
 // BuildDurable builds the query with durable engine state rooted at
 // opts.Tier.Dir (tiering is required — the spill files are part of the
 // state). If the directory holds a checkpoint or a WAL from a previous run,
 // the engine restarts warm: windows are restored from the checkpoint (cold
-// tuples read through the remapped, codec-verified spill files) and the WAL
-// tail is replayed through the normal ingress paths with result delivery
-// unattached (those results were delivered before the shutdown). It returns
-// the engine and whether the start was warm.
+// tuples read through the remapped, codec-verified spill files) and the
+// WAL's valid frame prefix is replayed through the normal ingress paths with
+// result delivery unattached (those results were delivered before the
+// shutdown). Corrupted state — a failed checksum, a mid-log tear, a WAL from
+// the wrong epoch direction — is a clean error, never a panic and never a
+// silently wrong window. It returns the engine and whether the start was
+// warm.
 //
 // After a warm or cold start the engine logs every ingress call to the WAL;
 // call SaveCheckpoint periodically to bound replay, SyncWAL to bound loss,
@@ -102,6 +162,7 @@ func (q *Query) BuildDurable(opts Options) (*Engine, bool, error) {
 	if opts.Tier.Dir == "" {
 		return nil, false, fmt.Errorf("acache: BuildDurable requires Options.Tier.Dir")
 	}
+	fs := fault.Sys(opts.fs)
 	to := tier.Options{Dir: opts.Tier.Dir, HotBytes: opts.Tier.HotBytes, PageBytes: opts.Tier.PageBytes}.WithDefaults()
 	dir := opts.Tier.Dir
 	ckPath := filepath.Join(dir, ckptName)
@@ -110,16 +171,16 @@ func (q *Query) BuildDurable(opts Options) (*Engine, bool, error) {
 	// Read (and for cold refs, resolve) the prior state before Build: the
 	// fresh engine re-creates the spill files, truncating them.
 	var ck *durCheckpoint
-	ckData, err := os.ReadFile(ckPath)
+	ckData, err := fs.ReadFile(ckPath)
 	switch {
 	case err == nil:
-		if ck, err = parseDurCheckpoint(ckData, q, dir, to.PageBytes); err != nil {
+		if ck, err = parseDurCheckpoint(ckData, q, dir, to.PageBytes, fs); err != nil {
 			return nil, false, err
 		}
 	case !os.IsNotExist(err):
 		return nil, false, err
 	}
-	walData, err := os.ReadFile(walPath)
+	walData, err := fs.ReadFile(walPath)
 	if err != nil && !os.IsNotExist(err) {
 		return nil, false, err
 	}
@@ -128,39 +189,72 @@ func (q *Query) BuildDurable(opts Options) (*Engine, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
-	warm := false
-	if ck != nil {
-		if err := e.restoreDur(ck); err != nil {
-			e.Close()
-			return nil, false, err
+	// abort tears the engine down without discarding the on-disk state: the
+	// checkpoint and WAL stay put for inspection or a repaired retry.
+	abort := func(err error) (*Engine, bool, error) {
+		if e.dur != nil && e.dur.walF != nil {
+			e.dur.walF.Close()
 		}
-		warm = true
-	}
-	e.dur = &durable{dir: dir, ckPath: ckPath, walPath: walPath, pageSize: to.PageBytes}
-	if len(walData) > 0 {
-		e.dur.replay = true
-		n := e.replayWAL(walData)
-		e.dur.replay = false
-		if n > 0 {
-			warm = true
-		}
-	}
-	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
-	if err != nil {
+		e.dur = nil
 		e.Close()
 		return nil, false, err
 	}
-	e.dur.walF = f
-	e.dur.walW = bufio.NewWriter(f)
+	warm := false
+	var ckEpoch uint64
+	if ck != nil {
+		if err := e.restoreDur(ck); err != nil {
+			return abort(err)
+		}
+		ckEpoch = ck.epoch
+		warm = true
+	}
+	d := &durable{dir: dir, ckPath: ckPath, walPath: walPath, fs: fs, epoch: ckEpoch, pageSize: to.PageBytes}
+	e.dur = d
+	rep, err := e.recoverWAL(walData, ckEpoch)
+	if err != nil {
+		return abort(err)
+	}
+	d.recsReplayed = uint64(rep.applied)
+	d.bytesIgnored = uint64(rep.ignored)
+	d.replayReason = rep.reason
+	if rep.applied > 0 {
+		warm = true
+	}
+	f, err := fs.OpenFile(walPath, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return abort(err)
+	}
+	d.walF = f
+	d.walW = bufio.NewWriter(f)
+	if rep.keep && rep.valid > 0 {
+		// Normalize: drop the ignored tail (if any) and resume appending
+		// right after the last valid frame, continuing its sequence.
+		end := int64(walHdrBytes + rep.valid)
+		d.seq = rep.lastSeq
+		if err := f.Truncate(end); err != nil {
+			return abort(err)
+		}
+		if _, err := f.Seek(end, 0); err != nil {
+			return abort(err)
+		}
+	} else if err := d.resetWAL(); err != nil {
+		return abort(err)
+	}
 	return e, warm, nil
 }
 
 // SaveCheckpoint writes a self-contained checkpoint (every tuple inlined)
-// and truncates the WAL — the periodic call that bounds crash-replay work.
-// Only durable engines (BuildDurable) support it.
+// and resets the WAL under the new epoch — the periodic call that bounds
+// crash-replay work. Only durable engines (BuildDurable) support it. On a
+// poisoned WAL it refuses with the sticky error: records logged since the
+// failure never reached the log, so a checkpoint would legitimize their
+// loss silently.
 func (e *Engine) SaveCheckpoint() error {
 	if e.dur == nil {
 		return fmt.Errorf("acache: SaveCheckpoint on a non-durable engine (use BuildDurable)")
+	}
+	if e.dur.walErr != nil {
+		return e.dur.walErr
 	}
 	if err := e.writeCheckpoint(false); err != nil {
 		return err
@@ -169,7 +263,8 @@ func (e *Engine) SaveCheckpoint() error {
 }
 
 // SyncWAL flushes buffered WAL records to stable storage, bounding how many
-// ingress calls a crash can lose. Surfaces any earlier buffered write error.
+// ingress calls a crash can lose. Any flush or sync failure is sticky: it
+// poisons the WAL and is returned from here and every later durability call.
 func (e *Engine) SyncWAL() error {
 	if e.dur == nil {
 		return fmt.Errorf("acache: SyncWAL on a non-durable engine")
@@ -179,21 +274,36 @@ func (e *Engine) SyncWAL() error {
 
 // CloseKeep shuts a durable engine down for a warm restart: it writes a
 // shutdown checkpoint whose cold tuples are (page, index) references into
-// the spill files, flushes and keeps those files on disk, truncates the WAL,
-// and releases workers and file handles. The engine must not be used
-// afterwards. Use Close instead to discard the durable state.
+// the spill files, flushes and keeps those files on disk, resets the WAL the
+// checkpoint subsumed, and releases workers and file handles. The engine
+// must not be used afterwards. Use Close instead to discard the durable
+// state.
+//
+// If the checkpoint cannot be written, the WAL is kept (flushed as far as
+// the disk allows) instead of being truncated — the prior checkpoint plus
+// the WAL remain the durable record. On a poisoned WAL, CloseKeep releases
+// resources and returns the sticky error.
 func (e *Engine) CloseKeep() error {
 	if e.dur == nil {
 		return fmt.Errorf("acache: CloseKeep on a non-durable engine (use BuildDurable)")
+	}
+	d := e.dur
+	if d.walErr != nil {
+		e.core.CloseKeep()
+		d.closeWAL()
+		return d.walErr
 	}
 	// Checkpoint first (cold refs need the live page table), then flush and
 	// unmap the spills, then retire the WAL the checkpoint just subsumed.
 	err := e.writeCheckpoint(true)
 	e.core.CloseKeep()
-	if rerr := e.dur.resetWAL(); err == nil {
-		err = rerr
+	if err == nil {
+		err = d.resetWAL()
+	} else {
+		// No checkpoint landed: the WAL is the durable record. Keep it.
+		d.sync()
 	}
-	if cerr := e.dur.closeWAL(); err == nil {
+	if cerr := d.closeWAL(); err == nil {
 		err = cerr
 	}
 	return err
@@ -202,8 +312,8 @@ func (e *Engine) CloseKeep() error {
 // discard removes the durable state files — Close()'s transient teardown.
 func (d *durable) discard() {
 	d.closeWAL()
-	os.Remove(d.walPath)
-	os.Remove(d.ckPath)
+	d.fs.Remove(d.walPath)
+	d.fs.Remove(d.ckPath)
 }
 
 func (d *durable) closeWAL() error {
@@ -211,8 +321,11 @@ func (d *durable) closeWAL() error {
 		return d.walErr
 	}
 	err := d.walErr
-	if ferr := d.walW.Flush(); err == nil {
-		err = ferr
+	if ferr := d.walW.Flush(); ferr != nil {
+		d.fail(ferr)
+		if err == nil {
+			err = ferr
+		}
 	}
 	if cerr := d.walF.Close(); err == nil {
 		err = cerr
@@ -229,28 +342,69 @@ func (d *durable) sync() error {
 		return nil
 	}
 	if err := d.walW.Flush(); err != nil {
-		d.walErr = err
-		return err
+		return d.fail(err)
 	}
-	return d.walF.Sync()
+	if err := d.walF.Sync(); err != nil {
+		return d.fail(err)
+	}
+	return nil
 }
 
-// resetWAL empties the log after a checkpoint made its records redundant.
+// resetWAL empties the log after a checkpoint made its records redundant and
+// stamps the fresh header with the current epoch. Failures are sticky.
 func (d *durable) resetWAL() error {
 	if d.walF == nil {
 		return nil
 	}
+	if d.walErr != nil {
+		return d.walErr
+	}
 	d.walW.Reset(d.walF)
 	if err := d.walF.Truncate(0); err != nil {
-		return err
+		return d.fail(err)
 	}
 	if _, err := d.walF.Seek(0, 0); err != nil {
-		return err
+		return d.fail(err)
 	}
-	return d.walF.Sync()
+	d.seq = 0
+	var hdr [walHdrBytes]byte
+	binary.LittleEndian.PutUint32(hdr[0:], walMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], durVersion)
+	binary.LittleEndian.PutUint64(hdr[8:], d.epoch)
+	if _, err := d.walW.Write(hdr[:]); err != nil {
+		return d.fail(err)
+	}
+	if err := d.walW.Flush(); err != nil {
+		return d.fail(err)
+	}
+	if err := d.walF.Sync(); err != nil {
+		return d.fail(err)
+	}
+	return nil
 }
 
 // ── WAL append side ──────────────────────────────────────────────────────────
+
+// writeFrame appends one checksummed, sequence-stamped frame around payload.
+// Write failures poison the WAL.
+func (d *durable) writeFrame(payload []byte) {
+	if d.walErr != nil || d.walW == nil {
+		return
+	}
+	d.seq++
+	var hdr [frameHdrBytes]byte
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, crcTable))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(hdr[12:], d.seq)
+	binary.LittleEndian.PutUint32(hdr[0:], crc32.Checksum(hdr[4:], crcTable))
+	if _, err := d.walW.Write(hdr[:]); err != nil {
+		d.fail(err)
+		return
+	}
+	if _, err := d.walW.Write(payload); err != nil {
+		d.fail(err)
+	}
+}
 
 // logOp appends one single-tuple ingress call to the WAL. ts is meaningful
 // for walAppendAt and walAdvance only.
@@ -259,23 +413,16 @@ func (e *Engine) logOp(kind byte, rel int, ts int64, values []int64) {
 	if d == nil || d.replay || d.walErr != nil || d.walW == nil {
 		return
 	}
-	var hdr [17]byte
-	hdr[0] = kind
-	binary.LittleEndian.PutUint32(hdr[1:], uint32(rel))
-	binary.LittleEndian.PutUint64(hdr[5:], uint64(ts))
-	binary.LittleEndian.PutUint32(hdr[13:], uint32(len(values)))
-	if _, err := d.walW.Write(hdr[:]); err != nil {
-		d.walErr = err
-		return
-	}
-	var vb [8]byte
+	p := d.rec[:0]
+	p = append(p, kind)
+	p = binary.LittleEndian.AppendUint32(p, uint32(rel))
+	p = binary.LittleEndian.AppendUint64(p, uint64(ts))
+	p = binary.LittleEndian.AppendUint32(p, uint32(len(values)))
 	for _, v := range values {
-		binary.LittleEndian.PutUint64(vb[:], uint64(v))
-		if _, err := d.walW.Write(vb[:]); err != nil {
-			d.walErr = err
-			return
-		}
+		p = binary.LittleEndian.AppendUint64(p, uint64(v))
 	}
+	d.rec = p
+	d.writeFrame(p)
 }
 
 // logBatch appends an AppendBatch call: the batch must replay as one call
@@ -285,108 +432,266 @@ func (e *Engine) logBatch(rel int, rows [][]int64) {
 	if d == nil || d.replay || d.walErr != nil || d.walW == nil {
 		return
 	}
-	var hdr [9]byte
-	hdr[0] = walBatch
-	binary.LittleEndian.PutUint32(hdr[1:], uint32(rel))
-	binary.LittleEndian.PutUint32(hdr[5:], uint32(len(rows)))
-	if _, err := d.walW.Write(hdr[:]); err != nil {
-		d.walErr = err
-		return
-	}
-	var vb [8]byte
+	p := d.rec[:0]
+	p = append(p, walBatch)
+	p = binary.LittleEndian.AppendUint32(p, uint32(rel))
+	p = binary.LittleEndian.AppendUint32(p, uint32(len(rows)))
 	for _, row := range rows {
 		for _, v := range row {
-			binary.LittleEndian.PutUint64(vb[:], uint64(v))
-			if _, err := d.walW.Write(vb[:]); err != nil {
-				d.walErr = err
-				return
-			}
+			p = binary.LittleEndian.AppendUint64(p, uint64(v))
 		}
 	}
+	d.rec = p
+	d.writeFrame(p)
 }
 
-// replayWAL re-drives the logged ingress calls through the engine's public
-// paths and returns how many records were applied. A truncated trailing
-// record (a write cut off by the crash) ends replay cleanly: every record
-// before it was written whole.
-func (e *Engine) replayWAL(data []byte) int {
-	pos, applied := 0, 0
-	names := e.q.names
-	for pos < len(data) {
-		kind := data[pos]
-		if kind == walBatch {
-			if pos+9 > len(data) {
-				break
+// ── WAL replay side ──────────────────────────────────────────────────────────
+
+// walReplay reports how WAL recovery ended.
+type walReplay struct {
+	applied int    // frames applied to the engine
+	valid   int    // bytes of valid frames past the file header
+	ignored int    // bytes not applied (torn tail, stale epoch, torn header)
+	lastSeq uint64 // sequence of the last applied frame
+	keep    bool   // the file can be truncated to valid and appended to
+	reason  string // how replay ended: empty|clean|torn-tail|torn-header|stale-epoch
+}
+
+// recoverWAL validates the WAL header against the checkpoint's epoch and
+// replays the valid frame prefix. Stale epochs (the crash landed between the
+// checkpoint publish and the WAL truncate) are ignored wholesale; a WAL
+// ahead of the checkpoint means the checkpoint went backwards and is a clean
+// error.
+func (e *Engine) recoverWAL(data []byte, ckEpoch uint64) (walReplay, error) {
+	if len(data) == 0 {
+		return walReplay{reason: "empty"}, nil
+	}
+	if len(data) < walHdrBytes {
+		// A crash between the WAL reset's truncate and its header write.
+		return walReplay{ignored: len(data), reason: "torn-header"}, nil
+	}
+	if m := binary.LittleEndian.Uint32(data[0:]); m != walMagic {
+		return walReplay{}, fmt.Errorf("acache: wal %s: bad magic %#x", e.dur.walPath, m)
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v != durVersion {
+		return walReplay{}, fmt.Errorf("acache: wal %s: codec version %d, want %d", e.dur.walPath, v, durVersion)
+	}
+	epoch := binary.LittleEndian.Uint64(data[8:])
+	switch {
+	case epoch < ckEpoch:
+		// Every record predates the checkpoint: applying them would
+		// double-apply. Ignore the log; resetWAL rewrites it fresh.
+		return walReplay{ignored: len(data) - walHdrBytes, reason: "stale-epoch"}, nil
+	case epoch > ckEpoch:
+		return walReplay{}, fmt.Errorf("acache: wal %s: epoch %d ahead of checkpoint epoch %d (checkpoint lost or rolled back)",
+			e.dur.walPath, epoch, ckEpoch)
+	}
+	e.dur.replay = true
+	defer func() { e.dur.replay = false }()
+	return e.replayFrames(data[walHdrBytes:])
+}
+
+// replayFrames applies the valid checksummed frame prefix of the WAL body.
+// An invalid frame ends replay: cleanly if nothing valid follows (a torn
+// tail — the only shape a crash can produce), with an error if a later valid
+// frame proves mid-log corruption. Record payloads are validated against the
+// query before dispatch, so a checksummed-but-nonsensical record is a clean
+// error, never a panic.
+func (e *Engine) replayFrames(frames []byte) (walReplay, error) {
+	rep := walReplay{keep: true, reason: "clean"}
+	pos := 0
+	for pos < len(frames) {
+		if pos+frameHdrBytes > len(frames) {
+			rep.ignored = len(frames) - pos
+			rep.reason = "torn-tail"
+			return rep, nil
+		}
+		hcrc := binary.LittleEndian.Uint32(frames[pos:])
+		bcrc := binary.LittleEndian.Uint32(frames[pos+4:])
+		l := int(binary.LittleEndian.Uint32(frames[pos+8:]))
+		seq := binary.LittleEndian.Uint64(frames[pos+12:])
+		bad := ""
+		switch {
+		case hcrc != crc32.Checksum(frames[pos+4:pos+frameHdrBytes], crcTable):
+			bad = "header checksum"
+		case l > walMaxRecord:
+			bad = "length"
+		case pos+frameHdrBytes+l > len(frames):
+			bad = "body cut short"
+		case bcrc != crc32.Checksum(frames[pos+frameHdrBytes:pos+frameHdrBytes+l], crcTable):
+			bad = "body checksum"
+		}
+		if bad != "" {
+			if off, ok := nextValidFrame(frames, pos+1); ok {
+				return rep, fmt.Errorf("acache: wal: bad frame %s at offset %d with a valid frame at offset %d behind it: mid-log corruption",
+					bad, walHdrBytes+pos, walHdrBytes+off)
 			}
-			rel := int(binary.LittleEndian.Uint32(data[pos+1:]))
-			rows := int(binary.LittleEndian.Uint32(data[pos+5:]))
-			if rel >= len(names) {
-				break
-			}
-			arity := e.q.schemas[rel].Len()
-			need := 9 + rows*arity*8
-			if pos+need > len(data) {
-				break
-			}
-			body := data[pos+9:]
-			rs := make([][]int64, rows)
-			for r := 0; r < rows; r++ {
-				row := make([]int64, arity)
-				for c := 0; c < arity; c++ {
-					row[c] = int64(binary.LittleEndian.Uint64(body[(r*arity+c)*8:]))
-				}
-				rs[r] = row
-			}
-			e.AppendBatch(names[rel], rs)
-			pos += need
-			applied++
+			rep.ignored = len(frames) - pos
+			rep.reason = "torn-tail"
+			return rep, nil
+		}
+		if seq != rep.lastSeq+1 {
+			return rep, fmt.Errorf("acache: wal: frame at offset %d: sequence %d, want %d",
+				walHdrBytes+pos, seq, rep.lastSeq+1)
+		}
+		if err := e.applyWALRecord(frames[pos+frameHdrBytes : pos+frameHdrBytes+l]); err != nil {
+			return rep, fmt.Errorf("acache: wal: record %d (offset %d): %w", seq, walHdrBytes+pos, err)
+		}
+		rep.lastSeq = seq
+		rep.applied++
+		pos += frameHdrBytes + l
+		rep.valid = pos
+	}
+	return rep, nil
+}
+
+// nextValidFrame scans forward for any offset that begins a fully valid
+// frame — the mid-log-corruption detector. A crash truncates the log at one
+// point, so a valid frame after an invalid one cannot be a tear.
+func nextValidFrame(frames []byte, from int) (int, bool) {
+	for off := from; off+frameHdrBytes <= len(frames); off++ {
+		if binary.LittleEndian.Uint32(frames[off:]) != crc32.Checksum(frames[off+4:off+frameHdrBytes], crcTable) {
 			continue
 		}
-		if kind < walInsert || kind > walAdvance || pos+17 > len(data) {
-			break
+		l := int(binary.LittleEndian.Uint32(frames[off+8:]))
+		if l > walMaxRecord || off+frameHdrBytes+l > len(frames) {
+			continue
 		}
-		rel := int(binary.LittleEndian.Uint32(data[pos+1:]))
-		ts := int64(binary.LittleEndian.Uint64(data[pos+5:]))
-		n := int(binary.LittleEndian.Uint32(data[pos+13:]))
-		if kind != walAdvance && rel >= len(names) {
-			break
+		if binary.LittleEndian.Uint32(frames[off+4:]) != crc32.Checksum(frames[off+frameHdrBytes:off+frameHdrBytes+l], crcTable) {
+			continue
 		}
-		if pos+17+n*8 > len(data) {
-			break
-		}
-		vals := make([]int64, n)
-		for i := range vals {
-			vals[i] = int64(binary.LittleEndian.Uint64(data[pos+17+i*8:]))
-		}
-		switch kind {
-		case walInsert:
-			e.Insert(names[rel], vals...)
-		case walDelete:
-			e.Delete(names[rel], vals...)
-		case walAppend:
-			e.Append(names[rel], vals...)
-		case walAppendAt:
-			e.AppendAt(names[rel], ts, vals...)
-		case walAdvance:
-			e.AdvanceTime(ts)
-		}
-		pos += 17 + n*8
-		applied++
+		return off, true
 	}
-	return applied
+	return 0, false
+}
+
+// applyWALRecord validates one frame payload against the query — relation
+// range, arity, window kind, timestamp monotonicity — and re-drives it
+// through the engine's public ingress path. Validation failures and any
+// panic out of the dispatch come back as errors: replay never takes the
+// engine down.
+func (e *Engine) applyWALRecord(p []byte) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("replay: %v", r)
+		}
+	}()
+	if len(p) == 0 {
+		return fmt.Errorf("empty record")
+	}
+	kind := p[0]
+	names := e.q.names
+	if kind == walBatch {
+		if len(p) < 9 {
+			return fmt.Errorf("batch record is %d bytes, want at least 9", len(p))
+		}
+		rel := int(binary.LittleEndian.Uint32(p[1:]))
+		rows := int(binary.LittleEndian.Uint32(p[5:]))
+		if rel < 0 || rel >= len(names) {
+			return fmt.Errorf("batch: relation %d out of range (query has %d)", rel, len(names))
+		}
+		if e.timeWins[rel] != nil {
+			return fmt.Errorf("batch: relation %q is time-windowed", names[rel])
+		}
+		arity := e.q.schemas[rel].Len()
+		if len(p) != 9+rows*arity*8 {
+			return fmt.Errorf("batch: %d bytes for %d rows of arity %d", len(p), rows, arity)
+		}
+		body := p[9:]
+		rs := make([][]int64, rows)
+		for r := 0; r < rows; r++ {
+			row := make([]int64, arity)
+			for c := 0; c < arity; c++ {
+				row[c] = int64(binary.LittleEndian.Uint64(body[(r*arity+c)*8:]))
+			}
+			rs[r] = row
+		}
+		e.AppendBatch(names[rel], rs)
+		return nil
+	}
+	if kind < walInsert || kind > walAdvance {
+		return fmt.Errorf("unknown record kind %d", kind)
+	}
+	if len(p) < 17 {
+		return fmt.Errorf("record is %d bytes, want at least 17", len(p))
+	}
+	rel := int(binary.LittleEndian.Uint32(p[1:]))
+	ts := int64(binary.LittleEndian.Uint64(p[5:]))
+	n := int(binary.LittleEndian.Uint32(p[13:]))
+	if len(p) != 17+n*8 {
+		return fmt.Errorf("%d bytes for %d values", len(p), n)
+	}
+	if kind == walAdvance {
+		if n != 0 {
+			return fmt.Errorf("advance record carries %d values", n)
+		}
+		if ts < e.maxClock() {
+			return fmt.Errorf("advance: timestamp %d regresses clock %d", ts, e.maxClock())
+		}
+		e.AdvanceTime(ts)
+		return nil
+	}
+	if rel < 0 || rel >= len(names) {
+		return fmt.Errorf("relation %d out of range (query has %d)", rel, len(names))
+	}
+	if arity := e.q.schemas[rel].Len(); n != arity {
+		return fmt.Errorf("relation %q: %d values, arity is %d", names[rel], n, arity)
+	}
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(binary.LittleEndian.Uint64(p[17+i*8:]))
+	}
+	switch kind {
+	case walInsert:
+		e.Insert(names[rel], vals...)
+	case walDelete:
+		e.Delete(names[rel], vals...)
+	case walAppend:
+		if e.timeWins[rel] != nil {
+			return fmt.Errorf("append: relation %q is time-windowed", names[rel])
+		}
+		e.Append(names[rel], vals...)
+	case walAppendAt:
+		if e.timeWins[rel] == nil {
+			return fmt.Errorf("append-at: relation %q is not time-windowed", names[rel])
+		}
+		if ts < e.maxClock() {
+			return fmt.Errorf("append-at: timestamp %d regresses clock %d", ts, e.maxClock())
+		}
+		e.AppendAt(names[rel], ts, vals...)
+	}
+	return nil
+}
+
+// maxClock is the largest clock across the time-windowed relations — the
+// replay-time monotonicity bar for walAppendAt / walAdvance records.
+func (e *Engine) maxClock() int64 {
+	var max int64
+	for _, w := range e.timeWins {
+		if w != nil && w.Clock() > max {
+			max = w.Clock()
+		}
+	}
+	return max
 }
 
 // ── Checkpoint writer ────────────────────────────────────────────────────────
 
-// writeCheckpoint serializes the engine's window state. With byRef set
-// (shutdown path) cold tuples are written as spill page references; the
-// caller guarantees the spill files stop mutating afterwards.
+// writeCheckpoint serializes the engine's window state under epoch+1 and
+// publishes it atomically: temp file, fsync, rename, directory fsync. With
+// byRef set (shutdown path) cold tuples are written as spill page references
+// — each guarded by a tuple CRC so spill-page corruption surfaces at restore
+// — and the caller guarantees the spill files stop mutating afterwards. The
+// sidecar's epoch advances only after the checkpoint is fully published.
 func (e *Engine) writeCheckpoint(byRef bool) error {
+	d := e.dur
+	epoch := d.epoch + 1
 	var buf []byte
 	u32 := func(v uint32) { buf = binary.LittleEndian.AppendUint32(buf, v) }
 	u64 := func(v uint64) { buf = binary.LittleEndian.AppendUint64(buf, v) }
 	u32(durMagic)
 	u32(durVersion)
+	u64(epoch)
 	u64(e.seq)
 	u32(uint32(len(e.q.names)))
 	for i := range e.q.names {
@@ -415,6 +720,7 @@ func (e *Engine) writeCheckpoint(byRef bool) error {
 				}
 				u32(r[0])
 				u32(r[1])
+				u32(tupleCRC(t))
 				continue
 			}
 			buf = append(buf, durInline)
@@ -426,11 +732,43 @@ func (e *Engine) writeCheckpoint(byRef bool) error {
 			}
 		}
 	}
-	tmp := e.dur.ckPath + ".tmp"
-	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+	u32(crc32.Checksum(buf, crcTable))
+	tmp := d.ckPath + ".tmp"
+	f, err := d.fs.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
 		return err
 	}
-	return os.Rename(tmp, e.dur.ckPath)
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := d.fs.Rename(tmp, d.ckPath); err != nil {
+		return err
+	}
+	if err := d.fs.SyncDir(d.dir); err != nil {
+		return err
+	}
+	d.epoch = epoch
+	return nil
+}
+
+// tupleCRC checksums a tuple's value bytes — the per-cold-ref guard that
+// catches spill-page corruption the spill header cannot see.
+func tupleCRC(t tuple.Tuple) uint32 {
+	var b [8]byte
+	crc := uint32(0)
+	for _, v := range t {
+		binary.LittleEndian.PutUint64(b[:], uint64(v))
+		crc = crc32.Update(crc, crcTable, b[:])
+	}
+	return crc
 }
 
 // relState returns relation i's checkpointable window state: its kind, the
@@ -476,6 +814,7 @@ func (e *Engine) coldRefs(i int) map[string][][2]uint32 {
 // resolved to values (the spills are remapped, read, and released during
 // parsing, before the new engine re-creates them).
 type durCheckpoint struct {
+	epoch  uint64
 	seq    uint64
 	kinds  []byte
 	clocks []int64
@@ -483,15 +822,25 @@ type durCheckpoint struct {
 	stamps [][]int64
 }
 
-// parseDurCheckpoint decodes and validates a checkpoint against the query,
-// resolving cold references by reopening the relation spill files (header
-// magic, codec version, page geometry, and tuple width all verified by
-// tier.Open) and copying the referenced tuples out before release.
-func parseDurCheckpoint(data []byte, q *Query, dir string, pageBytes int) (*durCheckpoint, error) {
+// parseDurCheckpoint decodes and validates a checkpoint against the query.
+// The whole-file CRC is verified before anything else, so every later parse
+// error means a codec or query mismatch, not bit rot. Cold references are
+// resolved by reopening the relation spill files (header magic, codec
+// version, page geometry, and tuple width all verified by tier.Open), and
+// each resolved tuple is checked against its stored CRC before use.
+func parseDurCheckpoint(data []byte, q *Query, dir string, pageBytes int, fsys fault.FS) (*durCheckpoint, error) {
 	pos := 0
 	fail := func(f string, args ...any) (*durCheckpoint, error) {
 		return nil, fmt.Errorf("acache: checkpoint %s: %s", filepath.Join(dir, ckptName), fmt.Sprintf(f, args...))
 	}
+	if len(data) < 4 {
+		return fail("truncated (%d bytes)", len(data))
+	}
+	body, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if got := crc32.Checksum(body, crcTable); got != sum {
+		return fail("checksum %#x, want %#x: truncated or corrupted", got, sum)
+	}
+	data = body
 	u32 := func() (uint32, bool) {
 		if pos+4 > len(data) {
 			return 0, false
@@ -514,6 +863,10 @@ func parseDurCheckpoint(data []byte, q *Query, dir string, pageBytes int) (*durC
 	if v, ok := u32(); !ok || v != durVersion {
 		return fail("codec version mismatch")
 	}
+	epoch, ok := u64()
+	if !ok {
+		return fail("truncated header")
+	}
 	seq, ok := u64()
 	if !ok {
 		return fail("truncated header")
@@ -523,6 +876,7 @@ func parseDurCheckpoint(data []byte, q *Query, dir string, pageBytes int) (*durC
 		return fail("relation count %d, query has %d", nrels, len(q.names))
 	}
 	ck := &durCheckpoint{
+		epoch:  epoch,
 		seq:    seq,
 		kinds:  make([]byte, nrels),
 		clocks: make([]int64, nrels),
@@ -587,12 +941,13 @@ func parseDurCheckpoint(data []byte, q *Query, dir string, pageBytes int) (*durC
 			case durColdRef:
 				slot, ok1 := u32()
 				idx, ok2 := u32()
-				if !ok1 || !ok2 {
+				want, ok3 := u32()
+				if !ok1 || !ok2 || !ok3 {
 					return fail("relation %d: truncated ref", i)
 				}
 				if sp == nil {
 					var err error
-					sp, err = tier.Open(filepath.Join(dir, fmt.Sprintf("rel%d.spill", i)), pageBytes, uint64(arity))
+					sp, err = tier.Open(filepath.Join(dir, fmt.Sprintf("rel%d.spill", i)), pageBytes, uint64(arity), fsys)
 					if err != nil {
 						return nil, err
 					}
@@ -602,7 +957,12 @@ func parseDurCheckpoint(data []byte, q *Query, dir string, pageBytes int) (*durC
 				if int(slot) >= sp.Pages() || int(idx) >= perPage {
 					return fail("relation %d: ref (%d,%d) out of range", i, slot, idx)
 				}
-				ts = append(ts, relation.ColdTuple(sp, int32(slot), int(idx), int(arity)))
+				t := relation.ColdTuple(sp, int32(slot), int(idx), int(arity))
+				if got := tupleCRC(t); got != want {
+					return fail("relation %d: ref (%d,%d): spill tuple checksum %#x, want %#x: spill page corrupted",
+						i, slot, idx, got, want)
+				}
+				ts = append(ts, t)
 			default:
 				return fail("relation %d: unknown entry tag %d", i, tag)
 			}
@@ -622,8 +982,15 @@ func parseDurCheckpoint(data []byte, q *Query, dir string, pageBytes int) (*durC
 // restoreDur bulk-loads a parsed checkpoint into a freshly built engine:
 // tuples go into the relation stores (RestoreWindows, which re-demotes past
 // the watermark as it fills) and into the ingress window operators, and the
-// update sequence resumes where it left off.
-func (e *Engine) restoreDur(ck *durCheckpoint) error {
+// update sequence resumes where it left off. Structural invariants the
+// loaders enforce by panicking (window overflow, timestamp regressions)
+// come back as errors — corrupted state never takes the process down.
+func (e *Engine) restoreDur(ck *durCheckpoint) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("acache: checkpoint restore: %v", r)
+		}
+	}()
 	for i, kind := range ck.kinds {
 		var want byte
 		switch {

@@ -1,0 +1,251 @@
+// Package recovery measures the durability layer end to end: the cost of
+// write-ahead logging on the ingest path, checkpoint save time, and — the
+// numbers a recovery-time objective is written against — the wall clock of a
+// WAL-replay restart after a kill and of a checkpoint-based warm restart. It
+// lives outside package bench because it drives the public acache API (the
+// WAL and checkpoint are implemented there), and package bench is imported
+// by acache's own benchmarks.
+package recovery
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"acache"
+
+	"acache/internal/bench"
+)
+
+// Point is one measured phase of the recovery lifecycle.
+type Point struct {
+	// Label is "in-memory-ingest", "logged-ingest", "replay-restart",
+	// "checkpoint-save", or "warm-restart".
+	Label       string  `json:"label"`
+	WallSeconds float64 `json:"wall_seconds"`
+	// TuplesPerSec is the ingest or replay rate (0 for checkpoint-save and
+	// warm-restart, which do not stream tuples).
+	TuplesPerSec float64 `json:"tuples_per_sec"`
+	// RecordsReplayed is the WAL record count a restart re-applied.
+	RecordsReplayed uint64 `json:"records_replayed,omitempty"`
+	// ReplayReason is how WAL replay ended on a restart phase.
+	ReplayReason string `json:"replay_reason,omitempty"`
+}
+
+// Report is the full run, JSON-ready for BENCH_recovery.json.
+type Report struct {
+	Relations int    `json:"relations"`
+	Window    int    `json:"window"`
+	Appends   int    `json:"appends"`
+	WALBytes  int64  `json:"wal_bytes"`
+	CkptBytes int64  `json:"ckpt_bytes"`
+	NumCPU    int    `json:"num_cpu"`
+	GoVersion string `json:"go_version"`
+	// LogOverhead is logged-ingest wall over in-memory wall, minus 1 — what
+	// durability costs on the hot path.
+	LogOverhead float64 `json:"log_overhead"`
+	// Exact reports whether both restarts reproduced the in-memory run's
+	// window state (per-relation cardinalities) — the correctness cross-check
+	// behind the timing numbers.
+	Exact  bool    `json:"exact"`
+	Points []Point `json:"points"`
+}
+
+const (
+	window = 2048
+	seed   = 42
+)
+
+func durQuery() *acache.Query {
+	return acache.NewQuery().
+		WindowedRelation("R", window, "A", "P1", "P2", "P3").
+		WindowedRelation("S", window, "A", "B", "P1", "P2").
+		WindowedRelation("T", window, "B", "P1", "P2", "P3").
+		Join("R.A", "S.A").
+		Join("S.B", "T.B")
+}
+
+func durOpts(dir string) acache.Options {
+	return acache.Options{
+		ReoptInterval: 10_000_000,
+		Seed:          seed,
+		Tier:          acache.TierOptions{Dir: dir},
+	}
+}
+
+// ingest streams n deterministic appends and returns the wall clock.
+func ingest(e *acache.Engine, n int) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			e.Append("R", rng.Int63n(500), 0, 0, 0)
+		case 1:
+			e.Append("S", rng.Int63n(500), rng.Int63n(500), 0, 0)
+		default:
+			e.Append("T", rng.Int63n(500), 0, 0, 0)
+		}
+	}
+	return time.Since(start).Seconds()
+}
+
+func windowLens(e *acache.Engine) [3]int {
+	return [3]int{e.WindowLen("R"), e.WindowLen("S"), e.WindowLen("T")}
+}
+
+func fileSize(path string) int64 {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0
+	}
+	return fi.Size()
+}
+
+// Run measures the five phases on cfg.Measure appends.
+func Run(cfg bench.RunConfig) *Report {
+	n := cfg.Measure
+	rep := &Report{
+		Relations: 3,
+		Window:    window,
+		Appends:   n,
+		NumCPU:    runtime.NumCPU(),
+		GoVersion: runtime.Version(),
+	}
+
+	// Phase 1: the undurable baseline the log overhead is measured against.
+	base, err := durQuery().Build(acache.Options{ReoptInterval: 10_000_000, Seed: seed})
+	if err != nil {
+		panic(err)
+	}
+	baseWall := ingest(base, n)
+	baseLens := windowLens(base)
+	base.Close()
+	rep.Points = append(rep.Points, Point{
+		Label: "in-memory-ingest", WallSeconds: baseWall,
+		TuplesPerSec: rate(n, baseWall),
+	})
+
+	dir, err := os.MkdirTemp("", "acache-recovery-bench")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Phase 2: the same ingest with the WAL on, synced at the end.
+	e, _, err := durQuery().BuildDurable(durOpts(dir))
+	if err != nil {
+		panic(err)
+	}
+	logWall := ingest(e, n)
+	if err := e.SyncWAL(); err != nil {
+		panic(err)
+	}
+	rep.WALBytes = fileSize(filepath.Join(dir, "wal.log"))
+	if baseWall > 0 {
+		rep.LogOverhead = logWall/baseWall - 1
+	}
+	rep.Points = append(rep.Points, Point{
+		Label: "logged-ingest", WallSeconds: logWall,
+		TuplesPerSec: rate(n, logWall),
+	})
+
+	// Phase 3: kill (the engine is abandoned un-closed) and restart; every
+	// record replays through the checksummed frame scanner.
+	start := time.Now()
+	r1, _, err := durQuery().BuildDurable(durOpts(dir))
+	if err != nil {
+		panic(err)
+	}
+	replayWall := time.Since(start).Seconds()
+	st := r1.Stats()
+	exact := windowLens(r1) == baseLens && st.WALRecordsReplayed == uint64(n)
+	rep.Points = append(rep.Points, Point{
+		Label: "replay-restart", WallSeconds: replayWall,
+		TuplesPerSec:    rate(int(st.WALRecordsReplayed), replayWall),
+		RecordsReplayed: st.WALRecordsReplayed,
+		ReplayReason:    st.WALReplayReason,
+	})
+
+	// Phase 4: checkpoint the replayed state (write, fsync, rename, fsync).
+	start = time.Now()
+	if err := r1.SaveCheckpoint(); err != nil {
+		panic(err)
+	}
+	ckptWall := time.Since(start).Seconds()
+	rep.CkptBytes = fileSize(filepath.Join(dir, "engine.ckpt"))
+	rep.Points = append(rep.Points, Point{Label: "checkpoint-save", WallSeconds: ckptWall})
+
+	// Phase 5: clean shutdown, then the checkpoint-based warm restart — no
+	// records to replay, state loads from the verified snapshot.
+	if err := r1.CloseKeep(); err != nil {
+		panic(err)
+	}
+	start = time.Now()
+	r2, warm, err := durQuery().BuildDurable(durOpts(dir))
+	if err != nil {
+		panic(err)
+	}
+	warmWall := time.Since(start).Seconds()
+	st = r2.Stats()
+	exact = exact && warm && windowLens(r2) == baseLens && st.WALRecordsReplayed == 0
+	rep.Points = append(rep.Points, Point{
+		Label: "warm-restart", WallSeconds: warmWall,
+		RecordsReplayed: st.WALRecordsReplayed,
+		ReplayReason:    st.WALReplayReason,
+	})
+	r2.Close()
+	rep.Exact = exact
+	return rep
+}
+
+func rate(n int, wall float64) float64 {
+	if wall <= 0 {
+		return 0
+	}
+	return float64(n) / wall
+}
+
+// JSON renders the report for BENCH_recovery.json.
+func (r *Report) JSON() []byte {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	return append(b, '\n')
+}
+
+// Experiment renders the report in the bench package's common table form.
+func (r *Report) Experiment() *bench.Experiment {
+	var x, wall, tps []float64
+	labels := make([]string, len(r.Points))
+	for i, pt := range r.Points {
+		x = append(x, float64(i))
+		wall = append(wall, pt.WallSeconds)
+		tps = append(tps, pt.TuplesPerSec)
+		labels[i] = fmt.Sprintf("%d=%s", i, pt.Label)
+	}
+	notes := []string{
+		fmt.Sprintf("phases: %v", labels),
+		fmt.Sprintf("appends=%d, window=%d, wal=%dB, ckpt=%dB, GOMAXPROCS=%d, NumCPU=%d, %s (wall-clock measurement)",
+			r.Appends, r.Window, r.WALBytes, r.CkptBytes,
+			runtime.GOMAXPROCS(0), r.NumCPU, r.GoVersion),
+		fmt.Sprintf("log overhead vs in-memory: %.1f%%", r.LogOverhead*100),
+		fmt.Sprintf("restarts exact: %v", r.Exact),
+	}
+	return &bench.Experiment{
+		ID:     "recovery",
+		Title:  "Durability lifecycle (WAL overhead, replay and warm restart)",
+		XLabel: "phase (see notes)",
+		YLabel: "seconds",
+		Series: []bench.Series{
+			{Label: "wall seconds", X: x, Y: wall},
+			{Label: "tuples/sec", X: x, Y: tps},
+		},
+		Notes: notes,
+	}
+}

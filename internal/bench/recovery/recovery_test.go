@@ -1,0 +1,43 @@
+package recovery
+
+import (
+	"encoding/json"
+	"testing"
+
+	"acache/internal/bench"
+)
+
+// TestRunSmoke runs the lifecycle at a tiny scale and checks shape and
+// correctness invariants — not timings, which depend on the host.
+func TestRunSmoke(t *testing.T) {
+	rep := Run(bench.RunConfig{Measure: 1500, Seed: 1})
+	if len(rep.Points) != 5 {
+		t.Fatalf("got %d points, want 5 lifecycle phases", len(rep.Points))
+	}
+	if !rep.Exact {
+		t.Fatal("a restart diverged from the in-memory run")
+	}
+	if rep.WALBytes <= 0 || rep.CkptBytes <= 0 {
+		t.Fatalf("durable files unmeasured: wal=%d ckpt=%d", rep.WALBytes, rep.CkptBytes)
+	}
+	byLabel := map[string]Point{}
+	for _, pt := range rep.Points {
+		byLabel[pt.Label] = pt
+	}
+	if pt := byLabel["replay-restart"]; pt.RecordsReplayed != uint64(rep.Appends) || pt.ReplayReason != "clean" {
+		t.Fatalf("replay phase wrong: %+v", pt)
+	}
+	if pt := byLabel["warm-restart"]; pt.RecordsReplayed != 0 {
+		t.Fatalf("warm restart replayed %d records, want 0", pt.RecordsReplayed)
+	}
+	var back Report
+	if err := json.Unmarshal(rep.JSON(), &back); err != nil {
+		t.Fatalf("JSON round-trip: %v", err)
+	}
+	if len(back.Points) != len(rep.Points) {
+		t.Fatal("round-trip lost points")
+	}
+	if e := rep.Experiment(); e == nil || len(e.Series) != 2 {
+		t.Fatal("Experiment shape wrong")
+	}
+}

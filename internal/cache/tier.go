@@ -3,6 +3,7 @@ package cache
 import (
 	"encoding/binary"
 
+	"acache/internal/fault"
 	"acache/internal/tier"
 	"acache/internal/tuple"
 )
@@ -30,19 +31,21 @@ const cacheSpillMeta = 0xcace
 
 // Tier is the shared cold tier of one engine's cache tables.
 type Tier struct {
-	sp       *tier.Spill
-	hotBytes int
-	caches   []*Cache
-	ci, si   int // clock hand: cache index, slot index (slots then slots2)
-	promos   uint64
-	demos    uint64
-	disabled bool // spill I/O failed: stop demoting, degrade fully hot
+	sp        *tier.Spill
+	hotBytes  int
+	caches    []*Cache
+	ci, si    int // clock hand: cache index, slot index (slots then slots2)
+	promos    uint64
+	demos     uint64
+	writeErrs uint64 // failed spill writes (each one sets disabled)
+	disabled  bool   // spill I/O failed: stop demoting, degrade fully hot
 }
 
 // NewTier creates the shared cache spill at path. hotBytes is the watermark
-// on the total resident payload of all attached caches.
-func NewTier(path string, pageBytes, hotBytes int) (*Tier, error) {
-	sp, err := tier.Create(path, pageBytes, cacheSpillMeta)
+// on the total resident payload of all attached caches. Spill I/O goes
+// through fsys (nil = the real filesystem).
+func NewTier(path string, pageBytes, hotBytes int, fsys fault.FS) (*Tier, error) {
+	sp, err := tier.Create(path, pageBytes, cacheSpillMeta, fsys)
 	if err != nil {
 		return nil, err
 	}
@@ -70,6 +73,14 @@ func (t *Tier) Close() error {
 
 // Counters returns cumulative entry promotions and demotions.
 func (t *Tier) Counters() (promotions, demotions uint64) { return t.promos, t.demos }
+
+// WriteErrors returns the count of failed spill writes.
+func (t *Tier) WriteErrors() uint64 { return t.writeErrs }
+
+// Degraded reports whether a spill-write failure has degraded the tier to
+// hot-only operation: demotion is disabled and every cache payload stays
+// resident. Results are unaffected — only the memory win is lost.
+func (t *Tier) Degraded() bool { return t.disabled }
 
 // ColdBytes returns the logical bytes currently spilled across all attached
 // caches.
@@ -182,6 +193,7 @@ func (c *Cache) demoteSlot(s *slot) int {
 	}
 	slot, err := c.tr.sp.Alloc()
 	if err != nil {
+		c.tr.writeErrs++
 		c.tr.disabled = true
 		return 0
 	}

@@ -21,7 +21,7 @@ func tierKey(vals ...tuple.Value) tuple.Key {
 func TestCacheTierDifferential(t *testing.T) {
 	for _, mode := range []Associativity{DirectMapped, TwoWay} {
 		dir := t.TempDir()
-		tr, err := NewTier(filepath.Join(dir, "cache.spill"), 4096, 2048)
+		tr, err := NewTier(filepath.Join(dir, "cache.spill"), 4096, 2048, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -117,7 +117,7 @@ func TestCacheTierDifferential(t *testing.T) {
 // Counted entries round-trip through demotion with mult and support intact.
 func TestCacheTierCounted(t *testing.T) {
 	dir := t.TempDir()
-	tr, err := NewTier(filepath.Join(dir, "cache.spill"), 4096, 1024)
+	tr, err := NewTier(filepath.Join(dir, "cache.spill"), 4096, 1024, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +178,7 @@ func TestCacheTierCounted(t *testing.T) {
 // DetachTier rematerializes everything and leaves the cache untired.
 func TestCacheTierDetach(t *testing.T) {
 	dir := t.TempDir()
-	tr, err := NewTier(filepath.Join(dir, "cache.spill"), 4096, 512)
+	tr, err := NewTier(filepath.Join(dir, "cache.spill"), 4096, 512, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -220,6 +220,8 @@ func (s *Snapshot) AddSnapshot(o Snapshot) {
 	s.StageStalls += o.StageStalls
 	s.TierPromotions += o.TierPromotions
 	s.TierDemotions += o.TierDemotions
+	s.TierWriteErrors += o.TierWriteErrors
+	s.DurDegraded = s.DurDegraded || o.DurDegraded
 	if o.PipelineWorkers > s.PipelineWorkers {
 		s.PipelineWorkers = o.PipelineWorkers // config gauge, not a counter
 	}

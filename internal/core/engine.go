@@ -450,7 +450,7 @@ func (en *Engine) ensureCacheTier() *cache.Tier {
 		return en.cacheTier
 	}
 	o := en.cfg.Tier.WithDefaults()
-	t, err := cache.NewTier(filepath.Join(o.Dir, "cache.spill"), o.PageBytes, o.HotBytes)
+	t, err := cache.NewTier(filepath.Join(o.Dir, "cache.spill"), o.PageBytes, o.HotBytes, o.FS)
 	if err != nil {
 		en.cfg.Tier = tier.Options{}
 		return nil
@@ -578,6 +578,13 @@ type Snapshot struct {
 	TierColdBytes  int
 	TierPromotions uint64
 	TierDemotions  uint64
+	// TierWriteErrors counts failed spill writes across the relation stores
+	// and the shared cache tier; DurDegraded is true once any of them has
+	// fallen back to hot-only operation (results stay exact, the memory win
+	// and — for store spills — by-ref checkpointing of the failed store are
+	// lost).
+	TierWriteErrors uint64
+	DurDegraded     bool
 }
 
 // Snapshot returns the engine's current counters. The method takes no locks:
@@ -608,6 +615,7 @@ func (en *Engine) Snapshot() Snapshot {
 		SharedStores:         en.exec.SharedStores(),
 	}
 	s.TierHotBytes, s.TierColdBytes, s.TierPromotions, s.TierDemotions = en.TierStats()
+	s.TierWriteErrors, s.DurDegraded = en.DurabilityStats()
 	if s.Updates > 0 {
 		s.StageOverlapRatio = float64(s.StagedUpdates) / float64(s.Updates)
 	}
@@ -641,6 +649,27 @@ func (en *Engine) TierStats() (hotBytes, coldBytes int, promotions, demotions ui
 		demotions += d
 	}
 	return hotBytes, coldBytes, promotions, demotions
+}
+
+// DurabilityStats reports spill-write failures across the relation stores
+// and the shared cache tier. writeErrors counts individual failed writes;
+// degraded is true once any store or the cache tier has dropped to hot-only
+// operation. Cheap (O(relations)) — the shard worker polls it after every
+// batch to keep its health flag current.
+func (en *Engine) DurabilityStats() (writeErrors uint64, degraded bool) {
+	if !en.cfg.Tier.Enabled() && en.cacheTier == nil {
+		return 0, false
+	}
+	for r := 0; r < en.q.N(); r++ {
+		st := en.exec.Store(r)
+		writeErrors += st.TierWriteErrors()
+		degraded = degraded || st.TierDegraded()
+	}
+	if en.cacheTier != nil {
+		writeErrors += en.cacheTier.WriteErrors()
+		degraded = degraded || en.cacheTier.Degraded()
+	}
+	return writeErrors, degraded
 }
 
 // Close releases the executor's staged-pipeline workers, if any, and — when

@@ -1,0 +1,127 @@
+package fault
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func TestDiskInjectorWriteFaults(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewDisk(nil).
+		FailAt("a.log", OpWrite, 2, WriteErr).
+		FailAt("a.log", OpSync, 1, SyncErr).
+		FailAt("a.log", OpTruncate, 1, NoSpace)
+
+	f, err := inj.OpenFile(filepath.Join(dir, "a.log"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("one")); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	if _, err := f.Write([]byte("two")); err == nil {
+		t.Fatal("second write did not fail")
+	}
+	if _, err := f.Write([]byte("three")); err != nil {
+		t.Fatalf("third write (one-shot fault should be spent): %v", err)
+	}
+	if err := f.Sync(); err == nil {
+		t.Fatal("sync did not fail")
+	}
+	err = f.Truncate(0)
+	if err == nil {
+		t.Fatal("truncate did not fail")
+	}
+	if !isErrno(err, syscall.ENOSPC) {
+		t.Fatalf("truncate error %v, want ENOSPC", err)
+	}
+	if got := inj.Fired(); len(got) != 3 {
+		t.Fatalf("fired log %v, want 3 entries", got)
+	}
+}
+
+func TestDiskInjectorTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	inj := NewDisk(nil).FailAt("wal.log", OpWrite, 1, TornWrite)
+	f, err := inj.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("0123456789abcdef")
+	if _, err := f.Write(payload); err == nil {
+		t.Fatal("torn write did not report an error")
+	}
+	f.Close()
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload[:len(payload)/2]) {
+		t.Fatalf("on-disk bytes %q, want the first half %q", got, payload[:len(payload)/2])
+	}
+}
+
+func TestDiskInjectorBitFlip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "blob")
+	inj := NewDisk(nil).FailAt("blob", OpWrite, 1, BitFlip)
+	f, err := inj.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("0123456789abcdef")
+	if _, err := f.Write(payload); err != nil {
+		t.Fatalf("bit flip must report success: %v", err)
+	}
+	f.Close()
+	got, _ := os.ReadFile(path)
+	if bytes.Equal(got, payload) {
+		t.Fatal("bit flip left the data intact")
+	}
+	diff := 0
+	for i := range got {
+		for b := 0; b < 8; b++ {
+			if (got[i]^payload[i])&(1<<b) != 0 {
+				diff++
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bits flipped, want exactly 1", diff)
+	}
+}
+
+func TestDiskInjectorRenameAndSyncDir(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewDisk(nil).
+		FailAt("engine.ckpt", OpRename, 1, WriteErr).
+		FailAt(filepath.Base(dir), OpSyncDir, 1, SyncErr)
+	src := filepath.Join(dir, "engine.ckpt.tmp")
+	if err := os.WriteFile(src, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.Rename(src, filepath.Join(dir, "engine.ckpt")); err == nil {
+		t.Fatal("rename did not fail")
+	}
+	if err := inj.Rename(src, filepath.Join(dir, "engine.ckpt")); err != nil {
+		t.Fatalf("second rename (fault spent): %v", err)
+	}
+	if err := inj.SyncDir(dir); err == nil {
+		t.Fatal("syncdir did not fail")
+	}
+	if err := inj.SyncDir(dir); err != nil {
+		t.Fatalf("second syncdir: %v", err)
+	}
+}
+
+// TestOSSyncDir exercises the real directory-fsync path.
+func TestOSSyncDir(t *testing.T) {
+	if err := OS().SyncDir(t.TempDir()); err != nil {
+		t.Fatalf("SyncDir on a tempdir: %v", err)
+	}
+}

@@ -57,6 +57,10 @@ type storeTier struct {
 	clock    uint64 // access clock for LRU
 	promos   uint64
 	demos    uint64
+	// writeErrs counts failed spill writes; the first one degrades the store
+	// to hot-only operation (demotion stops, results stay exact).
+	writeErrs uint64
+	degraded  bool
 }
 
 func (tr *storeTier) pageFootprint() int { return tr.perPage * tr.width * 8 }
@@ -77,7 +81,7 @@ func (s *Store) EnableTier(o tier.Options, path string) error {
 	if perPage < 1 {
 		return fmt.Errorf("relation: page size %d below tuple width %d", o.PageBytes, width)
 	}
-	sp, err := tier.Create(path, o.PageBytes, uint64(width))
+	sp, err := tier.Create(path, o.PageBytes, uint64(width), o.FS)
 	if err != nil {
 		return err
 	}
@@ -254,7 +258,10 @@ func (tr *storeTier) maintain(s *Store) {
 		}
 		if err := tr.demote(s, &tr.pages[victim], victim); err != nil {
 			// Spill I/O failed (disk full, …): stop demoting — the store
-			// degrades to fully hot, which is always correct.
+			// degrades to fully hot, which is always correct — and leave the
+			// failure visible through TierWriteErrors / TierDegraded.
+			tr.writeErrs++
+			tr.degraded = true
 			tr.hotLimit = int(^uint(0) >> 1)
 			return
 		}
@@ -286,6 +293,21 @@ func (s *Store) TierCounters() (promotions, demotions uint64) {
 		return 0, 0
 	}
 	return s.tier.promos, s.tier.demos
+}
+
+// TierWriteErrors returns the count of failed spill writes.
+func (s *Store) TierWriteErrors() uint64 {
+	if s.tier == nil {
+		return 0
+	}
+	return s.tier.writeErrs
+}
+
+// TierDegraded reports whether a spill-write failure has degraded the store
+// to hot-only operation: demotion is disabled, every tuple stays resident,
+// and results remain exact — only the cold-tier memory win is lost.
+func (s *Store) TierDegraded() bool {
+	return s.tier != nil && s.tier.degraded
 }
 
 // EachDurable visits every stored tuple in scan order for checkpointing:

@@ -81,6 +81,10 @@ type ShardHealth struct {
 	Shed uint64
 	// LastError is the most recent recovered panic message, if any.
 	LastError string
+	// DurabilityDegraded is true once a spill-write failure has dropped this
+	// shard's engine to hot-only tiering (results stay exact; the cold-tier
+	// memory win and by-ref checkpointing of the failed store are lost).
+	DurabilityDegraded bool
 }
 
 // staged is one join-result delta held back until its sub-batch commits.
@@ -120,6 +124,9 @@ type shardState struct {
 	// fragileFlag marks a shard that recovered since its last clean
 	// checkpoint (worker writes, watchdog reads → atomic).
 	fragileFlag atomic.Bool
+	// durDegraded mirrors the shard engine's spill-write degradation flag
+	// (worker refreshes it after every batch, Health reads → atomic).
+	durDegraded atomic.Bool
 }
 
 func (ws *shardState) pending() int {
@@ -138,11 +145,12 @@ func (e *Engine) Health() []ShardHealth {
 	out := make([]ShardHealth, len(e.states))
 	for i, ws := range e.states {
 		h := ShardHealth{
-			Shard:      i,
-			State:      ws.getHealth(),
-			Recoveries: int(ws.recoveries.Load()),
-			Pending:    ws.pending(),
-			Shed:       ws.shed.Load(),
+			Shard:              i,
+			State:              ws.getHealth(),
+			Recoveries:         int(ws.recoveries.Load()),
+			Pending:            ws.pending(),
+			Shed:               ws.shed.Load(),
+			DurabilityDegraded: ws.durDegraded.Load(),
 		}
 		if msg, ok := ws.lastErr.Load().(string); ok {
 			h.LastError = msg
@@ -619,6 +627,9 @@ func (e *Engine) processResilient(i int, ws *shardState, ups []stream.Update) {
 // quarantines. Returns whether the sub-batch committed.
 func (e *Engine) applySeg(i int, ws *shardState, seg []stream.Update, fireAt uint64, fire bool) bool {
 	err := e.tryProcess(i, seg, fireAt, fire)
+	if _, deg := e.shards[i].DurabilityStats(); deg {
+		ws.durDegraded.Store(true)
+	}
 	if err == nil {
 		e.deliverStage(ws)
 		ws.wal = append(ws.wal, seg...)

@@ -358,6 +358,7 @@ func New(plan Plan, opts Options, mk func(shard int) (*core.Engine, error)) (*En
 func (e *Engine) worker(i int) {
 	defer e.wg.Done()
 	en := e.shards[i]
+	ws := e.states[i]
 	defer en.Close() // release staged-pipeline workers when the mailbox drains
 	for m := range e.mail[i] {
 		ups := m.ups
@@ -368,6 +369,11 @@ func (e *Engine) worker(i int) {
 			}
 			en.ProcessBatch(ups[:n])
 			ups = ups[n:]
+		}
+		if len(m.ups) > 0 {
+			if _, deg := en.DurabilityStats(); deg {
+				ws.durDegraded.Store(true)
+			}
 		}
 		if m.ack != nil {
 			m.ack <- struct{}{}
@@ -489,6 +495,8 @@ func (e *Engine) Snapshot() core.Snapshot {
 		total.TierColdBytes += s.TierColdBytes
 		total.TierPromotions += s.TierPromotions
 		total.TierDemotions += s.TierDemotions
+		total.TierWriteErrors += s.TierWriteErrors
+		total.DurDegraded = total.DurDegraded || s.DurDegraded
 		if s.PipelineWorkers > total.PipelineWorkers {
 			total.PipelineWorkers = s.PipelineWorkers
 		}

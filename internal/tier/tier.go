@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"acache/internal/fault"
 )
 
 // Options configure tiered slab storage. The zero value disables tiering
@@ -34,6 +36,13 @@ type Options struct {
 	// PageBytes is the spill page size; ≤ 0 uses a default. Rounded up to the
 	// OS page granularity so mapped segments stay aligned.
 	PageBytes int
+	// FS is the filesystem seam spill I/O goes through; nil uses the real
+	// filesystem. Tests inject a fault.DiskInjector here to exercise the
+	// ENOSPC / write-failure degradation paths deterministically. Note that
+	// stores through an established mmap segment bypass the seam — only file
+	// metadata operations (create, grow, header write, the no-mmap write-back
+	// fallback) are interceptable.
+	FS fault.FS
 }
 
 // Enabled reports whether tiering is configured.
@@ -76,7 +85,8 @@ const (
 // covers it.
 type Spill struct {
 	path      string
-	f         *os.File
+	f         fault.File
+	fs        fault.FS
 	pageBytes int
 	meta      uint64
 	segs      [][]byte
@@ -88,16 +98,18 @@ type Spill struct {
 
 // Create creates (truncating any previous file) a spill at path with the
 // given page size and caller metadata word — the codec identity a reopen
-// must present back (stores record their tuple width there).
-func Create(path string, pageBytes int, meta uint64) (*Spill, error) {
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+// must present back (stores record their tuple width there). I/O goes
+// through fsys (nil = the real filesystem).
+func Create(path string, pageBytes int, meta uint64, fsys fault.FS) (*Spill, error) {
+	fsys = fault.Sys(fsys)
+	if err := fsys.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return nil, err
 	}
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	sp := &Spill{path: path, f: f, pageBytes: pageBytes, meta: meta}
+	sp := &Spill{path: path, f: f, fs: fsys, pageBytes: pageBytes, meta: meta}
 	var hdr [headerBytes]byte
 	binary.LittleEndian.PutUint32(hdr[0:], spillMagic)
 	binary.LittleEndian.PutUint32(hdr[4:], spillVersion)
@@ -113,8 +125,9 @@ func Create(path string, pageBytes int, meta uint64) (*Spill, error) {
 // Open maps an existing spill file, verifying the header against the
 // expected page size and metadata word. Used by warm restart to resolve
 // checkpoint page references.
-func Open(path string, pageBytes int, meta uint64) (*Spill, error) {
-	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+func Open(path string, pageBytes int, meta uint64, fsys fault.FS) (*Spill, error) {
+	fsys = fault.Sys(fsys)
+	f, err := fsys.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -139,7 +152,7 @@ func Open(path string, pageBytes int, meta uint64) (*Spill, error) {
 		f.Close()
 		return nil, fmt.Errorf("tier: %s: metadata %#x, want %#x", path, mw, meta)
 	}
-	sp := &Spill{path: path, f: f, pageBytes: pageBytes, meta: meta}
+	sp := &Spill{path: path, f: f, fs: fsys, pageBytes: pageBytes, meta: meta}
 	st, err := f.Stat()
 	if err != nil {
 		f.Close()
@@ -217,7 +230,7 @@ func (sp *Spill) Close() error {
 	sp.closed = true
 	sp.unmapAll()
 	err := sp.f.Close()
-	if rerr := os.Remove(sp.path); err == nil {
+	if rerr := sp.fs.Remove(sp.path); err == nil {
 		err = rerr
 	}
 	return err

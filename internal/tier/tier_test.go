@@ -13,7 +13,7 @@ func TestSpillAllocWriteReopen(t *testing.T) {
 	if opts.PageBytes != 4096 {
 		t.Fatalf("PageBytes alignment: got %d", opts.PageBytes)
 	}
-	sp, err := Create(path, opts.PageBytes, 7)
+	sp, err := Create(path, opts.PageBytes, 7, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +47,7 @@ func TestSpillAllocWriteReopen(t *testing.T) {
 	}
 
 	// Reopen: header verifies, bytes survive.
-	re, err := Open(path, opts.PageBytes, 7)
+	re, err := Open(path, opts.PageBytes, 7, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +68,7 @@ func TestSpillAllocWriteReopen(t *testing.T) {
 func TestSpillHeaderVerification(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "x.spill")
-	sp, err := Create(path, 4096, 3)
+	sp, err := Create(path, 4096, 3, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,13 +78,13 @@ func TestSpillHeaderVerification(t *testing.T) {
 	if err := sp.CloseKeep(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Open(path, 8192, 3); err == nil {
+	if _, err := Open(path, 8192, 3, nil); err == nil {
 		t.Fatal("page-size mismatch not detected")
 	}
-	if _, err := Open(path, 4096, 4); err == nil {
+	if _, err := Open(path, 4096, 4, nil); err == nil {
 		t.Fatal("metadata mismatch not detected")
 	}
-	re, err := Open(path, 4096, 3)
+	re, err := Open(path, 4096, 3, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -346,6 +346,8 @@ func (e *ShardedEngine) Stats() Stats {
 		TierColdBytes:        snap.TierColdBytes,
 		TierPromotions:       snap.TierPromotions,
 		TierDemotions:        snap.TierDemotions,
+		TierWriteErrors:      snap.TierWriteErrors,
+		DurabilityDegraded:   snap.DurDegraded,
 	}
 	counts := make(map[string]int)
 	for i := 0; i < e.sh.NumShards(); i++ {
