@@ -283,6 +283,18 @@ type Options struct {
 	// split) instead of the unfiltered tariff. Off by default so published
 	// cost figures stay byte-identical with and without filters.
 	FilterAwareCostModel bool
+	// SampleStride makes the profiler observe 1 in SampleStride updates
+	// (with unbiased scaling) instead of every update, cutting hot-path
+	// profiling overhead at the price of statistics that converge
+	// SampleStride× slower and carry sampling noise. ≤ 1 keeps the exact,
+	// every-update profiler; results are identical either way — only the
+	// measured statistics (and therefore adaptation timing) can differ.
+	SampleStride int
+	// ReoptOffset delays the engine's first post-startup re-optimization
+	// by the given number of updates. Used by sharded builds to stagger
+	// shards' re-optimization work (see ShardOptions.ReoptStagger); single
+	// engines rarely need it. Steady-state cadence is unaffected.
+	ReoptOffset int
 	// storeProvider and relTokens are injected by Server.Register before it
 	// builds a hosted engine: the provider lets equivalent relations attach
 	// to the server's shared window stores, and the tokens give cache specs
@@ -369,6 +381,7 @@ func (opts Options) coreConfig(q *Query) (core.Config, error) {
 		DisableFilters: opts.DisableFilters,
 		StoreProvider:  opts.storeProvider,
 		RelTokens:      opts.relTokens,
+		ReoptOffset:    opts.ReoptOffset,
 
 		FilterAwareCostModel: opts.FilterAwareCostModel,
 		Pipeline: join.PipelineOptions{
@@ -382,6 +395,7 @@ func (opts Options) coreConfig(q *Query) (core.Config, error) {
 			FS:        opts.fs,
 		},
 	}
+	cfg.Profiler.SampleStride = opts.SampleStride
 	if cfg.MemoryBudget <= 0 {
 		cfg.MemoryBudget = -1
 	}
@@ -696,6 +710,26 @@ type Stats struct {
 	UsedCaches []string
 	// Reopts and SkippedReopts count selection runs and p-threshold skips.
 	Reopts, SkippedReopts int
+
+	// Adaptivity-overhead telemetry (summed across shards for sharded
+	// engines; process-local, not persisted by durable checkpoints).
+
+	// ReoptNanos is the wall-clock time spent in the re-optimization
+	// machinery (change monitoring, candidate rescoring, selection, and
+	// plan application) — the adaptivity work that is not probe execution
+	// or cache maintenance.
+	ReoptNanos int64
+	// SampledUpdates counts the updates on which the profiler actually
+	// drew a profiling decision: every update with Options.SampleStride
+	// ≤ 1, roughly Updates/SampleStride otherwise.
+	SampledUpdates uint64
+	// CandidateRescores counts candidate cost-model evaluations across all
+	// re-optimizations — the work Options.Incremental's rescore suppression
+	// avoids.
+	CandidateRescores uint64
+	// ReoptsSuppressed counts skipped re-optimization rounds in which the
+	// unimportant-statistics filter silenced at least one candidate.
+	ReoptsSuppressed int
 	// CacheMemoryBytes is the total bytes held by used caches.
 	CacheMemoryBytes int
 	// FilterBytes is the memory resident in fingerprint filters (store
@@ -803,6 +837,11 @@ func (e *Engine) Stats() Stats {
 		Reopts:           snap.Reopts,
 		SkippedReopts:    snap.SkippedReopts,
 		CacheMemoryBytes: snap.CacheMemoryBytes,
+
+		ReoptNanos:        snap.ReoptNanos,
+		SampledUpdates:    snap.SampledUpdates,
+		CandidateRescores: snap.CandidateRescores,
+		ReoptsSuppressed:  snap.ReoptsSuppressed,
 
 		FilterBytes:          snap.FilterBytes,
 		FilteredProbes:       snap.FilteredProbes,

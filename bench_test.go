@@ -117,6 +117,44 @@ func BenchmarkEngineInsertThreeWay(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineAdaptiveHotpath measures the warm caching-enabled hot path:
+// windows full, the adaptive engine settled on a cache set, profiler and
+// re-optimizer live. This is the configuration the off-hot-path adaptivity
+// work (sampled profiling, epoch-gated readiness, allocation-free
+// re-optimization) targets, so CI guards it against the merge base alongside
+// the raw insert path.
+func BenchmarkEngineAdaptiveHotpath(b *testing.B) {
+	eng, err := NewQuery().
+		WindowedRelation("R", 100, "A").
+		WindowedRelation("S", 100, "A", "B").
+		WindowedRelation("T", 100, "B").
+		Join("R.A", "S.A").
+		Join("S.B", "T.B").
+		Build(Options{ReoptInterval: 2000, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	step := func() {
+		switch i := rng.Intn(3); i {
+		case 0:
+			eng.Append("R", rng.Int63n(100))
+		case 1:
+			eng.Append("S", rng.Int63n(100), rng.Int63n(100))
+		default:
+			eng.Append("T", rng.Int63n(100))
+		}
+	}
+	for i := 0; i < 20000; i++ {
+		step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step()
+	}
+}
+
 // TestEngineInsertAllocBudget pins the steady-state allocation count of the
 // warm three-way insert path. The slab store, open-addressing indexes, and
 // join arena exist to keep this near zero; the budget has slack so GC-timing

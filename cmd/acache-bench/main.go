@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	acache-bench [-experiment all|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|sharding|hotpath|batch|filter|overload|pipeline|tiering|recovery|multiquery]
+//	acache-bench [-experiment all|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|sharding|hotpath|adaptivity|batch|filter|overload|pipeline|tiering|recovery|multiquery]
 //	             [-scale quick|medium|full] [-seed N] [-shards 1,2,4,8] [-batch N]
 //	             [-procs 1,2,4] [-workers 1,2,4]
 //	             [-cpuprofile FILE] [-memprofile FILE]
@@ -20,8 +20,13 @@
 // pipeline-parallel execution inside one engine at each stage worker count
 // of -workers against the serial path and writes BENCH_pipeline.json;
 // hotpath measures the warm per-update ns/op, B/op, and
-// allocs/op of the n-way insert path (n = 3, 5, 7) and writes
-// BENCH_hotpath.json; batch measures the vectorized ProcessBatch path against
+// allocs/op of the n-way insert path (n = 3, 5, 7), with a per-phase
+// probe/cache-maintenance/profiler/re-optimizer breakdown, and writes
+// BENCH_hotpath.json; adaptivity measures the per-update cost of being
+// adaptive — plain MJoin vs exact profiling vs sampled profiling at
+// strides 4 and 16 — plus the re-optimizer's amortized wall clock, runs
+// the stride-1 decision-identity differential against the reference
+// implementation, and writes BENCH_adaptivity.json; batch measures the vectorized ProcessBatch path against
 // the per-update loop at batch sizes 1, 8, 64, 256 and writes
 // BENCH_batch.json; filter measures the fingerprint-filtered probe path
 // against unfiltered execution on miss-heavy and hit-heavy workloads and
@@ -238,6 +243,14 @@ func main() {
 		}
 		fmt.Println(render(rep.Experiment()))
 		fmt.Println("wrote BENCH_hotpath.json")
+	case "adaptivity":
+		rep := bench.RunAdaptivity([]int{3, 5}, []int{4, 16}, cfg)
+		if err := os.WriteFile("BENCH_adaptivity.json", rep.JSON(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "BENCH_adaptivity.json:", err)
+			os.Exit(1)
+		}
+		fmt.Println(render(rep.Experiment()))
+		fmt.Println("wrote BENCH_adaptivity.json")
 	case "overload":
 		rep := overload.Run(cfg)
 		if err := os.WriteFile("BENCH_overload.json", rep.JSON(), 0o644); err != nil {
@@ -281,7 +294,7 @@ func main() {
 	default:
 		run, ok := runners[*experiment]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (want %s, ablations, extensions, sharding, pipeline, hotpath, batch, filter, overload, tiering, recovery, multiquery, or all)\n",
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (want %s, ablations, extensions, sharding, pipeline, hotpath, adaptivity, batch, filter, overload, tiering, recovery, multiquery, or all)\n",
 				*experiment, strings.Join(order, "|"))
 			os.Exit(2)
 		}

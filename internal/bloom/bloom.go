@@ -20,8 +20,12 @@ import (
 type Filter struct {
 	bits  []uint64
 	nbits uint64
-	k     int
-	nset  int // population count of set bits, maintained incrementally
+	// mask is nbits−1 when nbits is a power of two, else 0: h & mask and
+	// h % nbits are then the same position, and the AND keeps the 64-bit
+	// divide off the shadow-tap path (the horizon filter is 2^16 bits).
+	mask uint64
+	k    int
+	nset int // population count of set bits, maintained incrementally
 }
 
 // New creates a filter with at least nbits bits and k hash functions.
@@ -34,11 +38,15 @@ func New(nbits int, k int) *Filter {
 		k = 1
 	}
 	words := (nbits + 63) / 64
-	return &Filter{
+	f := &Filter{
 		bits:  make([]uint64, words),
 		nbits: uint64(nbits),
 		k:     k,
 	}
+	if f.nbits&(f.nbits-1) == 0 {
+		f.mask = f.nbits - 1
+	}
+	return f
 }
 
 const (
@@ -60,6 +68,15 @@ func (f *Filter) hash2(key string) (uint64, uint64) {
 }
 
 func (f *Filter) hash2Bytes(key []byte) (uint64, uint64) {
+	return HashBytes(key)
+}
+
+// HashBytes computes the double-hashing base pair (h1, h2) for a key. The
+// pair is filter-independent — every filter derives its k probe positions
+// from it — so a caller feeding the same key to several filters can hash
+// once and pass the pair to AddHash on each, with bit-identical outcomes to
+// calling AddBytes on every filter separately.
+func HashBytes(key []byte) (uint64, uint64) {
 	h1 := tuple.MixWord(tuple.HashRawBytes(key, seed1), uint64(len(key)))
 	h2 := tuple.MixWord(tuple.HashRawBytes(key, seed2), uint64(len(key)))
 	return h1, h2 | 1
@@ -79,10 +96,18 @@ func (f *Filter) AddBytes(key []byte) bool {
 	return f.add(h1, h2)
 }
 
+// AddHash inserts a key given its precomputed HashBytes pair, equivalent to
+// AddBytes on the key that produced it. It lets a hot path that maintains
+// several filters over the same key stream pay for one hash instead of one
+// per filter.
+func (f *Filter) AddHash(h1, h2 uint64) bool {
+	return f.add(h1, h2)
+}
+
 func (f *Filter) add(h1, h2 uint64) bool {
 	present := true
 	for i := 0; i < f.k; i++ {
-		pos := (h1 + uint64(i)*h2) % f.nbits
+		pos := f.pos(h1 + uint64(i)*h2)
 		word, mask := pos/64, uint64(1)<<(pos%64)
 		if f.bits[word]&mask == 0 {
 			present = false
@@ -91,6 +116,13 @@ func (f *Filter) add(h1, h2 uint64) bool {
 		}
 	}
 	return present
+}
+
+func (f *Filter) pos(h uint64) uint64 {
+	if f.mask != 0 {
+		return h & f.mask
+	}
+	return h % f.nbits
 }
 
 // Contains reports whether key is possibly in the filter.
@@ -107,7 +139,7 @@ func (f *Filter) ContainsBytes(key []byte) bool {
 
 func (f *Filter) contains(h1, h2 uint64) bool {
 	for i := 0; i < f.k; i++ {
-		pos := (h1 + uint64(i)*h2) % f.nbits
+		pos := f.pos(h1 + uint64(i)*h2)
 		if f.bits[pos/64]&(uint64(1)<<(pos%64)) == 0 {
 			return false
 		}

@@ -103,3 +103,32 @@ func TestDegenerateSizes(t *testing.T) {
 		t.Fatalf("clamps wrong: bits=%d k=%d", f.Bits(), f.Hashes())
 	}
 }
+
+// TestMaskMatchesModulo pins the power-of-two fast path to the modulo
+// semantics: a masked filter and a one-bit-larger (non-power-of-two,
+// modulo-path) filter must agree with a brute-force reimplementation on
+// every probe position, so switching New between the two paths can never
+// move a bit — profiler estimates derived from set-bit counts are the
+// engine's adaptive decisions.
+func TestMaskMatchesModulo(t *testing.T) {
+	for _, nbits := range []int{1 << 10, 1<<10 + 1, 400, 1 << 16} {
+		f := New(nbits, 2)
+		ref := make(map[uint64]bool)
+		for i := 0; i < 5000; i++ {
+			key := []byte{byte(i), byte(i >> 8), byte(i * 7)}
+			h1, h2 := HashBytes(key)
+			f.AddHash(h1, h2)
+			for j := 0; j < 2; j++ {
+				ref[(h1+uint64(j)*h2)%uint64(nbits)] = true
+			}
+		}
+		if got, want := f.SetBits(), len(ref); got != want {
+			t.Fatalf("nbits=%d: %d set bits, brute force %d", nbits, got, want)
+		}
+		for pos := range ref {
+			if f.bits[pos/64]&(1<<(pos%64)) == 0 {
+				t.Fatalf("nbits=%d: position %d not set", nbits, pos)
+			}
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"acache/internal/cost"
 	"acache/internal/stream"
 )
@@ -82,7 +84,9 @@ func (en *Engine) ProcessBatch(ups []stream.Update) int {
 		en.sinceMonitor += k
 		if en.sinceMonitor >= en.cfg.MonitorInterval {
 			en.sinceMonitor = 0
+			tm := time.Now()
 			en.monitorUsed()
+			en.reoptNanos += time.Since(tm).Nanoseconds()
 		}
 		// runLimit returned >1, so the engine was not profiling when the run
 		// was admitted, and a run cannot start profiling mid-way: the serial
@@ -90,7 +94,9 @@ func (en *Engine) ProcessBatch(ups []stream.Update) int {
 		en.sinceReopt += k
 		if en.sinceReopt >= en.cfg.ReoptInterval {
 			en.sinceReopt = 0
+			tm := time.Now()
 			en.startReopt()
+			en.reoptNanos += time.Since(tm).Nanoseconds()
 		}
 	}
 	return total

@@ -87,6 +87,8 @@ func captureState(en *Engine) engineState {
 	st.snap.FilterBytes = 0
 	st.snap.FilteredProbes = 0
 	st.snap.FilterFalsePositives = 0
+	// ReoptNanos is wall-clock time, not logical work.
+	st.snap.ReoptNanos = 0
 	st.states = fmt.Sprint(en.CacheStates())
 	for rel := 0; rel < en.q.N(); rel++ {
 		st.stores = append(st.stores, fmt.Sprint(en.exec.Store(rel).All()))

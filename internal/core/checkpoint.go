@@ -32,6 +32,14 @@ type Checkpoint struct {
 func (en *Engine) Checkpoint() *Checkpoint {
 	n := en.q.N()
 	ck := &Checkpoint{Snap: en.Snapshot(), Rels: make([][]tuple.Tuple, n)}
+	// Adaptivity telemetry is process-local instrumentation, not replay
+	// state: it is neither encoded by MarshalBinary nor meaningful after a
+	// restore (the restored engine re-measures from scratch), so a
+	// checkpoint carries it at zero.
+	ck.Snap.ReoptNanos = 0
+	ck.Snap.SampledUpdates = 0
+	ck.Snap.CandidateRescores = 0
+	ck.Snap.ReoptsSuppressed = 0
 	for rel := 0; rel < n; rel++ {
 		all := en.exec.Store(rel).All()
 		ts := make([]tuple.Tuple, len(all))
@@ -222,6 +230,10 @@ func (s *Snapshot) AddSnapshot(o Snapshot) {
 	s.TierDemotions += o.TierDemotions
 	s.TierWriteErrors += o.TierWriteErrors
 	s.DurDegraded = s.DurDegraded || o.DurDegraded
+	s.ReoptNanos += o.ReoptNanos
+	s.SampledUpdates += o.SampledUpdates
+	s.CandidateRescores += o.CandidateRescores
+	s.ReoptsSuppressed += o.ReoptsSuppressed
 	if o.PipelineWorkers > s.PipelineWorkers {
 		s.PipelineWorkers = o.PipelineWorkers // config gauge, not a counter
 	}

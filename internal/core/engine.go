@@ -13,6 +13,7 @@ import (
 	"math/rand"
 	"path/filepath"
 	"sort"
+	"time"
 
 	"acache/internal/cache"
 	"acache/internal/cost"
@@ -22,6 +23,7 @@ import (
 	"acache/internal/planner"
 	"acache/internal/profiler"
 	"acache/internal/query"
+	"acache/internal/selection"
 	"acache/internal/stream"
 	"acache/internal/tier"
 	"acache/internal/tuple"
@@ -158,6 +160,25 @@ type Config struct {
 	// pools benefit accounting over; without them, cache groups are private
 	// to this engine.
 	RelTokens []string
+	// ReoptOffset delays the first post-startup re-optimization cycle by
+	// this many updates. A sharded host staggers its shards' offsets so they
+	// do not all pause to profile and re-optimize on the same tick; results
+	// are identical for any offset (cache selection never changes results,
+	// only cost).
+	ReoptOffset int
+	// ReferenceAdaptivity disables the adaptivity fast paths — the
+	// epoch-memoized readiness poll, the candidate-set memo, and reusable
+	// selection workspaces — so every poll and selection recomputes from
+	// scratch. Decisions, cost figures, and results are identical either
+	// way; this exists (like DisableFilters) for differential testing and
+	// the adaptivity experiment's decision-identity cross-check.
+	ReferenceAdaptivity bool
+	// InstrumentPhases wall-clock-instruments the per-update path into
+	// probe / cache-maintenance / profiler buckets (PhaseNanos). Off by
+	// default: the instrumentation itself costs two clock reads per update,
+	// so headline throughput runs leave it off and the bench harness takes
+	// a second instrumented pass.
+	InstrumentPhases bool
 }
 
 func (c Config) withDefaults() Config {
@@ -281,6 +302,53 @@ type Engine struct {
 	// stream is unobstructed, bounding the throughput lost to profiling.
 	reoptCount int
 
+	// Epoch-memoized readiness poll: statsReady is called once per update
+	// during a profiling phase, but its window-backed inputs change only at
+	// profiler stats epochs. readyEpoch/readyEpochOK memoize a false answer
+	// per epoch; unreadyPipe records the pipeline whose traffic-share early
+	// exit blocked it (−1 when blocked on a window or shadow), the one input
+	// that moves between epochs and must be re-checked per update.
+	readyEpoch   int64
+	readyEpochOK bool
+	unreadyPipe  int
+
+	// Candidate-set memo: planner.Candidates/GCCandidates are pure in
+	// (query, ordering), so refreshCandidates memoizes the spec slice per
+	// ordering key and ping-pongs the cands map, making ordering flips
+	// allocation-free once both orderings have been seen.
+	candSpecMemo map[string][]*planner.Spec
+	ordKeyBuf    []byte
+	spareCands   map[string]*cand
+
+	// Re-optimization scratch, reused across intervals so a warm
+	// re-optimization allocates nothing: the selection problem and
+	// workspace, the chosen/changed sets, and monitorUsed's group table.
+	selWS       selection.Workspace
+	selProb     selection.Problem
+	selGroupIDs map[string]int
+	selList     []*cand
+	chosenBuf   []*cand
+	inChosenBuf map[*cand]bool
+	triggerBuf  []*cand
+	oscBuf      []*cand
+	incCur      map[*cand]bool
+	incMovable  []*cand
+	incGroups   map[string]float64
+	incOverlap  []*cand
+	monIdx      map[string]int
+	monEvals    []groupEval
+
+	// Adaptivity telemetry: cumulative wall nanos inside the re-optimizer
+	// (monitor + profiling-phase transitions), cost-model re-evaluations,
+	// and rounds suppressed by the learned-unimportance filter alone.
+	reoptNanos       int64
+	candRescores     uint64
+	reoptsSuppressed int
+	// Instrumented phase buckets (Config.InstrumentPhases): wall nanos in
+	// unprofiled executor passes and in profiled passes + tick bookkeeping.
+	execNanos     int64
+	profilerNanos int64
+
 	outputs uint64
 	// Reopts counts selection runs; SkippedReopts counts p-threshold skips.
 	reopts, skippedReopts int
@@ -316,16 +384,20 @@ func NewEngine(q *query.Query, ord planner.Ordering, cfg Config) (*Engine, error
 	cfg.Profiler.FilterAware = cfg.FilterAwareCostModel
 	pf := profiler.New(q, exec, meter, cfg.Profiler)
 	en := &Engine{
-		q:         q,
-		cfg:       cfg,
-		meter:     meter,
-		exec:      exec,
-		pf:        pf,
-		adv:       ordering.New(q, pf),
-		mem:       memory.NewManager(cfg.MemoryBudget),
-		rng:       rand.New(rand.NewSource(cfg.Seed)),
-		cands:     make(map[string]*cand),
-		instances: make(map[string]*join.Instance),
+		q:           q,
+		cfg:         cfg,
+		meter:       meter,
+		exec:        exec,
+		pf:          pf,
+		adv:         ordering.New(q, pf),
+		mem:         memory.NewManager(cfg.MemoryBudget),
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		cands:       make(map[string]*cand),
+		instances:   make(map[string]*join.Instance),
+		unreadyPipe: -1,
+	}
+	if cfg.InstrumentPhases {
+		pf.SetInstrument(true)
 	}
 	if len(cfg.ForcedCaches) > 0 {
 		if err := en.attachForced(); err != nil {
@@ -335,8 +407,17 @@ func NewEngine(q *query.Query, ord planner.Ordering, cfg Config) (*Engine, error
 		en.refreshCandidates()
 		en.startProfilingPhase()
 	}
+	if cfg.ReoptOffset > 0 {
+		// Counted off before sinceReopt can reach the interval: the first
+		// post-startup re-optimization lands ReoptOffset updates later.
+		en.sinceReopt = -cfg.ReoptOffset
+	}
 	return en, nil
 }
+
+// ReoptOffset returns the configured first-re-optimization delay (shard
+// stagger), for tests and hosts inspecting shard phase.
+func (en *Engine) ReoptOffset() int { return en.cfg.ReoptOffset }
 
 // Meter exposes the engine's cost meter.
 func (en *Engine) Meter() *cost.Meter { return en.meter }
@@ -487,6 +568,11 @@ func (en *Engine) Process(u stream.Update) int {
 // exactly the per-update order.
 func (en *Engine) processUpdate(u stream.Update, profiled bool) int {
 	var outputs int
+	inst := en.cfg.InstrumentPhases
+	var t0 time.Time
+	if inst {
+		t0 = time.Now()
+	}
 	if profiled {
 		res, prof := en.exec.ProcessProfiled(u)
 		en.pf.Observe(u.Rel, prof)
@@ -494,7 +580,19 @@ func (en *Engine) processUpdate(u stream.Update, profiled bool) int {
 	} else {
 		outputs = en.exec.Process(u).Outputs
 	}
+	if inst {
+		el := time.Since(t0).Nanoseconds()
+		if profiled {
+			en.profilerNanos += el
+		} else {
+			en.execNanos += el
+		}
+		t0 = time.Now()
+	}
 	en.pf.Tick(u.Rel)
+	if inst {
+		en.profilerNanos += time.Since(t0).Nanoseconds()
+	}
 	en.updates++
 	en.outputs += uint64(outputs)
 
@@ -513,22 +611,46 @@ func (en *Engine) processUpdate(u stream.Update, profiled bool) int {
 	en.sinceMonitor++
 	if en.sinceMonitor >= en.cfg.MonitorInterval {
 		en.sinceMonitor = 0
+		tm := time.Now()
 		en.monitorUsed()
+		en.reoptNanos += time.Since(tm).Nanoseconds()
 	}
 
 	if en.profiling {
 		en.profilingFor++
 		if en.statsReady() || en.profilingFor >= en.cfg.MaxProfilingUpdates {
+			tm := time.Now()
 			en.finishReopt()
+			en.reoptNanos += time.Since(tm).Nanoseconds()
 		}
 		return outputs
 	}
 	en.sinceReopt++
 	if en.sinceReopt >= en.cfg.ReoptInterval {
 		en.sinceReopt = 0
+		tm := time.Now()
 		en.startReopt()
+		en.reoptNanos += time.Since(tm).Nanoseconds()
 	}
 	return outputs
+}
+
+// PhaseNanos reports the wall-clock adaptivity breakdown. reopt (the
+// re-optimizer: monitoring, profiling-phase transitions, selection) is
+// always measured — its clock reads amortize over whole intervals. The
+// per-update buckets require Config.InstrumentPhases: probe is the
+// unprofiled executor pass net of shadow-tap time, cacheMaint the shadow
+// estimators' tap time, profiler the profiled passes plus tick bookkeeping.
+// The probe/cacheMaint split is approximate by one subtlety: shadow taps
+// firing inside profiled passes are subtracted from the probe bucket rather
+// than the profiler bucket (taps do not know which pass invoked them).
+func (en *Engine) PhaseNanos() (probe, cacheMaint, profiler, reopt int64) {
+	cacheMaint = en.pf.ShadowNanos()
+	probe = en.execNanos - cacheMaint
+	if probe < 0 {
+		probe = 0
+	}
+	return probe, cacheMaint, en.profilerNanos, en.reoptNanos
 }
 
 // Snapshot is an aggregate of the engine's headline counters. Sharded
@@ -585,6 +707,23 @@ type Snapshot struct {
 	// lost).
 	TierWriteErrors uint64
 	DurDegraded     bool
+	// ReoptNanos is cumulative wall-clock time inside the re-optimizer
+	// (used-cache monitoring, profiling-phase transitions, selection) —
+	// the adaptivity tax off the per-tuple path. Always measured.
+	ReoptNanos int64
+	// SampledUpdates counts updates that drew a profiling decision; under
+	// a sample stride S it advances once per S updates per relation stream.
+	SampledUpdates uint64
+	// CandidateRescores counts cost-model re-evaluations of candidate
+	// caches; incremental re-optimization keeps it sublinear in
+	// re-optimizations × candidates.
+	CandidateRescores uint64
+	// ReoptsSuppressed counts re-optimization rounds skipped only because
+	// every beyond-threshold change came from learned-unimportant
+	// statistics (Config.Incremental); always ≤ SkippedReopts.
+	ReoptsSuppressed int
+	// Like the tier gauges, the four adaptivity counters are not persisted
+	// in binary checkpoints — a restored engine re-measures them.
 }
 
 // Snapshot returns the engine's current counters. The method takes no locks:
@@ -616,6 +755,10 @@ func (en *Engine) Snapshot() Snapshot {
 	}
 	s.TierHotBytes, s.TierColdBytes, s.TierPromotions, s.TierDemotions = en.TierStats()
 	s.TierWriteErrors, s.DurDegraded = en.DurabilityStats()
+	s.ReoptNanos = en.reoptNanos
+	s.SampledUpdates = en.pf.SampledUpdates()
+	s.CandidateRescores = en.candRescores
+	s.ReoptsSuppressed = en.reoptsSuppressed
 	if s.Updates > 0 {
 		s.StageOverlapRatio = float64(s.StagedUpdates) / float64(s.Updates)
 	}

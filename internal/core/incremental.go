@@ -1,7 +1,5 @@
 package core
 
-import "sort"
-
 // This file implements the two future-work directions the paper sketches in
 // Section 8 item 2:
 //
@@ -34,8 +32,14 @@ const unimportantAfter = 3
 // selection (plus the current used set) are considered, which is what makes
 // the re-optimization incremental: stable candidates cost nothing.
 func (en *Engine) incrementalSelect() []*cand {
-	// Current solution: the used set.
-	cur := make(map[*cand]bool)
+	// Current solution: the used set. The map, movable slice, and value()'s
+	// group table live on the engine and are reused across rounds.
+	if en.incCur == nil {
+		en.incCur = make(map[*cand]bool)
+		en.incGroups = make(map[string]float64)
+	}
+	clear(en.incCur)
+	cur := en.incCur
 	for _, c := range en.cands {
 		if c.state == Used {
 			cur[c] = true
@@ -45,7 +49,7 @@ func (en *Engine) incrementalSelect() []*cand {
 	// become estimable — the same conditions that trigger re-optimization),
 	// or currently used.
 	p := en.cfg.ChangeThreshold
-	var movable []*cand
+	movable := en.incMovable[:0]
 	for _, c := range en.cands {
 		if !c.est.Ready {
 			continue
@@ -58,13 +62,13 @@ func (en *Engine) incrementalSelect() []*cand {
 			movable = append(movable, c)
 		}
 	}
-	sort.Slice(movable, func(a, b int) bool {
-		return placementKey(movable[a].spec) < placementKey(movable[b].spec)
-	})
+	en.incMovable = movable
+	sortCandsByKey(movable)
 
 	value := func(sel map[*cand]bool) float64 {
 		v := 0.0
-		groups := make(map[string]float64)
+		groups := en.incGroups
+		clear(groups)
 		for c := range sel {
 			v += c.est.Benefit
 			groups[c.spec.SharingID()] = c.est.Cost
@@ -75,12 +79,13 @@ func (en *Engine) incrementalSelect() []*cand {
 		return v
 	}
 	overlapsAny := func(c *cand, sel map[*cand]bool) []*cand {
-		var out []*cand
+		out := en.incOverlap[:0]
 		for d := range sel {
 			if d != c && d.spec.Overlaps(c.spec) {
 				out = append(out, d)
 			}
 		}
+		en.incOverlap = out
 		return out
 	}
 
@@ -119,14 +124,24 @@ func (en *Engine) incrementalSelect() []*cand {
 			break
 		}
 	}
-	out := make([]*cand, 0, len(cur))
+	out := en.chosenBuf[:0]
 	for c := range cur {
 		out = append(out, c)
 	}
-	sort.Slice(out, func(a, b int) bool {
-		return placementKey(out[a].spec) < placementKey(out[b].spec)
-	})
+	sortCandsByKey(out)
+	en.chosenBuf = out
 	return out
+}
+
+// sortCandsByKey orders candidates by placement key (unique per candidate).
+// Insertion sort: the slices are tiny and sort.Slice would allocate its
+// closure and reflect swapper on every re-optimization.
+func sortCandsByKey(cs []*cand) {
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && placementKey(cs[j].spec) < placementKey(cs[j-1].spec); j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
 }
 
 // noteSelectionOutcome updates the unimportant-statistics tracker (future

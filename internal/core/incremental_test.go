@@ -81,16 +81,20 @@ func TestUnimportantStatsSuppression(t *testing.T) {
 	}
 	target.unimportant = unimportantAfter
 	target.selEst.Benefit = target.est.Benefit*10 + 1 // huge apparent change
-	if triggers, _ := en.changedBeyondThreshold(); len(triggers) != 0 {
+	triggers, _, suppressed := en.changedBeyondThreshold()
+	if len(triggers) != 0 {
 		t.Fatalf("suppressed candidate still triggered: %v", triggers)
+	}
+	if !suppressed {
+		t.Fatal("suppression must be reported for the ReoptsSuppressed counter")
 	}
 	// Rehabilitation: a selection change clears every counter.
 	en.noteSelectionOutcome(nil, true)
 	if target.unimportant != 0 {
 		t.Fatal("selection change must reset the unimportance counter")
 	}
-	triggers, oscillators := en.changedBeyondThreshold()
-	if len(triggers) == 0 || len(oscillators) == 0 {
+	triggers2, oscillators, _ := en.changedBeyondThreshold()
+	if len(triggers2) == 0 || len(oscillators) == 0 {
 		t.Fatal("rehabilitated candidate must trigger again as an oscillator")
 	}
 }

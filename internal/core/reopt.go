@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"acache/internal/memory"
 	"acache/internal/planner"
 	"acache/internal/profiler"
@@ -13,13 +11,17 @@ import (
 // ordering: prefix-invariant candidates plus, when enabled, the Section 6
 // globally-consistent quota. Existing candidate entries survive when their
 // placement is still valid; the rest are dropped (detaching used ones).
+// The spec enumeration is memoized per ordering (candidateSpecs) and the
+// two candidate maps ping-pong, so an ordering flip back to a seen ordering
+// allocates only the fresh cand entries it actually needs.
 func (en *Engine) refreshCandidates() {
-	ord := en.exec.Ordering()
-	specs := planner.Candidates(en.q, ord)
-	if en.cfg.GCQuota > 0 {
-		specs = append(specs, planner.GCCandidates(en.q, ord, specs, en.cfg.GCQuota)...)
+	ord := en.exec.OrderingRef()
+	specs := en.candidateSpecs(ord)
+	next := en.spareCands
+	if next == nil {
+		next = make(map[string]*cand, len(specs))
 	}
-	next := make(map[string]*cand, len(specs))
+	clear(next)
 	for _, spec := range specs {
 		k := placementKey(spec)
 		if old, ok := en.cands[k]; ok && old.spec.SharingID() == spec.SharingID() {
@@ -36,7 +38,39 @@ func (en *Engine) refreshCandidates() {
 			en.pf.StopShadow(old.spec)
 		}
 	}
+	en.spareCands = en.cands
 	en.cands = next
+}
+
+// candidateSpecs enumerates the candidate placements for ord, memoized by
+// ordering key: planner.Candidates and GCCandidates are pure functions of
+// (query, ordering), and an adapting engine revisits a small set of
+// orderings, so a flip back to a seen ordering re-enumerates nothing. The
+// memoized specs are shared across orderings' candidate maps — specs are
+// immutable and their Key/SharingID memos warm exactly once.
+// ReferenceAdaptivity recomputes every time (the memo's differential foil).
+func (en *Engine) candidateSpecs(ord planner.Ordering) []*planner.Spec {
+	en.ordKeyBuf = en.ordKeyBuf[:0]
+	for _, pipe := range ord {
+		for _, r := range pipe {
+			en.ordKeyBuf = append(en.ordKeyBuf, byte(r))
+		}
+		en.ordKeyBuf = append(en.ordKeyBuf, 0xff)
+	}
+	if !en.cfg.ReferenceAdaptivity {
+		if specs, ok := en.candSpecMemo[string(en.ordKeyBuf)]; ok {
+			return specs
+		}
+	}
+	specs := planner.Candidates(en.q, ord)
+	if en.cfg.GCQuota > 0 {
+		specs = append(specs, planner.GCCandidates(en.q, ord, specs, en.cfg.GCQuota)...)
+	}
+	if en.candSpecMemo == nil {
+		en.candSpecMemo = make(map[string][]*planner.Spec)
+	}
+	en.candSpecMemo[string(en.ordKeyBuf)] = specs
+	return specs
 }
 
 // fullProfileEvery is the profiling duty cycle: every Nth re-optimization
@@ -146,30 +180,52 @@ func (en *Engine) startProfilingPhase() {
 	en.profiling = true
 	en.profilingFor = 0
 	en.readyCand = nil
+	en.readyEpochOK = false
 }
 
 // statsReady reports whether every pipeline statistic and every profiled
 // candidate's shadow window is full.
 //
-// It is polled once per update during a profiling phase, so it keeps a
-// cursor (en.readyCand) on the candidate last found unready and re-checks
-// that one first. The memo is sound because readiness is monotone within a
-// phase: shadow windows only fill (ShadowMissProb flips false→true once, as
-// observations are never discarded mid-phase), and candidate states change
-// only at phase boundaries (startReopt / finishReopt), which clear the
-// cursor. An unready cursor therefore short-circuits to the same false the
-// full scan would return.
+// It is polled once per update during a profiling phase, so it memoizes at
+// two levels:
+//
+//   - An epoch gate: every input except one is backed by windowed statistics
+//     that change only at profiler stats epochs (span boundaries, profiled
+//     observations, shadow-window completions, shadow start/stop, pipeline
+//     resets). A false answer recorded at epoch E therefore stands while the
+//     epoch is unchanged — except for the traffic-share early exit, which
+//     moves with the raw tick counters; en.unreadyPipe records the pipeline
+//     it blocked on (−1 when blocked on a window or shadow instead) and
+//     exactly that one exit is re-checked per update. Sound because a
+//     blocking window/shadow cannot fill without an epoch bump, and a
+//     blocking pipeline's readiness can flip between epochs only through its
+//     own traffic-share exit. ReferenceAdaptivity disables the gate.
+//
+//   - A cursor (en.readyCand) on the candidate last found unready, re-checked
+//     first on a full scan. Sound because readiness is monotone within a
+//     phase: shadow windows only fill, and candidate states change only at
+//     phase boundaries (startReopt / finishReopt), which clear the cursor.
 func (en *Engine) statsReady() bool {
+	if !en.cfg.ReferenceAdaptivity && en.readyEpochOK && en.readyEpoch == en.pf.StatsEpoch() {
+		if en.unreadyPipe < 0 || !en.pf.TrafficShareReady(en.unreadyPipe) {
+			return false
+		}
+	}
+	en.readyEpochOK = false
 	if c := en.readyCand; c != nil {
 		if c.state == Profiled && c.shadowOn {
 			if _, ok := en.pf.ShadowMissProb(c.spec); !ok {
+				en.noteUnready(-1)
 				return false
 			}
 		}
 		en.readyCand = nil
 	}
-	if !en.pf.Ready() {
-		return false
+	for i := 0; i < en.q.N(); i++ {
+		if !en.pf.PipelineReady(i) {
+			en.noteUnready(i)
+			return false
+		}
 	}
 	for _, c := range en.cands {
 		if c.state != Profiled || !c.shadowOn {
@@ -177,10 +233,20 @@ func (en *Engine) statsReady() bool {
 		}
 		if _, ok := en.pf.ShadowMissProb(c.spec); !ok {
 			en.readyCand = c
+			en.noteUnready(-1)
 			return false
 		}
 	}
 	return true
+}
+
+// noteUnready records a false readiness answer for the current stats epoch;
+// pipe is the pipeline whose traffic-share exit blocked it, or −1 when the
+// blocker was a window or shadow (which cannot fill without an epoch bump).
+func (en *Engine) noteUnready(pipe int) {
+	en.readyEpoch = en.pf.StatsEpoch()
+	en.readyEpochOK = true
+	en.unreadyPipe = pipe
 }
 
 // finishReopt evaluates the cost model for every candidate, applies the
@@ -189,16 +255,30 @@ func (en *Engine) statsReady() bool {
 func (en *Engine) finishReopt() {
 	en.profiling = false
 	en.readyCand = nil
+	en.readyEpochOK = false
+	rescoresSuppressed := false
 	for _, c := range en.cands {
 		if c.state == Used || c.shadowOn {
+			if en.cfg.Incremental && c.selSet && c.est.Ready && c.unimportant >= unimportantAfter {
+				// Learned-unimportant statistic (Section 8 future work (ii)
+				// extended into the scoring path): its movements have not
+				// changed the selection unimportantAfter times running, so
+				// skip the re-score itself; the estimate refreshes when any
+				// selection change rehabilitates the tracker.
+				rescoresSuppressed = true
+				continue
+			}
 			c.est = en.estimate(c)
 		}
 		// Candidates skipped by a light profile keep their previous
 		// estimate (possibly stale; the next full profile refreshes it).
 	}
-	triggers, oscillators := en.changedBeyondThreshold()
+	triggers, oscillators, suppressed := en.changedBeyondThreshold()
 	if len(triggers) == 0 {
 		en.skippedReopts++
+		if suppressed || rescoresSuppressed {
+			en.reoptsSuppressed++
+		}
 		en.stopShadows()
 		return
 	}
@@ -222,14 +302,24 @@ func (en *Engine) finishReopt() {
 	}
 }
 
+// inChosen builds the chosen-set membership map in a reused buffer (valid
+// until the next call).
+func (en *Engine) inChosen(chosen []*cand) map[*cand]bool {
+	if en.inChosenBuf == nil {
+		en.inChosenBuf = make(map[*cand]bool, len(chosen))
+	}
+	clear(en.inChosenBuf)
+	for _, c := range chosen {
+		en.inChosenBuf[c] = true
+	}
+	return en.inChosenBuf
+}
+
 // selectionDiffers reports whether the chosen set differs from the caches
 // currently in use.
 func (en *Engine) selectionDiffers(chosen []*cand) bool {
-	inChosen := make(map[*cand]bool, len(chosen))
+	inChosen := en.inChosen(chosen)
 	used := 0
-	for _, c := range chosen {
-		inChosen[c] = true
-	}
 	for _, c := range en.cands {
 		if c.state == Used {
 			used++
@@ -255,6 +345,7 @@ func (en *Engine) stopShadows() {
 // their directly observed miss probability, profiled ones their shadow
 // estimate (Section 4.3).
 func (en *Engine) estimate(c *cand) profiler.Estimate {
+	en.candRescores++
 	var missProb float64
 	var distinct float64
 	switch c.state {
@@ -278,9 +369,13 @@ func (en *Engine) estimate(c *cand) profiler.Estimate {
 // is the subset flagged for plain statistic movement (as opposed to
 // becoming estimable for the first time), the only kind the
 // unimportant-statistics tracker may learn to suppress — suppressing
-// readiness transitions could deadlock adoption outright.
-func (en *Engine) changedBeyondThreshold() (triggers, oscillators []*cand) {
+// readiness transitions could deadlock adoption outright. suppressed
+// reports whether the filter silenced at least one beyond-threshold change
+// this round. The returned slices are reused across rounds.
+func (en *Engine) changedBeyondThreshold() (triggers, oscillators []*cand, suppressed bool) {
 	p := en.cfg.ChangeThreshold
+	triggers = en.triggerBuf[:0]
+	oscillators = en.oscBuf[:0]
 	for _, c := range en.cands {
 		if !c.selSet || c.est.Ready != c.selEst.Ready {
 			// Never selected with this candidate known, or it became
@@ -291,13 +386,16 @@ func (en *Engine) changedBeyondThreshold() (triggers, oscillators []*cand) {
 		if relChange(c.est.Benefit, c.selEst.Benefit) > p ||
 			relChange(c.est.Cost, c.selEst.Cost) > p {
 			if en.cfg.Incremental && c.unimportant >= unimportantAfter {
+				suppressed = true
 				continue // learned-unimportant statistic
 			}
 			triggers = append(triggers, c)
 			oscillators = append(oscillators, c)
 		}
 	}
-	return triggers, oscillators
+	en.triggerBuf = triggers
+	en.oscBuf = oscillators
+	return triggers, oscillators, suppressed
 }
 
 func relChange(now, then float64) float64 {
@@ -319,26 +417,47 @@ func relChange(now, then float64) float64 {
 }
 
 // runSelection builds the selection problem from current estimates and runs
-// the configured offline algorithm.
+// the configured offline algorithm. The problem, candidate list, group
+// index, and algorithm workspace all live on the engine and are reused, so
+// a warm selection allocates nothing; ReferenceAdaptivity rebuilds them
+// from scratch each time (identical results, the reuse's differential
+// foil). The returned slice is valid until the next selection.
 func (en *Engine) runSelection() []*cand {
-	ord := en.exec.Ordering()
-	prob := &selection.Problem{}
-	for i := 0; i < en.q.N(); i++ {
-		costs := make([]float64, len(ord[i]))
-		for j := range costs {
-			costs[j] = en.pf.OpCost(i, j)
+	ord := en.exec.OrderingRef()
+	ref := en.cfg.ReferenceAdaptivity
+	prob := &en.selProb
+	ws := &en.selWS
+	groupIDs := en.selGroupIDs
+	list := en.selList[:0]
+	if ref {
+		prob = &selection.Problem{}
+		ws = &selection.Workspace{}
+		groupIDs = nil
+		list = nil
+	}
+	if groupIDs == nil {
+		groupIDs = make(map[string]int)
+		if !ref {
+			en.selGroupIDs = groupIDs
 		}
-		prob.OpCosts = append(prob.OpCosts, costs)
 	}
+	clear(groupIDs)
+	n := en.q.N()
+	if cap(prob.OpCosts) < n {
+		prob.OpCosts = make([][]float64, n)
+	}
+	prob.OpCosts = prob.OpCosts[:n]
+	for i := 0; i < n; i++ {
+		costs := prob.OpCosts[i][:0]
+		for j := range ord[i] {
+			costs = append(costs, en.pf.OpCost(i, j))
+		}
+		prob.OpCosts[i] = costs
+	}
+	prob.Cands = prob.Cands[:0]
+	prob.GroupCosts = prob.GroupCosts[:0]
 	// Deterministic candidate order.
-	keys := make([]string, 0, len(en.cands))
-	for k := range en.cands {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	var list []*cand
-	groupIDs := make(map[string]int)
-	for _, k := range keys {
+	for _, k := range en.sortedCandKeys() {
 		c := en.cands[k]
 		if !c.est.Ready {
 			continue
@@ -357,6 +476,9 @@ func (en *Engine) runSelection() []*cand {
 			Benefit:  c.est.Benefit,
 		})
 		list = append(list, c)
+	}
+	if !ref {
+		en.selList = list
 	}
 	var res selection.Result
 	switch {
@@ -382,22 +504,23 @@ func (en *Engine) runSelection() []*cand {
 			res = selection.BudgetedGreedy(bp)
 		}
 	case en.cfg.Selection == SelectExhaustive:
-		res = selection.Exhaustive(prob)
+		res = ws.Exhaustive(prob)
 	case en.cfg.Selection == SelectGreedy:
-		res = selection.Greedy(prob)
+		res = ws.Greedy(prob)
 	case en.cfg.Selection == SelectRandomized:
 		var err error
 		res, err = selection.Randomized(prob, en.rng)
 		if err != nil {
-			res = selection.Greedy(prob)
+			res = ws.Greedy(prob)
 		}
 	default:
-		res = selection.Select(prob)
+		res = ws.Select(prob)
 	}
-	chosen := make([]*cand, 0, len(res.Chosen))
+	chosen := en.chosenBuf[:0]
 	for _, i := range res.Chosen {
 		chosen = append(chosen, list[i])
 	}
+	en.chosenBuf = chosen
 	return chosen
 }
 
@@ -405,10 +528,7 @@ func (en *Engine) runSelection() []*cand {
 // caches that fell out, attach newly chosen ones (sharing instances by
 // identity).
 func (en *Engine) applySelection(chosen []*cand) {
-	inChosen := make(map[*cand]bool, len(chosen))
-	for _, c := range chosen {
-		inChosen[c] = true
-	}
+	inChosen := en.inChosen(chosen)
 	for _, c := range en.cands {
 		if !inChosen[c] && (c.state == Used || c.suspended) {
 			en.detach(c)
@@ -568,19 +688,30 @@ func (en *Engine) allocateMemory() {
 	}
 }
 
+// groupEval aggregates one sharing group's monitored net benefit; the
+// engine's monEvals slice reuses these (and their member slices) across
+// monitor runs so the periodic check allocates nothing at steady state.
+type groupEval struct {
+	net     float64
+	members []*cand
+	ready   bool
+}
+
 // monitorUsed implements Section 4.5(a): benefit(C) − cost(C) is monitored
 // continuously for used caches via their live hit statistics, and a cache
 // whose group turns unprofitable is moved to Unused immediately. (Gradual
 // reaction — promoting unused caches — happens only at re-optimization.)
+// Candidates are walked in sorted placement order so group benefit sums are
+// deterministic.
 func (en *Engine) monitorUsed() {
 	// Evaluate per sharing group: benefits add up, cost is paid once.
-	type groupEval struct {
-		net     float64
-		members []*cand
-		ready   bool
+	if en.monIdx == nil {
+		en.monIdx = make(map[string]int)
 	}
-	groups := make(map[string]*groupEval)
-	for _, c := range en.cands {
+	clear(en.monIdx)
+	evals := en.monEvals[:0]
+	for _, k := range en.sortedCandKeys() {
+		c := en.cands[k]
 		if c.state != Used {
 			continue
 		}
@@ -603,22 +734,35 @@ func (en *Engine) monitorUsed() {
 		}
 		missProb := 1 - float64(dh)/float64(dp)
 		c.monStat = monitorSnapshot{probes: st.Probes, hits: st.Hits}
+		en.candRescores++
 		est := en.pf.Estimate(c.spec, missProb, float64(c.inst.Cache().Entries()))
 		if !est.Ready {
 			continue
 		}
 		c.est = est
 		id := c.spec.SharingID()
-		g := groups[id]
-		if g == nil {
-			g = &groupEval{net: -est.Cost}
-			groups[id] = g
+		gi, ok := en.monIdx[id]
+		if !ok {
+			gi = len(evals)
+			en.monIdx[id] = gi
+			if gi < cap(evals) {
+				evals = evals[:gi+1]
+				e := &evals[gi]
+				e.net = -est.Cost
+				e.members = e.members[:0]
+				e.ready = false
+			} else {
+				evals = append(evals, groupEval{net: -est.Cost})
+			}
 		}
-		g.net += est.Benefit
-		g.members = append(g.members, c)
-		g.ready = true
+		e := &evals[gi]
+		e.net += est.Benefit
+		e.members = append(e.members, c)
+		e.ready = true
 	}
-	for _, g := range groups {
+	en.monEvals = evals
+	for i := range evals {
+		g := &evals[i]
 		if g.ready && g.net < 0 {
 			for _, c := range g.members {
 				c.demotions++

@@ -335,6 +335,13 @@ func (e *Exec) StoreFilterStats() relation.FilterStats {
 // Ordering returns a copy of the current pipeline ordering.
 func (e *Exec) Ordering() planner.Ordering { return e.ord.Clone() }
 
+// OrderingRef returns the current ordering without copying. Read-only for
+// the caller, and stable: SetOrdering replaces the ordering wholesale
+// (copy-on-write) rather than mutating it, so a borrowed reference stays
+// internally consistent — it just goes stale. For the re-optimizer's
+// allocation-free hot path; everyone else wants Ordering.
+func (e *Exec) OrderingRef() planner.Ordering { return e.ord }
+
 // SetOrdering replaces pipeline ord for one relation and recompiles it.
 // All cache attachments in that pipeline are implicitly dropped — the caller
 // (the adaptive engine) must detach caches first; any attachment state left

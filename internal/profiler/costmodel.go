@@ -122,7 +122,11 @@ func (pf *Profiler) Estimate(spec *planner.Spec, missProb, distinct float64) Est
 	} else {
 		scope := spec.Segment
 		if spec.GC {
-			scope = append(append([]int(nil), spec.Segment...), spec.Y...)
+			// Widened X ∪ Y scope, built in a reused scratch slice: Estimate
+			// runs on every candidate each re-optimization and must not
+			// allocate at steady state.
+			pf.scopeBuf = append(append(pf.scopeBuf[:0], spec.Segment...), spec.Y...)
+			scope = pf.scopeBuf
 		}
 		maintPos := len(scope) - 1
 		maintRate := 0.0

@@ -9,6 +9,7 @@ package profiler
 
 import (
 	"math/rand"
+	"time"
 
 	"acache/internal/bloom"
 	"acache/internal/cost"
@@ -33,6 +34,18 @@ type Config struct {
 	// SampleProb is p_i: the probability of profiling a tuple's complete
 	// pipeline processing.
 	SampleProb float64
+	// SampleStride enables strided span sampling of the profiler itself:
+	// with stride S > 1 only every S-th update draws a profiling decision
+	// (with probability min(1, S × SampleProb), keeping the expected
+	// profiled fraction at SampleProb) and every shadow estimator hashes
+	// only every S-th probe of its key stream. Rates, δ/τ windows, and
+	// miss-probability estimates remain unbiased ratio estimators over the
+	// sampled substream; ShadowDistinct becomes a lower bound (a key's
+	// first occurrence may be skipped), and shadow windows take S times as
+	// many probes to fill. 0 or 1 keeps exact profiling: every statistic,
+	// random draw, and meter charge is bit-identical to the pre-stride
+	// profiler.
+	SampleStride int
 	// RateSpan is the number of updates per rate(R_i) measurement span.
 	RateSpan int
 	// PaperMissEstimator makes ShadowMissProb return the paper's
@@ -90,6 +103,35 @@ type Profiler struct {
 	totalTicks int64
 	relTicks   []int64
 
+	// statsEpoch counts statistic observations: it is bumped whenever a
+	// value any readiness or estimate check reads can have changed — a
+	// rate-span boundary, a profiled-update Observe, a filter observation,
+	// a shadow window completing, a pipeline reset, or a shadow starting or
+	// stopping. Between equal epochs, every window-backed statistic is
+	// bitwise unchanged, which lets the engine answer its per-update
+	// readiness poll from a memo instead of rescanning (the traffic-share
+	// early exit of PipelineReady is the one non-epoch input; the engine
+	// rechecks it separately).
+	statsEpoch int64
+	// strideN counts updates toward the next sampled one (SampleStride).
+	strideN int
+	// sampledUpdates counts updates that drew a profiling decision — all of
+	// them in exact mode, one in SampleStride otherwise.
+	sampledUpdates uint64
+	// shadowPool recycles stopped shadow estimators (their Bloom filters
+	// and windows are the profiling phase's only per-phase allocations);
+	// colsMemo caches each spec's probe-key columns, invalidated per
+	// pipeline on reorder.
+	shadowPool []*shadow
+	colsMemo   map[string]colsEntry
+	// scopeBuf is Estimate's scratch for the widened GC maintenance scope.
+	scopeBuf []int
+	// instrument enables wall-clock attribution of shadow-tap work
+	// (shadowNanos) for the per-phase cost breakdown; off on the default
+	// hot path.
+	instrument  bool
+	shadowNanos int64
+
 	// Observed fingerprint-filter effectiveness, fed by the engine's
 	// monitor from structure counter deltas (ObserveFilter): what fraction
 	// of misses the filters answered without a bucket walk, and how often a
@@ -133,10 +175,44 @@ func newPipeStats(n int, cfg Config) *pipeStats {
 // W returns the configured estimation window.
 func (pf *Profiler) W() int { return pf.cfg.W }
 
-// ShouldProfile decides whether the next update to rel is profiled.
+// ShouldProfile decides whether the next update to rel is profiled. In
+// exact mode every update draws; with SampleStride S > 1 only every S-th
+// update draws, with probability min(1, S × SampleProb), so the expected
+// profiled fraction stays SampleProb while S−1 of every S updates skip the
+// random-number generator entirely.
 func (pf *Profiler) ShouldProfile(rel int) bool {
+	if s := pf.cfg.SampleStride; s > 1 {
+		pf.strideN++
+		if pf.strideN < s {
+			return false
+		}
+		pf.strideN = 0
+		pf.sampledUpdates++
+		p := float64(s) * pf.cfg.SampleProb
+		if p > 1 {
+			p = 1
+		}
+		return pf.rng.Float64() < p
+	}
+	pf.sampledUpdates++
 	return pf.rng.Float64() < pf.cfg.SampleProb
 }
+
+// SampledUpdates returns how many updates drew a profiling decision: equal
+// to the update count in exact mode, roughly 1/SampleStride of it otherwise.
+func (pf *Profiler) SampledUpdates() uint64 { return pf.sampledUpdates }
+
+// StatsEpoch returns the statistics-observation counter (see the field).
+// Equal epochs guarantee every windowed statistic is unchanged.
+func (pf *Profiler) StatsEpoch() int64 { return pf.statsEpoch }
+
+// SetInstrument toggles wall-clock attribution of shadow-tap maintenance;
+// ShadowNanos returns the accumulated total.
+func (pf *Profiler) SetInstrument(on bool) { pf.instrument = on }
+
+// ShadowNanos returns the wall-clock nanoseconds spent in shadow-estimator
+// taps since construction (0 unless SetInstrument(true)).
+func (pf *Profiler) ShadowNanos() int64 { return pf.shadowNanos }
 
 // Tick records one update to rel for rate estimation. Call it for every
 // update, profiled or not, after processing. Span boundaries read the shared
@@ -154,6 +230,7 @@ func (pf *Profiler) Tick(rel int) {
 		ps.rate.ObserveSpan(ps.spanN, now-ps.spanT)
 		ps.spanN = 0
 		ps.spanT = now
+		pf.statsEpoch++
 	}
 }
 
@@ -172,6 +249,7 @@ func (pf *Profiler) TickN(rel, k int) {
 		ps.rate.ObserveSpan(ps.spanN, now-ps.spanT)
 		ps.spanN = 0
 		ps.spanT = now
+		pf.statsEpoch++
 	}
 }
 
@@ -198,6 +276,7 @@ func (pf *Profiler) Observe(rel int, prof join.Profile) {
 	for j, u := range prof.StepUnits {
 		ps.tau[j].Observe(cost.Seconds(u))
 	}
+	pf.statsEpoch++
 }
 
 // ObserveFilter feeds one monitoring interval's filter counter deltas:
@@ -215,6 +294,7 @@ func (pf *Profiler) ObserveFilter(shortCircuits, falsePositives, misses uint64) 
 	if trueAbsent := shortCircuits + falsePositives; trueAbsent > 0 {
 		pf.filterFP.Observe(float64(falsePositives) / float64(trueAbsent))
 	}
+	pf.statsEpoch++
 }
 
 // FilterEffectiveness returns the windowed filter observations: the fraction
@@ -256,11 +336,10 @@ func (pf *Profiler) OpCost(pipe, pos int) float64 { return pf.D(pipe, pos) * pf.
 // estimate touching it, even though its contribution to any cost is
 // bounded by its traffic share.
 func (pf *Profiler) PipelineReady(pipe int) bool {
-	ps := pf.pipes[pipe]
-	if pf.totalTicks > 20*int64(pf.cfg.RateSpan) &&
-		pf.relTicks[pipe]*50 < pf.totalTicks {
+	if pf.TrafficShareReady(pipe) {
 		return true
 	}
+	ps := pf.pipes[pipe]
 	if !ps.rate.Ready() {
 		return false
 	}
@@ -270,6 +349,17 @@ func (pf *Profiler) PipelineReady(pipe int) bool {
 		}
 	}
 	return true
+}
+
+// TrafficShareReady reports PipelineReady's negligible-traffic early exit in
+// isolation: a pipeline whose relation sees under a 2% share of a
+// long-enough update stream is ready by fiat. Unlike every window-backed
+// statistic it moves with the raw tick counters — between equal StatsEpochs
+// it is the only input that can flip a readiness answer, so the engine's
+// epoch-memoized readiness poll rechecks exactly this per update.
+func (pf *Profiler) TrafficShareReady(pipe int) bool {
+	return pf.totalTicks > 20*int64(pf.cfg.RateSpan) &&
+		pf.relTicks[pipe]*50 < pf.totalTicks
 }
 
 // Ready reports whether every pipeline is ready.
@@ -283,9 +373,16 @@ func (pf *Profiler) Ready() bool {
 }
 
 // ResetPipeline discards a pipeline's statistics (after reordering,
-// Section 4.5 step 5).
+// Section 4.5 step 5) and the memoized probe-key columns of specs on it
+// (their schema prefix just changed).
 func (pf *Profiler) ResetPipeline(pipe int) {
 	pf.pipes[pipe] = newPipeStats(pf.q.N(), pf.cfg)
+	pf.statsEpoch++
+	for k, e := range pf.colsMemo {
+		if e.pipe == pipe {
+			delete(pf.colsMemo, k)
+		}
+	}
 }
 
 // shadow estimates the miss probability of a cache not in use from a
@@ -318,11 +415,19 @@ type shadow struct {
 	horizon     *bloom.Filter
 	seen        int
 	newKeys     int
+	strideN     int // probes since the last sampled one (SampleStride)
 	warm        bool
 	windows     int           // completed windows since shadow start
 	missWin     *stats.Window // retention-aware (decision) estimate
 	windowedWin *stats.Window // the paper's per-window estimate
 	distinct    *stats.Window
+}
+
+// colsEntry memoizes a spec's probe-key columns (invalidated per pipeline on
+// reorder — the lookup position's schema prefix depends on the ordering).
+type colsEntry struct {
+	pipe int
+	cols []int
 }
 
 // shadowMaxWindows caps how long a shadow keeps refining a still-falling
@@ -333,28 +438,64 @@ const shadowMaxWindows = 40
 func shadowKey(spec *planner.Spec) string { return spec.Key() }
 
 // StartShadow installs the shadow estimator for a candidate cache. It is a
-// no-op if one is already running.
+// no-op if one is already running. Stopped shadows are recycled from a pool
+// (filters and windows reset), so the profiling phases of a warm engine
+// allocate nothing here; the probe-key columns are memoized per spec until
+// the pipeline reorders.
 func (pf *Profiler) StartShadow(spec *planner.Spec) {
 	key := shadowKey(spec)
 	if _, ok := pf.shadows[key]; ok {
 		return
 	}
-	sh := &shadow{
-		filter:      bloom.New(pf.cfg.Alpha*pf.cfg.Wd, 1),
-		horizon:     bloom.New(1<<16, 2),
-		warm:        true,
-		missWin:     stats.NewWindow(pf.cfg.W),
-		windowedWin: stats.NewWindow(pf.cfg.W),
-		distinct:    stats.NewWindow(pf.cfg.W),
+	var sh *shadow
+	if n := len(pf.shadowPool); n > 0 {
+		sh = pf.shadowPool[n-1]
+		pf.shadowPool = pf.shadowPool[:n-1]
+	} else {
+		sh = &shadow{
+			filter:      bloom.New(pf.cfg.Alpha*pf.cfg.Wd, 1),
+			horizon:     bloom.New(1<<16, 2),
+			missWin:     stats.NewWindow(pf.cfg.W),
+			windowedWin: stats.NewWindow(pf.cfg.W),
+			distinct:    stats.NewWindow(pf.cfg.W),
+		}
 	}
+	sh.warm = true
 	// Key columns in the schema arriving at the lookup position.
-	sh.keyCols = pf.q.RepresentativeCols(pf.schemaAt(spec.Pipeline, spec.Start), spec.KeyClasses)
+	if pf.colsMemo == nil {
+		pf.colsMemo = make(map[string]colsEntry)
+	}
+	if e, ok := pf.colsMemo[key]; ok {
+		sh.keyCols = e.cols
+	} else {
+		sh.keyCols = pf.q.RepresentativeCols(pf.schemaAt(spec.Pipeline, spec.Start), spec.KeyClasses)
+		pf.colsMemo[key] = colsEntry{pipe: spec.Pipeline, cols: sh.keyCols}
+	}
 	sh.tapID = pf.e.Tap(spec.Pipeline, spec.Start, func(batch []tuple.Tuple, _ stream.Op) {
+		var t0 time.Time
+		if pf.instrument {
+			t0 = time.Now()
+		}
+		// One hash per key feeds both filters (their probe positions derive
+		// from the same base pair), and the whole batch's hash work is
+		// charged in one ChargeN: no meter read can interleave inside a tap
+		// callback, so simulated time at every observation point is
+		// identical to per-tuple charging.
+		perKey := sh.filter.Hashes() + sh.horizon.Hashes()
+		stride := pf.cfg.SampleStride
+		hashed := 0
 		for _, t := range batch {
-			pf.meter.ChargeN(cost.BloomHash, sh.filter.Hashes()+sh.horizon.Hashes())
+			if stride > 1 {
+				if sh.strideN++; sh.strideN < stride {
+					continue
+				}
+				sh.strideN = 0
+			}
+			hashed++
 			sh.keyBuf = tuple.AppendKey(sh.keyBuf[:0], t, sh.keyCols)
-			sh.filter.AddBytes(sh.keyBuf)
-			if !sh.horizon.AddBytes(sh.keyBuf) {
+			h1, h2 := bloom.HashBytes(sh.keyBuf)
+			sh.filter.AddHash(h1, h2)
+			if !sh.horizon.AddHash(h1, h2) {
 				sh.newKeys++
 			}
 			sh.seen++
@@ -370,10 +511,18 @@ func (pf *Profiler) StartShadow(spec *planner.Spec) {
 				sh.filter.Reset()
 				sh.seen = 0
 				sh.newKeys = 0
+				pf.statsEpoch++
 			}
+		}
+		if hashed > 0 {
+			pf.meter.ChargeN(cost.BloomHash, perKey*hashed)
+		}
+		if pf.instrument {
+			pf.shadowNanos += time.Since(t0).Nanoseconds()
 		}
 	})
 	pf.shadows[key] = sh
+	pf.statsEpoch++
 }
 
 // ShadowWindowedMissProb returns the paper's per-window Appendix-A estimate
@@ -386,12 +535,23 @@ func (pf *Profiler) ShadowWindowedMissProb(spec *planner.Spec) (float64, bool) {
 	return sh.windowedWin.Mean(), sh.windowedWin.Full()
 }
 
-// StopShadow removes a candidate's shadow estimator, keeping nothing.
+// StopShadow removes a candidate's shadow estimator, keeping nothing. The
+// estimator's filters and windows are reset and pooled for the next
+// StartShadow.
 func (pf *Profiler) StopShadow(spec *planner.Spec) {
 	key := shadowKey(spec)
 	if sh, ok := pf.shadows[key]; ok {
 		pf.e.RemoveTap(sh.tapID)
 		delete(pf.shadows, key)
+		sh.filter.Reset()
+		sh.horizon.Reset()
+		sh.missWin.Reset()
+		sh.windowedWin.Reset()
+		sh.distinct.Reset()
+		sh.seen, sh.newKeys, sh.strideN, sh.windows = 0, 0, 0, 0
+		sh.keyCols = nil
+		pf.shadowPool = append(pf.shadowPool, sh)
+		pf.statsEpoch++
 	}
 }
 

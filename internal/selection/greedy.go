@@ -5,6 +5,30 @@ import (
 	"sort"
 )
 
+// gItem is one covering item of the greedy minimization form: a real
+// candidate cache or an operator pseudo-cache (cand = −1).
+type gItem struct {
+	cand  int
+	pipe  int
+	start int
+	end   int
+	proc  float64
+}
+
+// gGroup is one sharing group of covering items; its cost is paid once.
+type gGroup struct {
+	cost  float64
+	items []int
+}
+
+// gLive is a group item with its current uncovered-operator count and cost
+// rate, rebuilt per greedy round.
+type gLive struct {
+	idx  int
+	n    int
+	rate float64
+}
+
 // Greedy is the Appendix-B greedy O(log n) approximation for instances with
 // shared caches. It works on the minimization form: every operator must be
 // covered exactly once, by a real cache or by itself (a zero-length cache of
@@ -15,23 +39,23 @@ import (
 // operators, and repeats; overlapping choices are resolved afterwards by
 // keeping the widest cache.
 func Greedy(p *Problem) Result {
-	type item struct {
-		cand  int // candidate index, or −1 for an operator pseudo-cache
-		pipe  int
-		start int
-		end   int
-		proc  float64
-	}
-	type group struct {
-		cost  float64
-		items []int
-	}
+	var w Workspace
+	return w.Greedy(p)
+}
 
-	var items []item
-	var groups []group
-	// Real candidates, grouped by sharing group.
-	groupOf := make(map[int]int)
-	for i, c := range p.Cands {
+// Greedy is the Workspace-backed greedy covering; see the package function
+// for the algorithm.
+func (w *Workspace) Greedy(p *Problem) Result {
+	// Build items and groups; group indexes are dense (0..len(GroupCosts)),
+	// so the group lookup is a slice, not a map.
+	w.gItems = w.gItems[:0]
+	w.gGroups = w.gGroups[:0]
+	w.gGroupIdx = growInts(w.gGroupIdx, len(p.GroupCosts))
+	for i := range w.gGroupIdx {
+		w.gGroupIdx[i] = -1
+	}
+	for i := range p.Cands {
+		c := &p.Cands[i]
 		proc := -c.Benefit
 		for j := c.Start; j <= c.End; j++ {
 			proc += p.OpCosts[c.Pipeline][j]
@@ -39,102 +63,130 @@ func Greedy(p *Problem) Result {
 		if proc < 0 {
 			proc = 0
 		}
-		g, ok := groupOf[c.Group]
-		if !ok {
-			g = len(groups)
-			groupOf[c.Group] = g
-			groups = append(groups, group{cost: p.GroupCosts[c.Group]})
+		g := w.gGroupIdx[c.Group]
+		if g < 0 {
+			g = w.addGroup(p.GroupCosts[c.Group])
+			w.gGroupIdx[c.Group] = g
 		}
-		groups[g].items = append(groups[g].items, len(items))
-		items = append(items, item{cand: i, pipe: c.Pipeline, start: c.Start, end: c.End, proc: proc})
+		w.gGroups[g].items = append(w.gGroups[g].items, len(w.gItems))
+		w.gItems = append(w.gItems, gItem{cand: i, pipe: c.Pipeline, start: c.Start, end: c.End, proc: proc})
 	}
 	// Operator pseudo-caches: cover themselves, no group cost.
 	for pipe, costs := range p.OpCosts {
 		for pos, cost := range costs {
-			groups = append(groups, group{cost: 0, items: []int{len(items)}})
-			items = append(items, item{cand: -1, pipe: pipe, start: pos, end: pos, proc: cost})
+			g := w.addGroup(0)
+			w.gGroups[g].items = append(w.gGroups[g].items, len(w.gItems))
+			w.gItems = append(w.gItems, gItem{cand: -1, pipe: pipe, start: pos, end: pos, proc: cost})
 		}
 	}
 
-	covered := make(map[[2]int]bool)
+	// Coverage as a flat bool array over (pipe, pos) with per-pipe offsets.
+	w.gPipeOff = growInts(w.gPipeOff, len(p.OpCosts))
 	totalOps := 0
-	for _, costs := range p.OpCosts {
+	for i, costs := range p.OpCosts {
+		w.gPipeOff[i] = totalOps
 		totalOps += len(costs)
 	}
-	// uncovered ops a cache still covers.
-	nc := func(it *item) int {
-		n := 0
-		for j := it.start; j <= it.end; j++ {
-			if !covered[[2]int{it.pipe, j}] {
-				n++
-			}
-		}
-		return n
-	}
+	w.gCovered = growBools(w.gCovered, totalOps)
+	coveredCount := 0
 
-	var chosenItems []int
-	for len(covered) < totalOps {
+	w.gChosen = w.gChosen[:0]
+	for coveredCount < totalOps {
 		bestD := math.Inf(1)
-		var bestSet []int
-		for _, g := range groups {
+		found := false
+		for gi := range w.gGroups {
+			g := &w.gGroups[gi]
 			// Live items of this group with their current coverage.
-			type live struct {
-				idx  int
-				n    int
-				rate float64
-			}
-			var ls []live
+			ls := w.gLive[:0]
 			for _, ii := range g.items {
-				if n := nc(&items[ii]); n > 0 {
-					ls = append(ls, live{idx: ii, n: n, rate: items[ii].proc / float64(n)})
+				if n := w.uncovered(&w.gItems[ii]); n > 0 {
+					ls = append(ls, gLive{idx: ii, n: n, rate: w.gItems[ii].proc / float64(n)})
 				}
 			}
+			w.gLive = ls
 			if len(ls) == 0 {
 				continue
 			}
-			sort.Slice(ls, func(a, b int) bool { return ls[a].rate < ls[b].rate })
+			// Insertion sort by rate: tiny inputs, no per-call closure.
+			for i := 1; i < len(ls); i++ {
+				for j := i; j > 0 && ls[j].rate < ls[j-1].rate; j-- {
+					ls[j], ls[j-1] = ls[j-1], ls[j]
+				}
+			}
 			sumB, sumN := g.cost, 0.0
 			for k, l := range ls {
-				sumB += items[l.idx].proc
+				sumB += w.gItems[l.idx].proc
 				sumN += float64(l.n)
 				if d := sumB / sumN; d < bestD {
 					bestD = d
-					bestSet = make([]int, 0, k+1)
+					found = true
+					w.gBestSet = w.gBestSet[:0]
 					for _, x := range ls[:k+1] {
-						bestSet = append(bestSet, x.idx)
+						w.gBestSet = append(w.gBestSet, x.idx)
 					}
 				}
 			}
 		}
-		if bestSet == nil {
+		if !found {
 			break // nothing can cover the remainder (cannot happen: operators always can)
 		}
-		for _, ii := range bestSet {
-			it := &items[ii]
+		for _, ii := range w.gBestSet {
+			it := &w.gItems[ii]
+			base := w.gPipeOff[it.pipe]
 			for j := it.start; j <= it.end; j++ {
-				covered[[2]int{it.pipe, j}] = true
+				if !w.gCovered[base+j] {
+					w.gCovered[base+j] = true
+					coveredCount++
+				}
 			}
 			if it.cand >= 0 {
-				chosenItems = append(chosenItems, it.cand)
+				w.gChosen = append(w.gChosen, it.cand)
 			}
 		}
 	}
-	chosen := resolveOverlaps(p, chosenItems)
-	chosen = pruneNegative(p, chosen)
+	chosen := w.resolveOverlaps(p, w.gChosen)
+	chosen = w.pruneNegative(p, chosen)
 	sort.Ints(chosen)
 	return Result{Chosen: chosen, Value: p.objective(chosen)}
 }
 
+// addGroup appends a group with the given cost, reusing a previously
+// allocated slot (and its items capacity) when one exists.
+func (w *Workspace) addGroup(cost float64) int {
+	if len(w.gGroups) < cap(w.gGroups) {
+		w.gGroups = w.gGroups[:len(w.gGroups)+1]
+		g := &w.gGroups[len(w.gGroups)-1]
+		g.cost = cost
+		g.items = g.items[:0]
+	} else {
+		w.gGroups = append(w.gGroups, gGroup{cost: cost})
+	}
+	return len(w.gGroups) - 1
+}
+
+// uncovered counts the operators it still covers.
+func (w *Workspace) uncovered(it *gItem) int {
+	n := 0
+	base := w.gPipeOff[it.pipe]
+	for j := it.start; j <= it.end; j++ {
+		if !w.gCovered[base+j] {
+			n++
+		}
+	}
+	return n
+}
+
 // resolveOverlaps keeps, among mutually overlapping chosen caches, the one
 // covering the most operators (Appendix B), iterating until conflict-free.
-func resolveOverlaps(p *Problem, chosen []int) []int {
+// Sorts chosen in place; the result reuses a workspace buffer.
+func (w *Workspace) resolveOverlaps(p *Problem, chosen []int) []int {
 	sort.Slice(chosen, func(a, b int) bool {
 		if oa, ob := p.Cands[chosen[a]].ops(), p.Cands[chosen[b]].ops(); oa != ob {
 			return oa > ob
 		}
 		return chosen[a] < chosen[b]
 	})
-	var out []int
+	out := w.gOut[:0]
 	for _, i := range chosen {
 		ok := true
 		for _, j := range out {
@@ -147,6 +199,7 @@ func resolveOverlaps(p *Problem, chosen []int) []int {
 			out = append(out, i)
 		}
 	}
+	w.gOut = out
 	return out
 }
 
@@ -154,25 +207,36 @@ func resolveOverlaps(p *Problem, chosen []int) []int {
 // pay for the group cost — the greedy covering can select caches that are
 // cheaper than bare operators in the minimization form yet still carry
 // negative net benefit relative to dropping them (operators then cover those
-// positions for free in the maximization form).
-func pruneNegative(p *Problem, chosen []int) []int {
-	byGroup := make(map[int][]int)
-	for _, i := range chosen {
-		byGroup[p.Cands[i].Group] = append(byGroup[p.Cands[i].Group], i)
+// positions for free in the maximization form). The result overwrites
+// chosen's prefix (kept members preserve chosen order).
+func (w *Workspace) pruneNegative(p *Problem, chosen []int) []int {
+	w.groupSum = growFloats(w.groupSum, len(p.GroupCosts))
+	for i := range w.groupSum {
+		w.groupSum[i] = 0
 	}
-	var out []int
-	for g, members := range byGroup {
-		sum := 0.0
-		kept := members[:0]
-		for _, i := range members {
-			if p.Cands[i].Benefit > 0 {
-				sum += p.Cands[i].Benefit
-				kept = append(kept, i)
-			}
+	for _, i := range chosen {
+		if p.Cands[i].Benefit > 0 {
+			w.groupSum[p.Cands[i].Group] += p.Cands[i].Benefit
 		}
-		if sum > p.GroupCosts[g] {
-			out = append(out, kept...)
+	}
+	out := chosen[:0]
+	for _, i := range chosen {
+		g := p.Cands[i].Group
+		if p.Cands[i].Benefit > 0 && w.groupSum[g] > p.GroupCosts[g] {
+			out = append(out, i)
 		}
 	}
 	return out
+}
+
+// resolveOverlaps and pruneNegative package-level wrappers for callers
+// outside the workspace path (the randomized rounding pass).
+func resolveOverlaps(p *Problem, chosen []int) []int {
+	var w Workspace
+	return w.resolveOverlaps(p, chosen)
+}
+
+func pruneNegative(p *Problem, chosen []int) []int {
+	var w Workspace
+	return w.pruneNegative(p, chosen)
 }

@@ -11,10 +11,6 @@
 // members are used.
 package selection
 
-import (
-	"sort"
-)
-
 // Candidate is one candidate cache with its measured statistics.
 type Candidate struct {
 	// Pipeline and the covered operator positions Start..End (inclusive).
@@ -56,28 +52,43 @@ type Result struct {
 	Value  float64
 }
 
-// objective computes the maximization-form value of a candidate subset.
+// objective computes the maximization-form value of a candidate subset:
+// benefits summed in subset order, then each used group's cost subtracted
+// once in first-occurrence order. Allocation-free and deterministic —
+// Exhaustive calls it 2^m times per selection, and a re-optimizing engine
+// must not see run-to-run float-sum jitter. The duplicate-group scan is
+// quadratic in the subset size, which non-overlap keeps small.
 func (p *Problem) objective(chosen []int) float64 {
 	v := 0.0
-	groups := make(map[int]bool)
 	for _, i := range chosen {
 		v += p.Cands[i].Benefit
-		groups[p.Cands[i].Group] = true
 	}
-	for g := range groups {
-		v -= p.GroupCosts[g]
+	for ai, i := range chosen {
+		g := p.Cands[i].Group
+		first := true
+		for _, j := range chosen[:ai] {
+			if p.Cands[j].Group == g {
+				first = false
+				break
+			}
+		}
+		if first {
+			v -= p.GroupCosts[g]
+		}
 	}
 	return v
 }
 
 // hasSharing reports whether any group has two or more members.
+// Allocation-free: quadratic in m, which Select's call cadence (once per
+// re-optimization) and candidate counts keep trivial.
 func (p *Problem) hasSharing() bool {
-	seen := make(map[int]bool)
-	for _, c := range p.Cands {
-		if seen[c.Group] {
-			return true
+	for a := range p.Cands {
+		for b := a + 1; b < len(p.Cands); b++ {
+			if p.Cands[a].Group == p.Cands[b].Group {
+				return true
+			}
 		}
-		seen[c.Group] = true
 	}
 	return false
 }
@@ -99,13 +110,8 @@ func (p *Problem) validate(chosen []int) bool {
 // shared; otherwise exhaustive search while 2^m stays cheap (m ≤
 // exhaustiveLimit), falling back to the greedy approximation beyond that.
 func Select(p *Problem) Result {
-	if !p.hasSharing() {
-		return OptimalNoSharing(p)
-	}
-	if len(p.Cands) <= exhaustiveLimit {
-		return Exhaustive(p)
-	}
-	return Greedy(p)
+	var w Workspace
+	return w.Select(p)
 }
 
 // exhaustiveLimit caps exhaustive search at 2^18 subsets; the paper reports
@@ -120,102 +126,13 @@ const exhaustiveLimit = 18
 // no optimality guarantee (each shared group's cost is charged to every
 // member).
 func OptimalNoSharing(p *Problem) Result {
-	byPipe := make(map[int][]int)
-	for i, c := range p.Cands {
-		byPipe[c.Pipeline] = append(byPipe[c.Pipeline], i)
-	}
-	var chosen []int
-	for _, idxs := range byPipe {
-		chosen = append(chosen, optimalPipeline(p, idxs)...)
-	}
-	sort.Ints(chosen)
-	return Result{Chosen: chosen, Value: p.objective(chosen)}
-}
-
-// optimalPipeline runs the forest DP over one pipeline's candidates.
-func optimalPipeline(p *Problem, idxs []int) []int {
-	// Sort by span length ascending so parents come after children.
-	sort.Slice(idxs, func(a, b int) bool {
-		return p.Cands[idxs[a]].ops() < p.Cands[idxs[b]].ops()
-	})
-	// parent[i] = position in idxs of the smallest strict superset.
-	parent := make([]int, len(idxs))
-	for i := range parent {
-		parent[i] = -1
-		ci := &p.Cands[idxs[i]]
-		for j := i + 1; j < len(idxs); j++ {
-			cj := &p.Cands[idxs[j]]
-			if cj.Start <= ci.Start && ci.End <= cj.End && cj.ops() > ci.ops() {
-				parent[i] = j
-				break
-			}
-		}
-	}
-	net := func(i int) float64 {
-		c := &p.Cands[idxs[i]]
-		return c.Benefit - p.GroupCosts[c.Group]
-	}
-	// best[i]: optimal value within i's subtree; pick[i]: chosen indexes.
-	best := make([]float64, len(idxs))
-	pick := make([][]int, len(idxs))
-	childSum := make([]float64, len(idxs))
-	childPick := make([][]int, len(idxs))
-	for i := range idxs {
-		v := net(i)
-		if v > childSum[i] {
-			best[i] = v
-			pick[i] = []int{idxs[i]}
-		} else {
-			best[i] = childSum[i]
-			pick[i] = childPick[i]
-		}
-		if best[i] < 0 {
-			best[i] = 0
-			pick[i] = nil
-		}
-		if pr := parent[i]; pr != -1 {
-			childSum[pr] += best[i]
-			childPick[pr] = append(childPick[pr], pick[i]...)
-		}
-	}
-	var out []int
-	for i := range idxs {
-		if parent[i] == -1 {
-			out = append(out, pick[i]...)
-		}
-	}
-	return out
+	var w Workspace
+	return w.OptimalNoSharing(p)
 }
 
 // Exhaustive enumerates every nonoverlapping candidate subset and returns
 // the best; exact for any instance, exponential in m.
 func Exhaustive(p *Problem) Result {
-	m := len(p.Cands)
-	bestVal := 0.0
-	var bestSet []int
-	var cur []int
-	var rec func(i int)
-	rec = func(i int) {
-		if i == m {
-			if v := p.objective(cur); v > bestVal {
-				bestVal = v
-				bestSet = append([]int(nil), cur...)
-			}
-			return
-		}
-		// Skip candidate i.
-		rec(i + 1)
-		// Take candidate i if compatible.
-		for _, j := range cur {
-			if p.Cands[i].overlaps(&p.Cands[j]) {
-				return
-			}
-		}
-		cur = append(cur, i)
-		rec(i + 1)
-		cur = cur[:len(cur)-1]
-	}
-	rec(0)
-	sort.Ints(bestSet)
-	return Result{Chosen: bestSet, Value: bestVal}
+	var w Workspace
+	return w.Exhaustive(p)
 }

@@ -38,6 +38,13 @@ type ShardOptions struct {
 	// worker count, multiplying the two parallelism axes (P shards ×
 	// Workers stages). Results and cost totals are unchanged either way.
 	Pipeline PipelineOptions
+	// ReoptStagger offsets shard i's first post-startup re-optimization by
+	// i×ReoptStagger updates (added to Options.ReoptOffset), so the shards'
+	// re-optimization work is spread across the interval instead of landing
+	// in the same ingress window. Cache adoption can shift in time by at
+	// most the offset, but caches are output-transparent: join results are
+	// identical with or without staggering. 0 disables staggering.
+	ReoptStagger int
 }
 
 // ShardedEngine executes a built query hash-partitioned across P worker
@@ -124,6 +131,9 @@ func (q *Query) BuildSharded(opts Options, sopts ShardOptions) (*ShardedEngine, 
 		// Decorrelate per-shard sampling and randomized selection; shard 0
 		// keeps the caller's seed so P=1 reproduces the serial engine.
 		c.Seed = cfg.Seed + int64(i)*1_000_003
+		// Phase-shift each shard's first re-optimization so the shards'
+		// selection work does not land in the same ingress window.
+		c.ReoptOffset = cfg.ReoptOffset + i*sopts.ReoptStagger
 		// Each shard spills into its own subdirectory: shards are rebuilt
 		// independently on panic recovery, and a rebuild must be able to
 		// remove and recreate its spill files without touching its siblings'.
@@ -334,6 +344,11 @@ func (e *ShardedEngine) Stats() Stats {
 		Reopts:           snap.Reopts,
 		SkippedReopts:    snap.SkippedReopts,
 		CacheMemoryBytes: snap.CacheMemoryBytes,
+
+		ReoptNanos:        snap.ReoptNanos,
+		SampledUpdates:    snap.SampledUpdates,
+		CandidateRescores: snap.CandidateRescores,
+		ReoptsSuppressed:  snap.ReoptsSuppressed,
 
 		FilterBytes:          snap.FilterBytes,
 		FilteredProbes:       snap.FilteredProbes,

@@ -1,0 +1,93 @@
+package acache
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestSampleStrideOptionPlumbing: Options.SampleStride reaches the profiler
+// and its activity surfaces in Stats, without changing results.
+func TestSampleStrideOptionPlumbing(t *testing.T) {
+	exact, err := threeWayDecl("").Build(Options{ReoptInterval: 400, Seed: 71})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := threeWayDecl("").Build(Options{ReoptInterval: 400, Seed: 71, SampleStride: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := randomOps(73, 8000, []string{"R", "S", "T"}, []int{1, 2, 1}, 10)
+	for _, op := range ops {
+		exact.Append(op.rel, op.vals...)
+		sampled.Append(op.rel, op.vals...)
+	}
+	es, ss := exact.Stats(), sampled.Stats()
+	if es.Outputs != ss.Outputs {
+		t.Errorf("outputs diverged: exact %d, sampled %d", es.Outputs, ss.Outputs)
+	}
+	if es.SampledUpdates != es.Updates {
+		t.Errorf("exact mode: SampledUpdates = %d, want %d", es.SampledUpdates, es.Updates)
+	}
+	if ss.SampledUpdates >= ss.Updates/2 {
+		t.Errorf("stride 4: SampledUpdates = %d of %d, sampling inactive",
+			ss.SampledUpdates, ss.Updates)
+	}
+	if es.CandidateRescores == 0 {
+		t.Error("CandidateRescores never counted")
+	}
+}
+
+// TestShardReoptStagger: ShardOptions.ReoptStagger phase-shifts each shard's
+// first re-optimization (shard i by i×stagger updates, on top of
+// Options.ReoptOffset) and changes nothing observable: a staggered engine
+// emits exactly the result multiset of an unstaggered one.
+func TestShardReoptStagger(t *testing.T) {
+	mk := func(stagger int) (*ShardedEngine, *resultBag) {
+		eng, err := fiveWayStar().BuildSharded(
+			Options{ReoptInterval: 500, Seed: 31},
+			ShardOptions{Shards: 4, BatchSize: 16, ReoptStagger: stagger},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bag := newResultBag()
+		eng.OnResult(bag.hook())
+		return eng, bag
+	}
+	plain, plainBag := mk(0)
+	defer plain.Close()
+	staggered, stagBag := mk(125)
+	defer staggered.Close()
+
+	for i := 0; i < staggered.NumShards(); i++ {
+		if got, want := staggered.sh.Shard(i).ReoptOffset(), i*125; got != want {
+			t.Errorf("shard %d: ReoptOffset = %d, want %d", i, got, want)
+		}
+		if got := plain.sh.Shard(i).ReoptOffset(); got != 0 {
+			t.Errorf("unstaggered shard %d: ReoptOffset = %d, want 0", i, got)
+		}
+	}
+
+	rels := []string{"R0", "R1", "R2", "R3", "R4"}
+	ops := randomOps(131, 6000, rels, []int{2, 2, 2, 2, 2}, 12)
+	for _, op := range ops {
+		plain.Append(op.rel, op.vals...)
+		staggered.Append(op.rel, op.vals...)
+	}
+	plain.Flush()
+	staggered.Flush()
+
+	if got, want := staggered.Stats().Outputs, plain.Stats().Outputs; got != want {
+		t.Errorf("outputs = %d, want %d", got, want)
+	}
+	diffBags(t, "staggered results", plainBag.m, stagBag.m)
+
+	// Both configurations must actually have re-optimized for the
+	// equivalence to mean anything.
+	for label, eng := range map[string]*ShardedEngine{"plain": plain, "staggered": staggered} {
+		if st := eng.Stats(); st.Reopts+st.SkippedReopts == 0 {
+			t.Errorf("%s: no re-optimization activity (%s)", label,
+				fmt.Sprint(st.Reopts, st.SkippedReopts))
+		}
+	}
+}
